@@ -1,0 +1,135 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench runs at a scaled-down default (see DESIGN.md "Scaled
+// defaults") and prints the actual parameters in its header. Environment
+// knobs:
+//   FF_BENCH_WIDTH            frame width (default 256)
+//   FF_BENCH_TRAIN_FRAMES     training-video frames (default 2400)
+//   FF_BENCH_TEST_FRAMES      test-video frames (default 900)
+//   FF_BENCH_EPOCHS           training passes for the localized MC
+//   FF_BENCH_OBJECT_SCALE     object size multiplier (default 3: preserves
+//                             the paper's object-to-feature-cell ratio at
+//                             scaled resolutions)
+//   FF_BENCH_FRAMES           frames per throughput measurement (default 3)
+//   FF_BENCH_MAX_CLASSIFIERS  top of the Fig. 5/6 sweep (default 50)
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/microclassifier.hpp"
+#include "core/smoothing.hpp"
+#include "dnn/feature_extractor.hpp"
+#include "metrics/event_metrics.hpp"
+#include "train/experiment.hpp"
+#include "train/trainer.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+namespace ff::bench {
+
+struct BenchParams {
+  std::int64_t width = util::EnvInt("FF_BENCH_WIDTH", 256);
+  std::int64_t train_frames = util::EnvInt("FF_BENCH_TRAIN_FRAMES", 2400);
+  std::int64_t test_frames = util::EnvInt("FF_BENCH_TEST_FRAMES", 900);
+  double epochs = util::EnvDouble("FF_BENCH_EPOCHS", 2.0);
+  double object_scale = util::EnvDouble("FF_BENCH_OBJECT_SCALE", 3.0);
+  std::int64_t mean_event_len = util::EnvInt("FF_BENCH_EVENT_LEN", 22);
+};
+
+// Train/test videos: same camera (shared scene seed), different days
+// (different schedule seeds) — paper §4.1.
+inline video::DatasetSpec TrainSpec(video::Profile p, const BenchParams& bp) {
+  auto spec = p == video::Profile::kJackson
+                  ? video::JacksonSpec(bp.width, bp.train_frames, 11)
+                  : video::RoadwaySpec(bp.width, bp.train_frames, 21);
+  spec.mean_event_len = bp.mean_event_len;
+  spec.object_scale = bp.object_scale;
+  return spec;
+}
+
+inline video::DatasetSpec TestSpec(video::Profile p, const BenchParams& bp) {
+  auto spec = p == video::Profile::kJackson
+                  ? video::JacksonSpec(bp.width, bp.test_frames, 12)
+                  : video::RoadwaySpec(bp.width, bp.test_frames, 22);
+  spec.mean_event_len = bp.mean_event_len;
+  spec.object_scale = bp.object_scale;
+  return spec;
+}
+
+// Tap selection (paper §3.4 heuristic, applied to the scaled geometry): the
+// first layer whose stride gives a 1-2 cell object footprint. At paper
+// resolution that is conv4_2/sep (localized) and conv5_6/sep (full-frame);
+// at our scaled default the same rule selects one level earlier.
+inline std::string TapForScale(std::int64_t width) {
+  return width >= 1024 ? dnn::kMidTap : "conv3_2/sep";
+}
+inline std::string LateTapForScale(std::int64_t width) {
+  return width >= 1024 ? dnn::kLateTap : "conv4_2/sep";
+}
+
+// A trained, threshold-calibrated microclassifier.
+struct TrainedMc {
+  std::unique_ptr<core::Microclassifier> mc;
+  float threshold = 0.5f;
+  double final_loss = 0.0;
+};
+
+// Trains one MC on the training video (one shared feature pass per call —
+// callers training several MCs should use StreamDatasetFeatures themselves;
+// this helper is for the single-MC case).
+inline TrainedMc TrainOneMc(const std::string& arch,
+                            const video::SyntheticDataset& train_ds,
+                            dnn::FeatureExtractor& fx, core::McConfig cfg,
+                            double epochs, double lr = 2e-3) {
+  auto mc = core::MakeMicroclassifier(arch, std::move(cfg), fx,
+                                      train_ds.spec().height,
+                                      train_ds.spec().width);
+  fx.RequestTap(mc->config().tap);
+  train::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = lr;
+  const std::int64_t window = arch == "windowed" ? 5 : 1;
+  train::BinaryNetTrainer trainer(mc->net(), tc, window);
+  train::StreamDatasetFeatures(
+      train_ds, fx, 0, train_ds.n_frames(),
+      [&](std::int64_t t, const dnn::FeatureMaps& fm) {
+        trainer.AddFrame(mc->CropFeatures(fm), train_ds.Label(t));
+      });
+  TrainedMc out;
+  out.final_loss = trainer.Train();
+  const auto scores = trainer.ScoreCachedFrames();
+  out.threshold = train::CalibrateThreshold(
+      scores, train_ds.labels(), 5, 2);
+  out.mc = std::move(mc);
+  return out;
+}
+
+// Event metrics of thresholded+smoothed scores against dataset truth.
+inline metrics::EventMetrics EvalScores(const std::vector<float>& scores,
+                                        const video::SyntheticDataset& ds,
+                                        float threshold) {
+  std::vector<std::uint8_t> raw(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    raw[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  const auto smoothed = core::SmoothLabels(raw, 5, 2);
+  return metrics::ComputeEventMetrics(ds.labels(), ds.events(), smoothed);
+}
+
+inline void PrintHeader(const char* what, const BenchParams& bp) {
+  std::printf("=== %s ===\n", what);
+  std::printf(
+      "scaled defaults: width=%lld train_frames=%lld test_frames=%lld "
+      "epochs=%.2f object_scale=%.2f (env FF_BENCH_* to change)\n\n",
+      static_cast<long long>(bp.width),
+      static_cast<long long>(bp.train_frames),
+      static_cast<long long>(bp.test_frames), bp.epochs, bp.object_scale);
+}
+
+}  // namespace ff::bench

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the kernels underneath every
+// experiment: convolutions (the base DNN's cost), DCT/quantization and
+// motion search (the codec), K-voting and event metrics (the filtering
+// tail), and synthetic-frame rendering (the workload generator).
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.hpp"
+#include "codec/dct.hpp"
+#include "core/smoothing.hpp"
+#include "metrics/event_metrics.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+#include "video/dataset.hpp"
+
+namespace {
+
+using namespace ff;
+
+void BM_PointwiseConv(benchmark::State& state) {
+  const std::int64_t c_in = state.range(0);
+  const std::int64_t c_out = state.range(1);
+  nn::Conv2D conv("pw", c_in, c_out, 1, 1, nn::Padding::kSameCeil);
+  nn::HeInitLayer(conv, 1);
+  nn::Tensor in(nn::Shape{1, c_in, 24, 40});
+  util::Pcg32 rng(2);
+  in.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(in));
+  }
+  state.counters["GMAC/s"] = benchmark::Counter(
+      static_cast<double>(conv.Macs(in.shape())) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PointwiseConv)->Args({128, 128})->Args({512, 512})->Args({512, 32});
+
+void BM_DepthwiseConv3x3(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  nn::DepthwiseConv2D conv("dw", c, 3, 1, nn::Padding::kSameFloor);
+  nn::HeInitLayer(conv, 1);
+  nn::Tensor in(nn::Shape{1, c, 24, 40});
+  util::Pcg32 rng(3);
+  in.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(in));
+  }
+}
+BENCHMARK(BM_DepthwiseConv3x3)->Arg(128)->Arg(512);
+
+void BM_Conv3x3Stride2(benchmark::State& state) {
+  nn::Conv2D conv("c", 3, 32, 3, 2, nn::Padding::kSameFloor);
+  nn::HeInitLayer(conv, 1);
+  nn::Tensor in(nn::Shape{1, 3, 180, 320});
+  util::Pcg32 rng(4);
+  in.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(in));
+  }
+}
+BENCHMARK(BM_Conv3x3Stride2);
+
+void BM_Dct8x8RoundTrip(benchmark::State& state) {
+  util::Pcg32 rng(5);
+  codec::Block b{};
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-128, 128));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::InverseDct(codec::ForwardDct(b)));
+  }
+}
+BENCHMARK(BM_Dct8x8RoundTrip);
+
+void BM_EncodeFrame(benchmark::State& state) {
+  const video::SyntheticDataset ds(video::JacksonSpec(320, 64, 41));
+  codec::EncoderConfig cfg{.width = ds.spec().width,
+                           .height = ds.spec().height};
+  cfg.target_bitrate_bps = 200000;
+  codec::Encoder enc(cfg);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.EncodeFrame(ds.RenderFrame(i % 64)));
+    ++i;
+  }
+}
+BENCHMARK(BM_EncodeFrame);
+
+void BM_RenderFrame(benchmark::State& state) {
+  const video::SyntheticDataset ds(video::JacksonSpec(320, 64, 42));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.RenderFrame(i % 64));
+    ++i;
+  }
+}
+BENCHMARK(BM_RenderFrame);
+
+void BM_KVotingSmoothing(benchmark::State& state) {
+  util::Pcg32 rng(6);
+  std::vector<std::uint8_t> raw(10000);
+  for (auto& v : raw) v = rng.Bernoulli(0.2) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SmoothLabels(raw, 5, 2));
+  }
+}
+BENCHMARK(BM_KVotingSmoothing);
+
+void BM_EventMetrics(benchmark::State& state) {
+  util::Pcg32 rng(7);
+  std::vector<std::uint8_t> truth(10000), pred(10000);
+  for (auto& v : truth) v = rng.Bernoulli(0.2) ? 1 : 0;
+  for (auto& v : pred) v = rng.Bernoulli(0.25) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::ComputeEventMetrics(truth, pred));
+  }
+}
+BENCHMARK(BM_EventMetrics);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Deployment flow (paper §3.2): "To deploy an MC, the developer supplies
+// the network weights and architecture specification along with the name of
+// the base DNN layer (and, optionally, a crop thereof) to use as input."
+//
+// This example trains an MC in a "developer" process state, serializes the
+// weights to a file, then stands up a fresh "edge node" that rebuilds the
+// architecture from the spec, loads the weights, and serves — verifying the
+// two produce identical classifications.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "nn/serialize.hpp"
+#include "train/experiment.hpp"
+#include "train/trainer.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+using namespace ff;
+
+int main() {
+  auto train_spec = video::RoadwaySpec(/*width=*/192, /*n_frames=*/900, 21);
+  train_spec.mean_event_len = 20;
+  train_spec.object_scale = 3.0;
+  const video::SyntheticDataset train_video(train_spec);
+
+  // ---- Developer side: train and export. ----
+  // The deployable artifact: architecture id + tap name + crop + weights.
+  const std::string arch = "localized";
+  const std::string tap = "conv3_2/sep";
+  const tensor::Rect crop = train_spec.crop;
+  const std::string weights_path = "/tmp/ff_people_with_red.ffnw";
+
+  dnn::FeatureExtractor dev_fx({.include_classifier = false});
+  core::McConfig dev_cfg{.name = "people_with_red", .tap = tap};
+  dev_cfg.pixel_crop = crop;
+  auto dev_mc = core::MakeMicroclassifier(arch, dev_cfg, dev_fx,
+                                          train_spec.height, train_spec.width);
+  dev_fx.RequestTap(tap);
+  train::BinaryNetTrainer trainer(dev_mc->net(), {.epochs = 2.0, .lr = 2e-3});
+  std::printf("[developer] training %s MC...\n", arch.c_str());
+  train::StreamDatasetFeatures(
+      train_video, dev_fx, 0, train_video.n_frames(),
+      [&](std::int64_t t, const dnn::FeatureMaps& fm) {
+        trainer.AddFrame(dev_mc->CropFeatures(fm), train_video.Label(t));
+      });
+  trainer.Train();
+  const float threshold = train::CalibrateThreshold(
+      trainer.ScoreCachedFrames(), train_video.labels(), 5, 2);
+  nn::SaveWeights(dev_mc->net(), weights_path);
+  std::printf("[developer] exported weights to %s (threshold %.2f)\n\n",
+              weights_path.c_str(), threshold);
+
+  // ---- Edge side: rebuild from the spec, load weights, serve. ----
+  dnn::FeatureExtractor edge_fx({.include_classifier = false});
+  core::McConfig edge_cfg{.name = "people_with_red", .tap = tap};
+  edge_cfg.pixel_crop = crop;
+  auto edge_mc = core::MakeMicroclassifier(arch, edge_cfg, edge_fx,
+                                           train_spec.height,
+                                           train_spec.width);
+  nn::LoadWeights(edge_mc->net(), weights_path);
+  std::printf("[edge] rebuilt %s MC from spec and loaded weights\n",
+              arch.c_str());
+
+  // Verify: developer's and edge's classifications agree exactly.
+  edge_fx.RequestTap(tap);
+  dev_fx.RequestTap(tap);
+  int checked = 0, agreed = 0;
+  for (std::int64_t t = 0; t < 30; ++t) {
+    const video::Frame f = train_video.RenderFrame(t * 7);
+    const nn::Tensor px = dnn::PreprocessRgb(f.r(), f.g(), f.b(), f.height(),
+                                             f.width());
+    const float a = dev_mc->Infer(dev_fx.Extract(px));
+    const float b = edge_mc->Infer(edge_fx.Extract(px));
+    ++checked;
+    agreed += a == b ? 1 : 0;
+  }
+  std::printf("[verify] %d/%d frames classified identically by developer "
+              "and edge copies\n",
+              agreed, checked);
+  return agreed == checked ? 0 : 1;
+}

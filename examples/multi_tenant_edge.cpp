@@ -1,0 +1,110 @@
+// Multi-tenancy: one edge node, one shared base DNN, many applications'
+// microclassifiers (paper §2.2.3/§3.1). Two tenants are trained for real
+// tasks; six more simulate additional applications. The per-phase timing
+// shows the base DNN cost being amortized across all eight.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "metrics/event_metrics.hpp"
+#include "train/experiment.hpp"
+#include "train/trainer.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+using namespace ff;
+
+namespace {
+
+// Trains one MC for the given architecture on the training video.
+std::pair<std::unique_ptr<core::Microclassifier>, float> TrainTenant(
+    const char* arch, const char* name, double epochs,
+    const video::SyntheticDataset& train_video) {
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  core::McConfig cfg{.name = name, .tap = "conv3_2/sep"};
+  cfg.pixel_crop = train_video.spec().crop;
+  auto mc = core::MakeMicroclassifier(arch, cfg, fx,
+                                      train_video.spec().height,
+                                      train_video.spec().width);
+  fx.RequestTap(mc->config().tap);
+  const std::int64_t window = std::string(arch) == "windowed" ? 5 : 1;
+  train::BinaryNetTrainer trainer(mc->net(), {.epochs = epochs, .lr = 2e-3},
+                                  window);
+  train::StreamDatasetFeatures(
+      train_video, fx, 0, train_video.n_frames(),
+      [&](std::int64_t t, const dnn::FeatureMaps& fm) {
+        trainer.AddFrame(mc->CropFeatures(fm), train_video.Label(t));
+      });
+  trainer.Train();
+  const float thr = train::CalibrateThreshold(trainer.ScoreCachedFrames(),
+                                              train_video.labels(), 5, 2);
+  return {std::move(mc), thr};
+}
+
+}  // namespace
+
+int main() {
+  auto train_spec = video::RoadwaySpec(/*width=*/256, /*n_frames=*/1600, 21);
+  train_spec.mean_event_len = 20;
+  train_spec.object_scale = 3.0;
+  auto live_spec = video::RoadwaySpec(256, 450, 22);
+  live_spec.mean_event_len = 20;
+  live_spec.object_scale = 3.0;
+  const video::SyntheticDataset train_video(train_spec);
+  const video::SyntheticDataset live_video(live_spec);
+
+  std::printf("training two applications' microclassifiers...\n");
+  auto [red_loc, thr_loc] =
+      TrainTenant("localized", "red/localized", 2.0, train_video);
+  auto [red_ff, thr_ff] =
+      TrainTenant("full_frame", "red/full_frame", 6.0, train_video);
+
+  // The edge node: 2 trained tenants + 6 synthetic ones (other apps).
+  dnn::FeatureExtractor edge_fx({.include_classifier = false});
+  core::PipelineConfig cfg;
+  cfg.frame_width = live_spec.width;
+  cfg.frame_height = live_spec.height;
+  cfg.fps = live_spec.fps;
+  cfg.upload_bitrate_bps = 40'000;
+  core::Pipeline pipeline(edge_fx, cfg);
+  pipeline.AddMicroclassifier(std::move(red_loc), thr_loc);
+  pipeline.AddMicroclassifier(std::move(red_ff), thr_ff);
+  for (int i = 0; i < 6; ++i) {
+    const char* arch = i % 2 == 0 ? "localized" : "windowed";
+    pipeline.AddMicroclassifier(
+        core::MakeMicroclassifier(
+            arch,
+            {.name = "tenant" + std::to_string(i), .tap = "conv3_2/sep",
+             .seed = static_cast<std::uint64_t>(900 + i)},
+            edge_fx, live_spec.height, live_spec.width),
+        /*threshold=*/0.95f);
+  }
+  std::printf("edge node runs %zu concurrent microclassifiers\n\n",
+              pipeline.n_mcs());
+
+  video::DatasetSource camera(live_video);
+  const std::int64_t n = pipeline.Run(camera);
+
+  for (const std::size_t i : {0u, 1u}) {
+    const auto& r = pipeline.result(i);
+    const auto m = metrics::ComputeEventMetrics(
+        live_video.labels(), live_video.events(), r.decisions);
+    std::printf("%-16s: %2zu events, event F1 %.3f\n", r.name.c_str(),
+                r.events.size(), m.f1);
+  }
+
+  const double frames = static_cast<double>(n);
+  const double base_ms = pipeline.base_dnn_seconds() / frames * 1000.0;
+  const double mc_ms = pipeline.mc_seconds() / frames * 1000.0;
+  std::printf("\nper-frame phase breakdown over %lld frames:\n",
+              static_cast<long long>(n));
+  std::printf("  shared base DNN : %7.2f ms (paid once)\n", base_ms);
+  std::printf("  8 MCs combined  : %7.2f ms (%.2f ms marginal per MC)\n",
+              mc_ms, mc_ms / static_cast<double>(pipeline.n_mcs()));
+  std::printf("  uplink          : %7.1f kb/s for %zu matched frames\n",
+              pipeline.UploadBitrateBps() / 1000.0,
+              pipeline.uploaded_frames().size());
+  std::printf("\nadding a 9th application costs ~%.2f ms/frame, not another "
+              "%.2f ms base DNN pass — FilterForward's key economics.\n",
+              mc_ms / static_cast<double>(pipeline.n_mcs()), base_ms);
+  return 0;
+}

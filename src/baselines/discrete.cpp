@@ -1,0 +1,96 @@
+#include "baselines/discrete.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+
+namespace ff::baselines {
+
+namespace {
+using nn::Padding;
+constexpr Padding kPad = Padding::kSameCeil;
+}  // namespace
+
+nn::Sequential BuildDiscreteClassifier(const DiscreteClassifierSpec& spec) {
+  FF_CHECK(spec.conv_layers >= 2 && spec.conv_layers <= 4);
+  FF_CHECK(spec.kernels >= 16 && spec.kernels <= 64);
+  FF_CHECK(spec.stride >= 1 && spec.stride <= 3);
+  FF_CHECK(spec.pool_layers >= 0 && spec.pool_layers <= 2);
+
+  nn::Sequential net("dc_" + spec.name);
+  std::int64_t c = 3;
+  int pools_left = spec.pool_layers;
+  for (int i = 0; i < spec.conv_layers; ++i) {
+    const std::string prefix = "conv" + std::to_string(i + 1);
+    // The first two convolutions carry the configured stride (this is where
+    // nearly all the pixels are); later convolutions are stride 1.
+    const std::int64_t stride = i < 2 ? spec.stride : 1;
+    if (spec.separable && i > 0) {
+      net.Add(std::make_unique<nn::DepthwiseConv2D>(prefix + "/dw", c, 3,
+                                                    stride, kPad));
+      net.Add(std::make_unique<nn::Conv2D>(prefix + "/pw", c, spec.kernels, 1,
+                                           1, kPad));
+    } else {
+      net.Add(std::make_unique<nn::Conv2D>(prefix, c, spec.kernels, 3, stride,
+                                           kPad));
+    }
+    net.Add(nn::MakeRelu(prefix + "/relu"));
+    c = spec.kernels;
+    if (pools_left > 0) {
+      net.Add(std::make_unique<nn::MaxPool2D>(
+          "pool" + std::to_string(spec.pool_layers - pools_left + 1), 2, 2));
+      --pools_left;
+    }
+  }
+  net.Add(std::make_unique<nn::GlobalMaxPool>("gmax"));
+  net.Add(std::make_unique<nn::FullyConnected>("fc1", c, 32));
+  net.Add(nn::MakeRelu("fc1/relu"));
+  net.Add(std::make_unique<nn::FullyConnected>("fc2", 32, 1));
+  net.Add(nn::MakeSigmoid("prob"));
+  nn::HeInit(net, spec.seed);
+  return net;
+}
+
+std::vector<DiscreteClassifierSpec> DiscreteClassifierFamily() {
+  // Spans ~100M to ~2.5B multiply-adds at 1920x1080 (checked by the Fig. 7
+  // bench, which prints each member's cost).
+  return {
+      {"s3k16c2p1", 2, 16, 3, 1, false, 101},
+      {"s3k32c2p1", 2, 32, 3, 1, false, 102},
+      {"s2k16c2p1", 2, 16, 2, 1, false, 103},
+      {"s2k32c3p1", 3, 32, 2, 1, false, 104},
+      {"s2k32c3p2sep", 3, 32, 2, 2, true, 105},
+      {"s2k48c3p2", 3, 48, 2, 2, false, 106},
+      {"s2k64c4p2", 4, 64, 2, 2, false, 107},
+      {"s1k16c2p2", 2, 16, 1, 2, false, 108},
+  };
+}
+
+std::uint64_t DiscreteClassifierMacs(const DiscreteClassifierSpec& spec,
+                                     std::int64_t h, std::int64_t w) {
+  nn::Sequential net = BuildDiscreteClassifier(spec);
+  return net.Macs(nn::Shape{1, 3, h, w});
+}
+
+DiscreteClassifier::DiscreteClassifier(DiscreteClassifierSpec spec,
+                                       std::int64_t frame_h,
+                                       std::int64_t frame_w)
+    : spec_(std::move(spec)),
+      h_(frame_h),
+      w_(frame_w),
+      net_(BuildDiscreteClassifier(spec_)) {}
+
+float DiscreteClassifier::Infer(const nn::Tensor& pixels) {
+  FF_CHECK_EQ(pixels.shape().h, h_);
+  FF_CHECK_EQ(pixels.shape().w, w_);
+  return net_.Forward(pixels).data()[0];
+}
+
+std::uint64_t DiscreteClassifier::MacsPerFrame() const {
+  return const_cast<DiscreteClassifier*>(this)->net_.Macs(
+      nn::Shape{1, 3, h_, w_});
+}
+
+}  // namespace ff::baselines

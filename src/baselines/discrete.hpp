@@ -1,0 +1,66 @@
+// NoScope-style discrete classifiers (paper §4.4/§4.5 and §5.2.1).
+//
+// A discrete classifier (DC) is a cheap task-specific CNN that runs on raw
+// pixels — each DC redundantly re-does pixel processing that FilterForward's
+// base DNN would amortize. The paper constructed DCs with 100M–2.5B
+// multiply-adds by sweeping: conv layers 2–4, kernels 16–64, stride 1–3,
+// pooling layers 0–2, standard vs separable convolutions (kernel size fixed
+// at 3), and reported a representative from the accuracy/cost Pareto
+// frontier. This module builds the same family.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "video/frame.hpp"
+
+namespace ff::baselines {
+
+struct DiscreteClassifierSpec {
+  std::string name;
+  int conv_layers = 2;       // 2..4
+  std::int64_t kernels = 16; // 16..64
+  std::int64_t stride = 2;   // stride of the first two convs, 1..3
+  int pool_layers = 0;       // 0..2 max-pools interleaved after convs
+  bool separable = false;
+  std::uint64_t seed = 33;
+};
+
+// Builds the DC network. Input is a preprocessed full-resolution pixel
+// tensor (1, 3, h, w); output is (1, 1, 1, 1) probability. The head is a
+// global max over the final feature grid (translation-invariant "is the
+// pattern anywhere?"), two small FCs, and a sigmoid.
+nn::Sequential BuildDiscreteClassifier(const DiscreteClassifierSpec& spec);
+
+// The sweep family used for the Pareto frontier (8 configurations spanning
+// the paper's cost range).
+std::vector<DiscreteClassifierSpec> DiscreteClassifierFamily();
+
+// Multiply-adds of a spec at the given frame resolution.
+std::uint64_t DiscreteClassifierMacs(const DiscreteClassifierSpec& spec,
+                                     std::int64_t h, std::int64_t w);
+
+// Runtime wrapper holding the network plus its input geometry.
+class DiscreteClassifier {
+ public:
+  DiscreteClassifier(DiscreteClassifierSpec spec, std::int64_t frame_h,
+                     std::int64_t frame_w);
+
+  const DiscreteClassifierSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  // Probability from a preprocessed pixel tensor (1, 3, h, w).
+  float Infer(const nn::Tensor& pixels);
+
+  std::uint64_t MacsPerFrame() const;
+  nn::Sequential& net() { return net_; }
+
+ private:
+  DiscreteClassifierSpec spec_;
+  std::int64_t h_, w_;
+  nn::Sequential net_;
+};
+
+}  // namespace ff::baselines

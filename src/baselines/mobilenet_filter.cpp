@@ -1,0 +1,59 @@
+#include "baselines/mobilenet_filter.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+
+namespace ff::baselines {
+
+namespace {
+
+nn::Sequential BuildFilter(std::uint64_t seed) {
+  dnn::MobileNetOptions opts;
+  opts.include_classifier = false;
+  opts.seed = seed;
+  nn::Sequential net = dnn::BuildMobileNetV1(opts);
+  net.Add(std::make_unique<nn::GlobalAvgPool>("pool6"));
+  net.Add(std::make_unique<nn::FullyConnected>("fc_binary", 1024, 1));
+  net.Add(nn::MakeSigmoid("prob"));
+  // Initialize only the head we appended (BuildMobileNetV1 already seeded
+  // the trunk).
+  nn::HeInitLayer(net.layer(net.IndexOf("fc_binary")), seed ^ 0xbead);
+  return net;
+}
+
+}  // namespace
+
+MobileNetFilter::MobileNetFilter(std::int64_t frame_h, std::int64_t frame_w,
+                                 std::uint64_t seed)
+    : h_(frame_h), w_(frame_w), net_(BuildFilter(seed)) {}
+
+float MobileNetFilter::Infer(const nn::Tensor& pixels) {
+  FF_CHECK_EQ(pixels.shape().h, h_);
+  FF_CHECK_EQ(pixels.shape().w, w_);
+  return net_.Forward(pixels).data()[0];
+}
+
+std::uint64_t MobileNetFilter::MacsPerFrame() const {
+  return const_cast<MobileNetFilter*>(this)->net_.Macs(nn::Shape{1, 3, h_, w_});
+}
+
+std::uint64_t MobileNetFilter::EstimateBytes(std::int64_t frame_h,
+                                             std::int64_t frame_w) {
+  nn::Sequential net = BuildFilter(1);
+  std::uint64_t weights =
+      static_cast<std::uint64_t>(net.ParamCount()) * sizeof(float);
+  // Peak live activations: the largest consecutive (input, output) pair.
+  nn::Shape s{1, 3, frame_h, frame_w};
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i < net.n_layers(); ++i) {
+    const nn::Shape out = net.layer(i).OutputShape(s);
+    peak = std::max(peak, static_cast<std::uint64_t>(s.elements()) +
+                              static_cast<std::uint64_t>(out.elements()));
+    s = out;
+  }
+  return weights + peak * sizeof(float);
+}
+
+}  // namespace ff::baselines

@@ -1,0 +1,37 @@
+// "Multiple MobileNets" baseline (paper §4.4): the naive way to run N
+// filtering applications is N complete MobileNet instances, each with a
+// binary head, all on raw pixels. Never optimal for throughput, and memory
+// grows linearly until it no longer fits (the paper ran out beyond 30).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dnn/mobilenet.hpp"
+#include "nn/sequential.hpp"
+
+namespace ff::baselines {
+
+class MobileNetFilter {
+ public:
+  MobileNetFilter(std::int64_t frame_h, std::int64_t frame_w,
+                  std::uint64_t seed);
+
+  // Probability from a preprocessed pixel tensor (1, 3, h, w).
+  float Infer(const nn::Tensor& pixels);
+
+  std::uint64_t MacsPerFrame() const;
+  nn::Sequential& net() { return net_; }
+
+  // Estimated resident bytes for one instance at the given resolution:
+  // weights + the peak pair of live activations. Used to model the paper's
+  // out-of-memory observation at paper scale.
+  static std::uint64_t EstimateBytes(std::int64_t frame_h,
+                                     std::int64_t frame_w);
+
+ private:
+  std::int64_t h_, w_;
+  nn::Sequential net_;
+};
+
+}  // namespace ff::baselines

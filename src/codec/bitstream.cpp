@@ -1,0 +1,75 @@
+#include "codec/bitstream.hpp"
+
+#include <bit>
+
+namespace ff::codec {
+
+void BitWriter::PutBit(std::uint32_t b) {
+  acc_ = (acc_ << 1) | (b & 1u);
+  ++acc_bits_;
+  ++bit_count_;
+  if (acc_bits_ == 8) {
+    bytes_.push_back(static_cast<char>(acc_ & 0xFFu));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+}
+
+void BitWriter::PutBits(std::uint32_t v, int n) {
+  FF_CHECK(n >= 0 && n <= 32);
+  for (int i = n - 1; i >= 0; --i) PutBit((v >> i) & 1u);
+}
+
+void BitWriter::PutUe(std::uint32_t v) {
+  // Encode v+1 with floor(log2(v+1)) leading zeros.
+  const std::uint32_t code = v + 1;
+  const int bits = std::bit_width(code);
+  for (int i = 0; i < bits - 1; ++i) PutBit(0);
+  PutBits(code, bits);
+}
+
+void BitWriter::PutSe(std::int32_t v) {
+  const std::uint32_t mapped =
+      v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+            : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  PutUe(mapped);
+}
+
+std::string BitWriter::Finish() {
+  while (acc_bits_ != 0) PutBit(0);
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::GetBit() {
+  FF_CHECK_MSG(pos_ < data_.size() * 8, "bitstream overrun");
+  const std::size_t byte = pos_ >> 3;
+  const int shift = 7 - static_cast<int>(pos_ & 7);
+  ++pos_;
+  return (static_cast<std::uint8_t>(data_[byte]) >> shift) & 1u;
+}
+
+std::uint32_t BitReader::GetBits(int n) {
+  FF_CHECK(n >= 0 && n <= 32);
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 1) | GetBit();
+  return v;
+}
+
+std::uint32_t BitReader::GetUe() {
+  int zeros = 0;
+  while (GetBit() == 0) {
+    ++zeros;
+    FF_CHECK_MSG(zeros <= 32, "malformed Exp-Golomb code");
+  }
+  std::uint32_t v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | GetBit();
+  return v - 1;
+}
+
+std::int32_t BitReader::GetSe() {
+  const std::uint32_t u = GetUe();
+  if (u & 1u) return static_cast<std::int32_t>((u + 1) / 2);
+  return -static_cast<std::int32_t>(u / 2);
+}
+
+}  // namespace ff::codec

@@ -1,0 +1,53 @@
+// Bit-level I/O with Exp-Golomb coding — the entropy-coding layer of the
+// codec. The written stream is a real bitstream: the decoder consumes exactly
+// the bits the encoder produced (tested bit-for-bit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace ff::codec {
+
+class BitWriter {
+ public:
+  void PutBit(std::uint32_t b);
+  // Writes the low `n` bits of v, most-significant first (n <= 32).
+  void PutBits(std::uint32_t v, int n);
+  // Unsigned Exp-Golomb.
+  void PutUe(std::uint32_t v);
+  // Signed Exp-Golomb (0, 1, -1, 2, -2, ... mapping).
+  void PutSe(std::int32_t v);
+
+  // Byte-aligns with zero bits and returns the buffer.
+  std::string Finish();
+
+  // Bits written so far (before alignment).
+  std::uint64_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string bytes_;
+  std::uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t GetBit();
+  std::uint32_t GetBits(int n);
+  std::uint32_t GetUe();
+  std::int32_t GetSe();
+
+  bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+}  // namespace ff::codec

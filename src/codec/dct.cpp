@@ -1,0 +1,120 @@
+#include "codec/dct.hpp"
+
+#include <cmath>
+
+namespace ff::codec {
+
+namespace {
+
+// Orthonormal DCT-II basis: A[u][x] = c(u) * cos((2x+1) u pi / 16),
+// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8). Then F = A f A^T and f = A^T F A.
+struct Basis {
+  float a[8][8];
+  Basis() {
+    constexpr double kPi = 3.14159265358979323846;
+    for (int u = 0; u < 8; ++u) {
+      const double c = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        a[u][x] = static_cast<float>(
+            c * std::cos((2.0 * x + 1.0) * u * kPi / 16.0));
+      }
+    }
+  }
+};
+
+const Basis& B() {
+  static const Basis basis;
+  return basis;
+}
+
+}  // namespace
+
+Block ForwardDct(const Block& spatial) {
+  const auto& a = B().a;
+  // tmp = A * f
+  float tmp[8][8];
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0;
+      for (int k = 0; k < 8; ++k) acc += a[u][k] * spatial[static_cast<std::size_t>(k * 8 + x)];
+      tmp[u][x] = acc;
+    }
+  }
+  // F = tmp * A^T
+  Block out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0;
+      for (int k = 0; k < 8; ++k) acc += tmp[u][k] * a[v][k];
+      out[static_cast<std::size_t>(u * 8 + v)] = acc;
+    }
+  }
+  return out;
+}
+
+Block InverseDct(const Block& freq) {
+  const auto& a = B().a;
+  // tmp = A^T * F
+  float tmp[8][8];
+  for (int x = 0; x < 8; ++x) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0;
+      for (int k = 0; k < 8; ++k) acc += a[k][x] * freq[static_cast<std::size_t>(k * 8 + v)];
+      tmp[x][v] = acc;
+    }
+  }
+  // f = tmp * A
+  Block out{};
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0;
+      for (int k = 0; k < 8; ++k) acc += tmp[x][k] * a[k][y];
+      out[static_cast<std::size_t>(x * 8 + y)] = acc;
+    }
+  }
+  return out;
+}
+
+double QStep(int qp) {
+  // 0.625 * 2^(qp/6): qp 0 -> fine, qp 51 -> step ~230 (obliterating).
+  return 0.625 * std::pow(2.0, static_cast<double>(qp) / 6.0);
+}
+
+QuantBlock Quantize(const Block& freq, double qstep) {
+  QuantBlock q{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    q[i] = static_cast<std::int32_t>(
+        std::lround(static_cast<double>(freq[i]) / qstep));
+  }
+  return q;
+}
+
+Block Dequantize(const QuantBlock& q, double qstep) {
+  Block f{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    f[i] = static_cast<float>(static_cast<double>(q[i]) * qstep);
+  }
+  return f;
+}
+
+const std::array<int, 64>& ZigzagOrder() {
+  static const std::array<int, 64> order = [] {
+    std::array<int, 64> z{};
+    int idx = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {  // up-right
+        for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y) {
+          z[static_cast<std::size_t>(idx++)] = y * 8 + (s - y);
+        }
+      } else {  // down-left
+        for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x) {
+          z[static_cast<std::size_t>(idx++)] = (s - x) * 8 + x;
+        }
+      }
+    }
+    return z;
+  }();
+  return order;
+}
+
+}  // namespace ff::codec

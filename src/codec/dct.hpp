@@ -1,0 +1,28 @@
+// 8x8 DCT-II transform + flat quantization — the lossy core of the codec.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ff::codec {
+
+using Block = std::array<float, 64>;        // 8x8 spatial, row-major
+using QuantBlock = std::array<std::int32_t, 64>;  // quantized coefficients
+
+// Forward 8x8 DCT-II (orthonormal).
+Block ForwardDct(const Block& spatial);
+
+// Inverse 8x8 DCT-II.
+Block InverseDct(const Block& freq);
+
+// Quantizer step for QP in [0, 51]; doubles every 6 QP like H.264.
+double QStep(int qp);
+
+// Uniform (flat-matrix) quantization with round-to-nearest.
+QuantBlock Quantize(const Block& freq, double qstep);
+Block Dequantize(const QuantBlock& q, double qstep);
+
+// Zigzag scan order: index i of the scan visits zigzag[i] in the block.
+const std::array<int, 64>& ZigzagOrder();
+
+}  // namespace ff::codec

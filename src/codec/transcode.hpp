@@ -1,0 +1,46 @@
+// "Compress everything" support: a FrameSource that passes every frame of an
+// inner source through encode->decode at a target bitrate, counting real
+// bits. Running a filter on this source is exactly the paper's baseline of
+// uploading the heavily compressed stream and filtering in the cloud (§4.3).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "codec/codec.hpp"
+#include "video/source.hpp"
+
+namespace ff::codec {
+
+class TranscodedSource : public video::FrameSource {
+ public:
+  TranscodedSource(video::FrameSource& inner, const EncoderConfig& cfg)
+      : inner_(inner), cfg_(cfg), encoder_(cfg), decoder_(cfg.width, cfg.height) {}
+
+  std::optional<video::Frame> Next() override {
+    auto frame = inner_.Next();
+    if (!frame) return std::nullopt;
+    const std::string chunk = encoder_.EncodeFrame(*frame);
+    video::Frame decoded = decoder_.DecodeFrame(chunk);
+    decoded.index = frame->index;
+    return decoded;
+  }
+
+  void Reset() override {
+    inner_.Reset();
+    encoder_ = Encoder(cfg_);
+    decoder_ = Decoder(cfg_.width, cfg_.height);
+  }
+
+  std::uint64_t total_bytes() const { return encoder_.total_bytes(); }
+  double AverageBitrateBps() const { return encoder_.AverageBitrateBps(); }
+  const Encoder& encoder() const { return encoder_; }
+
+ private:
+  video::FrameSource& inner_;
+  EncoderConfig cfg_;
+  Encoder encoder_;
+  Decoder decoder_;
+};
+
+}  // namespace ff::codec

@@ -1,0 +1,82 @@
+#include "codec/yuv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::codec {
+
+namespace {
+
+std::uint8_t Clamp8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+}
+
+}  // namespace
+
+YuvImage RgbToYuv420(const video::Frame& f, std::int64_t pad_w,
+                     std::int64_t pad_h) {
+  FF_CHECK(pad_w >= f.width() && pad_h >= f.height());
+  FF_CHECK(pad_w % 16 == 0 && pad_h % 16 == 0);
+  YuvImage img;
+  img.w = pad_w;
+  img.h = pad_h;
+  img.y.resize(static_cast<std::size_t>(pad_w * pad_h));
+  img.cb.resize(static_cast<std::size_t>((pad_w / 2) * (pad_h / 2)));
+  img.cr.resize(img.cb.size());
+
+  // Full-range BT.601 luma, with edge replication into the padding.
+  std::vector<double> cb_full(static_cast<std::size_t>(pad_w * pad_h));
+  std::vector<double> cr_full(cb_full.size());
+  for (std::int64_t yy = 0; yy < pad_h; ++yy) {
+    const std::int64_t sy = std::min(yy, f.height() - 1);
+    for (std::int64_t xx = 0; xx < pad_w; ++xx) {
+      const std::int64_t sx = std::min(xx, f.width() - 1);
+      const auto i = static_cast<std::size_t>(sy * f.width() + sx);
+      const double r = f.r()[i], g = f.g()[i], b = f.b()[i];
+      const auto o = static_cast<std::size_t>(yy * pad_w + xx);
+      img.y[o] = Clamp8(0.299 * r + 0.587 * g + 0.114 * b);
+      cb_full[o] = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+      cr_full[o] = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    }
+  }
+  // 2x2 average chroma subsampling.
+  const std::int64_t cw = pad_w / 2;
+  for (std::int64_t cy = 0; cy < pad_h / 2; ++cy) {
+    for (std::int64_t cx = 0; cx < cw; ++cx) {
+      const auto i00 = static_cast<std::size_t>((2 * cy) * pad_w + 2 * cx);
+      const auto i01 = i00 + 1;
+      const auto i10 = i00 + static_cast<std::size_t>(pad_w);
+      const auto i11 = i10 + 1;
+      const auto o = static_cast<std::size_t>(cy * cw + cx);
+      img.cb[o] = Clamp8((cb_full[i00] + cb_full[i01] + cb_full[i10] +
+                          cb_full[i11]) / 4.0);
+      img.cr[o] = Clamp8((cr_full[i00] + cr_full[i01] + cr_full[i10] +
+                          cr_full[i11]) / 4.0);
+    }
+  }
+  return img;
+}
+
+video::Frame Yuv420ToRgb(const YuvImage& img, std::int64_t out_w,
+                         std::int64_t out_h) {
+  FF_CHECK(out_w <= img.w && out_h <= img.h);
+  video::Frame f(out_w, out_h);
+  const std::int64_t cw = img.chroma_w();
+  for (std::int64_t yy = 0; yy < out_h; ++yy) {
+    for (std::int64_t xx = 0; xx < out_w; ++xx) {
+      const double y = img.y[static_cast<std::size_t>(yy * img.w + xx)];
+      const auto ci = static_cast<std::size_t>((yy / 2) * cw + xx / 2);
+      const double cb = static_cast<double>(img.cb[ci]) - 128.0;
+      const double cr = static_cast<double>(img.cr[ci]) - 128.0;
+      f.Set(xx, yy,
+            video::Rgb{Clamp8(y + 1.402 * cr),
+                       Clamp8(y - 0.344136 * cb - 0.714136 * cr),
+                       Clamp8(y + 1.772 * cb)});
+    }
+  }
+  return f;
+}
+
+}  // namespace ff::codec

@@ -1,0 +1,30 @@
+// BT.601 RGB <-> YCbCr conversion with 4:2:0 chroma subsampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace ff::codec {
+
+// Planar 4:2:0 image. Luma is w x h; chroma planes are (w/2) x (h/2).
+// Dimensions must be even (the codec pads to multiples of 16 before use).
+struct YuvImage {
+  std::int64_t w = 0, h = 0;
+  std::vector<std::uint8_t> y, cb, cr;
+
+  std::int64_t chroma_w() const { return w / 2; }
+  std::int64_t chroma_h() const { return h / 2; }
+};
+
+// Converts and pads to `pad_w` x `pad_h` (>= frame dims, multiples of 16) by
+// replicating edge pixels. Chroma is the mean of each 2x2 luma quad.
+YuvImage RgbToYuv420(const video::Frame& f, std::int64_t pad_w,
+                     std::int64_t pad_h);
+
+// Converts back, cropping to `out_w` x `out_h`.
+video::Frame Yuv420ToRgb(const YuvImage& img, std::int64_t out_w,
+                         std::int64_t out_h);
+
+}  // namespace ff::codec

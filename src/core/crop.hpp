@@ -1,0 +1,34 @@
+// Pixel-space crop -> feature-map crop translation (paper §3.2).
+//
+// Applications specify their region of interest in pixels (Fig. 3c). Each
+// microclassifier rescales that rectangle onto the spatial grid of the base
+// DNN layer it taps (stride 16 for conv4_2/sep, 32 for conv5_6/sep) and
+// crops the *feature map*, never the pixels — which is what lets every MC
+// pick a different region while sharing one base DNN pass.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/shape.hpp"
+
+namespace ff::core {
+
+// Maps a pixel rect onto a feature grid with the given stride. The result is
+// clamped to the grid and always spans at least one cell: outer-rounded
+// (floor the start, ceil the end) so the pixel region is fully covered.
+inline tensor::Rect PixelRectToFeatureRect(const tensor::Rect& pixel_rect,
+                                           std::int64_t stride,
+                                           std::int64_t fm_h,
+                                           std::int64_t fm_w) {
+  tensor::Rect r;
+  r.y0 = std::clamp<std::int64_t>(pixel_rect.y0 / stride, 0, fm_h - 1);
+  r.x0 = std::clamp<std::int64_t>(pixel_rect.x0 / stride, 0, fm_w - 1);
+  r.y1 = std::clamp<std::int64_t>((pixel_rect.y1 + stride - 1) / stride,
+                                  r.y0 + 1, fm_h);
+  r.x1 = std::clamp<std::int64_t>((pixel_rect.x1 + stride - 1) / stride,
+                                  r.x0 + 1, fm_w);
+  return r;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,48 @@
+#include "core/datacenter.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ff::core {
+
+DatacenterReceiver::DatacenterReceiver(std::int64_t frame_width,
+                                       std::int64_t frame_height)
+    : decoder_(frame_width, frame_height) {}
+
+void DatacenterReceiver::Receive(const UploadPacket& packet) {
+  FF_CHECK_MSG(packet.frame_index > last_index_,
+               "packets must arrive in frame order (got "
+                   << packet.frame_index << " after " << last_index_ << ")");
+  FF_CHECK_EQ(packet.frame_index, packet.metadata.frame_index);
+  last_index_ = packet.frame_index;
+  bytes_received_ += packet.chunk.size();
+
+  frames_.push_back(decoder_.DecodeFrame(packet.chunk));
+  frames_.back().index = packet.frame_index;
+  frame_indices_.push_back(packet.frame_index);
+  const std::size_t slot = frames_.size() - 1;
+
+  for (const auto& [mc_name, event_id] : packet.metadata.memberships) {
+    const auto key = std::make_pair(mc_name, event_id);
+    auto it = clips_.find(key);
+    if (it == clips_.end()) {
+      EventClip clip;
+      clip.mc_name = mc_name;
+      clip.event_id = event_id;
+      clip.first_frame = packet.frame_index;
+      it = clips_.emplace(key, std::move(clip)).first;
+    }
+    it->second.last_frame = packet.frame_index;
+    it->second.frame_slots.push_back(slot);
+  }
+}
+
+std::vector<DatacenterReceiver::EventClip> DatacenterReceiver::Clips() const {
+  std::vector<EventClip> out;
+  out.reserve(clips_.size());
+  for (const auto& [key, clip] : clips_) out.push_back(clip);
+  return out;
+}
+
+}  // namespace ff::core

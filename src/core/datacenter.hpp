@@ -1,0 +1,69 @@
+// Datacenter side of the edge-to-cloud loop (paper Fig. 1, right half).
+//
+// The edge pipeline streams matched frames as codec chunks with per-frame
+// metadata (which MC matched, which event the frame belongs to). The
+// receiver decodes the uplink stream and reassembles per-(application,
+// event) clips — what a datacenter analytics application consumes. Event
+// IDs in frame metadata "are used by applications to determine the event
+// boundaries" (paper §3.5); this module is that consumer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "core/events.hpp"
+#include "video/frame.hpp"
+
+namespace ff::core {
+
+// One uploaded frame as it crosses the wide-area link.
+struct UploadPacket {
+  std::int64_t frame_index = -1;
+  std::string chunk;       // codec bitstream for this frame
+  FrameMetadata metadata;  // (MC -> event id) memberships
+};
+
+class DatacenterReceiver {
+ public:
+  DatacenterReceiver(std::int64_t frame_width, std::int64_t frame_height);
+
+  // Feeds the next packet (packets arrive in frame order).
+  void Receive(const UploadPacket& packet);
+
+  // A contiguous run of received frames belonging to one (MC, event).
+  struct EventClip {
+    std::string mc_name;
+    std::int64_t event_id = -1;
+    std::int64_t first_frame = -1;  // original stream indices
+    std::int64_t last_frame = -1;   // inclusive
+    std::vector<std::size_t> frame_slots;  // indices into frames()
+  };
+
+  // Clips observed so far, grouped per MC in (mc, event id) order.
+  std::vector<EventClip> Clips() const;
+
+  // All decoded frames, in arrival order (frame_slots index into this).
+  const std::vector<video::Frame>& frames() const { return frames_; }
+  const std::vector<std::int64_t>& frame_indices() const {
+    return frame_indices_;
+  }
+
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::int64_t frames_received() const {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+
+ private:
+  codec::Decoder decoder_;
+  std::vector<video::Frame> frames_;
+  std::vector<std::int64_t> frame_indices_;
+  // (mc, event id) -> clip under assembly.
+  std::map<std::pair<std::string, std::int64_t>, EventClip> clips_;
+  std::uint64_t bytes_received_ = 0;
+  std::int64_t last_index_ = -1;
+};
+
+}  // namespace ff::core

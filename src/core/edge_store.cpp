@@ -1,0 +1,49 @@
+#include "core/edge_store.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ff::core {
+
+EdgeStore::EdgeStore(std::int64_t capacity_frames)
+    : capacity_(capacity_frames) {
+  FF_CHECK_GT(capacity_frames, 0);
+}
+
+void EdgeStore::Archive(const video::Frame& frame) {
+  frames_.push_back(frame);
+  while (static_cast<std::int64_t>(frames_.size()) > capacity_) {
+    frames_.pop_front();
+    ++base_;
+  }
+}
+
+std::optional<EdgeStore::Clip> EdgeStore::FetchClip(std::int64_t begin,
+                                                    std::int64_t end,
+                                                    double bitrate_bps,
+                                                    std::int64_t fps) const {
+  const std::int64_t lo = std::max(begin, first_available());
+  const std::int64_t hi = std::min(end, end_available());
+  if (lo >= hi) return std::nullopt;
+
+  const video::Frame& first = frames_[static_cast<std::size_t>(lo - base_)];
+  codec::EncoderConfig cfg;
+  cfg.width = first.width();
+  cfg.height = first.height();
+  cfg.fps = fps;
+  cfg.target_bitrate_bps = bitrate_bps;
+  codec::Encoder encoder(cfg);
+
+  Clip clip;
+  clip.begin = lo;
+  clip.end = hi;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    clip.chunks.push_back(encoder.EncodeFrame(
+        frames_[static_cast<std::size_t>(i - base_)], /*force_iframe=*/i == lo));
+    clip.bytes += clip.chunks.back().size();
+  }
+  return clip;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,51 @@
+// Edge archive + demand-fetch (paper §3.2): "edge nodes record the original
+// video stream to disk so that datacenter applications can demand-fetch
+// additional video (e.g., context segments surrounding a matched segment)".
+//
+// The store keeps the most recent `capacity` frames. A datacenter-side
+// application fetches a clip by frame range; the clip is re-encoded on
+// demand at the requested bitrate and returned as real bitstream chunks.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "video/frame.hpp"
+
+namespace ff::core {
+
+class EdgeStore {
+ public:
+  explicit EdgeStore(std::int64_t capacity_frames);
+
+  void Archive(const video::Frame& frame);
+
+  std::int64_t capacity() const { return capacity_; }
+  // Range of frame indices currently held: [first_available, end_available).
+  std::int64_t first_available() const { return base_; }
+  std::int64_t end_available() const {
+    return base_ + static_cast<std::int64_t>(frames_.size());
+  }
+
+  struct Clip {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::vector<std::string> chunks;  // one bitstream chunk per frame
+    std::uint64_t bytes = 0;
+  };
+
+  // Re-encodes frames [begin, end) at `bitrate_bps`. The range is clamped to
+  // what is still stored; returns nullopt when nothing overlaps.
+  std::optional<Clip> FetchClip(std::int64_t begin, std::int64_t end,
+                                double bitrate_bps, std::int64_t fps) const;
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t base_ = 0;  // index of frames_.front()
+  std::deque<video::Frame> frames_;
+};
+
+}  // namespace ff::core

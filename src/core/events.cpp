@@ -1,0 +1,34 @@
+#include "core/events.hpp"
+
+namespace ff::core {
+
+std::optional<EventRecord> TransitionDetector::Push(bool positive) {
+  std::optional<EventRecord> closed;
+  if (positive) {
+    if (open_begin_ < 0) {
+      open_begin_ = frame_;
+      state_.event_id = next_id_++;
+    }
+    state_.in_event = true;
+  } else {
+    if (open_begin_ >= 0) {
+      closed = EventRecord{state_.event_id, open_begin_, frame_};
+      closed_.push_back(*closed);
+      open_begin_ = -1;
+    }
+    state_.in_event = false;
+  }
+  ++frame_;
+  return closed;
+}
+
+std::optional<EventRecord> TransitionDetector::Finish() {
+  if (open_begin_ < 0) return std::nullopt;
+  const EventRecord closed{state_.event_id, open_begin_, frame_};
+  closed_.push_back(closed);
+  open_begin_ = -1;
+  state_.in_event = false;
+  return closed;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,58 @@
+// Transition detection and event identity (paper §3.5).
+//
+// Smoothed per-frame labels are segmented into events: each maximal run of
+// positive frames is one event with an MC-specific, monotonically increasing
+// ID. Frame metadata records, for every matched frame, which (MC -> event)
+// pairs it belongs to — a single frame can be part of events from several
+// MCs simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ff::core {
+
+struct EventRecord {
+  std::int64_t id = 0;     // unique per MC, monotonically increasing
+  std::int64_t begin = 0;  // first frame of the event
+  std::int64_t end = 0;    // one past the last frame
+  std::int64_t length() const { return end - begin; }
+};
+
+class TransitionDetector {
+ public:
+  struct FrameState {
+    bool in_event = false;
+    std::int64_t event_id = -1;  // valid when in_event
+  };
+
+  // Feeds the smoothed decision for the next frame (frames are sequential
+  // starting at 0). Returns the event that just *closed*, if any.
+  std::optional<EventRecord> Push(bool positive);
+
+  // Closes any open event at end of stream.
+  std::optional<EventRecord> Finish();
+
+  // State of the most recently pushed frame.
+  const FrameState& last_state() const { return state_; }
+
+  const std::vector<EventRecord>& closed_events() const { return closed_; }
+  std::int64_t frames_seen() const { return frame_; }
+
+ private:
+  std::int64_t frame_ = 0;
+  std::int64_t next_id_ = 0;
+  std::int64_t open_begin_ = -1;
+  FrameState state_;
+  std::vector<EventRecord> closed_;
+};
+
+// One matched frame's metadata: (MC name, event id) memberships.
+struct FrameMetadata {
+  std::int64_t frame_index = -1;
+  std::vector<std::pair<std::string, std::int64_t>> memberships;
+};
+
+}  // namespace ff::core

@@ -1,0 +1,223 @@
+#include "core/microclassifier.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+#include "nn/window_pack.hpp"
+
+namespace ff::core {
+
+namespace {
+
+using nn::Padding;
+
+// The paper's MC convolutions round up on stride-2 (Fig. 2b: 67 -> 34).
+constexpr Padding kMcPad = Padding::kSameCeil;
+
+}  // namespace
+
+Microclassifier::Microclassifier(McConfig cfg, const dnn::FeatureExtractor& fx,
+                                 std::int64_t frame_h, std::int64_t frame_w)
+    : cfg_(std::move(cfg)) {
+  FF_CHECK_MSG(!cfg_.name.empty(), "microclassifier needs a name");
+  tap_shape_ = fx.TapShape(cfg_.tap, frame_h, frame_w);
+  input_shape_ = tap_shape_;
+  if (cfg_.pixel_crop) {
+    const std::int64_t stride = dnn::TapStride(cfg_.tap);
+    feature_rect_ = PixelRectToFeatureRect(*cfg_.pixel_crop, stride,
+                                           tap_shape_.h, tap_shape_.w);
+    input_shape_.h = feature_rect_->height();
+    input_shape_.w = feature_rect_->width();
+  }
+}
+
+nn::Tensor Microclassifier::CropFeatures(const dnn::FeatureMaps& fm) const {
+  const auto it = fm.find(cfg_.tap);
+  FF_CHECK_MSG(it != fm.end(), name() << ": tap " << cfg_.tap
+                                      << " missing from feature maps");
+  if (!feature_rect_) return it->second;
+  return it->second.CropHW(*feature_rect_);
+}
+
+std::uint64_t Microclassifier::MarginalMacsPerFrame() const {
+  return const_cast<Microclassifier*>(this)->net().Macs(input_shape_);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2a — full-frame object detector
+// ---------------------------------------------------------------------------
+
+FullFrameObjectDetectorMc::FullFrameObjectDetectorMc(
+    McConfig cfg, const dnn::FeatureExtractor& fx, std::int64_t frame_h,
+    std::int64_t frame_w)
+    : Microclassifier(std::move(cfg), fx, frame_h, frame_w),
+      net_(cfg_.name) {
+  const std::int64_t c = input_shape_.c;
+  net_.Add(std::make_unique<nn::Conv2D>("pw1", c, 32, 1, 1, kMcPad));
+  net_.Add(nn::MakeRelu("pw1/relu"));
+  net_.Add(std::make_unique<nn::Conv2D>("pw2", 32, 32, 1, 1, kMcPad));
+  net_.Add(nn::MakeRelu("pw2/relu"));
+  net_.Add(std::make_unique<nn::Conv2D>("logits", 32, 1, 1, 1, kMcPad));
+  net_.Add(std::make_unique<nn::GlobalMaxPool>("max"));
+  net_.Add(nn::MakeSigmoid("prob"));
+  nn::HeInit(net_, cfg_.seed);
+}
+
+float FullFrameObjectDetectorMc::Infer(const dnn::FeatureMaps& fm) {
+  const nn::Tensor in = CropFeatures(fm);
+  return net_.Forward(in).data()[0];
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2b — localized binary classifier
+// ---------------------------------------------------------------------------
+
+LocalizedBinaryClassifierMc::LocalizedBinaryClassifierMc(
+    McConfig cfg, const dnn::FeatureExtractor& fx, std::int64_t frame_h,
+    std::int64_t frame_w)
+    : Microclassifier(std::move(cfg), fx, frame_h, frame_w),
+      net_(cfg_.name) {
+  const std::int64_t c = input_shape_.c;
+  // SepConv 3x3 stride 1, depth 16.
+  net_.Add(std::make_unique<nn::DepthwiseConv2D>("sep1/dw", c, 3, 1, kMcPad));
+  net_.Add(std::make_unique<nn::Conv2D>("sep1/pw", c, 16, 1, 1, kMcPad));
+  net_.Add(nn::MakeRelu("sep1/relu"));
+  // SepConv 3x3 stride 2, depth 32.
+  net_.Add(std::make_unique<nn::DepthwiseConv2D>("sep2/dw", 16, 3, 2, kMcPad));
+  net_.Add(std::make_unique<nn::Conv2D>("sep2/pw", 16, 32, 1, 1, kMcPad));
+  net_.Add(nn::MakeRelu("sep2/relu"));
+  // FC 200 (ReLU6 per Fig. 2b), FC 1, sigmoid.
+  const nn::Shape conv_out = net_.OutputShape(input_shape_);
+  net_.Add(std::make_unique<nn::FullyConnected>("fc1", conv_out.per_image(),
+                                                200));
+  net_.Add(nn::MakeRelu6("fc1/relu6"));
+  net_.Add(std::make_unique<nn::FullyConnected>("fc2", 200, 1));
+  net_.Add(nn::MakeSigmoid("prob"));
+  nn::HeInit(net_, cfg_.seed);
+}
+
+float LocalizedBinaryClassifierMc::Infer(const dnn::FeatureMaps& fm) {
+  const nn::Tensor in = CropFeatures(fm);
+  return net_.Forward(in).data()[0];
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2c — windowed, localized binary classifier
+// ---------------------------------------------------------------------------
+
+WindowedLocalizedMc::WindowedLocalizedMc(McConfig cfg,
+                                         const dnn::FeatureExtractor& fx,
+                                         std::int64_t frame_h,
+                                         std::int64_t frame_w,
+                                         std::int64_t window,
+                                         bool reuse_buffers)
+    : Microclassifier(std::move(cfg), fx, frame_h, frame_w),
+      window_(window),
+      reuse_buffers_(reuse_buffers),
+      net_(cfg_.name) {
+  FF_CHECK_GE(window_, 1);
+  const std::int64_t c = input_shape_.c;
+  // Per-frame 1x1 reduction (computed once per frame, buffered).
+  net_.Add(std::make_unique<nn::Conv2D>("reduce", c, 32, 1, 1, kMcPad));
+  // Depthwise concat of the window (free reshape).
+  net_.Add(std::make_unique<nn::WindowPack>("concat", window_));
+  // Trunk.
+  net_.Add(std::make_unique<nn::Conv2D>("conv1", 32 * window_, 32, 3, 1,
+                                        kMcPad));
+  net_.Add(nn::MakeRelu("conv1/relu"));
+  net_.Add(std::make_unique<nn::Conv2D>("conv2", 32, 32, 3, 2, kMcPad));
+  net_.Add(nn::MakeRelu("conv2/relu"));
+  nn::Shape trunk_out{1, 32, 0, 0};
+  {
+    // Spatial dims after the two trunk convs on the cropped map.
+    const auto g1 = nn::ComputeAxisGeometry(input_shape_.h, 3, 1, kMcPad);
+    const auto g1w = nn::ComputeAxisGeometry(input_shape_.w, 3, 1, kMcPad);
+    const auto g2 = nn::ComputeAxisGeometry(g1.out, 3, 2, kMcPad);
+    const auto g2w = nn::ComputeAxisGeometry(g1w.out, 3, 2, kMcPad);
+    trunk_out.h = g2.out;
+    trunk_out.w = g2w.out;
+  }
+  net_.Add(std::make_unique<nn::FullyConnected>("fc1", trunk_out.per_image(),
+                                                200));
+  net_.Add(nn::MakeRelu("fc1/relu"));
+  net_.Add(std::make_unique<nn::FullyConnected>("fc2", 200, 1));
+  net_.Add(nn::MakeSigmoid("prob"));
+  nn::HeInit(net_, cfg_.seed);
+}
+
+float WindowedLocalizedMc::Infer(const dnn::FeatureMaps& fm) {
+  const nn::Tensor in = CropFeatures(fm);
+  if (reuse_buffers_) {
+    // Paper §3.3.3: the 1x1 conv runs once per frame; its output is buffered
+    // and shared by the W windows that contain this frame.
+    buffer_.push_back(net_.ForwardRange(in, 0, 1));
+    while (static_cast<std::int64_t>(buffer_.size()) < window_) {
+      buffer_.push_front(buffer_.front());  // replicate-pad at stream start
+    }
+    if (static_cast<std::int64_t>(buffer_.size()) > window_) {
+      buffer_.pop_front();
+    }
+    std::vector<const nn::Tensor*> parts;
+    parts.reserve(static_cast<std::size_t>(window_));
+    for (const auto& t : buffer_) parts.push_back(&t);
+    const nn::Tensor cat = nn::Tensor::ConcatChannels(parts);
+    return net_.ForwardRange(cat, 2, net_.n_layers()).data()[0];
+  }
+  // Ablation path: recompute the 1x1 conv for every frame in the window.
+  raw_buffer_.push_back(in);
+  while (static_cast<std::int64_t>(raw_buffer_.size()) < window_) {
+    raw_buffer_.push_front(raw_buffer_.front());
+  }
+  if (static_cast<std::int64_t>(raw_buffer_.size()) > window_) {
+    raw_buffer_.pop_front();
+  }
+  std::vector<const nn::Tensor*> parts;
+  for (const auto& t : raw_buffer_) parts.push_back(&t);
+  const nn::Tensor stacked = nn::Tensor::Stack(parts);  // (W, C, h, w)
+  return net_.Forward(stacked).data()[0];
+}
+
+std::uint64_t WindowedLocalizedMc::MarginalMacsPerFrame() const {
+  auto& self = const_cast<WindowedLocalizedMc&>(*this);
+  // reduce: once per frame.
+  std::uint64_t total = self.net_.layer(0).Macs(input_shape_);
+  // Trunk: once per frame on the concatenated window.
+  nn::Shape s{1, 32 * window_, input_shape_.h, input_shape_.w};
+  for (std::size_t i = 2; i < self.net_.n_layers(); ++i) {
+    total += self.net_.layer(i).Macs(s);
+    s = self.net_.layer(i).OutputShape(s);
+  }
+  return total;
+}
+
+std::uint64_t WindowedLocalizedMc::MarginalMacsWithoutReuse() const {
+  auto& self = const_cast<WindowedLocalizedMc&>(*this);
+  const std::uint64_t reduce = self.net_.layer(0).Macs(input_shape_);
+  return MarginalMacsPerFrame() +
+         static_cast<std::uint64_t>(window_ - 1) * reduce;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Microclassifier> MakeMicroclassifier(
+    const std::string& arch, McConfig cfg, const dnn::FeatureExtractor& fx,
+    std::int64_t frame_h, std::int64_t frame_w) {
+  if (arch == "full_frame") {
+    return std::make_unique<FullFrameObjectDetectorMc>(std::move(cfg), fx,
+                                                       frame_h, frame_w);
+  }
+  if (arch == "localized") {
+    return std::make_unique<LocalizedBinaryClassifierMc>(std::move(cfg), fx,
+                                                         frame_h, frame_w);
+  }
+  if (arch == "windowed") {
+    return std::make_unique<WindowedLocalizedMc>(std::move(cfg), fx, frame_h,
+                                                 frame_w);
+  }
+  FF_CHECK_MSG(false, "unknown microclassifier architecture: " << arch);
+  return nullptr;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,192 @@
+#include "core/pipeline.hpp"
+
+namespace ff::core {
+
+Pipeline::Pipeline(dnn::FeatureExtractor& fx, const PipelineConfig& cfg)
+    : fx_(fx), cfg_(cfg) {
+  FF_CHECK_GT(cfg.frame_width, 0);
+  FF_CHECK_GT(cfg.frame_height, 0);
+  FF_CHECK_GT(cfg.fps, 0);
+  if (cfg_.enable_upload) {
+    codec::EncoderConfig ec;
+    ec.width = cfg_.frame_width;
+    ec.height = cfg_.frame_height;
+    ec.fps = cfg_.fps;
+    ec.target_bitrate_bps = cfg_.upload_bitrate_bps;
+    uplink_ = std::make_unique<codec::Encoder>(ec);
+  }
+  if (cfg_.edge_store_capacity > 0) {
+    store_ = std::make_unique<EdgeStore>(cfg_.edge_store_capacity);
+  }
+}
+
+void Pipeline::SetUploadSink(std::function<void(const UploadPacket&)> sink) {
+  FF_CHECK_MSG(frames_processed_ == 0, "cannot attach a sink mid-stream");
+  FF_CHECK_MSG(cfg_.enable_upload, "uploads are disabled in this pipeline");
+  upload_sink_ = std::move(sink);
+}
+
+void Pipeline::AddMicroclassifier(std::unique_ptr<Microclassifier> mc,
+                                  float threshold) {
+  FF_CHECK_MSG(frames_processed_ == 0,
+               "cannot add microclassifiers mid-stream");
+  FF_CHECK(mc != nullptr);
+  fx_.RequestTap(mc->config().tap);
+  Tenant t{std::move(mc), threshold,
+           KVotingSmoother(cfg_.vote_window, cfg_.vote_k), TransitionDetector{},
+           McResult{}};
+  t.result.name = t.mc->name();
+  tenants_.push_back(std::move(t));
+}
+
+void Pipeline::DeliverScore(Tenant& tenant, float score) {
+  tenant.result.scores.push_back(score);
+  const bool raw = score >= tenant.threshold;
+  tenant.result.raw.push_back(raw ? 1 : 0);
+  if (const auto decision = tenant.smoother.Push(raw)) {
+    NotifyDecision(tenant, *decision);
+  }
+}
+
+void Pipeline::NotifyDecision(Tenant& tenant, bool positive) {
+  tenant.detector.Push(positive);
+  tenant.result.decisions.push_back(positive ? 1 : 0);
+  tenant.result.event_ids.push_back(
+      positive ? tenant.detector.last_state().event_id : -1);
+
+  if (!cfg_.enable_upload) return;
+  const auto frame_index =
+      static_cast<std::int64_t>(tenant.result.decisions.size()) - 1;
+  const auto slot = static_cast<std::size_t>(frame_index - pending_base_);
+  FF_CHECK_LT(slot, pending_.size());
+  PendingFrame& pf = pending_[slot];
+  ++pf.decided;
+  if (positive) {
+    pf.any_positive = true;
+    pf.memberships.emplace_back(tenant.mc->name(),
+                                tenant.detector.last_state().event_id);
+  }
+}
+
+void Pipeline::FinalizeReadyFrames() {
+  if (!cfg_.enable_upload) return;
+  while (!pending_.empty() && pending_.front().decided == tenants_.size()) {
+    PendingFrame& pf = pending_.front();
+    const std::int64_t index = pending_base_;
+    if (pf.any_positive) {
+      upload_timer_.Start();
+      // Restart prediction when the previous uploaded frame is not the
+      // temporal predecessor of this one.
+      const bool force_i = index != last_uploaded_ + 1;
+      std::string chunk = uplink_->EncodeFrame(pf.frame, force_i);
+      upload_timer_.Stop();
+      last_uploaded_ = index;
+      FrameMetadata meta;
+      meta.frame_index = index;
+      meta.memberships = std::move(pf.memberships);
+      if (upload_sink_) {
+        UploadPacket packet;
+        packet.frame_index = index;
+        packet.chunk = std::move(chunk);
+        packet.metadata = meta;
+        upload_sink_(packet);
+      }
+      uploaded_.push_back(std::move(meta));
+    }
+    pending_.pop_front();
+    ++pending_base_;
+  }
+}
+
+void Pipeline::ProcessFrame(const video::Frame& frame) {
+  FF_CHECK(!finished_);
+  FF_CHECK(!tenants_.empty());
+  FF_CHECK_EQ(frame.width(), cfg_.frame_width);
+  FF_CHECK_EQ(frame.height(), cfg_.frame_height);
+  const std::int64_t t = frames_processed_;
+
+  if (cfg_.enable_upload) {
+    PendingFrame pf;
+    pf.frame = frame;
+    pending_.push_back(std::move(pf));
+  }
+  if (store_) store_->Archive(frame);
+
+  // Phase 1: shared base DNN.
+  base_timer_.Start();
+  const nn::Tensor input = dnn::PreprocessRgb(frame.r(), frame.g(), frame.b(),
+                                              frame.height(), frame.width());
+  dnn::FeatureMaps fm = fx_.Extract(input);
+  base_timer_.Stop();
+
+  // Phase 2+3: microclassifiers, then smoothing/eventing.
+  for (Tenant& tenant : tenants_) {
+    mc_timer_.Start();
+    const float score = tenant.mc->Infer(fm);
+    mc_timer_.Stop();
+    smooth_timer_.Start();
+    // A windowed MC's output at time t refers to frame t - delay; its first
+    // `delay` outputs precede frame 0 and are dropped.
+    if (t - tenant.mc->DecisionDelay() >= 0) DeliverScore(tenant, score);
+    smooth_timer_.Stop();
+  }
+  FinalizeReadyFrames();
+
+  last_fm_ = std::move(fm);
+  ++frames_processed_;
+}
+
+void Pipeline::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (frames_processed_ == 0) return;
+
+  // Tail-pad windowed MCs by replaying the final frame's features so the
+  // last `delay` frames receive scores.
+  for (Tenant& tenant : tenants_) {
+    const std::int64_t delay = tenant.mc->DecisionDelay();
+    for (std::int64_t i = 0; i < delay; ++i) {
+      mc_timer_.Start();
+      const float score = tenant.mc->Infer(last_fm_);
+      mc_timer_.Stop();
+      DeliverScore(tenant, score);
+    }
+    FF_CHECK_EQ(static_cast<std::int64_t>(tenant.result.scores.size()),
+                frames_processed_);
+    // Flush the K-voting tail.
+    for (const bool d : tenant.smoother.Flush()) NotifyDecision(tenant, d);
+    tenant.detector.Finish();
+    tenant.result.events = tenant.detector.closed_events();
+    FF_CHECK_EQ(static_cast<std::int64_t>(tenant.result.decisions.size()),
+                frames_processed_);
+  }
+  FinalizeReadyFrames();
+  FF_CHECK(pending_.empty());
+}
+
+std::int64_t Pipeline::Run(video::FrameSource& source) {
+  while (auto frame = source.Next()) {
+    ProcessFrame(*frame);
+  }
+  Finish();
+  return frames_processed_;
+}
+
+const McResult& Pipeline::result(std::size_t i) const {
+  FF_CHECK_LT(i, tenants_.size());
+  FF_CHECK_MSG(finished_, "results are available after Finish()");
+  return tenants_[i].result;
+}
+
+std::uint64_t Pipeline::upload_bytes() const {
+  return uplink_ ? uplink_->total_bytes() : 0;
+}
+
+double Pipeline::UploadBitrateBps() const {
+  if (frames_processed_ == 0) return 0.0;
+  const double seconds = static_cast<double>(frames_processed_) /
+                         static_cast<double>(cfg_.fps);
+  return static_cast<double>(upload_bytes()) * 8.0 / seconds;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,145 @@
+// The FilterForward edge pipeline (paper Fig. 1).
+//
+// Per frame, in phases (phased — not pipelined — execution, §4.4: the base
+// DNN and the MCs never compete for cores):
+//   1. preprocess + base DNN forward to the deepest requested tap
+//   2. every microclassifier infers from the shared feature maps
+//   3. per-MC K-voting smoothing and transition detection
+//   4. frames matched by >= 1 MC are re-encoded at the configured upload
+//      bitrate and "streamed to the datacenter" (bits are counted by a real
+//      encoder); frame metadata records (MC -> event id) memberships
+//   5. optionally, every original frame is archived (encoded to the edge
+//      store) for later demand-fetch.
+//
+// Decision alignment: a windowed MC's output refers to the center of its
+// window and K-voting refers to the middle of its vote window, so decisions
+// trail the input. The pipeline buffers pending frames until every MC has
+// decided on them, then finalizes uploads in frame order. Finish() drains
+// all tail state; every processed frame ends up with exactly one decision
+// per MC.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include <functional>
+
+#include "codec/codec.hpp"
+#include "core/datacenter.hpp"
+#include "core/edge_store.hpp"
+#include "core/events.hpp"
+#include "core/microclassifier.hpp"
+#include "core/smoothing.hpp"
+#include "util/timer.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+
+struct PipelineConfig {
+  std::int64_t frame_width = 0;
+  std::int64_t frame_height = 0;
+  std::int64_t fps = 15;
+  // K-voting parameters (paper §3.5: N = 5, K = 2).
+  std::int64_t vote_window = 5;
+  std::int64_t vote_k = 2;
+  // Target bitrate for re-encoding matched frames.
+  double upload_bitrate_bps = 500'000;
+  // Disable to skip the uplink encoder entirely (pure-filtering benches).
+  bool enable_upload = true;
+  // Edge store capacity in frames (0 disables archiving/demand-fetch).
+  std::int64_t edge_store_capacity = 0;
+};
+
+// Everything the pipeline learned about one MC's stream after Finish().
+struct McResult {
+  std::string name;
+  std::vector<float> scores;             // per-frame probability
+  std::vector<std::uint8_t> raw;         // thresholded, pre-smoothing
+  std::vector<std::uint8_t> decisions;   // post K-voting
+  std::vector<std::int64_t> event_ids;   // per-frame event id or -1
+  std::vector<EventRecord> events;
+};
+
+class Pipeline {
+ public:
+  Pipeline(dnn::FeatureExtractor& fx, const PipelineConfig& cfg);
+
+  // Threshold converts the MC's probability into the raw per-frame label.
+  void AddMicroclassifier(std::unique_ptr<Microclassifier> mc,
+                          float threshold = 0.5f);
+  std::size_t n_mcs() const { return tenants_.size(); }
+
+  void ProcessFrame(const video::Frame& frame);
+  void Finish();
+
+  // Drains `source` through the pipeline (ProcessFrame per frame, then
+  // Finish). Returns frames processed.
+  std::int64_t Run(video::FrameSource& source);
+
+  // Optional uplink sink: every uploaded frame's bitstream chunk and
+  // metadata is also delivered here (e.g. to a DatacenterReceiver). Must be
+  // set before the first ProcessFrame.
+  void SetUploadSink(std::function<void(const UploadPacket&)> sink);
+
+  const McResult& result(std::size_t i) const;
+  const std::vector<FrameMetadata>& uploaded_frames() const {
+    return uploaded_;
+  }
+  std::int64_t frames_processed() const { return frames_processed_; }
+  std::uint64_t upload_bytes() const;
+  // Average uplink bitrate over the processed duration.
+  double UploadBitrateBps() const;
+
+  EdgeStore* edge_store() { return store_ ? store_.get() : nullptr; }
+
+  // Phase time totals in seconds (Fig. 6's breakdown).
+  double base_dnn_seconds() const { return base_timer_.total_seconds(); }
+  double mc_seconds() const { return mc_timer_.total_seconds(); }
+  double smooth_seconds() const { return smooth_timer_.total_seconds(); }
+  double upload_seconds() const { return upload_timer_.total_seconds(); }
+
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  struct Tenant {
+    std::unique_ptr<Microclassifier> mc;
+    float threshold;
+    KVotingSmoother smoother;
+    TransitionDetector detector;
+    McResult result;
+  };
+
+  struct PendingFrame {
+    video::Frame frame;
+    std::size_t decided = 0;
+    bool any_positive = false;
+    std::vector<std::pair<std::string, std::int64_t>> memberships;
+  };
+
+  void DeliverScore(Tenant& tenant, float score);
+  void NotifyDecision(Tenant& tenant, bool positive);
+  void FinalizeReadyFrames();
+
+  dnn::FeatureExtractor& fx_;
+  PipelineConfig cfg_;
+  std::vector<Tenant> tenants_;
+  bool finished_ = false;
+
+  std::int64_t frames_processed_ = 0;
+  dnn::FeatureMaps last_fm_;  // retained for windowed-MC tail padding
+
+  // Upload path.
+  std::deque<PendingFrame> pending_;
+  std::int64_t pending_base_ = 0;
+  std::unique_ptr<codec::Encoder> uplink_;
+  std::int64_t last_uploaded_ = -2;
+  std::vector<FrameMetadata> uploaded_;
+  std::function<void(const UploadPacket&)> upload_sink_;
+
+  std::unique_ptr<EdgeStore> store_;
+
+  util::PhaseTimer base_timer_, mc_timer_, smooth_timer_, upload_timer_;
+};
+
+}  // namespace ff::core

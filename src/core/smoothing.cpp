@@ -1,0 +1,63 @@
+#include "core/smoothing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ff::core {
+
+KVotingSmoother::KVotingSmoother(std::int64_t window_n, std::int64_t k)
+    : n_(window_n), k_(k) {
+  FF_CHECK_GE(n_, 1);
+  FF_CHECK(k_ >= 1 && k_ <= n_);
+}
+
+bool KVotingSmoother::DecideFrame(std::int64_t m) const {
+  const std::int64_t half = n_ / 2;
+  const std::int64_t lo = std::max<std::int64_t>(0, m - half);
+  const std::int64_t hi = std::min<std::int64_t>(pushed_ - 1, m + half);
+  std::int64_t votes = 0;
+  for (std::int64_t t = lo; t <= hi; ++t) {
+    votes += raw_[static_cast<std::size_t>(t)] != 0 ? 1 : 0;
+  }
+  return votes >= k_;
+}
+
+std::optional<bool> KVotingSmoother::Push(bool raw) {
+  raw_.push_back(raw ? 1 : 0);
+  ++pushed_;
+  const std::int64_t m = pushed_ - 1 - n_ / 2;  // frame whose window completed
+  if (m < 0) return std::nullopt;
+  FF_CHECK_EQ(m, emitted_);
+  ++emitted_;
+  return DecideFrame(m);
+}
+
+std::vector<bool> KVotingSmoother::Flush() {
+  std::vector<bool> out;
+  for (std::int64_t m = emitted_; m < pushed_; ++m) {
+    out.push_back(DecideFrame(m));
+  }
+  emitted_ = pushed_;
+  return out;
+}
+
+void KVotingSmoother::Reset() {
+  raw_.clear();
+  pushed_ = 0;
+  emitted_ = 0;
+}
+
+std::vector<std::uint8_t> SmoothLabels(const std::vector<std::uint8_t>& raw,
+                                       std::int64_t window_n, std::int64_t k) {
+  KVotingSmoother s(window_n, k);
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size());
+  for (const auto r : raw) {
+    if (const auto d = s.Push(r != 0)) out.push_back(*d ? 1 : 0);
+  }
+  for (const bool d : s.Flush()) out.push_back(d ? 1 : 0);
+  return out;
+}
+
+}  // namespace ff::core

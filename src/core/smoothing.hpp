@@ -1,0 +1,56 @@
+// K-Voting smoothing of per-frame classifications (paper §3.5).
+//
+// Each MC's raw thresholded outputs for N consecutive frames form a window;
+// the middle frame is a detection iff at least K of the N frames are
+// positive. The paper sets N = 5, K = 2 — aggressive false-negative
+// mitigation at the cost of some false positives.
+//
+// Boundary frames (the first/last N/2 of a stream) use truncated windows
+// with the same K, so every input frame receives exactly one decision.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ff::core {
+
+class KVotingSmoother {
+ public:
+  KVotingSmoother(std::int64_t window_n = 5, std::int64_t k = 2);
+
+  std::int64_t window() const { return n_; }
+  std::int64_t k() const { return k_; }
+  // Decisions lag raw inputs by this many frames in steady state.
+  std::int64_t Delay() const { return n_ / 2; }
+
+  // Feeds the raw decision for the next frame. If a decision became final
+  // (its window is complete), returns it; the first call that returns a
+  // value refers to frame 0, the next to frame 1, and so on.
+  std::optional<bool> Push(bool raw);
+
+  // Finalizes tail frames with truncated windows. Returns one decision per
+  // not-yet-decided frame, in frame order.
+  std::vector<bool> Flush();
+
+  void Reset();
+
+  // Frames pushed and decisions emitted so far.
+  std::int64_t frames_pushed() const { return pushed_; }
+  std::int64_t decisions_emitted() const { return emitted_; }
+
+ private:
+  bool DecideFrame(std::int64_t m) const;
+
+  std::int64_t n_, k_;
+  std::vector<std::uint8_t> raw_;
+  std::int64_t pushed_ = 0;
+  std::int64_t emitted_ = 0;
+};
+
+// Offline convenience: smooths a whole label vector at once (used by
+// threshold calibration and tests).
+std::vector<std::uint8_t> SmoothLabels(const std::vector<std::uint8_t>& raw,
+                                       std::int64_t window_n, std::int64_t k);
+
+}  // namespace ff::core

@@ -1,0 +1,57 @@
+#include "dnn/feature_extractor.hpp"
+
+namespace ff::dnn {
+
+FeatureExtractor::FeatureExtractor(MobileNetOptions opts)
+    : opts_(opts), net_(BuildMobileNetV1(opts)) {}
+
+void FeatureExtractor::RequestTap(const std::string& tap) {
+  FF_CHECK_MSG(net_.Contains(tap), "unknown tap layer: " << tap);
+  taps_.insert(tap);
+}
+
+FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frame) {
+  FF_CHECK_MSG(!taps_.empty(), "no taps requested");
+  FF_CHECK_EQ(frame.shape().c, 3);
+  return net_.ForwardWithTaps(frame, taps_);
+}
+
+std::uint64_t FeatureExtractor::MacsPerFrame(std::int64_t h,
+                                             std::int64_t w) const {
+  FF_CHECK(!taps_.empty());
+  const nn::Shape in{1, 3, h, w};
+  std::uint64_t deepest = 0;
+  std::string deepest_tap;
+  for (const auto& t : taps_) {
+    const std::size_t idx = net_.IndexOf(t);
+    if (idx >= deepest) {
+      deepest = idx;
+      deepest_tap = t;
+    }
+  }
+  return net_.MacsTo(in, deepest_tap);
+}
+
+nn::Shape FeatureExtractor::TapShape(const std::string& tap, std::int64_t h,
+                                     std::int64_t w) const {
+  return net_.OutputShapeAt(nn::Shape{1, 3, h, w}, tap);
+}
+
+nn::Tensor PreprocessRgb(const std::uint8_t* r, const std::uint8_t* g,
+                         const std::uint8_t* b, std::int64_t h,
+                         std::int64_t w) {
+  nn::Tensor t(nn::Shape{1, 3, h, w});
+  const std::int64_t plane = h * w;
+  float* pr = t.plane(0, 0);
+  float* pg = t.plane(0, 1);
+  float* pb = t.plane(0, 2);
+  constexpr float kScale = 1.0f / 127.5f;
+  for (std::int64_t i = 0; i < plane; ++i) {
+    pr[i] = static_cast<float>(r[i]) * kScale - 1.0f;
+    pg[i] = static_cast<float>(g[i]) * kScale - 1.0f;
+    pb[i] = static_cast<float>(b[i]) * kScale - 1.0f;
+  }
+  return t;
+}
+
+}  // namespace ff::dnn

@@ -1,0 +1,58 @@
+// The feature extractor (paper §3.1): evaluates the base DNN once per frame
+// and hands the requested intermediate activations to all microclassifiers.
+//
+// The extractor stops the forward pass at the deepest requested tap, so an
+// edge node whose tenants all read conv4_2/sep never executes conv5_*/conv6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "dnn/mobilenet.hpp"
+#include "nn/sequential.hpp"
+
+namespace ff::dnn {
+
+// Activations for one frame, keyed by tap name.
+using FeatureMaps = std::map<std::string, nn::Tensor>;
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(MobileNetOptions opts = {});
+
+  // Registers a tap; must be one of MobileNetTapNames().
+  void RequestTap(const std::string& tap);
+  const std::set<std::string>& taps() const { return taps_; }
+
+  // Runs the base DNN on a preprocessed frame tensor (1, 3, H, W) and
+  // returns the requested activations.
+  FeatureMaps Extract(const nn::Tensor& frame);
+
+  // Multiply-adds for one frame of shape (1, 3, h, w): the cost of the
+  // prefix up to the deepest requested tap. This is the "upfront overhead"
+  // amortized across MCs (paper §3.1, Fig. 6).
+  std::uint64_t MacsPerFrame(std::int64_t h, std::int64_t w) const;
+
+  // Shape of a tap's activation for an h x w frame.
+  nn::Shape TapShape(const std::string& tap, std::int64_t h,
+                     std::int64_t w) const;
+
+  const MobileNetOptions& options() const { return opts_; }
+  nn::Sequential& network() { return net_; }
+
+ private:
+  // Internal layer name of the ReLU blob for a tap (identical today; kept as
+  // a seam in case tap aliasing is needed).
+  MobileNetOptions opts_;
+  nn::Sequential net_;
+  std::set<std::string> taps_;
+};
+
+// Converts 8-bit RGB planes to the base DNN's input tensor (1, 3, h, w),
+// scaled to [-1, 1] (MobileNet's 1/127.5 - 1 preprocessing).
+nn::Tensor PreprocessRgb(const std::uint8_t* r, const std::uint8_t* g,
+                         const std::uint8_t* b, std::int64_t h, std::int64_t w);
+
+}  // namespace ff::dnn

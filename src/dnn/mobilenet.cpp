@@ -1,0 +1,171 @@
+#include "dnn/mobilenet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+
+namespace ff::dnn {
+
+namespace {
+
+using nn::Padding;
+
+// (name, output channels, stride) for the 13 depthwise-separable blocks.
+struct BlockSpec {
+  const char* name;
+  std::int64_t out_c;
+  std::int64_t stride;
+};
+
+constexpr BlockSpec kBlocks[] = {
+    {"conv2_1", 64, 1},   {"conv2_2", 128, 2},  {"conv3_1", 128, 1},
+    {"conv3_2", 256, 2},  {"conv4_1", 256, 1},  {"conv4_2", 512, 2},
+    {"conv5_1", 512, 1},  {"conv5_2", 512, 1},  {"conv5_3", 512, 1},
+    {"conv5_4", 512, 1},  {"conv5_5", 512, 1},  {"conv5_6", 1024, 2},
+    {"conv6", 1024, 1},
+};
+
+}  // namespace
+
+std::int64_t ScaledChannels(std::int64_t base, double alpha) {
+  const auto scaled =
+      static_cast<std::int64_t>(std::lround(static_cast<double>(base) * alpha));
+  return std::max<std::int64_t>(8, scaled);
+}
+
+nn::Sequential BuildMobileNetV1(const MobileNetOptions& opts) {
+  FF_CHECK_GT(opts.alpha, 0.0);
+  nn::Sequential net("mobilenet_v1");
+
+  // conv1: standard 3x3 stride-2. The "/conv" suffix distinguishes the conv
+  // op from the post-ReLU blob that shares the Caffe blob name.
+  std::int64_t c = ScaledChannels(32, opts.alpha);
+  net.Add(std::make_unique<nn::Conv2D>("conv1/conv", 3, c, 3, 2,
+                                       Padding::kSameFloor));
+  net.Add(nn::MakeRelu("conv1"));
+
+  for (const auto& blk : kBlocks) {
+    const std::int64_t out_c = ScaledChannels(blk.out_c, opts.alpha);
+    net.Add(std::make_unique<nn::DepthwiseConv2D>(
+        std::string(blk.name) + "/dw/conv", c, 3, blk.stride,
+        Padding::kSameFloor));
+    net.Add(nn::MakeRelu(std::string(blk.name) + "/dw"));
+    net.Add(std::make_unique<nn::Conv2D>(std::string(blk.name) + "/sep/conv",
+                                         c, out_c, 1, 1, Padding::kSameFloor));
+    net.Add(nn::MakeRelu(std::string(blk.name) + "/sep"));
+    c = out_c;
+  }
+
+  if (opts.include_classifier) {
+    net.Add(std::make_unique<nn::GlobalAvgPool>("pool6"));
+    net.Add(std::make_unique<nn::FullyConnected>("fc7", c,
+                                                 opts.classifier_classes));
+  }
+
+  nn::HeInit(net, opts.seed);
+  if (opts.structured_conv1) {
+    auto& conv1 = dynamic_cast<nn::Conv2D&>(net.layer(net.IndexOf("conv1/conv")));
+    InitStructuredConv1(conv1, opts.seed);
+  }
+  return net;
+}
+
+void InitStructuredConv1(nn::Conv2D& conv1, std::uint64_t seed) {
+  FF_CHECK_EQ(conv1.in_channels(), 3);
+  FF_CHECK_EQ(conv1.kernel(), 3);
+  const std::int64_t out_c = conv1.out_channels();
+  auto& w = conv1.weights();
+  auto at = [&](std::int64_t oc, std::int64_t ic, std::int64_t ky,
+                std::int64_t kx) -> float& {
+    return w[static_cast<std::size_t>(((oc * 3 + ic) * 3 + ky) * 3 + kx)];
+  };
+  // Keep the He-random tail for filters we do not overwrite; rescale it so
+  // structured filters dominate early representation noise.
+  util::Pcg32 rng(seed ^ 0xc0105eedULL);
+  std::int64_t oc = 0;
+  // Color passthrough: one center-tap filter per input channel.
+  for (std::int64_t ic = 0; ic < 3 && oc < out_c; ++ic, ++oc) {
+    for (std::int64_t ky = 0; ky < 3; ++ky) {
+      for (std::int64_t kx = 0; kx < 3; ++kx) {
+        for (std::int64_t c = 0; c < 3; ++c) at(oc, c, ky, kx) = 0.0f;
+      }
+    }
+    at(oc, ic, 1, 1) = 1.2f;
+  }
+  // Color opponents: R-G, R-B, G-B at the center tap.
+  const std::int64_t opponents[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+  for (const auto& [a, b] : opponents) {
+    if (oc >= out_c) break;
+    for (std::int64_t ky = 0; ky < 3; ++ky) {
+      for (std::int64_t kx = 0; kx < 3; ++kx) {
+        for (std::int64_t c = 0; c < 3; ++c) at(oc, c, ky, kx) = 0.0f;
+      }
+    }
+    at(oc, a, 1, 1) = 1.0f;
+    at(oc, b, 1, 1) = -1.0f;
+    ++oc;
+  }
+  // Oriented luma edges (Sobel x/y, both polarities, plus diagonals).
+  const float sobel_x[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  const float sobel_y[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  const float diag_a[9] = {0, 1, 2, -1, 0, 1, -2, -1, 0};
+  const float diag_b[9] = {2, 1, 0, 1, 0, -1, 0, -1, -2};
+  for (const float* k : {sobel_x, sobel_y, diag_a, diag_b}) {
+    for (const float sign : {0.35f, -0.35f}) {
+      if (oc >= out_c) break;
+      for (std::int64_t ky = 0; ky < 3; ++ky) {
+        for (std::int64_t kx = 0; kx < 3; ++kx) {
+          for (std::int64_t c = 0; c < 3; ++c) {
+            at(oc, c, ky, kx) = sign * k[ky * 3 + kx] / 3.0f;
+          }
+        }
+      }
+      ++oc;
+    }
+  }
+  // Remaining filters stay He-random (already initialized).
+  (void)rng;
+}
+
+std::vector<std::string> MobileNetTapNames() {
+  std::vector<std::string> names = {"conv1"};
+  for (const auto& blk : kBlocks) {
+    names.push_back(std::string(blk.name) + "/dw");
+    names.push_back(std::string(blk.name) + "/sep");
+  }
+  return names;
+}
+
+std::int64_t TapStride(const std::string& tap) {
+  if (tap == "conv1") return 2;
+  std::int64_t stride = 2;  // conv1
+  for (const auto& blk : kBlocks) {
+    stride *= blk.stride;
+    if (tap == std::string(blk.name) + "/dw" ||
+        tap == std::string(blk.name) + "/sep") {
+      return stride;
+    }
+  }
+  FF_CHECK_MSG(false, "unknown tap " << tap);
+  return 0;
+}
+
+std::int64_t TapChannels(const std::string& tap, double alpha) {
+  if (tap == "conv1") return ScaledChannels(32, alpha);
+  std::int64_t in_c = ScaledChannels(32, alpha);
+  for (const auto& blk : kBlocks) {
+    const std::int64_t out_c = ScaledChannels(blk.out_c, alpha);
+    if (tap == std::string(blk.name) + "/dw") return in_c;
+    if (tap == std::string(blk.name) + "/sep") return out_c;
+    in_c = out_c;
+  }
+  FF_CHECK_MSG(false, "unknown tap " << tap);
+  return 0;
+}
+
+}  // namespace ff::dnn

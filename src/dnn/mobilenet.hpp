@@ -1,0 +1,76 @@
+// MobileNet v1 — the paper's base DNN (§3.1).
+//
+// Full 13-block depthwise-separable architecture with the Caffe layer naming
+// of the model the paper used (cdwat/MobileNet-Caffe): conv1, conv2_1 …
+// conv5_6, conv6, pool6, fc7. Activation taps are post-ReLU, addressed by the
+// Caffe blob names the paper quotes: "conv4_2/sep" (stride 16, 512 channels)
+// and "conv5_6/sep" (stride 32, 1024 channels).
+//
+// Two reproductions of paper details:
+//  * Spatial dims use floor(in/stride) padding so a 1920x1080 input yields
+//    conv4_2/sep = 67x120x512 and conv5_6/sep = 33x60x1024, the exact numbers
+//    in paper Fig. 2.
+//  * Weights are deterministic He-initialized (see DESIGN.md): the ImageNet
+//    checkpoint is unavailable offline, and random convolutional features are
+//    a sufficient generic basis for the microclassifier tasks.
+//
+// Batch norm is folded: the inference graph is conv(+bias)+ReLU per layer,
+// which is what an optimized deployment (the paper ran Intel-Caffe + MKL-DNN)
+// executes anyway.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/sequential.hpp"
+
+namespace ff::dnn {
+
+struct MobileNetOptions {
+  // Width multiplier alpha; 1.0 is the paper's (unquantized 32-bit) network.
+  double alpha = 1.0;
+  // Include the classifier tail (pool6 + fc7/1000)? The feature extractor
+  // does not need it; the "multiple MobileNets" baseline (§4.4) does.
+  bool include_classifier = true;
+  std::int64_t classifier_classes = 1000;
+  // Weight seed (deterministic).
+  std::uint64_t seed = 0x5eedbeef;
+  // Initialize conv1 with deterministic color-passthrough, color-opponent,
+  // and oriented-edge filters (the filter shapes ImageNet training is known
+  // to converge to; Krizhevsky 2012, Yosinski 2014) instead of pure noise.
+  // This is part of the pretrained-weight substitution documented in
+  // DESIGN.md: it restores the first-layer color/edge selectivity that
+  // microclassifier tasks such as "people with red" depend on. Deeper
+  // layers stay He-random.
+  bool structured_conv1 = true;
+};
+
+// Channel count after width-multiplier scaling (min 8, rounded).
+std::int64_t ScaledChannels(std::int64_t base, double alpha);
+
+// Overwrites the first filters of a 3-in 3x3 conv with deterministic color
+// passthrough / color-opponent / oriented-edge kernels (see
+// MobileNetOptions::structured_conv1).
+void InitStructuredConv1(nn::Conv2D& conv1, std::uint64_t seed);
+
+// Builds the network. The returned Sequential owns all layers.
+nn::Sequential BuildMobileNetV1(const MobileNetOptions& opts);
+
+// Tap names in network order (conv1, conv2_1/dw, conv2_1/sep, …, conv6/sep).
+// These are the post-ReLU blobs a microclassifier may pull features from.
+std::vector<std::string> MobileNetTapNames();
+
+// The taps the paper's microclassifiers use (§3.4).
+inline const char* kMidTap = "conv4_2/sep";   // stride 16, 512 * alpha ch
+inline const char* kLateTap = "conv5_6/sep";  // stride 32, 1024 * alpha ch
+
+// Spatial reduction factor (input pixels per activation cell) of a tap.
+std::int64_t TapStride(const std::string& tap);
+
+// Channels of a tap under width multiplier `alpha`.
+std::int64_t TapChannels(const std::string& tap, double alpha);
+
+}  // namespace ff::dnn

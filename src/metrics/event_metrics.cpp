@@ -1,0 +1,84 @@
+#include "metrics/event_metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace ff::metrics {
+
+std::vector<video::EventRange> EventsFromLabels(
+    std::span<const std::uint8_t> labels) {
+  std::vector<video::EventRange> events;
+  std::int64_t start = -1;
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(labels.size()); ++t) {
+    const bool pos = labels[static_cast<std::size_t>(t)] != 0;
+    if (pos && start < 0) start = t;
+    if (!pos && start >= 0) {
+      events.push_back({start, t});
+      start = -1;
+    }
+  }
+  if (start >= 0) {
+    events.push_back({start, static_cast<std::int64_t>(labels.size())});
+  }
+  return events;
+}
+
+EventMetrics ComputeEventMetrics(std::span<const std::uint8_t> truth_labels,
+                                 std::span<const video::EventRange> truth_events,
+                                 std::span<const std::uint8_t> predicted_labels,
+                                 double alpha, double beta) {
+  FF_CHECK_EQ(truth_labels.size(), predicted_labels.size());
+  FF_CHECK(alpha >= 0 && beta >= 0);
+  EventMetrics m;
+  m.truth_events = static_cast<std::int64_t>(truth_events.size());
+
+  // Frame-level precision counters.
+  for (std::size_t i = 0; i < predicted_labels.size(); ++i) {
+    if (predicted_labels[i] == 0) continue;
+    ++m.predicted_frames;
+    if (truth_labels[i] != 0) {
+      ++m.true_positive_frames;
+    } else {
+      ++m.false_positive_frames;
+    }
+  }
+  m.precision = m.predicted_frames > 0
+                    ? static_cast<double>(m.true_positive_frames) /
+                          static_cast<double>(m.predicted_frames)
+                    : 0.0;
+
+  // Event recall.
+  double recall_sum = 0.0;
+  for (const auto& ev : truth_events) {
+    FF_CHECK(ev.begin >= 0 &&
+             ev.end <= static_cast<std::int64_t>(truth_labels.size()) &&
+             ev.begin < ev.end);
+    std::int64_t hit = 0;
+    for (std::int64_t t = ev.begin; t < ev.end; ++t) {
+      hit += predicted_labels[static_cast<std::size_t>(t)] != 0 ? 1 : 0;
+    }
+    const double existence = hit > 0 ? 1.0 : 0.0;
+    const double overlap =
+        static_cast<double>(hit) / static_cast<double>(ev.length());
+    recall_sum += alpha * existence + beta * overlap;
+    m.detected_events += hit > 0 ? 1 : 0;
+  }
+  m.event_recall =
+      truth_events.empty() ? 0.0
+                           : recall_sum / static_cast<double>(truth_events.size());
+
+  m.f1 = (m.event_recall + m.precision) > 0
+             ? 2.0 * m.event_recall * m.precision /
+                   (m.event_recall + m.precision)
+             : 0.0;
+  return m;
+}
+
+EventMetrics ComputeEventMetrics(std::span<const std::uint8_t> truth_labels,
+                                 std::span<const std::uint8_t> predicted_labels,
+                                 double alpha, double beta) {
+  const auto events = EventsFromLabels(truth_labels);
+  return ComputeEventMetrics(truth_labels, events, predicted_labels, alpha,
+                             beta);
+}
+
+}  // namespace ff::metrics

@@ -1,0 +1,54 @@
+// Event-centric accuracy metrics (paper §4.2).
+//
+// FilterForward is evaluated on *events* (multi-frame ground-truth ranges),
+// not frames. Recall follows Lee et al. 2018 as adapted by the paper:
+//
+//   Existence_i = 1 if any frame of event i is predicted positive
+//   Overlap_i   = (predicted-positive frames inside event i) / |event i|
+//   EventRecall_i = alpha * Existence_i + beta * Overlap_i   (0.9 / 0.1)
+//   EventRecall   = mean_i EventRecall_i
+//
+// Precision keeps the standard frame definition (it measures what fraction
+// of uplink bandwidth carries true positives), and event F1 is the harmonic
+// mean of the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "video/dataset.hpp"
+
+namespace ff::metrics {
+
+struct EventMetrics {
+  double event_recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+  std::int64_t true_positive_frames = 0;
+  std::int64_t false_positive_frames = 0;
+  std::int64_t predicted_frames = 0;
+  std::int64_t truth_events = 0;
+  std::int64_t detected_events = 0;  // events with Existence == 1
+};
+
+inline constexpr double kDefaultAlpha = 0.9;
+inline constexpr double kDefaultBeta = 0.1;
+
+// Derives maximal runs of positive labels as event ranges.
+std::vector<video::EventRange> EventsFromLabels(
+    std::span<const std::uint8_t> labels);
+
+EventMetrics ComputeEventMetrics(std::span<const std::uint8_t> truth_labels,
+                                 std::span<const video::EventRange> truth_events,
+                                 std::span<const std::uint8_t> predicted_labels,
+                                 double alpha = kDefaultAlpha,
+                                 double beta = kDefaultBeta);
+
+// Convenience overload that derives truth events from the labels.
+EventMetrics ComputeEventMetrics(std::span<const std::uint8_t> truth_labels,
+                                 std::span<const std::uint8_t> predicted_labels,
+                                 double alpha = kDefaultAlpha,
+                                 double beta = kDefaultBeta);
+
+}  // namespace ff::metrics

@@ -1,0 +1,67 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace ff::nn {
+
+Tensor Activation::Forward(const Tensor& in) {
+  Tensor out(in.shape());
+  const float* x = in.data();
+  float* y = out.data();
+  const std::int64_t n = in.elements();
+  switch (kind_) {
+    case ActKind::kRelu:
+      for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      break;
+    case ActKind::kRelu6:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float v = x[i] > 0.0f ? x[i] : 0.0f;
+        y[i] = v < 6.0f ? v : 6.0f;
+      }
+      break;
+    case ActKind::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) {
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      }
+      break;
+  }
+  if (training_) saved_out_ = out;
+  return out;
+}
+
+Tensor Activation::Backward(const Tensor& grad_out) {
+  FF_CHECK_MSG(!saved_out_.empty(),
+               name() << ": Backward without a training-mode Forward");
+  FF_CHECK(grad_out.shape() == saved_out_.shape());
+  Tensor grad_in(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* y = saved_out_.data();
+  float* d = grad_in.data();
+  const std::int64_t n = grad_out.elements();
+  switch (kind_) {
+    case ActKind::kRelu:
+      for (std::int64_t i = 0; i < n; ++i) d[i] = y[i] > 0.0f ? g[i] : 0.0f;
+      break;
+    case ActKind::kRelu6:
+      for (std::int64_t i = 0; i < n; ++i) {
+        d[i] = (y[i] > 0.0f && y[i] < 6.0f) ? g[i] : 0.0f;
+      }
+      break;
+    case ActKind::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) d[i] = g[i] * y[i] * (1.0f - y[i]);
+      break;
+  }
+  return grad_in;
+}
+
+LayerPtr MakeRelu(std::string name) {
+  return std::make_unique<Activation>(std::move(name), ActKind::kRelu);
+}
+LayerPtr MakeRelu6(std::string name) {
+  return std::make_unique<Activation>(std::move(name), ActKind::kRelu6);
+}
+LayerPtr MakeSigmoid(std::string name) {
+  return std::make_unique<Activation>(std::move(name), ActKind::kSigmoid);
+}
+
+}  // namespace ff::nn

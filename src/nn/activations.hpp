@@ -1,0 +1,35 @@
+// Elementwise activations: ReLU, ReLU6, Sigmoid.
+//
+// The paper's microclassifiers use ReLU everywhere except the localized
+// binary classifier's hidden FC (ReLU6, Fig. 2b) and every MC's final
+// sigmoid.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ff::nn {
+
+enum class ActKind { kRelu, kRelu6, kSigmoid };
+
+class Activation : public Layer {
+ public:
+  Activation(std::string name, ActKind kind)
+      : Layer(std::move(name)), kind_(kind) {}
+
+  Shape OutputShape(const Shape& in) const override { return in; }
+  Tensor Forward(const Tensor& in) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::uint64_t Macs(const Shape&) const override { return 0; }
+
+  ActKind kind() const { return kind_; }
+
+ private:
+  ActKind kind_;
+  Tensor saved_out_;  // all three derivatives are computable from the output
+};
+
+LayerPtr MakeRelu(std::string name);
+LayerPtr MakeRelu6(std::string name);
+LayerPtr MakeSigmoid(std::string name);
+
+}  // namespace ff::nn

@@ -1,0 +1,56 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "util/rng.hpp"
+
+namespace ff::nn {
+
+namespace {
+
+// fan_in for a parameter blob: inferred from the owning layer's type.
+std::int64_t FanIn(const Layer& layer) {
+  if (const auto* c = dynamic_cast<const Conv2D*>(&layer)) {
+    return c->in_channels() * c->kernel() * c->kernel();
+  }
+  if (const auto* d = dynamic_cast<const DepthwiseConv2D*>(&layer)) {
+    return d->kernel() * d->kernel();  // one spatial filter per channel
+  }
+  if (const auto* f = dynamic_cast<const FullyConnected*>(&layer)) {
+    return f->in_dim();
+  }
+  return 1;
+}
+
+void InitLayerParams(Layer& layer, std::uint64_t seed) {
+  const std::int64_t fan_in = FanIn(layer);
+  for (auto& p : layer.Params()) {
+    util::Pcg32 rng(seed ^ util::HashString(p.name));
+    const bool is_bias = p.name.size() >= 5 &&
+                         p.name.compare(p.name.size() - 5, 5, "/bias") == 0;
+    if (is_bias) {
+      std::fill(p.value->begin(), p.value->end(), 0.0f);
+    } else {
+      const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+      for (auto& v : *p.value) {
+        v = static_cast<float>(rng.Normal(0.0, stddev));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void HeInit(Sequential& net, std::uint64_t seed) {
+  for (std::size_t i = 0; i < net.n_layers(); ++i) {
+    InitLayerParams(net.layer(i), seed);
+  }
+}
+
+void HeInitLayer(Layer& layer, std::uint64_t seed) {
+  InitLayerParams(layer, seed);
+}
+
+}  // namespace ff::nn

@@ -1,0 +1,21 @@
+// Deterministic weight initialization.
+//
+// Each parameter blob is seeded by hash(network seed, blob name), so adding
+// or reordering layers does not reshuffle the weights of existing layers and
+// every run reproduces the same network bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.hpp"
+
+namespace ff::nn {
+
+// He-normal initialization for weights (stddev = sqrt(2 / fan_in)) and zero
+// biases, applied to every parameter of `net`.
+void HeInit(Sequential& net, std::uint64_t seed);
+
+// He-normal init for a single layer's parameters.
+void HeInitLayer(Layer& layer, std::uint64_t seed);
+
+}  // namespace ff::nn

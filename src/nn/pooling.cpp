@@ -1,0 +1,150 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+namespace ff::nn {
+
+MaxPool2D::MaxPool2D(std::string name, std::int64_t k, std::int64_t stride)
+    : Layer(std::move(name)), k_(k), stride_(stride) {
+  FF_CHECK_GT(k, 0);
+  FF_CHECK_GT(stride, 0);
+}
+
+Shape MaxPool2D::OutputShape(const Shape& in) const {
+  FF_CHECK_MSG(in.h >= k_ && in.w >= k_,
+               name() << ": input " << in << " smaller than window " << k_);
+  return Shape{in.n, in.c, (in.h - k_) / stride_ + 1, (in.w - k_) / stride_ + 1};
+}
+
+Tensor MaxPool2D::Forward(const Tensor& in) {
+  const Shape out_shape = OutputShape(in.shape());
+  Tensor out(out_shape);
+  if (training_) {
+    argmax_.assign(static_cast<std::size_t>(out_shape.elements()), 0);
+    saved_in_shape_ = in.shape();
+  }
+  const std::int64_t iw = in.shape().w;
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < in.shape().n; ++n) {
+    for (std::int64_t c = 0; c < in.shape().c; ++c) {
+      const float* ip = in.plane(n, c);
+      float* op = out.plane(n, c);
+      for (std::int64_t oy = 0; oy < out_shape.h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_shape.w; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < k_; ++ky) {
+            for (std::int64_t kx = 0; kx < k_; ++kx) {
+              const std::int64_t idx =
+                  (oy * stride_ + ky) * iw + ox * stride_ + kx;
+              if (ip[idx] > best) {
+                best = ip[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          op[oy * out_shape.w + ox] = best;
+          if (training_) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+          ++oi;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_out) {
+  FF_CHECK_MSG(!argmax_.empty(),
+               name() << ": Backward without a training-mode Forward");
+  const Shape out_shape = OutputShape(saved_in_shape_);
+  FF_CHECK(grad_out.shape() == out_shape);
+  Tensor grad_in(saved_in_shape_);
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < saved_in_shape_.n; ++n) {
+    for (std::int64_t c = 0; c < saved_in_shape_.c; ++c) {
+      float* dip = grad_in.plane(n, c);
+      const float* gp = grad_out.plane(n, c);
+      for (std::int64_t p = 0; p < out_shape.plane(); ++p) {
+        dip[argmax_[static_cast<std::size_t>(oi)]] += gp[p];
+        ++oi;
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& in) {
+  Tensor out(OutputShape(in.shape()));
+  const std::int64_t plane = in.shape().plane();
+  for (std::int64_t n = 0; n < in.shape().n; ++n) {
+    for (std::int64_t c = 0; c < in.shape().c; ++c) {
+      const float* ip = in.plane(n, c);
+      double acc = 0;
+      for (std::int64_t p = 0; p < plane; ++p) acc += ip[p];
+      *out.plane(n, c) = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  if (training_) saved_in_shape_ = in.shape();
+  return out;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
+  FF_CHECK_MSG(saved_in_shape_.elements() > 0,
+               name() << ": Backward without a training-mode Forward");
+  FF_CHECK(grad_out.shape() == OutputShape(saved_in_shape_));
+  Tensor grad_in(saved_in_shape_);
+  const std::int64_t plane = saved_in_shape_.plane();
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::int64_t n = 0; n < saved_in_shape_.n; ++n) {
+    for (std::int64_t c = 0; c < saved_in_shape_.c; ++c) {
+      const float g = *grad_out.plane(n, c) * inv;
+      float* dip = grad_in.plane(n, c);
+      for (std::int64_t p = 0; p < plane; ++p) dip[p] = g;
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalMaxPool::Forward(const Tensor& in) {
+  Tensor out(OutputShape(in.shape()));
+  const std::int64_t plane = in.shape().plane();
+  if (training_) {
+    argmax_.assign(
+        static_cast<std::size_t>(in.shape().n * in.shape().c), 0);
+    saved_in_shape_ = in.shape();
+  }
+  for (std::int64_t n = 0; n < in.shape().n; ++n) {
+    for (std::int64_t c = 0; c < in.shape().c; ++c) {
+      const float* ip = in.plane(n, c);
+      float best = ip[0];
+      std::int64_t best_idx = 0;
+      for (std::int64_t p = 1; p < plane; ++p) {
+        if (ip[p] > best) {
+          best = ip[p];
+          best_idx = p;
+        }
+      }
+      *out.plane(n, c) = best;
+      if (training_) {
+        argmax_[static_cast<std::size_t>(n * in.shape().c + c)] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GlobalMaxPool::Backward(const Tensor& grad_out) {
+  FF_CHECK_MSG(!argmax_.empty(),
+               name() << ": Backward without a training-mode Forward");
+  FF_CHECK(grad_out.shape() == OutputShape(saved_in_shape_));
+  Tensor grad_in(saved_in_shape_);
+  for (std::int64_t n = 0; n < saved_in_shape_.n; ++n) {
+    for (std::int64_t c = 0; c < saved_in_shape_.c; ++c) {
+      grad_in.plane(n, c)[argmax_[static_cast<std::size_t>(
+          n * saved_in_shape_.c + c)]] = *grad_out.plane(n, c);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace ff::nn

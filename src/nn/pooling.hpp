@@ -1,0 +1,57 @@
+// Pooling layers: windowed max pool (discrete classifiers), global average
+// pool (MobileNet tail), and global max pool over the logit grid (the "Max"
+// operator of the full-frame object detector MC, paper Fig. 2a).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ff::nn {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::string name, std::int64_t k, std::int64_t stride);
+
+  Shape OutputShape(const Shape& in) const override;
+  Tensor Forward(const Tensor& in) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::uint64_t Macs(const Shape&) const override { return 0; }
+
+ private:
+  std::int64_t k_, stride_;
+  Shape saved_in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+// Reduces each channel plane to its mean: (n, c, 1, 1).
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+  Shape OutputShape(const Shape& in) const override {
+    return Shape{in.n, in.c, 1, 1};
+  }
+  Tensor Forward(const Tensor& in) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::uint64_t Macs(const Shape&) const override { return 0; }
+
+ private:
+  Shape saved_in_shape_;
+};
+
+// Reduces each channel plane to its max: (n, c, 1, 1). Backward routes the
+// gradient to the argmax element (ties broken toward the first).
+class GlobalMaxPool : public Layer {
+ public:
+  explicit GlobalMaxPool(std::string name) : Layer(std::move(name)) {}
+  Shape OutputShape(const Shape& in) const override {
+    return Shape{in.n, in.c, 1, 1};
+  }
+  Tensor Forward(const Tensor& in) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::uint64_t Macs(const Shape&) const override { return 0; }
+
+ private:
+  Shape saved_in_shape_;
+  std::vector<std::int64_t> argmax_;
+};
+
+}  // namespace ff::nn

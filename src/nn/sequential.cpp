@@ -1,0 +1,142 @@
+#include "nn/sequential.hpp"
+
+namespace ff::nn {
+
+Layer& Sequential::Add(LayerPtr layer) {
+  FF_CHECK_MSG(index_.find(layer->name()) == index_.end(),
+               name_ << ": duplicate layer name " << layer->name());
+  index_[layer->name()] = layers_.size();
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+std::size_t Sequential::IndexOf(const std::string& layer_name) const {
+  const auto it = index_.find(layer_name);
+  FF_CHECK_MSG(it != index_.end(), name_ << ": no layer named " << layer_name);
+  return it->second;
+}
+
+bool Sequential::Contains(const std::string& layer_name) const {
+  return index_.find(layer_name) != index_.end();
+}
+
+Tensor Sequential::Forward(const Tensor& in) {
+  FF_CHECK(!layers_.empty());
+  Tensor x = layers_[0]->Forward(in);
+  for (std::size_t i = 1; i < layers_.size(); ++i) x = layers_[i]->Forward(x);
+  return x;
+}
+
+Tensor Sequential::ForwardTo(const Tensor& in, const std::string& last_layer) {
+  const std::size_t last = IndexOf(last_layer);
+  Tensor x = layers_[0]->Forward(in);
+  for (std::size_t i = 1; i <= last; ++i) x = layers_[i]->Forward(x);
+  return x;
+}
+
+Tensor Sequential::ForwardRange(const Tensor& in, std::size_t begin,
+                                std::size_t end) {
+  FF_CHECK(begin < end && end <= layers_.size());
+  Tensor x = layers_[begin]->Forward(in);
+  for (std::size_t i = begin + 1; i < end; ++i) x = layers_[i]->Forward(x);
+  return x;
+}
+
+std::map<std::string, Tensor> Sequential::ForwardWithTaps(
+    const Tensor& in, const std::set<std::string>& taps) {
+  FF_CHECK(!taps.empty());
+  std::size_t deepest = 0;
+  for (const auto& t : taps) deepest = std::max(deepest, IndexOf(t));
+  std::map<std::string, Tensor> out;
+  Tensor x = layers_[0]->Forward(in);
+  if (taps.count(layers_[0]->name())) out[layers_[0]->name()] = x;
+  for (std::size_t i = 1; i <= deepest; ++i) {
+    x = layers_[i]->Forward(x);
+    if (taps.count(layers_[i]->name())) out[layers_[i]->name()] = x;
+  }
+  return out;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  FF_CHECK(!layers_.empty());
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamView> Sequential::Params() {
+  std::vector<ParamView> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->Params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::ZeroGrad() {
+  for (auto& l : layers_) l->ZeroGrad();
+}
+
+void Sequential::SetTraining(bool training) {
+  for (auto& l : layers_) l->set_training(training);
+}
+
+Shape Sequential::OutputShape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& l : layers_) s = l->OutputShape(s);
+  return s;
+}
+
+Shape Sequential::OutputShapeAt(const Shape& in,
+                                const std::string& last_layer) const {
+  const std::size_t last = IndexOf(last_layer);
+  Shape s = in;
+  for (std::size_t i = 0; i <= last; ++i) s = layers_[i]->OutputShape(s);
+  return s;
+}
+
+std::uint64_t Sequential::Macs(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& l : layers_) {
+    total += l->Macs(s);
+    s = l->OutputShape(s);
+  }
+  return total;
+}
+
+std::uint64_t Sequential::MacsTo(const Shape& in,
+                                 const std::string& last_layer) const {
+  const std::size_t last = IndexOf(last_layer);
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (std::size_t i = 0; i <= last; ++i) {
+    total += layers_[i]->Macs(s);
+    s = layers_[i]->OutputShape(s);
+  }
+  return total;
+}
+
+std::vector<Sequential::LayerCost> Sequential::CostTrace(const Shape& in) const {
+  std::vector<LayerCost> trace;
+  Shape s = in;
+  for (const auto& l : layers_) {
+    const Shape out = l->OutputShape(s);
+    trace.push_back({l->name(), l->Macs(s), out});
+    s = out;
+  }
+  return trace;
+}
+
+std::int64_t Sequential::ParamCount() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) {
+    for (const auto& p : const_cast<Layer&>(*l).Params()) {
+      total += static_cast<std::int64_t>(p.value->size());
+    }
+  }
+  return total;
+}
+
+}  // namespace ff::nn

@@ -1,0 +1,91 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ff::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'F', 'N', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FF_CHECK_MSG(is.good(), "truncated weight stream");
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeWeights(Sequential& net) {
+  std::ostringstream os(std::ios::binary);
+  os.write(kMagic, 4);
+  WritePod(os, kVersion);
+  const auto params = net.Params();
+  WritePod(os, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    WritePod(os, static_cast<std::uint32_t>(p.name.size()));
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    WritePod(os, static_cast<std::uint64_t>(p.value->size()));
+    os.write(reinterpret_cast<const char*>(p.value->data()),
+             static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  return os.str();
+}
+
+void DeserializeWeights(Sequential& net, const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  char magic[4];
+  is.read(magic, 4);
+  FF_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+               "bad weight file magic");
+  const auto version = ReadPod<std::uint32_t>(is);
+  FF_CHECK_EQ(version, kVersion);
+  const auto count = ReadPod<std::uint32_t>(is);
+  auto params = net.Params();
+  FF_CHECK_MSG(count == params.size(),
+               net.name() << ": file has " << count << " blobs, net has "
+                          << params.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = ReadPod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto n_floats = ReadPod<std::uint64_t>(is);
+    FF_CHECK_MSG(name == params[i].name,
+                 "blob " << i << ": file has '" << name << "', net has '"
+                         << params[i].name << "'");
+    FF_CHECK_MSG(n_floats == params[i].value->size(),
+                 name << ": file has " << n_floats << " floats, net expects "
+                      << params[i].value->size());
+    is.read(reinterpret_cast<char*>(params[i].value->data()),
+            static_cast<std::streamsize>(n_floats * sizeof(float)));
+    FF_CHECK_MSG(is.good(), "truncated weight stream in blob " << name);
+  }
+}
+
+void SaveWeights(Sequential& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FF_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::string bytes = SerializeWeights(net);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  FF_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+void LoadWeights(Sequential& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FF_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  DeserializeWeights(net, ss.str());
+}
+
+}  // namespace ff::nn

@@ -1,0 +1,26 @@
+// Binary (de)serialization of network weights.
+//
+// Format: "FFNW" magic, u32 version, u32 blob count, then per blob:
+// u32 name length, name bytes, u64 float count, raw little-endian floats.
+// Loading matches blobs by name and checks sizes, so a file trained by one
+// binary is loadable by any other that builds the same architecture (this is
+// how paper §3.2's "developer supplies the network weights" deployment step
+// is modeled).
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace ff::nn {
+
+void SaveWeights(Sequential& net, const std::string& path);
+
+// Throws CheckError on magic/size/name mismatch.
+void LoadWeights(Sequential& net, const std::string& path);
+
+// In-memory round trip (used by tests and by the deployment model).
+std::string SerializeWeights(Sequential& net);
+void DeserializeWeights(Sequential& net, const std::string& bytes);
+
+}  // namespace ff::nn

@@ -1,0 +1,47 @@
+// WindowPack: reinterprets a batch of W consecutive per-frame maps as one
+// depthwise-concatenated window (paper Fig. 2c's "Concat").
+//
+// In NCHW layout, a (W*k, C, H, Wd) tensor and a (k, W*C, H, Wd) tensor have
+// byte-identical storage when window members are batch-adjacent, so both
+// Forward and Backward are free reshapes. This lets the whole windowed
+// microclassifier train as a single Sequential.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ff::nn {
+
+class WindowPack : public Layer {
+ public:
+  WindowPack(std::string name, std::int64_t window)
+      : Layer(std::move(name)), window_(window) {
+    FF_CHECK_GT(window, 0);
+  }
+
+  Shape OutputShape(const Shape& in) const override {
+    FF_CHECK_MSG(in.n % window_ == 0,
+                 name() << ": batch " << in.n << " not a multiple of window "
+                        << window_);
+    return Shape{in.n / window_, in.c * window_, in.h, in.w};
+  }
+
+  Tensor Forward(const Tensor& in) override {
+    if (training_) saved_in_shape_ = in.shape();
+    return in.Reshaped(OutputShape(in.shape()));
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    FF_CHECK(grad_out.shape() == OutputShape(saved_in_shape_));
+    return grad_out.Reshaped(saved_in_shape_);
+  }
+
+  std::uint64_t Macs(const Shape&) const override { return 0; }
+
+  std::int64_t window() const { return window_; }
+
+ private:
+  std::int64_t window_;
+  Shape saved_in_shape_;
+};
+
+}  // namespace ff::nn

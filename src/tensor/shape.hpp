@@ -1,0 +1,71 @@
+// NCHW tensor shape.
+//
+// All activations in the engine are 4-D, batch-major, channel-then-spatial
+// (NCHW), matching the Caffe layout the paper's prototype used. Spatial
+// dimensions are (h, w); `w` is innermost/contiguous so row loops vectorize.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ff::tensor {
+
+struct Shape {
+  std::int64_t n = 1;  // batch
+  std::int64_t c = 1;  // channels
+  std::int64_t h = 1;  // rows
+  std::int64_t w = 1;  // columns
+
+  Shape() = default;
+  Shape(std::int64_t n_, std::int64_t c_, std::int64_t h_, std::int64_t w_)
+      : n(n_), c(c_), h(h_), w(w_) {
+    FF_CHECK_MSG(n >= 0 && c >= 0 && h >= 0 && w >= 0,
+                 "negative dimension in shape " << ToString());
+  }
+
+  std::int64_t elements() const { return n * c * h * w; }
+  std::int64_t per_image() const { return c * h * w; }
+  std::int64_t plane() const { return h * w; }
+
+  bool operator==(const Shape& o) const {
+    return n == o.n && c == o.c && h == o.h && w == o.w;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    return "[" + std::to_string(n) + "," + std::to_string(c) + "," +
+           std::to_string(h) + "," + std::to_string(w) + "]";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.ToString();
+}
+
+// A rectangle in (row, col) space, end-exclusive. Used for feature-map crops
+// (paper §3.2) and codec macroblock addressing.
+struct Rect {
+  std::int64_t y0 = 0;
+  std::int64_t x0 = 0;
+  std::int64_t y1 = 0;  // exclusive
+  std::int64_t x1 = 0;  // exclusive
+
+  std::int64_t height() const { return y1 - y0; }
+  std::int64_t width() const { return x1 - x0; }
+  bool empty() const { return height() <= 0 || width() <= 0; }
+
+  bool operator==(const Rect& o) const {
+    return y0 == o.y0 && x0 == o.x0 && y1 == o.y1 && x1 == o.x1;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(x0) + "," + std::to_string(y0) + ")-(" +
+           std::to_string(x1) + "," + std::to_string(y1) + ")";
+  }
+};
+
+}  // namespace ff::tensor

@@ -1,0 +1,31 @@
+#include "train/experiment.hpp"
+
+namespace ff::train {
+
+void StreamDatasetFeatures(
+    const video::SyntheticDataset& dataset, dnn::FeatureExtractor& fx,
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, const dnn::FeatureMaps&)>& cb) {
+  FF_CHECK(begin >= 0 && begin <= end && end <= dataset.n_frames());
+  for (std::int64_t t = begin; t < end; ++t) {
+    const video::Frame frame = dataset.RenderFrame(t);
+    const nn::Tensor input = dnn::PreprocessRgb(
+        frame.r(), frame.g(), frame.b(), frame.height(), frame.width());
+    const dnn::FeatureMaps fm = fx.Extract(input);
+    cb(t, fm);
+  }
+}
+
+void StreamSourceFeatures(
+    video::FrameSource& source, dnn::FeatureExtractor& fx,
+    const std::function<void(std::int64_t, const dnn::FeatureMaps&)>& cb) {
+  std::int64_t t = 0;
+  while (auto frame = source.Next()) {
+    const nn::Tensor input = dnn::PreprocessRgb(
+        frame->r(), frame->g(), frame->b(), frame->height(), frame->width());
+    const dnn::FeatureMaps fm = fx.Extract(input);
+    cb(t++, fm);
+  }
+}
+
+}  // namespace ff::train

@@ -1,0 +1,57 @@
+// Shared experiment plumbing for benches and examples: feature streaming
+// (one base-DNN pass feeds every trainee/scorer) and delay-aligned scoring.
+#pragma once
+
+#include <functional>
+
+#include "core/microclassifier.hpp"
+#include "dnn/feature_extractor.hpp"
+#include "video/source.hpp"
+
+namespace ff::train {
+
+// Streams frames [begin, end) of a dataset through the extractor, invoking
+// cb(frame_index, features) per frame. This is how multiple MCs train from
+// a single pass (the whole point of the shared base DNN).
+void StreamDatasetFeatures(
+    const video::SyntheticDataset& dataset, dnn::FeatureExtractor& fx,
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, const dnn::FeatureMaps&)>& cb);
+
+// Same over an arbitrary source (e.g. a TranscodedSource for the
+// compress-everything baseline). cb receives a running index from 0.
+void StreamSourceFeatures(
+    video::FrameSource& source, dnn::FeatureExtractor& fx,
+    const std::function<void(std::int64_t, const dnn::FeatureMaps&)>& cb);
+
+// Collects per-frame scores from one MC, compensating its decision delay so
+// scores align 1:1 with input frames (tail frames are scored by replaying
+// the final frame's features, mirroring core::Pipeline).
+class McScorer {
+ public:
+  explicit McScorer(core::Microclassifier& mc) : mc_(mc) {
+    mc_.ResetTemporalState();
+  }
+
+  void Observe(const dnn::FeatureMaps& fm) {
+    const float s = mc_.Infer(fm);
+    if (seen_ - mc_.DecisionDelay() >= 0) scores_.push_back(s);
+    last_ = fm;
+    ++seen_;
+  }
+
+  std::vector<float> Finish() {
+    for (std::int64_t i = 0; i < mc_.DecisionDelay() && seen_ > 0; ++i) {
+      scores_.push_back(mc_.Infer(last_));
+    }
+    return std::move(scores_);
+  }
+
+ private:
+  core::Microclassifier& mc_;
+  std::vector<float> scores_;
+  std::int64_t seen_ = 0;
+  dnn::FeatureMaps last_;
+};
+
+}  // namespace ff::train

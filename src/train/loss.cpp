@@ -1,0 +1,44 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::train {
+
+namespace {
+constexpr float kEps = 1e-6f;
+}
+
+double BceLoss(const tensor::Tensor& probs, std::span<const float> labels,
+               double pos_weight) {
+  FF_CHECK_EQ(probs.elements(), static_cast<std::int64_t>(labels.size()));
+  double loss = 0.0;
+  const float* p = probs.data();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double pi = std::clamp(p[i], kEps, 1.0f - kEps);
+    const double y = labels[i];
+    loss += -(pos_weight * y * std::log(pi) + (1.0 - y) * std::log(1.0 - pi));
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+tensor::Tensor BceGrad(const tensor::Tensor& probs,
+                       std::span<const float> labels, double pos_weight) {
+  FF_CHECK_EQ(probs.elements(), static_cast<std::int64_t>(labels.size()));
+  tensor::Tensor grad(probs.shape());
+  const float* p = probs.data();
+  float* g = grad.data();
+  const double inv_n = 1.0 / static_cast<double>(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double pi = std::clamp(p[i], kEps, 1.0f - kEps);
+    const double y = labels[i];
+    // d/dp of -(w*y*log p + (1-y) log(1-p)).
+    g[i] = static_cast<float>(
+        inv_n * (-pos_weight * y / pi + (1.0 - y) / (1.0 - pi)));
+  }
+  return grad;
+}
+
+}  // namespace ff::train

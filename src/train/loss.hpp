@@ -1,0 +1,21 @@
+// Binary cross-entropy over sigmoid outputs.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ff::train {
+
+// probs: (n, 1, 1, 1) sigmoid outputs; labels: n entries in {0, 1}.
+// pos_weight scales the positive-class term (events are rare, §2.2.1).
+double BceLoss(const tensor::Tensor& probs, std::span<const float> labels,
+               double pos_weight = 1.0);
+
+// Gradient of the mean BCE w.r.t. the probabilities (to be fed into the
+// final sigmoid layer's Backward). Probabilities are clamped away from
+// {0, 1} for numerical stability.
+tensor::Tensor BceGrad(const tensor::Tensor& probs,
+                       std::span<const float> labels, double pos_weight = 1.0);
+
+}  // namespace ff::train

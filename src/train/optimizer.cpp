@@ -1,0 +1,57 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::train {
+
+void Sgd::Step(std::vector<nn::ParamView> params) {
+  if (velocity_.empty()) {
+    for (const auto& p : params) velocity_.emplace_back(p.value->size(), 0.0f);
+  }
+  FF_CHECK_EQ(velocity_.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& v = velocity_[i];
+    auto& w = *params[i].value;
+    auto& g = *params[i].grad;
+    FF_CHECK_EQ(v.size(), w.size());
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v[j] = static_cast<float>(momentum_ * v[j] - lr_ * g[j]);
+      w[j] += v[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+void Adam::Step(std::vector<nn::ParamView> params) {
+  if (m_.empty()) {
+    for (const auto& p : params) {
+      m_.emplace_back(p.value->size(), 0.0f);
+      v_.emplace_back(p.value->size(), 0.0f);
+    }
+  }
+  FF_CHECK_EQ(m_.size(), params.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& m = m_[i];
+    auto& v = v_[i];
+    auto& w = *params[i].value;
+    auto& g = *params[i].grad;
+    FF_CHECK_EQ(m.size(), w.size());
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * double(g[j]) * double(g[j]));
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_) +
+                                 lr_ * weight_decay_ * w[j]);
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace ff::train

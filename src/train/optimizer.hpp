@@ -1,0 +1,46 @@
+// First-order optimizers over a network's ParamViews.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace ff::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update from the accumulated gradients, then zeroes them.
+  virtual void Step(std::vector<nn::ParamView> params) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9)
+      : lr_(lr), momentum_(momentum) {}
+  void Step(std::vector<nn::ParamView> params) override;
+
+ private:
+  double lr_, momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam with decoupled weight decay (AdamW) — decay 0 recovers plain Adam.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double weight_decay = 0.0,
+                double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr),
+        weight_decay_(weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+  void Step(std::vector<nn::ParamView> params) override;
+
+ private:
+  double lr_, weight_decay_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace ff::train

@@ -1,0 +1,156 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/smoothing.hpp"
+#include "metrics/event_metrics.hpp"
+#include "train/loss.hpp"
+#include "util/rng.hpp"
+
+namespace ff::train {
+
+BinaryNetTrainer::BinaryNetTrainer(nn::Sequential& net, TrainConfig cfg,
+                                   std::int64_t window)
+    : net_(net), cfg_(cfg), window_(window) {
+  FF_CHECK_GE(window_, 1);
+  FF_CHECK_GE(cfg_.batch, 1);
+  FF_CHECK_GT(cfg_.epochs, 0.0);
+}
+
+void BinaryNetTrainer::AddFrame(nn::Tensor input, bool label) {
+  FF_CHECK_EQ(input.shape().n, 1);
+  if (!inputs_.empty()) {
+    FF_CHECK_MSG(input.shape() == inputs_.front().shape(),
+                 "inconsistent input shapes across frames");
+  }
+  inputs_.push_back(std::move(input));
+  labels_.push_back(label ? 1.0f : 0.0f);
+}
+
+nn::Tensor BinaryNetTrainer::AssembleSample(std::int64_t center) const {
+  if (window_ == 1) return inputs_[static_cast<std::size_t>(center)];
+  const std::int64_t n = n_frames();
+  std::vector<const nn::Tensor*> parts;
+  const std::int64_t half = window_ / 2;
+  for (std::int64_t off = -half; off <= half; ++off) {
+    const std::int64_t idx = std::clamp<std::int64_t>(center + off, 0, n - 1);
+    parts.push_back(&inputs_[static_cast<std::size_t>(idx)]);
+  }
+  return nn::Tensor::Stack(parts);  // (window, c, h, w)
+}
+
+double BinaryNetTrainer::Train() {
+  const std::int64_t n = n_frames();
+  FF_CHECK_MSG(n >= window_, "not enough frames to train");
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  util::Pcg32 rng(cfg_.seed);
+
+  const auto total_samples = static_cast<std::int64_t>(
+      cfg_.epochs * static_cast<double>(n));
+  FF_CHECK_GT(total_samples, 0);
+
+  Adam opt(cfg_.lr, cfg_.weight_decay);
+  net_.SetTraining(true);
+  double tail_loss = 0.0;
+  std::int64_t tail_steps = 0;
+  std::int64_t consumed = 0;
+  std::int64_t step = 0;
+  const std::int64_t n_steps = (total_samples + cfg_.batch - 1) / cfg_.batch;
+  while (consumed < total_samples) {
+    // Reshuffle at each epoch boundary.
+    if (consumed % n == 0) {
+      for (std::int64_t i = n - 1; i > 0; --i) {
+        std::swap(order[static_cast<std::size_t>(i)],
+                  order[static_cast<std::size_t>(rng.UniformInt(0, i))]);
+      }
+    }
+    const std::int64_t b =
+        std::min<std::int64_t>(cfg_.batch, total_samples - consumed);
+    std::vector<nn::Tensor> samples;
+    std::vector<float> batch_labels;
+    for (std::int64_t i = 0; i < b; ++i) {
+      const std::int64_t center =
+          order[static_cast<std::size_t>((consumed + i) % n)];
+      samples.push_back(AssembleSample(center));
+      batch_labels.push_back(labels_[static_cast<std::size_t>(center)]);
+    }
+    std::vector<const nn::Tensor*> parts;
+    for (const auto& s : samples) parts.push_back(&s);
+    // For window > 1, each sample is already a window-sized batch; stacking
+    // them keeps window members adjacent, which WindowPack requires.
+    nn::Tensor batch = samples.size() == 1 ? samples[0] : [&] {
+      std::vector<const nn::Tensor*> images;
+      for (const auto& s : samples) {
+        for (std::int64_t j = 0; j < s.shape().n; ++j) {
+          // Stack() needs batch-1 tensors; slice each sample.
+          images.push_back(nullptr);  // placeholder, replaced below
+        }
+      }
+      // Materialize slices (kept alive in `slices`).
+      std::vector<nn::Tensor> slices;
+      slices.reserve(images.size());
+      images.clear();
+      for (const auto& s : samples) {
+        for (std::int64_t j = 0; j < s.shape().n; ++j) {
+          slices.push_back(s.Slice(j));
+        }
+      }
+      for (const auto& s : slices) images.push_back(&s);
+      return nn::Tensor::Stack(images);
+    }();
+
+    const nn::Tensor probs = net_.Forward(batch);
+    const double loss = BceLoss(probs, batch_labels, cfg_.pos_weight);
+    const nn::Tensor grad = BceGrad(probs, batch_labels, cfg_.pos_weight);
+    net_.Backward(grad);
+    opt.Step(net_.Params());
+
+    ++step;
+    if (step > (3 * n_steps) / 4) {
+      tail_loss += loss;
+      ++tail_steps;
+    }
+    consumed += b;
+  }
+  net_.SetTraining(false);
+  return tail_steps > 0 ? tail_loss / static_cast<double>(tail_steps) : 0.0;
+}
+
+std::vector<float> BinaryNetTrainer::ScoreCachedFrames() {
+  std::vector<float> scores;
+  scores.reserve(static_cast<std::size_t>(n_frames()));
+  for (std::int64_t i = 0; i < n_frames(); ++i) {
+    const nn::Tensor sample = AssembleSample(i);
+    scores.push_back(net_.Forward(sample).data()[0]);
+  }
+  return scores;
+}
+
+float CalibrateThreshold(const std::vector<float>& scores,
+                         const std::vector<std::uint8_t>& truth_labels,
+                         std::int64_t vote_n, std::int64_t vote_k) {
+  FF_CHECK_EQ(scores.size(), truth_labels.size());
+  const auto truth_events = metrics::EventsFromLabels(truth_labels);
+  float best_threshold = 0.5f;
+  double best_f1 = -1.0;
+  for (int i = 1; i < 40; ++i) {
+    const float thr = static_cast<float>(i) / 40.0f;
+    std::vector<std::uint8_t> raw(scores.size());
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      raw[j] = scores[j] >= thr ? 1 : 0;
+    }
+    const auto smoothed = core::SmoothLabels(raw, vote_n, vote_k);
+    const auto m =
+        metrics::ComputeEventMetrics(truth_labels, truth_events, smoothed);
+    if (m.f1 > best_f1) {
+      best_f1 = m.f1;
+      best_threshold = thr;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace ff::train

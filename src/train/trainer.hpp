@@ -1,0 +1,67 @@
+// Offline microclassifier / discrete-classifier training (paper §3.2: "Each
+// MC is trained offline by an application developer"; §4.5: "trained the MCs
+// and DCs on 0.5 epochs of data").
+//
+// BinaryNetTrainer caches one input tensor + label per frame, then runs
+// minibatch Adam over a shuffled sample order. For windowed MCs a sample is
+// a W-frame window (batch-stacked so nn::WindowPack sees window members
+// adjacent); its label is the center frame's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "train/optimizer.hpp"
+
+namespace ff::train {
+
+struct TrainConfig {
+  double epochs = 0.5;     // passes over the cached samples (paper: 0.5)
+  std::int64_t batch = 8;
+  double lr = 1e-3;
+  double weight_decay = 3e-4;  // AdamW decoupled decay
+  double pos_weight = 2.0;     // positives are rare
+  std::uint64_t seed = 17;
+};
+
+class BinaryNetTrainer {
+ public:
+  // window = 1 trains per-frame samples; window = W trains on W-frame
+  // sliding windows labeled by their center.
+  BinaryNetTrainer(nn::Sequential& net, TrainConfig cfg,
+                   std::int64_t window = 1);
+
+  // Adds the input for the next frame (in stream order) and its label.
+  void AddFrame(nn::Tensor input, bool label);
+
+  std::int64_t n_frames() const {
+    return static_cast<std::int64_t>(labels_.size());
+  }
+
+  // Runs training; returns the mean loss over the final 25% of steps.
+  double Train();
+
+  // Scores every cached frame with the trained net (windowed samples are
+  // edge-replicated so the result aligns 1:1 with frames).
+  std::vector<float> ScoreCachedFrames();
+
+  const std::vector<float>& labels() const { return labels_; }
+
+ private:
+  nn::Tensor AssembleSample(std::int64_t center) const;
+
+  nn::Sequential& net_;
+  TrainConfig cfg_;
+  std::int64_t window_;
+  std::vector<nn::Tensor> inputs_;  // one per frame
+  std::vector<float> labels_;
+};
+
+// Picks the decision threshold that maximizes event F1 on (smoothed) labels
+// — used on the training split before deployment.
+float CalibrateThreshold(const std::vector<float>& scores,
+                         const std::vector<std::uint8_t>& truth_labels,
+                         std::int64_t vote_n, std::int64_t vote_k);
+
+}  // namespace ff::train

@@ -1,0 +1,60 @@
+// Checked assertions used throughout FilterForward.
+//
+// FF_CHECK is always on (including Release builds): the cost of a predictable
+// branch is negligible next to convolution work, and silent shape corruption
+// in an inference engine is far worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ff::util {
+
+// Thrown on any failed FF_CHECK. Deriving from std::runtime_error keeps the
+// library usable both in tests (EXPECT_THROW) and in tools that want to catch
+// and report.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void FailCheck(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "FF_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace ff::util
+
+#define FF_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::ff::util::FailCheck(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define FF_CHECK_MSG(expr, msg)                                \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      std::ostringstream ff_check_os_;                         \
+      ff_check_os_ << msg;                                     \
+      ::ff::util::FailCheck(__FILE__, __LINE__, #expr,         \
+                            ff_check_os_.str());               \
+    }                                                          \
+  } while (0)
+
+#define FF_CHECK_EQ(a, b) \
+  FF_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define FF_CHECK_NE(a, b) \
+  FF_CHECK_MSG((a) != (b), "lhs=" << (a) << " rhs=" << (b))
+#define FF_CHECK_LT(a, b) \
+  FF_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define FF_CHECK_LE(a, b) \
+  FF_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define FF_CHECK_GT(a, b) \
+  FF_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define FF_CHECK_GE(a, b) \
+  FF_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))

@@ -1,0 +1,21 @@
+// Environment-variable configuration knobs.
+//
+// Benches and examples use these to scale between CI-sized defaults and
+// paper-scale runs without recompiling (e.g. FF_BENCH_WIDTH=1920).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ff::util {
+
+// Returns the integer value of `name`, or `fallback` when unset/unparseable.
+std::int64_t EnvInt(const std::string& name, std::int64_t fallback);
+
+// Returns the double value of `name`, or `fallback` when unset/unparseable.
+double EnvDouble(const std::string& name, double fallback);
+
+// Returns the string value of `name`, or `fallback` when unset.
+std::string EnvString(const std::string& name, const std::string& fallback);
+
+}  // namespace ff::util

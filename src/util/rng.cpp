@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::util {
+
+std::int64_t Pcg32::UniformInt(std::int64_t lo, std::int64_t hi) {
+  FF_CHECK_LE(lo, hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(NextU64());  // full range
+  return lo + static_cast<std::int64_t>(NextU64() % range);
+}
+
+double Pcg32::Normal() {
+  // Box–Muller; draw until u1 is nonzero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-12);
+  const double u2 = NextDouble();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+std::uint64_t HashString(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace ff::util

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (weight init, synthetic video,
+// event schedules, training shuffles) draws from a Pcg32 seeded explicitly,
+// so any experiment is reproducible bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ff::util {
+
+// PCG32 (Melissa O'Neill, pcg-random.org): small, fast, statistically strong.
+// We implement it directly rather than using std::mt19937 because libstdc++
+// and libc++ disagree on distribution algorithms; with our own generator and
+// our own distributions, results are identical everywhere.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0u;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  std::uint32_t NextU32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint64_t NextU64() {
+    return (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  // Uniform in [0, 1) as float.
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  // Uniform integer in [lo, hi] inclusive. Uses rejection-free Lemire-style
+  // reduction; the tiny modulo bias is irrelevant for our ranges.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Standard normal via Box–Muller (deterministic, no cached spare).
+  double Normal();
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+// Stable 64-bit FNV-1a hash of a string; used to derive per-layer weight
+// seeds from layer names so adding a layer does not reshuffle others.
+std::uint64_t HashString(std::string_view s);
+
+}  // namespace ff::util

@@ -1,0 +1,49 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::util {
+
+void RunningStat::Add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  // Welford update.
+  const double n = static_cast<double>(samples_.size());
+  const double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(samples_.size() - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::Percentile(double p) const {
+  FF_CHECK(!samples_.empty());
+  FF_CHECK(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace ff::util

@@ -1,0 +1,36 @@
+// Streaming statistics used by benches (mean/stddev/min/max/percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ff::util {
+
+// Welford-style running mean/variance plus retained samples for percentiles.
+// Retaining samples is fine at bench scale (thousands of measurements).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  // Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ff::util

@@ -1,0 +1,33 @@
+// Console table / CSV emission so each bench prints the same rows and series
+// the paper's tables and figures report.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ff::util {
+
+// Collects rows of string cells and pretty-prints them with aligned columns.
+// Also able to dump CSV for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with `prec` digits after the decimal point.
+  static std::string Num(double v, int prec = 3);
+
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ff::util

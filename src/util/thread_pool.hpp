@@ -1,0 +1,56 @@
+// A fixed-size thread pool with a blocking ParallelFor.
+//
+// The NN kernels parallelize across output channels / rows through this pool.
+// The pool is created once (see GlobalPool) so convolutions do not pay thread
+// creation per call. ParallelFor is synchronous: it returns only when every
+// index has been processed, which keeps layer semantics simple.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ff::util {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means "use hardware concurrency".
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n). Work is split into contiguous chunks, one per
+  // worker (plus the calling thread). Exceptions from fn propagate to the
+  // caller (first one wins).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Runs fn(begin, end) over contiguous ranges — cheaper than per-index
+  // dispatch when the body is tiny.
+  void ParallelForRange(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool shared by all NN kernels. Sized from FF_NUM_THREADS if
+// set, otherwise hardware concurrency.
+ThreadPool& GlobalPool();
+
+}  // namespace ff::util

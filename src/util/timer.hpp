@@ -1,0 +1,48 @@
+// Wall-clock timing for throughput/latency measurement (Figs. 5 and 6).
+#pragma once
+
+#include <chrono>
+
+namespace ff::util {
+
+// A simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across many start/stop intervals; used by the pipeline to
+// attribute per-frame time to phases (base DNN vs. microclassifiers).
+class PhaseTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() {
+    total_seconds_ += timer_.ElapsedSeconds();
+    ++intervals_;
+  }
+  double total_seconds() const { return total_seconds_; }
+  std::size_t intervals() const { return intervals_; }
+  void Clear() {
+    total_seconds_ = 0;
+    intervals_ = 0;
+  }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0;
+  std::size_t intervals_ = 0;
+};
+
+}  // namespace ff::util

@@ -1,0 +1,515 @@
+#include "video/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "video/scene.hpp"
+
+namespace ff::video {
+
+namespace {
+
+// --- Scene geometry as fractions of frame height/width -------------------
+// Jackson: traffic camera. Crosswalk band sits in the bottom half (the
+// paper's Pedestrian crop is exactly the bottom half of the frame).
+constexpr double kJxSkyEnd = 0.35;
+constexpr double kJxBuildTop = 0.06;
+constexpr double kJxBuildEnd = 0.45;
+constexpr double kJxSidewalkY0 = 0.45;
+constexpr double kJxRoadY0 = 0.50;
+constexpr double kJxWalkY0 = 0.72;  // crosswalk band
+constexpr double kJxWalkY1 = 0.86;
+constexpr double kJxPedHeight = 0.040;  // ~40 px at 1080p (paper §3.4)
+constexpr double kJxCarHeight = 0.055;
+
+// Roadway: urban street. The People-with-red crop is rows 315..819 of 850,
+// i.e. [0.371, 0.964) — the sidewalk + street band.
+constexpr double kRdStoreY0 = 0.10;
+constexpr double kRdSidewalkY0 = 0.371;
+constexpr double kRdStreetY0 = 0.47;
+constexpr double kRdStreetY1 = 0.964;
+constexpr double kRdPedFeetY = 0.455;   // pedestrians walk along the sidewalk
+constexpr double kRdPedHeight = 0.055;
+constexpr double kRdCarHeight = 0.070;
+
+const Rgb kCarPalette[] = {
+    {235, 235, 235},  // white
+    {30, 30, 34},     // black
+    {170, 172, 178},  // silver
+    {40, 70, 140},    // blue
+    {120, 28, 28},    // maroon — a red-toned hard negative for People-with-red
+    {60, 90, 60},     // green
+};
+
+const Rgb kShirtPalette[] = {
+    {50, 80, 160},    // blue
+    {70, 130, 70},    // green
+    {120, 120, 125},  // gray
+    {230, 228, 220},  // white
+    {190, 170, 60},   // yellow
+    {35, 35, 40},     // dark
+};
+
+Rgb RedShirt(util::Pcg32& rng) {
+  // Saturated reds with a little variety ("red articles of clothing").
+  return Rgb{static_cast<std::uint8_t>(rng.UniformInt(185, 230)),
+             static_cast<std::uint8_t>(rng.UniformInt(15, 50)),
+             static_cast<std::uint8_t>(rng.UniformInt(15, 55))};
+}
+
+}  // namespace
+
+DatasetSpec JacksonSpec(std::int64_t width, std::int64_t n_frames,
+                        std::uint64_t seed) {
+  DatasetSpec s;
+  s.profile = Profile::kJackson;
+  s.name = "jackson";
+  s.task = "pedestrian";
+  s.width = width;
+  s.height = (width * 1080) / 1920;
+  s.fps = 15;
+  s.n_frames = n_frames;
+  // Paper Fig. 3c: upper-left (0, 539), lower-right (1919, 1079) — the
+  // bottom half of the frame, scaled to our resolution.
+  s.crop = tensor::Rect{s.height / 2, 0, s.height, s.width};
+  s.event_frame_fraction = 0.159;  // 95,238 / 600,000
+  s.mean_event_len = 45;
+  s.seed = seed;
+  return s;
+}
+
+DatasetSpec RoadwaySpec(std::int64_t width, std::int64_t n_frames,
+                        std::uint64_t seed) {
+  DatasetSpec s;
+  s.profile = Profile::kRoadway;
+  s.name = "roadway";
+  s.task = "people_with_red";
+  s.width = width;
+  s.height = (width * 850) / 2048;
+  s.fps = 15;
+  s.n_frames = n_frames;
+  // Paper Fig. 3c: (0, 315) to (2047, 819) — 59% of the frame.
+  s.crop = tensor::Rect{(s.height * 315) / 850, 0, (s.height * 819) / 850,
+                        s.width};
+  s.event_frame_fraction = 0.220;  // 71,296 / 324,009
+  s.mean_event_len = 45;
+  s.seed = seed;
+  return s;
+}
+
+double SyntheticDataset::Actor::XAt(std::int64_t t) const {
+  const double f = t1 > t0 + 1
+                       ? static_cast<double>(t - t0) /
+                             static_cast<double>(t1 - 1 - t0)
+                       : 0.0;
+  return x0 + (x1 - x0) * f;
+}
+
+double SyntheticDataset::Actor::YAt(std::int64_t t) const {
+  const double f = t1 > t0 + 1
+                       ? static_cast<double>(t - t0) /
+                             static_cast<double>(t1 - 1 - t0)
+                       : 0.0;
+  return y0 + (y1 - y0) * f;
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec) : spec_(std::move(spec)) {
+  FF_CHECK_GT(spec_.width, 0);
+  FF_CHECK_GT(spec_.height, 0);
+  FF_CHECK_GT(spec_.n_frames, 0);
+  FF_CHECK(spec_.event_frame_fraction > 0.0 && spec_.event_frame_fraction < 1.0);
+  switch (spec_.profile) {
+    case Profile::kJackson:
+      BuildJackson();
+      break;
+    case Profile::kRoadway:
+      BuildRoadway();
+      break;
+  }
+  std::sort(actors_.begin(), actors_.end(),
+            [](const Actor& a, const Actor& b) { return a.y1 < b.y1; });
+  ComputeLabels();
+}
+
+void SyntheticDataset::BuildJackson() {
+  util::Pcg32 rng(spec_.seed, 0x1ac50e);
+  util::Pcg32 scene_rng(spec_.scene_seed, 0x5ce11e);
+  const double W = static_cast<double>(spec_.width);
+  const double H = static_cast<double>(spec_.height);
+  const double ped_h = kJxPedHeight * H * spec_.object_scale;
+  const double car_h = kJxCarHeight * H * spec_.object_scale;
+
+  // Static buildings.
+  const int n_buildings = static_cast<int>(scene_rng.UniformInt(4, 7));
+  double bx = 0.0;
+  for (int i = 0; i < n_buildings && bx < W; ++i) {
+    Building b;
+    b.x = static_cast<std::int64_t>(bx);
+    b.w = static_cast<std::int64_t>(scene_rng.Uniform(0.12, 0.26) * W);
+    b.top = static_cast<std::int64_t>(scene_rng.Uniform(kJxBuildTop, 0.2) * H);
+    const auto tone = static_cast<std::uint8_t>(scene_rng.UniformInt(95, 150));
+    b.color = Rgb{tone, static_cast<std::uint8_t>(tone - 8),
+                  static_cast<std::uint8_t>(tone - 14)};
+    buildings_.push_back(b);
+    bx += static_cast<double>(b.w) + scene_rng.Uniform(0.0, 0.04) * W;
+  }
+
+  const double band_y0 = kJxWalkY0 * H;
+  const double band_y1 = kJxWalkY1 * H;
+  const double band_h = band_y1 - band_y0;
+
+  // Event pedestrians crossing the road through the crosswalk band.
+  // Cycle length is sized so positives make up event_frame_fraction overall.
+  const double mean_cycle =
+      static_cast<double>(spec_.mean_event_len) / spec_.event_frame_fraction;
+  std::int64_t t = static_cast<std::int64_t>(rng.Uniform(0.2, 1.0) *
+                                             (mean_cycle - spec_.mean_event_len));
+  while (t < spec_.n_frames) {
+    const auto in_band = static_cast<std::int64_t>(
+        rng.Uniform(0.6, 1.4) * static_cast<double>(spec_.mean_event_len));
+    const double speed = band_h / static_cast<double>(std::max<std::int64_t>(
+                                      1, in_band));  // px per frame, downward
+    // Short approach/exit: pedestrians step off the curb just before the
+    // crosswalk (they do not wander the open road for long).
+    const auto lead = static_cast<std::int64_t>(0.15 * in_band);
+    const bool down = rng.Bernoulli(0.5);
+
+    Actor p;
+    p.kind = Actor::Kind::kPedestrian;
+    p.t0 = t - lead;
+    p.t1 = t + in_band + lead;
+    if (down) {
+      p.y0 = band_y0 - speed * static_cast<double>(lead);
+      p.y1 = band_y1 + speed * static_cast<double>(lead);
+    } else {
+      p.y0 = band_y1 + speed * static_cast<double>(lead);
+      p.y1 = band_y0 - speed * static_cast<double>(lead);
+    }
+    // Feet enter the band exactly at t, leave at t + in_band.
+    const double cx = rng.Uniform(0.06, 0.94) * W;
+    p.x0 = cx;
+    p.x1 = cx + rng.Uniform(-0.02, 0.02) * W;  // slight drift while crossing
+    p.size = ped_h * rng.Uniform(0.85, 1.15);
+    p.color = kShirtPalette[rng.UniformInt(0, 5)];
+    p.positive = true;
+    actors_.push_back(p);
+
+    // Occasionally a companion crosses a few frames behind (events merge).
+    if (rng.Bernoulli(0.2)) {
+      Actor q = p;
+      q.t0 += 6;
+      q.t1 += 6;
+      q.x0 += rng.Uniform(0.01, 0.03) * W;
+      q.x1 = q.x0;
+      q.size = ped_h * rng.Uniform(0.85, 1.15);
+      q.color = kShirtPalette[rng.UniformInt(0, 5)];
+      actors_.push_back(q);
+    }
+
+    t += in_band +
+         static_cast<std::int64_t>(rng.Uniform(0.4, 1.6) *
+                                   (mean_cycle - spec_.mean_event_len));
+  }
+
+  // Cars crossing horizontally — they drive straight through the crosswalk
+  // band, which makes them the task's hard negatives.
+  const double car_gap = 6.0 * static_cast<double>(spec_.fps);
+  t = static_cast<std::int64_t>(rng.Uniform(0.0, car_gap));
+  while (t < spec_.n_frames) {
+    Actor c;
+    c.kind = Actor::Kind::kCar;
+    const auto dur = static_cast<std::int64_t>(
+        rng.Uniform(3.0, 6.0) * static_cast<double>(spec_.fps));
+    c.t0 = t;
+    c.t1 = t + dur;
+    const bool ltr = rng.Bernoulli(0.5);
+    const double margin = car_h * 2.3;
+    c.x0 = ltr ? -margin : W + margin;
+    c.x1 = ltr ? W + margin : -margin;
+    c.y0 = c.y1 = rng.Uniform(0.56, 0.95) * H;
+    c.size = car_h * rng.Uniform(0.9, 1.2);
+    c.color = kCarPalette[rng.UniformInt(0, 5)];
+    c.positive = false;
+    actors_.push_back(c);
+    t += static_cast<std::int64_t>(rng.Uniform(0.5, 1.5) * car_gap);
+  }
+
+  // Sidewalk pedestrians: visible, but above the crosswalk band (and above
+  // the bottom-half crop) — negatives that reward spatial cropping.
+  const double sw_gap = 8.0 * static_cast<double>(spec_.fps);
+  t = static_cast<std::int64_t>(rng.Uniform(0.0, sw_gap));
+  while (t < spec_.n_frames) {
+    Actor p;
+    p.kind = Actor::Kind::kPedestrian;
+    const auto dur = static_cast<std::int64_t>(
+        rng.Uniform(8.0, 16.0) * static_cast<double>(spec_.fps));
+    p.t0 = t;
+    p.t1 = t + dur;
+    const bool ltr = rng.Bernoulli(0.5);
+    p.x0 = ltr ? -ped_h : W + ped_h;
+    p.x1 = ltr ? W + ped_h : -ped_h;
+    p.y0 = p.y1 = (kJxSidewalkY0 + rng.Uniform(0.02, 0.04)) * H;
+    p.size = ped_h * rng.Uniform(0.85, 1.1);
+    p.color = kShirtPalette[rng.UniformInt(0, 5)];
+    p.positive = false;
+    actors_.push_back(p);
+    t += static_cast<std::int64_t>(rng.Uniform(0.5, 1.5) * sw_gap);
+  }
+}
+
+void SyntheticDataset::BuildRoadway() {
+  util::Pcg32 rng(spec_.seed, 0x20adbaf);
+  util::Pcg32 scene_rng(spec_.scene_seed, 0x5ce11e);
+  const double W = static_cast<double>(spec_.width);
+  const double H = static_cast<double>(spec_.height);
+  const double ped_h = kRdPedHeight * H * spec_.object_scale;
+  const double car_h = kRdCarHeight * H * spec_.object_scale;
+
+  // Storefront strip.
+  double bx = 0.0;
+  while (bx < W) {
+    Building b;
+    b.x = static_cast<std::int64_t>(bx);
+    b.w = static_cast<std::int64_t>(scene_rng.Uniform(0.08, 0.18) * W);
+    b.top = static_cast<std::int64_t>(kRdStoreY0 * H);
+    b.color = Rgb{static_cast<std::uint8_t>(scene_rng.UniformInt(90, 180)),
+                  static_cast<std::uint8_t>(scene_rng.UniformInt(80, 160)),
+                  static_cast<std::uint8_t>(scene_rng.UniformInt(75, 150))};
+    buildings_.push_back(b);
+    bx += static_cast<double>(b.w);
+  }
+
+  auto add_pedestrian = [&](std::int64_t start, bool red) {
+    Actor p;
+    p.kind = Actor::Kind::kPedestrian;
+    const double margin = ped_h;  // half-width margin so entry/exit is clean
+    const auto dur = static_cast<std::int64_t>(
+        rng.Uniform(0.8, 1.3) * static_cast<double>(spec_.mean_event_len));
+    p.t0 = start;
+    p.t1 = start + std::max<std::int64_t>(8, dur);
+    const bool ltr = rng.Bernoulli(0.5);
+    p.x0 = ltr ? -margin : W + margin;
+    p.x1 = ltr ? W + margin : -margin;
+    p.y0 = p.y1 = (kRdPedFeetY + rng.Uniform(-0.01, 0.02)) * H;
+    p.size = ped_h * rng.Uniform(0.85, 1.15);
+    p.color = red ? RedShirt(rng) : kShirtPalette[rng.UniformInt(0, 5)];
+    p.positive = red;
+    actors_.push_back(p);
+  };
+
+  // Red pedestrians (the positive class), paced to hit the target event
+  // fraction.
+  const double mean_cycle =
+      static_cast<double>(spec_.mean_event_len) / spec_.event_frame_fraction;
+  std::int64_t t = static_cast<std::int64_t>(
+      rng.Uniform(0.2, 1.0) * (mean_cycle - spec_.mean_event_len));
+  while (t < spec_.n_frames) {
+    add_pedestrian(t, /*red=*/true);
+    t += static_cast<std::int64_t>(
+        static_cast<double>(spec_.mean_event_len) +
+        rng.Uniform(0.4, 1.6) * (mean_cycle - spec_.mean_event_len));
+  }
+
+  // Non-red pedestrians: frequent hard negatives on the same path.
+  const double gray_gap = 1.6 * static_cast<double>(spec_.mean_event_len);
+  t = static_cast<std::int64_t>(rng.Uniform(0.0, gray_gap));
+  while (t < spec_.n_frames) {
+    add_pedestrian(t, /*red=*/false);
+    t += static_cast<std::int64_t>(rng.Uniform(0.5, 1.5) * gray_gap);
+  }
+
+  // Cars, including maroon ones (red-toned hard negatives).
+  const double car_gap = 3.0 * static_cast<double>(spec_.fps);
+  t = static_cast<std::int64_t>(rng.Uniform(0.0, car_gap));
+  while (t < spec_.n_frames) {
+    Actor c;
+    c.kind = Actor::Kind::kCar;
+    const auto dur = static_cast<std::int64_t>(
+        rng.Uniform(2.0, 4.5) * static_cast<double>(spec_.fps));
+    c.t0 = t;
+    c.t1 = t + dur;
+    const bool ltr = rng.Bernoulli(0.5);
+    const double margin = car_h * 2.3;
+    c.x0 = ltr ? -margin : W + margin;
+    c.x1 = ltr ? W + margin : -margin;
+    c.y0 = c.y1 = rng.Uniform(0.55, 0.92) * H;
+    c.size = car_h * rng.Uniform(0.9, 1.2);
+    c.color = kCarPalette[rng.UniformInt(0, 5)];
+    c.positive = false;
+    actors_.push_back(c);
+    t += static_cast<std::int64_t>(rng.Uniform(0.5, 1.5) * car_gap);
+  }
+}
+
+void SyntheticDataset::ComputeLabels() {
+  labels_.assign(static_cast<std::size_t>(spec_.n_frames), 0);
+  const double H = static_cast<double>(spec_.height);
+  for (const Actor& a : actors_) {
+    if (!a.positive) continue;
+    const std::int64_t lo = std::max<std::int64_t>(0, a.t0);
+    const std::int64_t hi = std::min(spec_.n_frames, a.t1);
+    for (std::int64_t t = lo; t < hi; ++t) {
+      bool in_roi = false;
+      const double x = a.XAt(t);
+      const double y = a.YAt(t);
+      const double half_w = a.size / 6.0;  // pedestrians are ~size/3 wide
+      switch (spec_.profile) {
+        case Profile::kJackson:
+          // Positive while the pedestrian's body overlaps the crosswalk
+          // band (feet past the band top, head above the band bottom) —
+          // the predicate a human annotator applies.
+          in_roi = y >= kJxWalkY0 * H && (y - a.size) < kJxWalkY1 * H &&
+                   x >= 0 && x < static_cast<double>(spec_.width);
+          break;
+        case Profile::kRoadway:
+          // Positive while the red pedestrian is visible in the frame (the
+          // sidewalk path lies inside the ROI band).
+          in_roi = x + half_w > 0 && x - half_w < static_cast<double>(spec_.width);
+          break;
+      }
+      if (in_roi) labels_[static_cast<std::size_t>(t)] = 1;
+    }
+  }
+  // Maximal runs of positive frames are the ground-truth events.
+  events_.clear();
+  std::int64_t run_start = -1;
+  for (std::int64_t t = 0; t < spec_.n_frames; ++t) {
+    const bool pos = labels_[static_cast<std::size_t>(t)] != 0;
+    if (pos && run_start < 0) run_start = t;
+    if (!pos && run_start >= 0) {
+      events_.push_back({run_start, t});
+      run_start = -1;
+    }
+  }
+  if (run_start >= 0) events_.push_back({run_start, spec_.n_frames});
+}
+
+bool SyntheticDataset::Label(std::int64_t i) const {
+  FF_CHECK(i >= 0 && i < spec_.n_frames);
+  return labels_[static_cast<std::size_t>(i)] != 0;
+}
+
+DatasetStats SyntheticDataset::Stats() const {
+  DatasetStats s;
+  s.frames = spec_.n_frames;
+  for (const auto l : labels_) s.event_frames += l;
+  s.unique_events = static_cast<std::int64_t>(events_.size());
+  return s;
+}
+
+void SyntheticDataset::RenderBackground(Frame& f) const {
+  const std::int64_t W = spec_.width;
+  const std::int64_t H = spec_.height;
+  const double Hd = static_cast<double>(H);
+  if (spec_.profile == Profile::kJackson) {
+    // Sky gradient.
+    for (std::int64_t y = 0; y < static_cast<std::int64_t>(kJxSkyEnd * Hd);
+         ++y) {
+      const double fr = static_cast<double>(y) / (kJxSkyEnd * Hd);
+      const auto v = static_cast<std::uint8_t>(150 + 40 * fr);
+      f.FillRect(0, y, W, 1,
+                 Rgb{static_cast<std::uint8_t>(v - 10), v,
+                     static_cast<std::uint8_t>(v + 25)});
+    }
+    // Buildings with window grids.
+    for (const auto& b : buildings_) {
+      const auto bottom = static_cast<std::int64_t>(kJxBuildEnd * Hd);
+      f.FillRect(b.x, b.top, b.w, bottom - b.top, b.color);
+      const std::int64_t win = std::max<std::int64_t>(2, H / 90);
+      for (std::int64_t wy = b.top + 2 * win; wy + win < bottom;
+           wy += 3 * win) {
+        for (std::int64_t wx = b.x + 2 * win; wx + win < b.x + b.w;
+             wx += 3 * win) {
+          f.FillRect(wx, wy, win, win, Rgb{45, 50, 70});
+        }
+      }
+    }
+    // Sidewalk and road.
+    f.FillRect(0, static_cast<std::int64_t>(kJxSidewalkY0 * Hd), W,
+               static_cast<std::int64_t>((kJxRoadY0 - kJxSidewalkY0) * Hd) + 1,
+               Rgb{126, 124, 120});
+    f.FillRect(0, static_cast<std::int64_t>(kJxRoadY0 * Hd), W,
+               H - static_cast<std::int64_t>(kJxRoadY0 * Hd), Rgb{56, 56, 60});
+    // Center lane dashes.
+    const auto lane_y = static_cast<std::int64_t>(0.62 * Hd);
+    const std::int64_t dash = std::max<std::int64_t>(4, W / 40);
+    for (std::int64_t x = 0; x < W; x += 2 * dash) {
+      f.FillRect(x, lane_y, dash, std::max<std::int64_t>(1, H / 240),
+                 Rgb{210, 210, 200});
+    }
+    // Crosswalk band: vertical white stripes on asphalt.
+    const auto wy0 = static_cast<std::int64_t>(kJxWalkY0 * Hd);
+    const auto wy1 = static_cast<std::int64_t>(kJxWalkY1 * Hd);
+    const std::int64_t stripe = std::max<std::int64_t>(2, W / 48);
+    for (std::int64_t x = stripe / 2; x < W; x += 2 * stripe) {
+      f.FillRect(x, wy0, stripe, wy1 - wy0, Rgb{196, 196, 192});
+    }
+  } else {
+    // Roadway. Upper strip.
+    f.FillRect(0, 0, W, static_cast<std::int64_t>(kRdStoreY0 * Hd),
+               Rgb{168, 178, 192});
+    // Storefronts.
+    for (const auto& b : buildings_) {
+      const auto bottom = static_cast<std::int64_t>(kRdSidewalkY0 * Hd);
+      f.FillRect(b.x, b.top, b.w, bottom - b.top, b.color);
+      const std::int64_t win = std::max<std::int64_t>(2, H / 70);
+      for (std::int64_t wx = b.x + win; wx + 2 * win < b.x + b.w;
+           wx += 3 * win) {
+        f.FillRect(wx, b.top + win, 2 * win, 2 * win, Rgb{40, 45, 60});
+      }
+    }
+    // Sidewalk.
+    f.FillRect(0, static_cast<std::int64_t>(kRdSidewalkY0 * Hd), W,
+               static_cast<std::int64_t>((kRdStreetY0 - kRdSidewalkY0) * Hd) + 1,
+               Rgb{138, 135, 130});
+    // Street.
+    f.FillRect(0, static_cast<std::int64_t>(kRdStreetY0 * Hd), W,
+               static_cast<std::int64_t>((kRdStreetY1 - kRdStreetY0) * Hd),
+               Rgb{58, 58, 62});
+    // Lane dashes.
+    const std::int64_t dash = std::max<std::int64_t>(4, W / 40);
+    for (const double ly : {0.63, 0.80}) {
+      const auto lane_y = static_cast<std::int64_t>(ly * Hd);
+      for (std::int64_t x = dash / 2; x < W; x += 2 * dash) {
+        f.FillRect(x, lane_y, dash, std::max<std::int64_t>(1, H / 240),
+                   Rgb{205, 205, 195});
+      }
+    }
+    // Curb.
+    const auto cy = static_cast<std::int64_t>(kRdStreetY1 * Hd);
+    f.FillRect(0, cy, W, H - cy, Rgb{40, 40, 44});
+    // Parked dark-red car: a static red-toned distractor inside the ROI.
+    DrawCar(f, 0.82 * static_cast<double>(W), 0.565 * Hd,
+            kRdCarHeight * Hd * 1.05 * spec_.object_scale, Rgb{118, 26, 30});
+  }
+}
+
+Frame SyntheticDataset::RenderFrame(std::int64_t i) const {
+  FF_CHECK(i >= 0 && i < spec_.n_frames);
+  Frame f(spec_.width, spec_.height);
+  f.index = i;
+  RenderBackground(f);
+  for (const Actor& a : actors_) {
+    if (i < a.t0 || i >= a.t1) continue;
+    const double x = a.XAt(i);
+    const double y = a.YAt(i);
+    switch (a.kind) {
+      case Actor::Kind::kPedestrian:
+        DrawPedestrian(f, x, y, a.size, a.color, i);
+        break;
+      case Actor::Kind::kCar:
+        DrawCar(f, x, y, a.size, a.color);
+        break;
+    }
+  }
+  // Sensor noise + slow illumination drift (deterministic).
+  const int brightness = static_cast<int>(std::lround(
+      3.0 * std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) /
+                     (20.0 * static_cast<double>(spec_.fps)))));
+  ApplyNoise(f, spec_.seed, i, /*amp=*/2, brightness);
+  return f;
+}
+
+}  // namespace ff::video

@@ -1,0 +1,105 @@
+#include "video/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ff::video {
+
+Frame::Frame(std::int64_t width, std::int64_t height, Rgb fill)
+    : width_(width),
+      height_(height),
+      r_(static_cast<std::size_t>(width * height), fill.r),
+      g_(static_cast<std::size_t>(width * height), fill.g),
+      b_(static_cast<std::size_t>(width * height), fill.b) {
+  FF_CHECK_GT(width, 0);
+  FF_CHECK_GT(height, 0);
+}
+
+Rgb Frame::At(std::int64_t x, std::int64_t y) const {
+  FF_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const auto i = static_cast<std::size_t>(y * width_ + x);
+  return {r_[i], g_[i], b_[i]};
+}
+
+void Frame::Set(std::int64_t x, std::int64_t y, Rgb c) {
+  FF_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const auto i = static_cast<std::size_t>(y * width_ + x);
+  r_[i] = c.r;
+  g_[i] = c.g;
+  b_[i] = c.b;
+}
+
+void Frame::FillRect(std::int64_t x, std::int64_t y, std::int64_t w,
+                     std::int64_t h, Rgb c) {
+  const std::int64_t x0 = std::max<std::int64_t>(0, x);
+  const std::int64_t y0 = std::max<std::int64_t>(0, y);
+  const std::int64_t x1 = std::min(width_, x + w);
+  const std::int64_t y1 = std::min(height_, y + h);
+  if (x0 >= x1 || y0 >= y1) return;  // entirely outside the frame
+  for (std::int64_t yy = y0; yy < y1; ++yy) {
+    const std::int64_t row = yy * width_;
+    std::fill(r_.begin() + row + x0, r_.begin() + row + x1, c.r);
+    std::fill(g_.begin() + row + x0, g_.begin() + row + x1, c.g);
+    std::fill(b_.begin() + row + x0, b_.begin() + row + x1, c.b);
+  }
+}
+
+void Frame::BlendRect(std::int64_t x, std::int64_t y, std::int64_t w,
+                      std::int64_t h, Rgb c, float alpha) {
+  const std::int64_t x0 = std::max<std::int64_t>(0, x);
+  const std::int64_t y0 = std::max<std::int64_t>(0, y);
+  const std::int64_t x1 = std::min(width_, x + w);
+  const std::int64_t y1 = std::min(height_, y + h);
+  if (x0 >= x1 || y0 >= y1) return;  // entirely outside the frame
+  const float a = std::clamp(alpha, 0.0f, 1.0f);
+  auto mix = [a](std::uint8_t base, std::uint8_t over) {
+    return static_cast<std::uint8_t>(std::lround(
+        static_cast<float>(base) * (1.0f - a) + static_cast<float>(over) * a));
+  };
+  for (std::int64_t yy = y0; yy < y1; ++yy) {
+    for (std::int64_t xx = x0; xx < x1; ++xx) {
+      const auto i = static_cast<std::size_t>(yy * width_ + xx);
+      r_[i] = mix(r_[i], c.r);
+      g_[i] = mix(g_[i], c.g);
+      b_[i] = mix(b_[i], c.b);
+    }
+  }
+}
+
+double Psnr(const Frame& a, const Frame& b) {
+  FF_CHECK(a.width() == b.width() && a.height() == b.height());
+  const std::int64_t n = a.pixels();
+  double sse = 0.0;
+  auto acc = [&](const std::uint8_t* pa, const std::uint8_t* pb) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+      sse += d * d;
+    }
+  };
+  acc(a.r(), b.r());
+  acc(a.g(), b.g());
+  acc(a.b(), b.b());
+  if (sse == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sse / (3.0 * static_cast<double>(n));
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double MeanAbsDiff(const Frame& a, const Frame& b) {
+  FF_CHECK(a.width() == b.width() && a.height() == b.height());
+  const std::int64_t n = a.pixels();
+  double acc = 0.0;
+  auto add = [&](const std::uint8_t* pa, const std::uint8_t* pb) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i]));
+    }
+  };
+  add(a.r(), b.r());
+  add(a.g(), b.g());
+  add(a.b(), b.b());
+  return acc / (3.0 * static_cast<double>(n));
+}
+
+}  // namespace ff::video

@@ -1,0 +1,62 @@
+// Video frames and simple drawing primitives.
+//
+// Frames are planar 8-bit RGB. Planar layout matches both the codec (which
+// converts plane-wise to 4:2:0 YCbCr) and the DNN preprocessor (which reads
+// one channel plane at a time), avoiding interleave/deinterleave shuffles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace ff::video {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(std::int64_t width, std::int64_t height, Rgb fill = {0, 0, 0});
+
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+  std::int64_t pixels() const { return width_ * height_; }
+  bool empty() const { return width_ == 0; }
+
+  const std::uint8_t* r() const { return r_.data(); }
+  const std::uint8_t* g() const { return g_.data(); }
+  const std::uint8_t* b() const { return b_.data(); }
+  std::uint8_t* r() { return r_.data(); }
+  std::uint8_t* g() { return g_.data(); }
+  std::uint8_t* b() { return b_.data(); }
+
+  Rgb At(std::int64_t x, std::int64_t y) const;
+  void Set(std::int64_t x, std::int64_t y, Rgb c);
+
+  // Clipped rectangle fill; [x, x+w) x [y, y+h).
+  void FillRect(std::int64_t x, std::int64_t y, std::int64_t w, std::int64_t h,
+                Rgb c);
+
+  // Alpha-blends `c` over the pixel (alpha in [0,1]), clipped.
+  void BlendRect(std::int64_t x, std::int64_t y, std::int64_t w,
+                 std::int64_t h, Rgb c, float alpha);
+
+  // Frame index within its stream (set by sources).
+  std::int64_t index = 0;
+
+ private:
+  std::int64_t width_ = 0, height_ = 0;
+  std::vector<std::uint8_t> r_, g_, b_;
+};
+
+// Peak signal-to-noise ratio over all three channels (dB); frames must have
+// identical dimensions. Returns +inf for identical frames.
+double Psnr(const Frame& a, const Frame& b);
+
+// Mean absolute pixel difference over all channels.
+double MeanAbsDiff(const Frame& a, const Frame& b);
+
+}  // namespace ff::video

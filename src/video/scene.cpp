@@ -1,0 +1,109 @@
+#include "video/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::video {
+
+std::uint32_t PixelHash(std::uint64_t seed, std::int64_t frame, std::int64_t x,
+                        std::int64_t y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(frame) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(x) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<std::uint64_t>(y) * 0x165667B19E3779F9ULL;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<std::uint32_t>(h);
+}
+
+void DrawPedestrian(Frame& f, double cx, double feet_y, double height,
+                    Rgb torso, std::int64_t phase) {
+  const auto h = static_cast<std::int64_t>(std::lround(height));
+  if (h < 2) return;
+  const std::int64_t w = std::max<std::int64_t>(1, h / 3);
+  const auto x0 = static_cast<std::int64_t>(std::lround(cx)) - w / 2;
+  const auto y_feet = static_cast<std::int64_t>(std::lround(feet_y));
+  const std::int64_t y_top = y_feet - h;
+
+  const std::int64_t head_h = std::max<std::int64_t>(1, h / 5);
+  const std::int64_t torso_h = std::max<std::int64_t>(1, (h * 2) / 5);
+  const std::int64_t legs_h = h - head_h - torso_h;
+
+  const Rgb skin{224, 188, 158};
+  const Rgb legs{44, 44, 60};
+
+  // Head (narrower than the torso).
+  const std::int64_t head_w = std::max<std::int64_t>(1, w / 2);
+  f.FillRect(x0 + (w - head_w) / 2, y_top, head_w, head_h, skin);
+  // Torso.
+  f.FillRect(x0, y_top + head_h, w, torso_h, torso);
+  // Legs with a 2-frame gait cycle: alternate legs lead by one pixel.
+  const std::int64_t leg_w = std::max<std::int64_t>(1, w / 2);
+  const std::int64_t stride = (phase / 3) % 2 == 0 ? 1 : 0;
+  if (w >= 2) {
+    f.FillRect(x0 + (stride ? 1 : 0), y_top + head_h + torso_h, leg_w, legs_h,
+               legs);
+    f.FillRect(x0 + w - leg_w - (stride ? 0 : 1), y_top + head_h + torso_h,
+               leg_w, legs_h, legs);
+  } else {
+    f.FillRect(x0, y_top + head_h + torso_h, leg_w, legs_h, legs);
+  }
+}
+
+void DrawCar(Frame& f, double cx, double baseline_y, double height, Rgb body) {
+  const auto h = static_cast<std::int64_t>(std::lround(height));
+  if (h < 2) return;
+  const auto w = static_cast<std::int64_t>(std::lround(height * 2.3));
+  const auto x0 = static_cast<std::int64_t>(std::lround(cx)) - w / 2;
+  const auto y1 = static_cast<std::int64_t>(std::lround(baseline_y));
+  const std::int64_t y0 = y1 - h;
+
+  // Body: lower 60%; cabin: upper 40%, inset from both ends.
+  const std::int64_t cabin_h = (h * 2) / 5;
+  const std::int64_t body_h = h - cabin_h;
+  f.FillRect(x0, y0 + cabin_h, w, body_h, body);
+  const Rgb cabin{static_cast<std::uint8_t>(body.r / 2),
+                  static_cast<std::uint8_t>(body.g / 2),
+                  static_cast<std::uint8_t>(body.b / 2)};
+  f.FillRect(x0 + w / 5, y0, (w * 3) / 5, cabin_h, cabin);
+  // Window glint.
+  if (cabin_h >= 2 && w >= 10) {
+    f.FillRect(x0 + w / 4, y0, w / 5, std::max<std::int64_t>(1, cabin_h / 2),
+               Rgb{150, 180, 200});
+  }
+  // Wheels.
+  const std::int64_t wheel = std::max<std::int64_t>(1, h / 4);
+  const Rgb tire{25, 25, 28};
+  f.FillRect(x0 + w / 8, y1 - wheel / 2, wheel, wheel, tire);
+  f.FillRect(x0 + w - w / 8 - wheel, y1 - wheel / 2, wheel, wheel, tire);
+}
+
+void ApplyNoise(Frame& f, std::uint64_t seed, std::int64_t frame_index,
+                int amp, int brightness) {
+  if (amp <= 0 && brightness == 0) return;
+  const std::int64_t w = f.width();
+  const std::int64_t h = f.height();
+  std::uint8_t* pr = f.r();
+  std::uint8_t* pg = f.g();
+  std::uint8_t* pb = f.b();
+  const int span = 2 * amp + 1;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::uint32_t hash = PixelHash(seed, frame_index, x, y);
+      const int n = amp > 0 ? static_cast<int>(hash % span) - amp : 0;
+      const auto i = static_cast<std::size_t>(y * w + x);
+      auto clamp8 = [](int v) {
+        return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+      };
+      const int d = n + brightness;
+      pr[i] = clamp8(static_cast<int>(pr[i]) + d);
+      pg[i] = clamp8(static_cast<int>(pg[i]) + d);
+      pb[i] = clamp8(static_cast<int>(pb[i]) + d);
+    }
+  }
+}
+
+}  // namespace ff::video

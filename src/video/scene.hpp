@@ -1,0 +1,33 @@
+// Sprite drawing for the synthetic surveillance scenes.
+//
+// The sprites are deliberately simple (rectangles with structure), but sized
+// to the paper's real-world proportions: a pedestrian is ~4% of frame height
+// (≈40 px at 1080p, paper §3.4), which is what makes the tasks "small object
+// in a wide-angle view" problems.
+#pragma once
+
+#include <cstdint>
+
+#include "video/frame.hpp"
+
+namespace ff::video {
+
+// Deterministic per-pixel hash used for texture/sensor noise. (splitmix64
+// finalizer over seed/frame/x/y.)
+std::uint32_t PixelHash(std::uint64_t seed, std::int64_t frame, std::int64_t x,
+                        std::int64_t y);
+
+// A pedestrian standing on baseline (feet) y, horizontally centered at cx.
+// `height` is the full body height in pixels; `phase` animates the gait.
+void DrawPedestrian(Frame& f, double cx, double feet_y, double height,
+                    Rgb torso, std::int64_t phase);
+
+// A side-view car with its wheels on baseline y, centered at cx.
+// `height` is the body height; cars are ~2.3x wider than tall.
+void DrawCar(Frame& f, double cx, double baseline_y, double height, Rgb body);
+
+// Additive sensor noise (±amp per channel) plus a global brightness offset.
+void ApplyNoise(Frame& f, std::uint64_t seed, std::int64_t frame_index,
+                int amp, int brightness);
+
+}  // namespace ff::video

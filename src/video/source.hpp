@@ -1,0 +1,46 @@
+// Frame sources: the pipeline's input abstraction.
+//
+// An edge node ingests a camera stream; in this repository a stream is
+// either rendered on demand from a synthetic dataset or decoded from a
+// codec bitstream (see codec/decoded_source.hpp).
+#pragma once
+
+#include <optional>
+
+#include "video/dataset.hpp"
+#include "video/frame.hpp"
+
+namespace ff::video {
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  // Next frame, or nullopt at end of stream.
+  virtual std::optional<Frame> Next() = 0;
+  virtual void Reset() = 0;
+};
+
+// Streams frames [begin, end) of a synthetic dataset.
+class DatasetSource : public FrameSource {
+ public:
+  DatasetSource(const SyntheticDataset& dataset, std::int64_t begin,
+                std::int64_t end)
+      : dataset_(dataset), begin_(begin), end_(end), next_(begin) {
+    FF_CHECK(begin >= 0 && begin <= end && end <= dataset.n_frames());
+  }
+  explicit DatasetSource(const SyntheticDataset& dataset)
+      : DatasetSource(dataset, 0, dataset.n_frames()) {}
+
+  std::optional<Frame> Next() override {
+    if (next_ >= end_) return std::nullopt;
+    return dataset_.RenderFrame(next_++);
+  }
+
+  void Reset() override { next_ = begin_; }
+
+ private:
+  const SyntheticDataset& dataset_;
+  std::int64_t begin_, end_, next_;
+};
+
+}  // namespace ff::video

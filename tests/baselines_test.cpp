@@ -1,0 +1,109 @@
+// Baseline tests: discrete classifier family geometry/cost, MobileNet
+// filter, memory model.
+#include <gtest/gtest.h>
+
+#include "baselines/discrete.hpp"
+#include "baselines/mobilenet_filter.hpp"
+#include "util/rng.hpp"
+
+namespace ff::baselines {
+namespace {
+
+TEST(DiscreteClassifier, FamilyCostsSpanPaperRangeAt1080p) {
+  // Paper §4.4: DCs with between 100 million and 2.5 billion multiply-adds.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const auto& spec : DiscreteClassifierFamily()) {
+    const auto macs = DiscreteClassifierMacs(spec, 1080, 1920);
+    lo = std::min(lo, macs);
+    hi = std::max(hi, macs);
+  }
+  EXPECT_LT(lo, 300ull * 1000 * 1000);
+  EXPECT_GT(lo, 30ull * 1000 * 1000);
+  EXPECT_GT(hi, 1500ull * 1000 * 1000);
+  EXPECT_LT(hi, 6000ull * 1000 * 1000);
+}
+
+TEST(DiscreteClassifier, CostKnobsBehaveAsExpected) {
+  DiscreteClassifierSpec base{"b", 2, 16, 2, 0, false, 1};
+  DiscreteClassifierSpec more_kernels = base;
+  more_kernels.kernels = 32;
+  DiscreteClassifierSpec bigger_stride = base;
+  bigger_stride.stride = 3;
+  DiscreteClassifierSpec separable = base;
+  separable.separable = true;
+  const auto m_base = DiscreteClassifierMacs(base, 540, 960);
+  EXPECT_GT(DiscreteClassifierMacs(more_kernels, 540, 960), m_base);
+  EXPECT_LT(DiscreteClassifierMacs(bigger_stride, 540, 960), m_base);
+  EXPECT_LT(DiscreteClassifierMacs(separable, 540, 960), m_base);
+}
+
+TEST(DiscreteClassifier, InferReturnsProbabilityDeterministically) {
+  DiscreteClassifier dc({"t", 2, 16, 3, 1, false, 5}, 96, 160);
+  nn::Tensor in(nn::Shape{1, 3, 96, 160});
+  util::Pcg32 rng(2);
+  in.FillUniform(rng, -1.0f, 1.0f);
+  const float p = dc.Infer(in);
+  EXPECT_GT(p, 0.0f);
+  EXPECT_LT(p, 1.0f);
+  EXPECT_FLOAT_EQ(dc.Infer(in), p);
+}
+
+TEST(DiscreteClassifier, ValidatesInputGeometry) {
+  DiscreteClassifier dc({"t", 2, 16, 3, 1, false, 5}, 96, 160);
+  nn::Tensor wrong(nn::Shape{1, 3, 64, 64});
+  EXPECT_THROW(dc.Infer(wrong), util::CheckError);
+}
+
+TEST(DiscreteClassifier, SpecValidation) {
+  EXPECT_THROW(BuildDiscreteClassifier({"x", 1, 16, 1, 0, false, 1}),
+               util::CheckError);  // too few convs
+  EXPECT_THROW(BuildDiscreteClassifier({"x", 2, 8, 1, 0, false, 1}),
+               util::CheckError);  // too few kernels
+  EXPECT_THROW(BuildDiscreteClassifier({"x", 2, 16, 4, 0, false, 1}),
+               util::CheckError);  // stride too large
+  EXPECT_THROW(BuildDiscreteClassifier({"x", 2, 16, 1, 3, false, 1}),
+               util::CheckError);  // too many pools
+}
+
+TEST(DiscreteClassifier, CheaperThanFullMobileNet) {
+  // The paper's framing: a DC is faster than a general-purpose DNN like
+  // MobileNet but more expensive than an MC.
+  MobileNetFilter mob(96, 160, 3);
+  for (const auto& spec : DiscreteClassifierFamily()) {
+    DiscreteClassifier dc(spec, 96, 160);
+    EXPECT_LT(dc.MacsPerFrame(), mob.MacsPerFrame()) << spec.name;
+  }
+}
+
+TEST(MobileNetFilter, ProducesProbability) {
+  MobileNetFilter filter(64, 64, 7);
+  nn::Tensor in(nn::Shape{1, 3, 64, 64});
+  util::Pcg32 rng(3);
+  in.FillUniform(rng, -1.0f, 1.0f);
+  const float p = filter.Infer(in);
+  EXPECT_GE(p, 0.0f);
+  EXPECT_LE(p, 1.0f);
+}
+
+TEST(MobileNetFilter, MemoryEstimateGrowsWithResolution) {
+  const auto small = MobileNetFilter::EstimateBytes(270, 480);
+  const auto large = MobileNetFilter::EstimateBytes(1080, 1920);
+  EXPECT_GT(large, small);
+  // Weights alone are ~13 MB (3.2M conv params plus head) — the estimate
+  // must exceed that.
+  EXPECT_GT(small, 10ull * 1024 * 1024);
+}
+
+TEST(MobileNetFilter, PaperScaleMemoryExplainsOom) {
+  // At 1920x1080, ~30 instances exhaust a 32 GB machine once framework
+  // overhead (~2x raw tensors in the paper's TF/Caffe stack) is included —
+  // this is the paper's "runs out of memory beyond 30 classifiers".
+  const auto one = MobileNetFilter::EstimateBytes(1080, 1920);
+  const double framework_overhead = 2.0;
+  const double gb30 = 30.0 * static_cast<double>(one) * framework_overhead /
+                      (1024.0 * 1024.0 * 1024.0);
+  EXPECT_GT(gb30, 8.0);  // tens of GB at paper scale
+}
+
+}  // namespace
+}  // namespace ff::baselines

@@ -1,0 +1,178 @@
+// K-voting smoother and transition detector tests, including parameterized
+// property sweeps over (N, K).
+#include <gtest/gtest.h>
+
+#include "core/events.hpp"
+#include "core/smoothing.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ff::core {
+namespace {
+
+std::vector<std::uint8_t> L(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (const int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(KVoting, PaperDefaultsMaskIsolatedNegatives) {
+  // N=5, K=2: a single dropped frame inside an event is recovered.
+  const auto raw = L({1, 1, 0, 1, 1, 1});
+  const auto out = SmoothLabels(raw, 5, 2);
+  EXPECT_EQ(out, L({1, 1, 1, 1, 1, 1}));
+}
+
+TEST(KVoting, SingleSpuriousPositiveSurvivesK2) {
+  // With K=2 a lone positive among negatives is removed...
+  const auto raw = L({0, 0, 0, 1, 0, 0, 0});
+  EXPECT_EQ(SmoothLabels(raw, 5, 2), L({0, 0, 0, 0, 0, 0, 0}));
+  // ...but with K=1 it spreads across the window.
+  const auto spread = SmoothLabels(raw, 5, 1);
+  EXPECT_EQ(spread, L({0, 1, 1, 1, 1, 1, 0}));
+}
+
+TEST(KVoting, OutputLengthAlwaysMatchesInput) {
+  for (const std::int64_t n : {1, 2, 3, 5, 7}) {
+    for (std::int64_t k = 1; k <= n; ++k) {
+      for (const std::size_t len : {0u, 1u, 2u, 4u, 9u}) {
+        std::vector<std::uint8_t> raw(len, 1);
+        EXPECT_EQ(SmoothLabels(raw, n, k).size(), len)
+            << "n=" << n << " k=" << k << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(KVoting, AllPositiveAndAllNegativeAreFixedPoints) {
+  const std::vector<std::uint8_t> ones(20, 1), zeros(20, 0);
+  EXPECT_EQ(SmoothLabels(ones, 5, 2), ones);
+  EXPECT_EQ(SmoothLabels(zeros, 5, 2), zeros);
+}
+
+TEST(KVoting, StreamingMatchesOffline) {
+  util::Pcg32 rng(55);
+  std::vector<std::uint8_t> raw(200);
+  for (auto& v : raw) v = rng.Bernoulli(0.3) ? 1 : 0;
+  // Streaming path.
+  KVotingSmoother s(5, 2);
+  std::vector<std::uint8_t> streamed;
+  for (const auto r : raw) {
+    if (const auto d = s.Push(r != 0)) streamed.push_back(*d ? 1 : 0);
+  }
+  for (const bool d : s.Flush()) streamed.push_back(d ? 1 : 0);
+  EXPECT_EQ(streamed, SmoothLabels(raw, 5, 2));
+}
+
+TEST(KVoting, DelayIsHalfWindow) {
+  KVotingSmoother s(5, 2);
+  EXPECT_EQ(s.Delay(), 2);
+  EXPECT_FALSE(s.Push(true).has_value());
+  EXPECT_FALSE(s.Push(true).has_value());
+  EXPECT_TRUE(s.Push(true).has_value());  // decision for frame 0 at t=2
+}
+
+TEST(KVoting, WindowOneIsIdentity) {
+  util::Pcg32 rng(56);
+  std::vector<std::uint8_t> raw(50);
+  for (auto& v : raw) v = rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_EQ(SmoothLabels(raw, 1, 1), raw);
+}
+
+TEST(KVoting, ResetClearsState) {
+  KVotingSmoother s(5, 2);
+  s.Push(true);
+  s.Push(true);
+  s.Reset();
+  EXPECT_EQ(s.frames_pushed(), 0);
+  EXPECT_FALSE(s.Push(false).has_value());
+}
+
+TEST(KVoting, RejectsInvalidParams) {
+  EXPECT_THROW(KVotingSmoother(0, 1), util::CheckError);
+  EXPECT_THROW(KVotingSmoother(3, 4), util::CheckError);
+  EXPECT_THROW(KVotingSmoother(3, 0), util::CheckError);
+}
+
+struct VoteCase {
+  std::int64_t n, k;
+};
+class KVotingProperty : public ::testing::TestWithParam<VoteCase> {};
+
+TEST_P(KVotingProperty, MonotoneInInput) {
+  // Adding positives to the raw stream can only add positives after
+  // smoothing (K-voting is a monotone boolean function).
+  const auto [n, k] = GetParam();
+  util::Pcg32 rng(100 + n * 10 + k);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> raw(40);
+    for (auto& v : raw) v = rng.Bernoulli(0.4) ? 1 : 0;
+    auto more = raw;
+    for (auto& v : more) {
+      if (v == 0 && rng.Bernoulli(0.2)) v = 1;
+    }
+    const auto a = SmoothLabels(raw, n, k);
+    const auto b = SmoothLabels(more, n, k);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_LE(a[i], b[i]) << "n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KVotingProperty,
+                         ::testing::Values(VoteCase{3, 1}, VoteCase{3, 2},
+                                           VoteCase{5, 2}, VoteCase{5, 3},
+                                           VoteCase{7, 2}, VoteCase{7, 4}));
+
+TEST(TransitionDetector, SegmentsEventsWithIncreasingIds) {
+  TransitionDetector d;
+  const auto labels = L({0, 1, 1, 0, 1, 0, 0, 1, 1, 1});
+  std::vector<EventRecord> closed;
+  for (const auto l : labels) {
+    if (const auto ev = d.Push(l != 0)) closed.push_back(*ev);
+  }
+  if (const auto ev = d.Finish()) closed.push_back(*ev);
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].id, 0);
+  EXPECT_EQ(closed[0].begin, 1);
+  EXPECT_EQ(closed[0].end, 3);
+  EXPECT_EQ(closed[1].id, 1);
+  EXPECT_EQ(closed[1].begin, 4);
+  EXPECT_EQ(closed[1].end, 5);
+  EXPECT_EQ(closed[2].id, 2);
+  EXPECT_EQ(closed[2].begin, 7);
+  EXPECT_EQ(closed[2].end, 10);
+}
+
+TEST(TransitionDetector, LastStateTracksOpenEvent) {
+  TransitionDetector d;
+  d.Push(false);
+  EXPECT_FALSE(d.last_state().in_event);
+  d.Push(true);
+  EXPECT_TRUE(d.last_state().in_event);
+  EXPECT_EQ(d.last_state().event_id, 0);
+  d.Push(true);
+  EXPECT_EQ(d.last_state().event_id, 0);  // same event
+  d.Push(false);
+  d.Push(true);
+  EXPECT_EQ(d.last_state().event_id, 1);  // next event, next id
+}
+
+TEST(TransitionDetector, FinishOnEmptyStream) {
+  TransitionDetector d;
+  EXPECT_FALSE(d.Finish().has_value());
+}
+
+TEST(TransitionDetector, EventAtStreamEndIsClosedByFinish) {
+  TransitionDetector d;
+  d.Push(true);
+  d.Push(true);
+  EXPECT_TRUE(d.closed_events().empty());
+  const auto ev = d.Finish();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->begin, 0);
+  EXPECT_EQ(ev->end, 2);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,131 @@
+// End-to-end edge -> cloud tests: the pipeline's upload sink feeding a
+// DatacenterReceiver, clip reassembly, and decoded-frame fidelity.
+#include <gtest/gtest.h>
+
+#include "core/datacenter.hpp"
+#include "core/pipeline.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+namespace {
+
+video::DatasetSpec SmallSpec(std::int64_t frames, std::uint64_t seed) {
+  auto spec = video::JacksonSpec(160, frames, seed);
+  spec.mean_event_len = 10;
+  return spec;
+}
+
+struct EdgeCloudRun {
+  std::unique_ptr<video::SyntheticDataset> ds;
+  std::unique_ptr<dnn::FeatureExtractor> fx;
+  std::unique_ptr<Pipeline> pipe;
+  std::unique_ptr<DatacenterReceiver> receiver;
+};
+
+// Runs a 1-MC pipeline with the given threshold, wired to a receiver.
+EdgeCloudRun RunEdgeCloud(std::int64_t frames, float threshold,
+                          std::uint64_t seed = 61) {
+  EdgeCloudRun r;
+  r.ds = std::make_unique<video::SyntheticDataset>(SmallSpec(frames, seed));
+  r.fx = std::make_unique<dnn::FeatureExtractor>(
+      dnn::MobileNetOptions{.include_classifier = false});
+  PipelineConfig cfg;
+  cfg.frame_width = r.ds->spec().width;
+  cfg.frame_height = r.ds->spec().height;
+  cfg.fps = r.ds->spec().fps;
+  cfg.upload_bitrate_bps = 80'000;
+  r.pipe = std::make_unique<Pipeline>(*r.fx, cfg);
+  r.receiver = std::make_unique<DatacenterReceiver>(cfg.frame_width,
+                                                    cfg.frame_height);
+  r.pipe->SetUploadSink(
+      [rec = r.receiver.get()](const UploadPacket& p) { rec->Receive(p); });
+  r.pipe->AddMicroclassifier(
+      MakeMicroclassifier("full_frame",
+                          {.name = "mc", .tap = dnn::kLateTap, .seed = 3},
+                          *r.fx, r.ds->spec().height, r.ds->spec().width),
+      threshold);
+  video::DatasetSource src(*r.ds);
+  r.pipe->Run(src);
+  return r;
+}
+
+TEST(Datacenter, ReceivesExactlyUploadedFrames) {
+  const auto r = RunEdgeCloud(25, 0.0f);  // everything matches
+  EXPECT_EQ(r.receiver->frames_received(), 25);
+  EXPECT_EQ(r.receiver->bytes_received(), r.pipe->upload_bytes());
+  // Frame indices arrive in order and match the uploads.
+  for (std::size_t i = 0; i < r.pipe->uploaded_frames().size(); ++i) {
+    EXPECT_EQ(r.receiver->frame_indices()[i],
+              r.pipe->uploaded_frames()[i].frame_index);
+  }
+}
+
+TEST(Datacenter, NoMatchesNothingReceived) {
+  const auto r = RunEdgeCloud(15, 1.1f);
+  EXPECT_EQ(r.receiver->frames_received(), 0);
+  EXPECT_EQ(r.receiver->bytes_received(), 0u);
+  EXPECT_TRUE(r.receiver->Clips().empty());
+}
+
+TEST(Datacenter, ClipsMatchPipelineEvents) {
+  const auto r = RunEdgeCloud(40, 0.0f);
+  const auto clips = r.receiver->Clips();
+  const auto& events = r.pipe->result(0).events;
+  ASSERT_EQ(clips.size(), events.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(clips[i].mc_name, "mc");
+    EXPECT_EQ(clips[i].event_id, events[i].id);
+    EXPECT_EQ(clips[i].first_frame, events[i].begin);
+    EXPECT_EQ(clips[i].last_frame, events[i].end - 1);
+    EXPECT_EQ(static_cast<std::int64_t>(clips[i].frame_slots.size()),
+              events[i].length());
+  }
+}
+
+TEST(Datacenter, DecodedFramesResembleOriginals) {
+  const auto r = RunEdgeCloud(20, 0.0f);
+  ASSERT_GT(r.receiver->frames_received(), 0);
+  double psnr_sum = 0;
+  for (std::size_t i = 0; i < r.receiver->frames().size(); ++i) {
+    const auto& decoded = r.receiver->frames()[i];
+    const video::Frame original =
+        r.ds->RenderFrame(r.receiver->frame_indices()[i]);
+    psnr_sum += video::Psnr(original, decoded);
+  }
+  EXPECT_GT(psnr_sum / static_cast<double>(r.receiver->frames_received()),
+            24.0);
+}
+
+TEST(Datacenter, RejectsOutOfOrderPackets) {
+  DatacenterReceiver rec(160, 90);
+  // Build two valid packets via an encoder.
+  codec::EncoderConfig ec{.width = 160, .height = 90};
+  codec::Encoder enc(ec);
+  const video::SyntheticDataset ds(SmallSpec(4, 62));
+  UploadPacket p0;
+  p0.frame_index = 2;
+  p0.metadata.frame_index = 2;
+  p0.chunk = enc.EncodeFrame(ds.RenderFrame(2), true);
+  rec.Receive(p0);
+  UploadPacket p1;
+  p1.frame_index = 1;  // out of order
+  p1.metadata.frame_index = 1;
+  p1.chunk = enc.EncodeFrame(ds.RenderFrame(1), true);
+  EXPECT_THROW(rec.Receive(p1), util::CheckError);
+}
+
+TEST(Datacenter, SinkRequiresUploadsEnabledAndPreStream) {
+  const video::SyntheticDataset ds(SmallSpec(5, 63));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  PipelineConfig cfg;
+  cfg.frame_width = ds.spec().width;
+  cfg.frame_height = ds.spec().height;
+  cfg.enable_upload = false;
+  Pipeline no_upload(fx, cfg);
+  EXPECT_THROW(no_upload.SetUploadSink([](const UploadPacket&) {}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace ff::core

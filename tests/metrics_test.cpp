@@ -1,0 +1,132 @@
+// Event metric tests — hand-computed examples of the paper's §4.2 formulas
+// plus property sweeps.
+#include <gtest/gtest.h>
+
+#include "metrics/event_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ff::metrics {
+namespace {
+
+using video::EventRange;
+
+std::vector<std::uint8_t> L(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (const int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(EventsFromLabels, FindsMaximalRuns) {
+  const auto ev = EventsFromLabels(L({0, 1, 1, 0, 0, 1, 0, 1, 1, 1}));
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0], (EventRange{1, 3}));
+  EXPECT_EQ(ev[1], (EventRange{5, 6}));
+  EXPECT_EQ(ev[2], (EventRange{7, 10}));
+}
+
+TEST(EventsFromLabels, EdgeCases) {
+  EXPECT_TRUE(EventsFromLabels(L({0, 0, 0})).empty());
+  EXPECT_EQ(EventsFromLabels(L({1, 1, 1})).size(), 1u);
+  EXPECT_TRUE(EventsFromLabels({}).empty());
+}
+
+TEST(EventMetrics, PerfectPredictionScoresOne) {
+  const auto truth = L({0, 1, 1, 1, 0, 0, 1, 1, 0});
+  const auto m = ComputeEventMetrics(truth, truth);
+  EXPECT_DOUBLE_EQ(m.event_recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.detected_events, 2);
+}
+
+TEST(EventMetrics, HandComputedPartialOverlap) {
+  // Truth: one event [2, 6) of length 4. Prediction hits frame 3 only.
+  const auto truth = L({0, 0, 1, 1, 1, 1, 0, 0});
+  const auto pred = L({0, 0, 0, 1, 0, 0, 0, 0});
+  const auto m = ComputeEventMetrics(truth, pred);
+  // Existence = 1, Overlap = 1/4 -> recall = 0.9 + 0.1 * 0.25 = 0.925.
+  EXPECT_NEAR(m.event_recall, 0.925, 1e-12);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_NEAR(m.f1, 2 * 0.925 / 1.925, 1e-12);
+}
+
+TEST(EventMetrics, MissedEventScoresZeroExistence) {
+  // Two truth events; prediction covers only the second, fully.
+  const auto truth = L({1, 1, 0, 0, 1, 1});
+  const auto pred = L({0, 0, 0, 0, 1, 1});
+  const auto m = ComputeEventMetrics(truth, pred);
+  // Event 1: 0; event 2: 0.9 + 0.1 = 1.0 -> mean 0.5.
+  EXPECT_NEAR(m.event_recall, 0.5, 1e-12);
+  EXPECT_EQ(m.detected_events, 1);
+}
+
+TEST(EventMetrics, FalsePositivesHurtOnlyPrecision) {
+  const auto truth = L({0, 0, 1, 1, 0, 0, 0, 0});
+  const auto pred = L({1, 1, 1, 1, 1, 1, 0, 0});
+  const auto m = ComputeEventMetrics(truth, pred);
+  EXPECT_DOUBLE_EQ(m.event_recall, 1.0);
+  EXPECT_NEAR(m.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(m.false_positive_frames, 4);
+  EXPECT_EQ(m.true_positive_frames, 2);
+}
+
+TEST(EventMetrics, EmptyPredictionGivesZeroF1) {
+  const auto truth = L({0, 1, 1, 0});
+  const auto pred = L({0, 0, 0, 0});
+  const auto m = ComputeEventMetrics(truth, pred);
+  EXPECT_DOUBLE_EQ(m.event_recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EventMetrics, AlphaBetaWeightsRespected) {
+  const auto truth = L({1, 1, 1, 1});
+  const auto pred = L({1, 0, 0, 0});
+  // alpha=0.5, beta=0.5: recall = 0.5 * 1 + 0.5 * 0.25.
+  const auto m = ComputeEventMetrics(truth, EventsFromLabels(truth), pred,
+                                     0.5, 0.5);
+  EXPECT_NEAR(m.event_recall, 0.625, 1e-12);
+}
+
+TEST(EventMetrics, SizeMismatchRejected) {
+  EXPECT_THROW(ComputeEventMetrics(L({0, 1}), L({0})), util::CheckError);
+}
+
+TEST(EventMetrics, PaperDefaultWeights) {
+  EXPECT_DOUBLE_EQ(kDefaultAlpha, 0.9);
+  EXPECT_DOUBLE_EQ(kDefaultBeta, 0.1);
+}
+
+// Property sweep: F1 and recall are bounded, and adding correct frames never
+// hurts recall.
+TEST(EventMetrics, PropertyBoundsAndMonotonicity) {
+  util::Pcg32 rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 60;
+    std::vector<std::uint8_t> truth(n), pred(n);
+    for (auto& v : truth) v = rng.Bernoulli(0.3) ? 1 : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] = truth[i] != 0 && rng.Bernoulli(0.6) ? 1 : 0;
+      if (truth[i] == 0 && rng.Bernoulli(0.05)) pred[i] = 1;
+    }
+    const auto m = ComputeEventMetrics(truth, pred);
+    ASSERT_GE(m.event_recall, 0.0);
+    ASSERT_LE(m.event_recall, 1.0);
+    ASSERT_GE(m.f1, 0.0);
+    ASSERT_LE(m.f1, 1.0);
+
+    // Fill in one missing true-positive frame: recall must not decrease.
+    auto improved = pred;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (truth[i] != 0 && pred[i] == 0) {
+        improved[i] = 1;
+        break;
+      }
+    }
+    const auto m2 = ComputeEventMetrics(truth, improved);
+    ASSERT_GE(m2.event_recall, m.event_recall - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ff::metrics

@@ -1,0 +1,126 @@
+// Batch-consistency properties of the NN engine: a batched forward pass
+// must equal per-image passes for every layer type (the trainer builds
+// minibatches by stacking; any divergence would silently corrupt training).
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ff::nn {
+namespace {
+
+Tensor RandomBatch(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  util::Pcg32 rng(seed);
+  t.FillNormal(rng, 1.0f);
+  return t;
+}
+
+// Forward `batch` both whole and image-by-image; outputs must agree.
+void ExpectBatchConsistent(Layer& layer, const Tensor& batch,
+                           float tol = 1e-5f) {
+  const Tensor whole = layer.Forward(batch);
+  for (std::int64_t n = 0; n < batch.shape().n; ++n) {
+    const Tensor single = layer.Forward(batch.Slice(n));
+    EXPECT_LT(Tensor::MaxAbsDiff(whole.Slice(n), single), tol)
+        << layer.name() << " image " << n;
+  }
+}
+
+TEST(BatchConsistency, Conv2D) {
+  Conv2D conv("c", 3, 6, 3, 2, Padding::kSameCeil);
+  HeInitLayer(conv, 1);
+  ExpectBatchConsistent(conv, RandomBatch({4, 3, 9, 7}, 2));
+}
+
+TEST(BatchConsistency, PointwiseConv) {
+  Conv2D conv("c", 8, 5, 1, 1, Padding::kSameCeil);
+  HeInitLayer(conv, 3);
+  ExpectBatchConsistent(conv, RandomBatch({3, 8, 6, 6}, 4));
+}
+
+TEST(BatchConsistency, DepthwiseConv) {
+  DepthwiseConv2D dw("d", 5, 3, 1, Padding::kSameFloor);
+  HeInitLayer(dw, 5);
+  ExpectBatchConsistent(dw, RandomBatch({3, 5, 8, 8}, 6));
+}
+
+TEST(BatchConsistency, FullyConnected) {
+  FullyConnected fc("f", 24, 7);
+  HeInitLayer(fc, 7);
+  ExpectBatchConsistent(fc, RandomBatch({5, 6, 2, 2}, 8));
+}
+
+TEST(BatchConsistency, ActivationsAndPools) {
+  Activation relu("r", ActKind::kRelu);
+  ExpectBatchConsistent(relu, RandomBatch({3, 4, 5, 5}, 9));
+  Activation sig("s", ActKind::kSigmoid);
+  ExpectBatchConsistent(sig, RandomBatch({3, 4, 5, 5}, 10));
+  MaxPool2D pool("p", 2, 2);
+  ExpectBatchConsistent(pool, RandomBatch({3, 2, 6, 6}, 11));
+  GlobalAvgPool avg("a");
+  ExpectBatchConsistent(avg, RandomBatch({4, 3, 5, 7}, 12));
+  GlobalMaxPool mx("m");
+  ExpectBatchConsistent(mx, RandomBatch({4, 3, 5, 7}, 13));
+}
+
+TEST(BatchConsistency, WholeMcStack) {
+  // The localized-MC layer stack as one network.
+  Sequential net("mc");
+  net.Add(std::make_unique<DepthwiseConv2D>("dw", 6, 3, 1, Padding::kSameCeil));
+  net.Add(std::make_unique<Conv2D>("pw", 6, 4, 1, 1, Padding::kSameCeil));
+  net.Add(MakeRelu("r1"));
+  net.Add(std::make_unique<FullyConnected>("fc", 4 * 5 * 5, 1));
+  net.Add(MakeSigmoid("sig"));
+  HeInit(net, 20);
+  const Tensor batch = RandomBatch({6, 6, 5, 5}, 21);
+  const Tensor whole = net.Forward(batch);
+  for (std::int64_t n = 0; n < 6; ++n) {
+    const Tensor single = net.Forward(batch.Slice(n));
+    EXPECT_NEAR(whole.at(n, 0, 0, 0), single.at(0, 0, 0, 0), 1e-5f);
+  }
+}
+
+// Gradient flow through a batch: summed per-image losses give the same
+// parameter gradients as one batched backward pass.
+TEST(BatchConsistency, GradientsAccumulateLikePerImagePasses) {
+  auto build = [] {
+    Sequential net("g");
+    net.Add(std::make_unique<Conv2D>("c", 2, 3, 3, 1, Padding::kSameCeil));
+    net.Add(MakeRelu("r"));
+    net.Add(std::make_unique<FullyConnected>("fc", 3 * 4 * 4, 1));
+    HeInit(net, 30);
+    net.SetTraining(true);
+    return net;
+  };
+  Sequential batched = build();
+  Sequential per_image = build();
+  const Tensor batch = RandomBatch({3, 2, 4, 4}, 31);
+
+  // Batched pass with all-ones output grad.
+  batched.ZeroGrad();
+  const Tensor out = batched.Forward(batch);
+  batched.Backward(Tensor(out.shape(), 1.0f));
+  const auto gb = *batched.Params()[0].grad;
+
+  // Per-image passes, gradients accumulate.
+  per_image.ZeroGrad();
+  for (std::int64_t n = 0; n < 3; ++n) {
+    const Tensor single = batch.Slice(n);
+    const Tensor o = per_image.Forward(single);
+    per_image.Backward(Tensor(o.shape(), 1.0f));
+  }
+  const auto gp = *per_image.Params()[0].grad;
+  ASSERT_EQ(gb.size(), gp.size());
+  for (std::size_t i = 0; i < gb.size(); ++i) {
+    EXPECT_NEAR(gb[i], gp[i], 1e-3f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ff::nn

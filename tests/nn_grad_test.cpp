@@ -1,0 +1,263 @@
+// Numerical gradient checks for every trainable/backproppable layer.
+//
+// Strategy: wrap a layer in scalar loss L = sum(w_out * out) with fixed
+// random w_out; compare analytic input/parameter gradients against central
+// finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "nn/window_pack.hpp"
+#include "util/rng.hpp"
+
+namespace ff::nn {
+namespace {
+
+// Computes L(out) = sum(coeff_i * out_i) and its gradient w.r.t. out.
+struct ScalarLoss {
+  Tensor coeff;
+  explicit ScalarLoss(const Shape& out_shape, std::uint64_t seed) {
+    coeff = Tensor(out_shape);
+    util::Pcg32 rng(seed);
+    coeff.FillNormal(rng, 1.0f);
+  }
+  double Value(const Tensor& out) const {
+    double acc = 0;
+    for (std::int64_t i = 0; i < out.elements(); ++i) {
+      acc += static_cast<double>(coeff.data()[i]) * out.data()[i];
+    }
+    return acc;
+  }
+};
+
+// Relative-ish error with an absolute floor.
+void ExpectClose(double analytic, double numeric, double tol) {
+  const double scale = std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+  EXPECT_NEAR(analytic, numeric, tol * scale)
+      << "analytic=" << analytic << " numeric=" << numeric;
+}
+
+// Checks dL/dInput and dL/dParams for `layer` on input `in`.
+void CheckLayerGradients(Layer& layer, Tensor in, double eps = 1e-3,
+                         double tol = 2e-2) {
+  layer.set_training(true);
+  const Shape out_shape = layer.OutputShape(in.shape());
+  ScalarLoss loss(out_shape, 777);
+
+  layer.ZeroGrad();
+  const Tensor out = layer.Forward(in);
+  const Tensor grad_in = layer.Backward(loss.coeff);
+
+  // Input gradient.
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(in.elements(), 40);
+       ++i) {
+    const std::int64_t idx = (i * 37) % in.elements();  // sample spread out
+    const float orig = in.data()[idx];
+    in.data()[idx] = orig + static_cast<float>(eps);
+    const double lp = loss.Value(layer.Forward(in));
+    in.data()[idx] = orig - static_cast<float>(eps);
+    const double lm = loss.Value(layer.Forward(in));
+    in.data()[idx] = orig;
+    ExpectClose(grad_in.data()[idx], (lp - lm) / (2 * eps), tol);
+  }
+  // Restore forward context for parameter checks.
+  layer.ZeroGrad();
+  layer.Forward(in);
+  layer.Backward(loss.coeff);
+  for (auto& p : layer.Params()) {
+    auto& w = *p.value;
+    auto& g = *p.grad;
+    for (std::size_t i = 0; i < std::min<std::size_t>(w.size(), 25); ++i) {
+      const std::size_t idx = (i * 29) % w.size();
+      const float orig = w[idx];
+      w[idx] = orig + static_cast<float>(eps);
+      const double lp = loss.Value(layer.Forward(in));
+      w[idx] = orig - static_cast<float>(eps);
+      const double lm = loss.Value(layer.Forward(in));
+      w[idx] = orig;
+      ExpectClose(g[idx], (lp - lm) / (2 * eps), tol);
+    }
+  }
+}
+
+Tensor RandomInput(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  util::Pcg32 rng(seed);
+  t.FillNormal(rng, 1.0f);
+  return t;
+}
+
+TEST(Grad, Conv2DStride1) {
+  Conv2D conv("c", 3, 4, 3, 1, Padding::kSameCeil);
+  HeInitLayer(conv, 1);
+  CheckLayerGradients(conv, RandomInput({2, 3, 5, 6}, 10));
+}
+
+TEST(Grad, Conv2DStride2Floor) {
+  Conv2D conv("c", 2, 3, 3, 2, Padding::kSameFloor);
+  HeInitLayer(conv, 2);
+  CheckLayerGradients(conv, RandomInput({1, 2, 7, 9}, 11));
+}
+
+TEST(Grad, PointwiseConv) {
+  Conv2D conv("c", 6, 5, 1, 1, Padding::kSameCeil);
+  HeInitLayer(conv, 3);
+  CheckLayerGradients(conv, RandomInput({2, 6, 4, 4}, 12));
+}
+
+TEST(Grad, DepthwiseConv) {
+  DepthwiseConv2D dw("d", 4, 3, 1, Padding::kSameCeil);
+  HeInitLayer(dw, 4);
+  CheckLayerGradients(dw, RandomInput({2, 4, 5, 5}, 13));
+}
+
+TEST(Grad, DepthwiseConvStride2) {
+  DepthwiseConv2D dw("d", 3, 3, 2, Padding::kSameFloor);
+  HeInitLayer(dw, 5);
+  CheckLayerGradients(dw, RandomInput({1, 3, 8, 6}, 14));
+}
+
+TEST(Grad, FullyConnected) {
+  FullyConnected fc("f", 12, 5);
+  HeInitLayer(fc, 6);
+  CheckLayerGradients(fc, RandomInput({3, 3, 2, 2}, 15));
+}
+
+TEST(Grad, Relu) {
+  Activation act("r", ActKind::kRelu);
+  // Keep inputs away from the kink at 0.
+  Tensor in = RandomInput({1, 2, 4, 4}, 16);
+  for (std::int64_t i = 0; i < in.elements(); ++i) {
+    if (std::fabs(in.data()[i]) < 0.05f) in.data()[i] = 0.5f;
+  }
+  CheckLayerGradients(act, in);
+}
+
+TEST(Grad, Relu6) {
+  Activation act("r6", ActKind::kRelu6);
+  Tensor in = RandomInput({1, 2, 4, 4}, 17);
+  for (std::int64_t i = 0; i < in.elements(); ++i) {
+    if (std::fabs(in.data()[i]) < 0.05f ||
+        std::fabs(in.data()[i] - 6.0f) < 0.05f) {
+      in.data()[i] = 1.0f;
+    }
+  }
+  CheckLayerGradients(act, in);
+}
+
+TEST(Grad, Sigmoid) {
+  Activation act("s", ActKind::kSigmoid);
+  CheckLayerGradients(act, RandomInput({1, 2, 3, 3}, 18));
+}
+
+TEST(Grad, MaxPool) {
+  MaxPool2D pool("p", 2, 2);
+  // Perturbations must not flip argmaxes: spread the values.
+  Tensor in(Shape{1, 2, 4, 4});
+  util::Pcg32 rng(19);
+  for (std::int64_t i = 0; i < in.elements(); ++i) {
+    in.data()[i] = static_cast<float>(i % 7) + 0.2f * rng.NextFloat();
+  }
+  CheckLayerGradients(pool, in);
+}
+
+TEST(Grad, GlobalAvgPool) {
+  GlobalAvgPool pool("g");
+  CheckLayerGradients(pool, RandomInput({2, 3, 4, 5}, 20));
+}
+
+TEST(Grad, GlobalMaxPool) {
+  GlobalMaxPool pool("g");
+  Tensor in(Shape{1, 3, 3, 3});
+  for (std::int64_t i = 0; i < in.elements(); ++i) {
+    in.data()[i] = static_cast<float>((i * 11) % 27) * 0.1f;
+  }
+  CheckLayerGradients(pool, in);
+}
+
+TEST(Grad, WindowPack) {
+  WindowPack pack("w", 2);
+  CheckLayerGradients(pack, RandomInput({4, 2, 3, 3}, 21));
+}
+
+// End-to-end: the exact localized-MC layer stack (sepconv, sepconv, FC,
+// ReLU6, FC, sigmoid) must have correct gradients through the whole chain.
+TEST(Grad, LocalizedMcStackEndToEnd) {
+  Sequential net("mc");
+  net.Add(std::make_unique<DepthwiseConv2D>("s1dw", 8, 3, 1,
+                                            Padding::kSameCeil));
+  net.Add(std::make_unique<Conv2D>("s1pw", 8, 6, 1, 1, Padding::kSameCeil));
+  net.Add(MakeRelu("r1"));
+  net.Add(std::make_unique<DepthwiseConv2D>("s2dw", 6, 3, 2,
+                                            Padding::kSameCeil));
+  net.Add(std::make_unique<Conv2D>("s2pw", 6, 4, 1, 1, Padding::kSameCeil));
+  net.Add(MakeRelu("r2"));
+  net.Add(std::make_unique<FullyConnected>("fc1", 4 * 3 * 3, 10));
+  net.Add(MakeRelu6("r3"));
+  net.Add(std::make_unique<FullyConnected>("fc2", 10, 1));
+  net.Add(MakeSigmoid("sig"));
+  HeInit(net, 30);
+  net.SetTraining(true);
+
+  Tensor in = RandomInput({1, 8, 5, 5}, 31);
+  const Tensor out = net.Forward(in);
+  ASSERT_EQ(out.elements(), 1);
+  Tensor dout(out.shape());
+  dout.data()[0] = 1.0f;
+  net.ZeroGrad();
+  net.Forward(in);
+  const Tensor grad_in = net.Backward(dout);
+
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const std::int64_t idx = (i * 13) % in.elements();
+    const float orig = in.data()[idx];
+    in.data()[idx] = orig + static_cast<float>(eps);
+    const double lp = net.Forward(in).data()[0];
+    in.data()[idx] = orig - static_cast<float>(eps);
+    const double lm = net.Forward(in).data()[0];
+    in.data()[idx] = orig;
+    ExpectClose(grad_in.data()[idx], (lp - lm) / (2 * eps), 3e-2);
+  }
+}
+
+// Shared-weight double application: gradients must accumulate across both
+// forward/backward passes (the windowed MC applies its 1x1 conv W times).
+TEST(Grad, GradientsAccumulateAcrossApplications) {
+  Conv2D conv("c", 2, 2, 1, 1, Padding::kSameCeil);
+  HeInitLayer(conv, 40);
+  conv.set_training(true);
+  Tensor a = RandomInput({1, 2, 2, 2}, 41);
+  Tensor ones(conv.OutputShape(a.shape()), 1.0f);
+
+  conv.ZeroGrad();
+  conv.Forward(a);
+  conv.Backward(ones);
+  const std::vector<float> g1 = *conv.Params()[0].grad;
+
+  conv.ZeroGrad();
+  conv.Forward(a);
+  conv.Backward(ones);
+  conv.Forward(a);
+  conv.Backward(ones);
+  const std::vector<float> g2 = *conv.Params()[0].grad;
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g2[i], 2.0f * g1[i], 1e-4f);
+  }
+}
+
+TEST(Grad, BackwardWithoutForwardThrows) {
+  Conv2D conv("c", 2, 2, 3, 1, Padding::kSameCeil);
+  Tensor g(Shape{1, 2, 4, 4});
+  EXPECT_THROW(conv.Backward(g), util::CheckError);
+}
+
+}  // namespace
+}  // namespace ff::nn

@@ -1,0 +1,215 @@
+// Training tests: loss/gradient correctness, optimizer behaviour, trainer
+// learnability on separable data, threshold calibration, scorer alignment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/sequential.hpp"
+#include "nn/window_pack.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace ff::train {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+TEST(BceLoss, HandComputedValues) {
+  const Tensor p = Tensor::FromData(Shape{2, 1, 1, 1}, {0.9f, 0.2f});
+  const float labels[] = {1.0f, 0.0f};
+  // -(log 0.9 + log 0.8) / 2.
+  EXPECT_NEAR(BceLoss(p, labels), -(std::log(0.9) + std::log(0.8)) / 2, 1e-6);
+}
+
+TEST(BceLoss, PosWeightScalesPositiveTerm) {
+  const Tensor p = Tensor::FromData(Shape{1, 1, 1, 1}, {0.5f});
+  const float pos[] = {1.0f};
+  EXPECT_NEAR(BceLoss(p, pos, 3.0), 3.0 * -std::log(0.5), 1e-6);
+}
+
+TEST(BceLoss, GradMatchesFiniteDifference) {
+  util::Pcg32 rng(1);
+  Tensor p(Shape{5, 1, 1, 1});
+  p.FillUniform(rng, 0.1f, 0.9f);
+  std::vector<float> labels = {1, 0, 1, 0, 0};
+  const Tensor g = BceGrad(p, labels, 2.0);
+  const double eps = 1e-4;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    Tensor pp = p, pm = p;
+    pp.data()[i] += static_cast<float>(eps);
+    pm.data()[i] -= static_cast<float>(eps);
+    const double num =
+        (BceLoss(pp, labels, 2.0) - BceLoss(pm, labels, 2.0)) / (2 * eps);
+    EXPECT_NEAR(g.data()[i], num, 1e-3) << i;
+  }
+}
+
+TEST(BceLoss, StableAtSaturatedProbabilities) {
+  const Tensor p = Tensor::FromData(Shape{2, 1, 1, 1}, {0.0f, 1.0f});
+  const float labels[] = {1.0f, 0.0f};
+  EXPECT_TRUE(std::isfinite(BceLoss(p, labels)));
+  const Tensor g = BceGrad(p, labels);
+  EXPECT_TRUE(std::isfinite(g.data()[0]));
+  EXPECT_TRUE(std::isfinite(g.data()[1]));
+}
+
+// A 1-parameter quadratic: optimizers must descend.
+TEST(Optimizers, DescendQuadratic) {
+  for (const bool use_adam : {false, true}) {
+    std::vector<float> w = {5.0f};
+    std::vector<float> g = {0.0f};
+    nn::ParamView pv{"w", &w, &g};
+    Sgd sgd(0.1);
+    Adam adam(0.3);
+    for (int i = 0; i < 100; ++i) {
+      g[0] = 2.0f * w[0];  // d/dw of w^2
+      if (use_adam) {
+        adam.Step({pv});
+      } else {
+        sgd.Step({pv});
+      }
+    }
+    EXPECT_NEAR(w[0], 0.0f, 0.1f) << (use_adam ? "adam" : "sgd");
+  }
+}
+
+TEST(Optimizers, StepZeroesGradients) {
+  std::vector<float> w = {1.0f};
+  std::vector<float> g = {0.5f};
+  Adam adam(0.01);
+  adam.Step({{"w", &w, &g}});
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+nn::Sequential TinyClassifier(std::uint64_t seed) {
+  nn::Sequential net("tiny");
+  net.Add(std::make_unique<nn::FullyConnected>("fc1", 4, 8));
+  net.Add(nn::MakeRelu("r"));
+  net.Add(std::make_unique<nn::FullyConnected>("fc2", 8, 1));
+  net.Add(nn::MakeSigmoid("s"));
+  nn::HeInit(net, seed);
+  return net;
+}
+
+TEST(BinaryNetTrainer, LearnsLinearlySeparableTask) {
+  nn::Sequential net = TinyClassifier(2);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch = 8;
+  cfg.lr = 5e-3;
+  BinaryNetTrainer trainer(net, cfg);
+  util::Pcg32 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    Tensor x(Shape{1, 4, 1, 1});
+    x.FillNormal(rng, 0.4f);
+    x.data()[0] += pos ? 1.5f : -1.5f;  // separable along dim 0
+    trainer.AddFrame(std::move(x), pos);
+  }
+  const double final_loss = trainer.Train();
+  EXPECT_LT(final_loss, 0.25);
+  // Scores separate the classes.
+  const auto scores = trainer.ScoreCachedFrames();
+  double pos_mean = 0, neg_mean = 0;
+  int pos_n = 0, neg_n = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (trainer.labels()[i] > 0.5f) {
+      pos_mean += scores[i];
+      ++pos_n;
+    } else {
+      neg_mean += scores[i];
+      ++neg_n;
+    }
+  }
+  EXPECT_GT(pos_mean / pos_n, neg_mean / neg_n + 0.4);
+}
+
+TEST(BinaryNetTrainer, LossDecreasesOverTraining) {
+  nn::Sequential net = TinyClassifier(3);
+  TrainConfig warmup_cfg;
+  warmup_cfg.epochs = 0.05;  // nearly untrained
+  warmup_cfg.seed = 9;
+  nn::Sequential net2 = TinyClassifier(3);
+  TrainConfig full_cfg = warmup_cfg;
+  full_cfg.epochs = 20;
+
+  util::Pcg32 rng(6);
+  BinaryNetTrainer t1(net, warmup_cfg);
+  BinaryNetTrainer t2(net2, full_cfg);
+  for (int i = 0; i < 150; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    Tensor x(Shape{1, 4, 1, 1});
+    x.FillNormal(rng, 0.3f);
+    x.data()[1] += pos ? 1.0f : -1.0f;
+    Tensor x2 = x;
+    t1.AddFrame(std::move(x), pos);
+    t2.AddFrame(std::move(x2), pos);
+  }
+  EXPECT_LT(t2.Train(), t1.Train());
+}
+
+TEST(BinaryNetTrainer, WindowedSamplesAssembleFromCenters) {
+  // window = 3 with a trivially learnable rule on the center frame.
+  nn::Sequential net("win");
+  net.Add(std::make_unique<nn::Conv2D>("pw", 1, 2, 1, 1,
+                                       nn::Padding::kSameCeil));
+  net.Add(std::make_unique<nn::WindowPack>("pack", 3));
+  net.Add(std::make_unique<nn::FullyConnected>("fc", 6, 1));
+  net.Add(nn::MakeSigmoid("s"));
+  nn::HeInit(net, 4);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.batch = 4;
+  BinaryNetTrainer trainer(net, cfg, /*window=*/3);
+  util::Pcg32 rng(7);
+  for (int i = 0; i < 120; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    Tensor x(Shape{1, 1, 1, 1});
+    x.data()[0] = pos ? 1.0f : -1.0f;
+    trainer.AddFrame(std::move(x), pos);
+  }
+  EXPECT_LT(trainer.Train(), 0.45);
+  const auto scores = trainer.ScoreCachedFrames();
+  EXPECT_EQ(scores.size(), 120u);
+}
+
+TEST(BinaryNetTrainer, RejectsInconsistentShapes) {
+  nn::Sequential net = TinyClassifier(8);
+  BinaryNetTrainer trainer(net, {});
+  trainer.AddFrame(Tensor(Shape{1, 4, 1, 1}), true);
+  EXPECT_THROW(trainer.AddFrame(Tensor(Shape{1, 5, 1, 1}), false),
+               util::CheckError);
+}
+
+TEST(CalibrateThreshold, PicksSeparatingValue) {
+  // Scores: positives ~0.8, negatives ~0.3. Any threshold in (0.3, 0.8)
+  // yields perfect F1; the sweep must land inside.
+  std::vector<float> scores;
+  std::vector<std::uint8_t> truth;
+  for (int block = 0; block < 6; ++block) {
+    const bool pos = block % 2 == 1;
+    for (int i = 0; i < 10; ++i) {
+      scores.push_back(pos ? 0.8f : 0.3f);
+      truth.push_back(pos ? 1 : 0);
+    }
+  }
+  const float thr = CalibrateThreshold(scores, truth, 5, 2);
+  EXPECT_GT(thr, 0.3f);
+  EXPECT_LE(thr, 0.8f);
+}
+
+TEST(CalibrateThreshold, DegenerateAllNegativeDoesNotCrash) {
+  std::vector<float> scores(30, 0.4f);
+  std::vector<std::uint8_t> truth(30, 0);
+  EXPECT_NO_THROW(CalibrateThreshold(scores, truth, 5, 2));
+}
+
+}  // namespace
+}  // namespace ff::train

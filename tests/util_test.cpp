@@ -1,0 +1,212 @@
+// Unit tests for ff::util — RNG determinism and distributions, thread pool
+// semantics, running statistics, tables, env parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ff {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    FF_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacrosPrintOperands) {
+  try {
+    const int a = 3, b = 7;
+    FF_CHECK_EQ(a, b);
+    FAIL() << "expected throw";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("lhs=3"), std::string::npos);
+  }
+}
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  util::Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  util::Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU32() == b.NextU32() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformIntCoversRangeInclusive) {
+  util::Pcg32 rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six values appear
+}
+
+TEST(Pcg32, NormalMomentsAreSane) {
+  util::Pcg32 rng(99);
+  util::RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  util::Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.5, 3.5);
+    ASSERT_GE(v, 2.5);
+    ASSERT_LT(v, 3.5);
+  }
+}
+
+TEST(Pcg32, BernoulliFrequencyTracksP) {
+  util::Pcg32 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(HashString, StableAndDistinct) {
+  EXPECT_EQ(util::HashString("conv1"), util::HashString("conv1"));
+  EXPECT_NE(util::HashString("conv1"), util::HashString("conv2"));
+  EXPECT_NE(util::HashString(""), util::HashString("a"));
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) ASSERT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangeCoversExactly) {
+  util::ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelForRange(12345, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<std::int64_t>(e - b));
+  });
+  EXPECT_EQ(total.load(), 12345);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  util::ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  util::ThreadPool pool(2);
+  try {
+    pool.ParallelFor(10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (...) {
+  }
+  std::atomic<int> n{0};
+  pool.ParallelFor(10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  util::RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStat, PercentileInterpolates) {
+  util::RunningStat s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.0);
+}
+
+TEST(RunningStat, PercentileAfterMoreAddsResorts) {
+  util::RunningStat s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 10.0);
+  s.Add(0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+}
+
+TEST(Table, AlignsAndCountsRows) {
+  util::Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2.5"});
+  EXPECT_EQ(t.n_rows(), 2u);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(Table, CsvEmission) {
+  util::Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), util::CheckError);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(util::Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(util::Table::Num(2.0, 0), "2");
+}
+
+TEST(Env, ParsesIntDoubleStringWithFallbacks) {
+  ::setenv("FF_TEST_INT", "42", 1);
+  ::setenv("FF_TEST_DBL", "2.5", 1);
+  ::setenv("FF_TEST_STR", "hello", 1);
+  ::setenv("FF_TEST_BAD", "abc", 1);
+  EXPECT_EQ(util::EnvInt("FF_TEST_INT", 1), 42);
+  EXPECT_DOUBLE_EQ(util::EnvDouble("FF_TEST_DBL", 0.0), 2.5);
+  EXPECT_EQ(util::EnvString("FF_TEST_STR", "x"), "hello");
+  EXPECT_EQ(util::EnvInt("FF_TEST_BAD", 7), 7);
+  EXPECT_EQ(util::EnvInt("FF_TEST_UNSET_XYZ", -3), -3);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,235 @@
+// Synthetic dataset tests: determinism, ground-truth consistency, Fig. 3
+// proportions, frame drawing, PSNR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "video/dataset.hpp"
+#include "video/frame.hpp"
+#include "video/scene.hpp"
+#include "video/source.hpp"
+
+namespace ff::video {
+namespace {
+
+TEST(Frame, FillAndAccess) {
+  Frame f(8, 4, Rgb{10, 20, 30});
+  EXPECT_EQ(f.width(), 8);
+  EXPECT_EQ(f.height(), 4);
+  const Rgb c = f.At(3, 2);
+  EXPECT_EQ(c.r, 10);
+  EXPECT_EQ(c.g, 20);
+  EXPECT_EQ(c.b, 30);
+  f.Set(3, 2, Rgb{1, 2, 3});
+  EXPECT_EQ(f.At(3, 2).r, 1);
+}
+
+TEST(Frame, FillRectClipsAtBorders) {
+  Frame f(4, 4);
+  f.FillRect(-2, -2, 3, 3, Rgb{255, 0, 0});  // only (0,0) area lands
+  EXPECT_EQ(f.At(0, 0).r, 255);
+  EXPECT_EQ(f.At(1, 1).r, 0);
+  f.FillRect(3, 3, 10, 10, Rgb{0, 255, 0});
+  EXPECT_EQ(f.At(3, 3).g, 255);
+}
+
+TEST(Frame, BlendRectMixes) {
+  Frame f(2, 2, Rgb{100, 100, 100});
+  f.BlendRect(0, 0, 2, 2, Rgb{200, 200, 200}, 0.5f);
+  EXPECT_EQ(f.At(0, 0).r, 150);
+}
+
+TEST(Frame, PsnrIdentityIsInfiniteAndNoiseIsFinite) {
+  Frame a(16, 16, Rgb{50, 60, 70});
+  Frame b = a;
+  EXPECT_TRUE(std::isinf(Psnr(a, b)));
+  b.Set(0, 0, Rgb{51, 60, 70});
+  const double p = Psnr(a, b);
+  EXPECT_GT(p, 40.0);
+  EXPECT_FALSE(std::isinf(p));
+}
+
+TEST(Frame, MeanAbsDiffCountsAllChannels) {
+  Frame a(2, 1, Rgb{0, 0, 0});
+  Frame b(2, 1, Rgb{3, 0, 0});
+  EXPECT_NEAR(MeanAbsDiff(a, b), 1.0, 1e-9);  // 3 over 3 channels
+}
+
+TEST(Scene, PixelHashDeterministicAndSensitive) {
+  EXPECT_EQ(PixelHash(1, 2, 3, 4), PixelHash(1, 2, 3, 4));
+  EXPECT_NE(PixelHash(1, 2, 3, 4), PixelHash(1, 2, 4, 3));
+  EXPECT_NE(PixelHash(1, 2, 3, 4), PixelHash(2, 2, 3, 4));
+}
+
+TEST(Scene, PedestrianPaintsTorsoColor) {
+  Frame f(64, 64, Rgb{0, 0, 0});
+  DrawPedestrian(f, 32, 60, 30, Rgb{200, 10, 10}, 0);
+  // Somewhere in the torso band the torso color must appear.
+  bool found = false;
+  for (std::int64_t y = 30; y < 60 && !found; ++y) {
+    for (std::int64_t x = 20; x < 44 && !found; ++x) {
+      if (f.At(x, y).r == 200) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Scene, TinyPedestrianDoesNotCrash) {
+  Frame f(8, 8);
+  DrawPedestrian(f, 4, 7, 1.4, Rgb{100, 0, 0}, 3);  // sub-2px: no-op
+  DrawPedestrian(f, 0, 0, 5, Rgb{100, 0, 0}, 3);    // clipped off-frame
+}
+
+TEST(Scene, CarFitsBaseline) {
+  Frame f(64, 32, Rgb{0, 0, 0});
+  DrawCar(f, 32, 28, 10, Rgb{0, 0, 200});
+  EXPECT_EQ(f.At(32, 24).b, 200);  // body
+  EXPECT_EQ(f.At(32, 2).b, 0);     // above the car: untouched
+}
+
+TEST(Dataset, SpecsMatchPaperGeometry) {
+  const DatasetSpec j = JacksonSpec(1920, 1000);
+  EXPECT_EQ(j.height, 1080);
+  EXPECT_EQ(j.fps, 15);
+  EXPECT_EQ(j.crop, (tensor::Rect{540, 0, 1080, 1920}));  // bottom half
+  const DatasetSpec r = RoadwaySpec(2048, 1000);
+  EXPECT_EQ(r.height, 850);
+  EXPECT_EQ(r.crop.y0, 315);
+  EXPECT_EQ(r.crop.y1, 819);
+}
+
+TEST(Dataset, ScaledSpecsKeepAspectAndCropFractions) {
+  const DatasetSpec j = JacksonSpec(320, 500);
+  EXPECT_EQ(j.height, 180);
+  EXPECT_EQ(j.crop.y0, 90);
+  const DatasetSpec r = RoadwaySpec(256, 500);
+  EXPECT_EQ(r.height, (256 * 850) / 2048);
+  EXPECT_NEAR(static_cast<double>(r.crop.y0) / static_cast<double>(r.height),
+              315.0 / 850.0, 0.02);
+}
+
+TEST(Dataset, RenderIsDeterministic) {
+  const SyntheticDataset a(JacksonSpec(160, 200, 5));
+  const SyntheticDataset b(JacksonSpec(160, 200, 5));
+  const Frame fa = a.RenderFrame(123);
+  const Frame fb = b.RenderFrame(123);
+  EXPECT_DOUBLE_EQ(MeanAbsDiff(fa, fb), 0.0);
+}
+
+TEST(Dataset, DifferentSeedsDifferentSchedules) {
+  const SyntheticDataset a(JacksonSpec(160, 2000, 5));
+  const SyntheticDataset b(JacksonSpec(160, 2000, 6));
+  EXPECT_NE(a.labels(), b.labels());
+}
+
+TEST(Dataset, EventFractionNearTarget) {
+  for (const auto& spec :
+       {JacksonSpec(160, 12000, 3), RoadwaySpec(160, 12000, 4)}) {
+    const SyntheticDataset ds(spec);
+    const DatasetStats s = ds.Stats();
+    const double fraction = static_cast<double>(s.event_frames) /
+                            static_cast<double>(s.frames);
+    EXPECT_NEAR(fraction, spec.event_frame_fraction,
+                spec.event_frame_fraction * 0.5)
+        << spec.name;
+    EXPECT_GT(s.unique_events, 10) << spec.name;
+  }
+}
+
+TEST(Dataset, EventsMatchLabelRuns) {
+  const SyntheticDataset ds(RoadwaySpec(160, 4000, 9));
+  const auto& labels = ds.labels();
+  const auto& events = ds.events();
+  // Every event is a maximal positive run.
+  for (const auto& ev : events) {
+    ASSERT_LT(ev.begin, ev.end);
+    for (std::int64_t t = ev.begin; t < ev.end; ++t) {
+      ASSERT_TRUE(labels[static_cast<std::size_t>(t)]);
+    }
+    if (ev.begin > 0) {
+      EXPECT_FALSE(labels[static_cast<std::size_t>(ev.begin - 1)]);
+    }
+    if (ev.end < ds.n_frames()) {
+      EXPECT_FALSE(labels[static_cast<std::size_t>(ev.end)]);
+    }
+  }
+  // Label totals match event totals.
+  std::int64_t in_events = 0;
+  for (const auto& ev : events) in_events += ev.length();
+  EXPECT_EQ(in_events, ds.Stats().event_frames);
+}
+
+TEST(Dataset, PositiveFramesShowPedestrianInJacksonCrosswalk) {
+  const SyntheticDataset ds(JacksonSpec(320, 3000, 12));
+  // Find a positive frame well inside an event.
+  const auto& events = ds.events();
+  ASSERT_FALSE(events.empty());
+  const auto ev = events[events.size() / 2];
+  const std::int64_t t = (ev.begin + ev.end) / 2;
+  const Frame pos = ds.RenderFrame(t);
+  // Compare with a guaranteed-negative frame: crosswalk band must differ
+  // (a pedestrian stands in it).
+  std::int64_t tn = -1;
+  for (std::int64_t c = 0; c + 20 < ds.n_frames(); ++c) {
+    bool clean = true;
+    for (std::int64_t d = 0; d < 20; ++d) {
+      if (ds.Label(c + d)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      tn = c + 10;
+      break;
+    }
+  }
+  ASSERT_GE(tn, 0);
+  const Frame neg = ds.RenderFrame(tn);
+  const std::int64_t band_y0 = (ds.spec().height * 72) / 100;
+  const std::int64_t band_y1 = (ds.spec().height * 86) / 100;
+  double diff = 0;
+  for (std::int64_t y = band_y0; y < band_y1; ++y) {
+    for (std::int64_t x = 0; x < ds.spec().width; ++x) {
+      diff += std::abs(static_cast<int>(pos.At(x, y).r) -
+                       static_cast<int>(neg.At(x, y).r));
+    }
+  }
+  EXPECT_GT(diff / ((band_y1 - band_y0) * ds.spec().width), 0.5);
+}
+
+TEST(Dataset, RoadwayPositivesContainRed) {
+  const SyntheticDataset ds(RoadwaySpec(256, 3000, 13));
+  ASSERT_FALSE(ds.events().empty());
+  const auto ev = ds.events()[0];
+  const std::int64_t t = (ev.begin + ev.end) / 2;
+  const Frame f = ds.RenderFrame(t);
+  // Scan the sidewalk band for a saturated red pixel.
+  bool red = false;
+  for (std::int64_t y = 0; y < ds.spec().height && !red; ++y) {
+    for (std::int64_t x = 0; x < ds.spec().width && !red; ++x) {
+      const Rgb c = f.At(x, y);
+      if (c.r > 150 && c.g < 90 && c.b < 90) red = true;
+    }
+  }
+  EXPECT_TRUE(red);
+}
+
+TEST(Dataset, LabelBoundsChecked) {
+  const SyntheticDataset ds(JacksonSpec(160, 100, 1));
+  EXPECT_THROW(ds.Label(-1), util::CheckError);
+  EXPECT_THROW(ds.Label(100), util::CheckError);
+  EXPECT_THROW(ds.RenderFrame(100), util::CheckError);
+}
+
+TEST(Source, DatasetSourceStreamsRangeAndResets) {
+  const SyntheticDataset ds(JacksonSpec(160, 50, 2));
+  DatasetSource src(ds, 10, 13);
+  std::vector<std::int64_t> seen;
+  while (auto f = src.Next()) seen.push_back(f->index);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{10, 11, 12}));
+  src.Reset();
+  EXPECT_EQ(src.Next()->index, 10);
+}
+
+}  // namespace
+}  // namespace ff::video

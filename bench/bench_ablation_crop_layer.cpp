@@ -26,7 +26,7 @@ int main() {
 
   util::Table t({"tap layer", "crop", "marginal M-MACs", "event F1",
                  "recall", "precision"});
-  for (const std::string tap :
+  for (const std::string& tap :
        {std::string("conv2_2/sep"), std::string("conv3_2/sep"),
         std::string("conv4_2/sep")}) {
     for (const bool crop : {true, false}) {

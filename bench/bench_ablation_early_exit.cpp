@@ -23,7 +23,7 @@ int main() {
                  "ms/frame", "vs full backbone"});
   double full_ms = 0;
   // Taps from deepest to shallowest; the first row is the paper's behavior.
-  for (const std::string tap : {std::string("conv6/sep"),
+  for (const std::string& tap : {std::string("conv6/sep"),
                                 std::string("conv5_6/sep"),
                                 std::string("conv4_2/sep"),
                                 std::string("conv3_2/sep")}) {

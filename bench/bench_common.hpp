@@ -1,7 +1,7 @@
 // Shared plumbing for the figure/table reproduction benches.
 //
-// Every bench runs at a scaled-down default (see DESIGN.md "Scaled
-// defaults") and prints the actual parameters in its header. Environment
+// Every bench runs at a scaled-down default (see docs/ARCHITECTURE.md,
+// "Scaled defaults") and prints the actual parameters in its header. Environment
 // knobs:
 //   FF_BENCH_WIDTH            frame width (default 256)
 //   FF_BENCH_TRAIN_FRAMES     training-video frames (default 2400)
@@ -10,6 +10,8 @@
 //   FF_BENCH_OBJECT_SCALE     object size multiplier (default 3: preserves
 //                             the paper's object-to-feature-cell ratio at
 //                             scaled resolutions)
+//   FF_BENCH_EVENT_LEN        mean ground-truth event length in frames
+//                             (default 22)
 //   FF_BENCH_FRAMES           frames per throughput measurement (default 3)
 //   FF_BENCH_MAX_CLASSIFIERS  top of the Fig. 5/6 sweep (default 50)
 #pragma once

@@ -72,7 +72,8 @@ int main() {
 
   // "Sufficiently good quality" upload bitrates for this codec/resolution
   // (the paper used 250/500 Kb/s for its H.264 at 2048x850; quality, not
-  // bits, is the transferable quantity — see DESIGN.md).
+  // bits, is the transferable quantity — see docs/ARCHITECTURE.md, "Codec:
+  // the H.264 stand-in").
   const double px_rate = static_cast<double>(test_ds.spec().width *
                                              test_ds.spec().height *
                                              test_ds.spec().fps);

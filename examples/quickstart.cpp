@@ -6,6 +6,10 @@
 //   3. Deploy it on the edge pipeline and filter the live stream: only
 //      matched event frames are re-encoded and uploaded.
 //
+// Build and run (from the repo root):
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/example_quickstart
+//
 // Runs in a few minutes at its small default scale.
 #include <cstdio>
 

@@ -219,7 +219,7 @@ std::string Encoder::EncodeFrame(const video::Frame& frame,
         for (auto& p : pred) p = FlatBlock(128.0f);
       } else {
         int bi = 0;
-        for (const auto [ox, oy] :
+        for (const auto& [ox, oy] :
              {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
           pred[bi++] = GetBlock8(ref_.y.data(), pad_w_, mx + mv.dx + ox,
                                  my + mv.dy + oy);
@@ -234,7 +234,7 @@ std::string Encoder::EncodeFrame(const video::Frame& frame,
       Block cur_blocks[6];
       {
         int bi = 0;
-        for (const auto [ox, oy] :
+        for (const auto& [ox, oy] :
              {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
           cur_blocks[bi++] = GetBlock8(cur.y.data(), pad_w_, mx + ox, my + oy);
         }
@@ -265,7 +265,7 @@ std::string Encoder::EncodeFrame(const video::Frame& frame,
         bw.PutBit(1);  // skip
         ++stats_.skip_blocks;
         int bi = 0;
-        for (const auto [ox, oy] :
+        for (const auto& [ox, oy] :
              {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
           PutBlock8(recon.y.data(), pad_w_, mx + ox, my + oy, pred[bi++]);
         }
@@ -282,7 +282,7 @@ std::string Encoder::EncodeFrame(const video::Frame& frame,
       ++stats_.coded_blocks;
 
       int bi = 0;
-      for (const auto [ox, oy] : {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
+      for (const auto& [ox, oy] : {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
         const Block rec_res = CodeBlock(bw, residual[bi], qstep);
         ReconstructBlock(recon.y.data(), pad_w_, mx + ox, my + oy, pred[bi],
                          rec_res);
@@ -378,7 +378,7 @@ video::Frame Decoder::DecodeFrame(std::string_view chunk) {
         for (auto& p : pred) p = FlatBlock(128.0f);
       } else {
         int bi = 0;
-        for (const auto [ox, oy] :
+        for (const auto& [ox, oy] :
              {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
           pred[bi++] = GetBlock8(ref_.y.data(), pad_w_, mx + mv.dx + ox,
                                  my + mv.dy + oy);
@@ -389,7 +389,7 @@ video::Frame Decoder::DecodeFrame(std::string_view chunk) {
 
       if (skip) {
         int bi = 0;
-        for (const auto [ox, oy] :
+        for (const auto& [ox, oy] :
              {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
           PutBlock8(recon.y.data(), pad_w_, mx + ox, my + oy, pred[bi++]);
         }
@@ -399,7 +399,7 @@ video::Frame Decoder::DecodeFrame(std::string_view chunk) {
       }
 
       int bi = 0;
-      for (const auto [ox, oy] : {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
+      for (const auto& [ox, oy] : {std::pair{0, 0}, {8, 0}, {0, 8}, {8, 8}}) {
         const Block res = DecodeBlock(br, qstep);
         ReconstructBlock(recon.y.data(), pad_w_, mx + ox, my + oy, pred[bi],
                          res);

@@ -1,4 +1,5 @@
-// A block-transform video codec — the H.264 stand-in (see DESIGN.md).
+// A block-transform video codec — the H.264 stand-in (see
+// docs/ARCHITECTURE.md, "Codec: the H.264 stand-in").
 //
 // Structure per frame:
 //   * I-frames: every macroblock is intra-coded against a flat 128

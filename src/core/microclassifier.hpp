@@ -11,7 +11,8 @@
 //     Note: Fig. 2a draws a ReLU on the final 1-filter conv; we keep that
 //     conv linear so the logit can fall below zero (a ReLU there pins the
 //     post-sigmoid probability to [0.5, 1) and blocks training on
-//     negatives). See DESIGN.md.
+//     negatives). See docs/ARCHITECTURE.md, "Microclassifier final-layer
+//     linearity".
 //
 //   * LocalizedBinaryClassifierMc (2b): two separable convolutions + FC on a
 //     cropped mid-network feature map — "zooming in" on a region.
@@ -38,7 +39,9 @@ struct McConfig {
   // Base DNN tap to pull features from (paper §3.4).
   std::string tap = dnn::kMidTap;
   // Optional spatial crop, in *pixel* coordinates of the full frame.
-  std::optional<tensor::Rect> pixel_crop;
+  // The explicit nullopt default lets designated initializers omit the field
+  // without tripping -Wmissing-field-initializers.
+  std::optional<tensor::Rect> pixel_crop = std::nullopt;
   std::uint64_t seed = 7;
 };
 

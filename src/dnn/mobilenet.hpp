@@ -10,7 +10,8 @@
 //  * Spatial dims use floor(in/stride) padding so a 1920x1080 input yields
 //    conv4_2/sep = 67x120x512 and conv5_6/sep = 33x60x1024, the exact numbers
 //    in paper Fig. 2.
-//  * Weights are deterministic He-initialized (see DESIGN.md): the ImageNet
+//  * Weights are deterministic He-initialized (see docs/ARCHITECTURE.md,
+//    "Pretrained-weight substitution"): the ImageNet
 //    checkpoint is unavailable offline, and random convolutional features are
 //    a sufficient generic basis for the microclassifier tasks.
 //
@@ -42,7 +43,7 @@ struct MobileNetOptions {
   // and oriented-edge filters (the filter shapes ImageNet training is known
   // to converge to; Krizhevsky 2012, Yosinski 2014) instead of pure noise.
   // This is part of the pretrained-weight substitution documented in
-  // DESIGN.md: it restores the first-layer color/edge selectivity that
+  // docs/ARCHITECTURE.md: it restores the first-layer color/edge selectivity that
   // microclassifier tasks such as "people with red" depend on. Deeper
   // layers stay He-random.
   bool structured_conv1 = true;

@@ -37,8 +37,19 @@ struct Shape {
   bool operator!=(const Shape& o) const { return !(*this == o); }
 
   std::string ToString() const {
-    return "[" + std::to_string(n) + "," + std::to_string(c) + "," +
-           std::to_string(h) + "," + std::to_string(w) + "]";
+    // Built by appending rather than `"[" + ...` chains: GCC 12 miscompiles
+    // the -Wrestrict analysis for operator+(const char*, std::string&&)
+    // (PR105651) and floods every -O3 TU with false positives.
+    std::string out = "[";
+    out += std::to_string(n);
+    out += ',';
+    out += std::to_string(c);
+    out += ',';
+    out += std::to_string(h);
+    out += ',';
+    out += std::to_string(w);
+    out += ']';
+    return out;
   }
 };
 
@@ -63,8 +74,16 @@ struct Rect {
   }
 
   std::string ToString() const {
-    return "(" + std::to_string(x0) + "," + std::to_string(y0) + ")-(" +
-           std::to_string(x1) + "," + std::to_string(y1) + ")";
+    std::string out = "(";  // appended, not `+`-chained — see Shape::ToString
+    out += std::to_string(x0);
+    out += ',';
+    out += std::to_string(y0);
+    out += ")-(";
+    out += std::to_string(x1);
+    out += ',';
+    out += std::to_string(y1);
+    out += ')';
+    return out;
   }
 };
 

@@ -1,0 +1,120 @@
+// Build-graph smoke test: exercises every module of the ff library in one
+// scenario (video -> dnn -> core pipeline -> codec -> datacenter, plus
+// train, metrics, and baselines) so that a broken target or missing link
+// dependency fails here even if the per-module suites are skipped. Runs a
+// few synthetic frames end to end and asserts one decision per MC per frame.
+#include <gtest/gtest.h>
+
+#include "baselines/discrete.hpp"
+#include "core/datacenter.hpp"
+#include "core/pipeline.hpp"
+#include "dnn/feature_extractor.hpp"
+#include "metrics/event_metrics.hpp"
+#include "train/experiment.hpp"
+#include "train/trainer.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+namespace ff {
+namespace {
+
+constexpr std::int64_t kWidth = 96;
+constexpr std::int64_t kFrames = 16;
+
+TEST(BuildSanity, PipelineEndToEndAcrossAllModules) {
+  video::DatasetSpec spec = video::JacksonSpec(kWidth, kFrames, 5);
+  spec.mean_event_len = 6;
+  const video::SyntheticDataset ds(spec);
+
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  core::PipelineConfig cfg;
+  cfg.frame_width = spec.width;
+  cfg.frame_height = spec.height;
+  cfg.fps = spec.fps;
+  cfg.upload_bitrate_bps = 40'000;
+  cfg.edge_store_capacity = 8;
+
+  core::Pipeline pipe(fx, cfg);
+  int seed = 50;
+  for (const char* arch : {"full_frame", "localized", "windowed"}) {
+    core::McConfig mc_cfg{
+        .name = std::string("smoke_") + arch,
+        .tap = arch == std::string("full_frame") ? dnn::kLateTap : dnn::kMidTap,
+        .seed = static_cast<std::uint64_t>(seed++)};
+    pipe.AddMicroclassifier(core::MakeMicroclassifier(
+        arch, mc_cfg, fx, spec.height, spec.width));
+  }
+
+  // Stream the uplink into a datacenter receiver so the decoder and event
+  // reassembly are linked and run too.
+  core::DatacenterReceiver receiver(spec.width, spec.height);
+  pipe.SetUploadSink(
+      [&](const core::UploadPacket& p) { receiver.Receive(p); });
+
+  video::DatasetSource src(ds);
+  const std::int64_t n = pipe.Run(src);
+  ASSERT_EQ(n, kFrames);
+
+  // The contract this test pins: exactly one decision per MC per frame.
+  for (std::size_t m = 0; m < pipe.n_mcs(); ++m) {
+    const core::McResult& r = pipe.result(m);
+    EXPECT_EQ(r.scores.size(), static_cast<std::size_t>(kFrames)) << m;
+    EXPECT_EQ(r.raw.size(), static_cast<std::size_t>(kFrames)) << m;
+    EXPECT_EQ(r.decisions.size(), static_cast<std::size_t>(kFrames)) << m;
+    EXPECT_EQ(r.event_ids.size(), static_cast<std::size_t>(kFrames)) << m;
+  }
+
+  // Upload accounting and the receiver agree on what crossed the link.
+  EXPECT_EQ(receiver.frames_received(),
+            static_cast<std::int64_t>(pipe.uploaded_frames().size()));
+  EXPECT_EQ(receiver.bytes_received(), pipe.upload_bytes());
+
+  // Metrics over one MC's decisions against dataset truth.
+  const auto em = metrics::ComputeEventMetrics(ds.labels(), ds.events(),
+                                               pipe.result(0).decisions);
+  EXPECT_GE(em.f1, 0.0);
+  EXPECT_LE(em.f1, 1.0);
+
+  // Edge store archived the tail of the stream.
+  ASSERT_NE(pipe.edge_store(), nullptr);
+  EXPECT_EQ(pipe.edge_store()->end_available(), kFrames);
+}
+
+TEST(BuildSanity, TrainerAndBaselineLink) {
+  video::DatasetSpec spec = video::JacksonSpec(kWidth, 8, 6);
+  const video::SyntheticDataset ds(spec);
+  dnn::FeatureExtractor fx({.include_classifier = false});
+
+  auto mc = core::MakeMicroclassifier(
+      "localized", {.name = "trainee", .tap = dnn::kMidTap}, fx, spec.height,
+      spec.width);
+  fx.RequestTap(mc->config().tap);
+
+  train::TrainConfig tc;
+  tc.epochs = 1.0;
+  train::BinaryNetTrainer trainer(mc->net(), tc);
+  train::StreamDatasetFeatures(
+      ds, fx, 0, ds.n_frames(),
+      [&](std::int64_t t, const dnn::FeatureMaps& fm) {
+        trainer.AddFrame(mc->CropFeatures(fm), ds.Label(t));
+      });
+  EXPECT_EQ(trainer.n_frames(), 8);
+  const double loss = trainer.Train();
+  EXPECT_GT(loss, 0.0);
+  const float threshold =
+      train::CalibrateThreshold(trainer.ScoreCachedFrames(), ds.labels(), 5, 2);
+  EXPECT_GE(threshold, 0.0f);
+  EXPECT_LE(threshold, 1.0f);
+
+  // A NoScope-style discrete classifier on raw pixels (baselines module).
+  baselines::DiscreteClassifier dc({.name = "dc0"}, spec.height, spec.width);
+  const video::Frame frame = ds.RenderFrame(0);
+  const float p = dc.Infer(dnn::PreprocessRgb(frame.r(), frame.g(), frame.b(),
+                                              spec.height, spec.width));
+  EXPECT_GE(p, 0.0f);
+  EXPECT_LE(p, 1.0f);
+  EXPECT_GT(dc.MacsPerFrame(), 0u);
+}
+
+}  // namespace
+}  // namespace ff

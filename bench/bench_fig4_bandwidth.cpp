@@ -23,7 +23,6 @@
 
 #include "bench_common.hpp"
 #include "codec/transcode.hpp"
-#include "core/pipeline.hpp"
 
 using namespace ff;
 using bench::BenchParams;
@@ -37,7 +36,7 @@ struct SeriesPoint {
 };
 
 // Uplink bytes for a given set of matched-frame decisions at a bitrate
-// (I-frame restart at each segment start, exactly like core::Pipeline).
+// (I-frame restart at each segment start, exactly like core::EdgeNode).
 std::uint64_t UploadBytes(const video::SyntheticDataset& ds,
                           const std::vector<std::uint8_t>& decisions,
                           double bitrate_bps) {

@@ -19,7 +19,7 @@
 #include "baselines/discrete.hpp"
 #include "baselines/mobilenet_filter.hpp"
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 
 using namespace ff;
 using bench::BenchParams;
@@ -52,28 +52,31 @@ double MeasureFilterForward(const std::string& arch,
   // extractor can stop at the deepest requested tap — an extension beyond
   // the paper — so for a faithful Fig. 5 we force the full backbone.
   fx.RequestTap("conv6/sep");
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = ds.spec().width;
   cfg.frame_height = ds.spec().height;
   cfg.fps = ds.spec().fps;
   cfg.enable_upload = false;  // measure pure filtering, like the paper
-  core::Pipeline pipe(fx, cfg);
+  // Phase 2 fans MC inference out across the thread pool; set
+  // FF_BENCH_MC_PARALLEL=0 to measure the single-threaded MC phase instead.
+  cfg.parallel_mcs = util::EnvInt("FF_BENCH_MC_PARALLEL", 1) != 0;
+  core::EdgeNode node(fx, cfg);
   const std::string tap = arch == "full_frame"
                               ? bench::LateTapForScale(ds.spec().width)
                               : bench::TapForScale(ds.spec().width);
   for (std::int64_t i = 0; i < n_classifiers; ++i) {
-    pipe.AddMicroclassifier(core::MakeMicroclassifier(
-        arch,
-        {.name = arch + std::to_string(i), .tap = tap,
-         .seed = static_cast<std::uint64_t>(100 + i)},
-        fx, ds.spec().height, ds.spec().width));
+    node.Attach({.mc = core::MakeMicroclassifier(
+                     arch,
+                     {.name = arch + std::to_string(i), .tap = tap,
+                      .seed = static_cast<std::uint64_t>(100 + i)},
+                     fx, ds.spec().height, ds.spec().width)});
   }
   // Warmup one frame, then measure.
-  pipe.ProcessFrame(frames[0]);
+  node.Submit(frames[0]);
   util::WallTimer timer;
-  for (std::size_t i = 1; i < frames.size(); ++i) pipe.ProcessFrame(frames[i]);
+  for (std::size_t i = 1; i < frames.size(); ++i) node.Submit(frames[i]);
   const double seconds = timer.ElapsedSeconds();
-  pipe.Finish();
+  node.Drain();
   return static_cast<double>(frames.size() - 1) / seconds;
 }
 

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 
 using namespace ff;
 using bench::BenchParams;
@@ -39,27 +39,30 @@ int main() {
       // Faithful to the paper: the extractor runs the complete base DNN
       // (see the matching note in bench_fig5_throughput.cpp).
       fx.RequestTap("conv6/sep");
-      core::PipelineConfig cfg;
+      core::EdgeNodeConfig cfg;
       cfg.frame_width = ds.spec().width;
       cfg.frame_height = ds.spec().height;
       cfg.fps = ds.spec().fps;
       cfg.enable_upload = false;
-      core::Pipeline pipe(fx, cfg);
+      // Serial MC phase: this figure attributes per-MC *CPU* cost (the
+      // "base = N MCs" column), which pooled wall time would hide.
+      cfg.parallel_mcs = false;
+      core::EdgeNode node(fx, cfg);
       const std::string tap = std::string(arch) == "full_frame"
                                   ? bench::LateTapForScale(ds.spec().width)
                                   : bench::TapForScale(ds.spec().width);
       for (std::int64_t i = 0; i < k; ++i) {
-        pipe.AddMicroclassifier(core::MakeMicroclassifier(
-            arch,
-            {.name = arch + std::to_string(i), .tap = tap,
-             .seed = static_cast<std::uint64_t>(500 + i)},
-            fx, ds.spec().height, ds.spec().width));
+        node.Attach({.mc = core::MakeMicroclassifier(
+                         arch,
+                         {.name = arch + std::to_string(i), .tap = tap,
+                          .seed = static_cast<std::uint64_t>(500 + i)},
+                         fx, ds.spec().height, ds.spec().width)});
       }
-      for (const auto& f : frames) pipe.ProcessFrame(f);
-      pipe.Finish();
+      for (const auto& f : frames) node.Submit(f);
+      node.Drain();
       const auto n = static_cast<double>(frames.size());
-      const double base_s = pipe.base_dnn_seconds() / n;
-      const double mc_s = pipe.mc_seconds() / n;
+      const double base_s = node.base_dnn_seconds() / n;
+      const double mc_s = node.mc_seconds() / n;
       const double per_mc = mc_s / static_cast<double>(k);
       t.AddRow({std::to_string(k), util::Table::Num(base_s, 4),
                 util::Table::Num(mc_s, 4),

@@ -8,7 +8,7 @@
 // two produce identical classifications.
 #include <cstdio>
 
-#include "core/pipeline.hpp"
+#include "core/microclassifier.hpp"
 #include "nn/serialize.hpp"
 #include "train/experiment.hpp"
 #include "train/trainer.hpp"

@@ -4,7 +4,7 @@
 // archive — the full §3.2 story including the edge store.
 #include <cstdio>
 
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 #include "metrics/event_metrics.hpp"
 #include "train/experiment.hpp"
 #include "train/trainer.hpp"
@@ -43,28 +43,38 @@ int main() {
   const float threshold = train::CalibrateThreshold(
       trainer.ScoreCachedFrames(), train_video.labels(), 5, 2);
 
-  // Edge node: pipeline with an archive store for demand-fetch.
+  // Edge node with an archive store for demand-fetch. Uploaded-frame
+  // metadata is pushed through the upload sink; keep the first few here.
   dnn::FeatureExtractor edge_fx({.include_classifier = false});
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = live_spec.width;
   cfg.frame_height = live_spec.height;
   cfg.fps = live_spec.fps;
   cfg.upload_bitrate_bps = 40'000;
   cfg.edge_store_capacity = live_spec.n_frames;  // keep everything today
-  core::Pipeline pipeline(edge_fx, cfg);
-  pipeline.AddMicroclassifier(std::move(mc), threshold);
+  core::EdgeNode node(edge_fx, cfg);
+  std::vector<core::FrameMetadata> first_uploads;
+  node.SetUploadSink([&](const core::UploadPacket& p) {
+    if (first_uploads.size() < 5) first_uploads.push_back(p.metadata);
+  });
+  core::McSpec spec;
+  spec.mc = std::move(mc);
+  spec.threshold = threshold;
+  core::ResultCollector collector;
+  collector.Bind(spec);
+  node.Attach(std::move(spec));
 
   video::DatasetSource camera(live_video);
-  pipeline.Run(camera);
+  node.Run(camera);
 
-  const core::McResult& r = pipeline.result(0);
+  const core::McResult& r = collector.result();
   const auto m = metrics::ComputeEventMetrics(
       live_video.labels(), live_video.events(), r.decisions);
   std::printf("\nlive monitoring: %zu events detected "
               "(ground truth %zu); event F1 %.3f\n",
               r.events.size(), live_video.events().size(), m.f1);
   std::printf("uplink: %.1f kb/s average\n",
-              pipeline.UploadBitrateBps() / 1000.0);
+              node.UploadBitrateBps() / 1000.0);
 
   // A datacenter application inspects the first event and demand-fetches
   // two seconds of context before and after it from the edge archive.
@@ -76,7 +86,7 @@ int main() {
                 static_cast<long long>(ev.id),
                 static_cast<long long>(ev.begin),
                 static_cast<long long>(ev.end), 2LL);
-    const auto clip = pipeline.edge_store()->FetchClip(
+    const auto clip = node.edge_store()->FetchClip(
         ev.begin - pad, ev.end + pad, /*bitrate_bps=*/80'000, live_spec.fps);
     if (clip) {
       std::printf("  fetched frames [%lld, %lld): %zu chunks, %llu bytes\n",
@@ -88,9 +98,7 @@ int main() {
 
   // Per-frame metadata of uploaded frames (MC -> event id memberships).
   std::printf("\nfirst uploaded frames and their event memberships:\n");
-  std::size_t shown = 0;
-  for (const auto& meta : pipeline.uploaded_frames()) {
-    if (++shown > 5) break;
+  for (const auto& meta : first_uploads) {
     std::printf("  frame %lld:", static_cast<long long>(meta.frame_index));
     for (const auto& [mc_name, event_id] : meta.memberships) {
       std::printf(" (%s -> event %lld)", mc_name.c_str(),

@@ -13,7 +13,7 @@
 // Runs in a few minutes at its small default scale.
 #include <cstdio>
 
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 #include "metrics/event_metrics.hpp"
 #include "train/experiment.hpp"
 #include "train/trainer.hpp"
@@ -54,20 +54,27 @@ int main() {
   std::printf("trained: final loss %.3f, calibrated threshold %.2f\n\n", loss,
               threshold);
 
-  // 3. Deploy on the edge and filter the live stream.
+  // 3. Deploy on the edge and filter the live stream. The EdgeNode session
+  // pushes per-frame decisions and closed events to sinks; ResultCollector
+  // is the stock sink pair that accumulates them for inspection.
   dnn::FeatureExtractor edge_fx({.include_classifier = false});
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = live_spec.width;
   cfg.frame_height = live_spec.height;
   cfg.fps = live_spec.fps;
   cfg.upload_bitrate_bps = 50'000;  // re-encode quality for matched frames
-  core::Pipeline pipeline(edge_fx, cfg);
-  pipeline.AddMicroclassifier(std::move(mc), threshold);
+  core::EdgeNode node(edge_fx, cfg);
+  core::McSpec spec;
+  spec.mc = std::move(mc);
+  spec.threshold = threshold;
+  core::ResultCollector collector;
+  collector.Bind(spec);
+  node.Attach(std::move(spec));
 
   video::DatasetSource camera(live_video);
-  const std::int64_t n = pipeline.Run(camera);
+  const std::int64_t n = node.Run(camera);
 
-  const core::McResult& r = pipeline.result(0);
+  const core::McResult& r = collector.result();
   std::printf("processed %lld live frames; detected %zu events:\n",
               static_cast<long long>(n), r.events.size());
   for (const auto& ev : r.events) {
@@ -83,8 +90,8 @@ int main() {
               m.event_recall, m.precision, m.f1);
   std::printf("uplink: %llu bytes = %.1f kb/s average (vs %.1f kb/s to "
               "stream everything at that quality)\n",
-              static_cast<unsigned long long>(pipeline.upload_bytes()),
-              pipeline.UploadBitrateBps() / 1000.0,
+              static_cast<unsigned long long>(node.upload_bytes()),
+              node.UploadBitrateBps() / 1000.0,
               cfg.upload_bitrate_bps / 1000.0);
   return 0;
 }

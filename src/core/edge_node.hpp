@@ -1,0 +1,259 @@
+// The FilterForward edge node as a long-lived, multi-tenant streaming
+// session (paper Fig. 1, §2.2.3/§3.1: many concurrent per-application
+// microclassifiers sharing one box).
+//
+// Lifecycle:
+//
+//   EdgeNode node(fx, cfg);
+//   McHandle h = node.Attach({.mc = ..., .threshold = ...});  // any time
+//   node.Submit(frame);          // streaming ingestion, one call per frame
+//   node.Detach(h);              // tenant leaves mid-stream (tail drained)
+//   node.Drain();                // end of stream
+//
+// Tenants attach and detach at frame boundaries (between Submit calls).
+// Results are *pushed*, not accumulated: each tenant installs a
+// DecisionSink (one finalized McDecision per frame the tenant was live for,
+// in frame order) and an EventSink (one EventRecord per closed event).
+// Without sinks the node retains nothing per frame, so memory stays bounded
+// no matter how long the stream runs; ResultCollector reproduces the old
+// accumulate-everything McResult for tests and benches.
+//
+// Per frame, in phases (phased — not pipelined — execution, §4.4: the base
+// DNN and the MCs never compete for cores):
+//   1. preprocess + base DNN forward to the deepest requested tap
+//   2. every live tenant's MC infers from the shared feature maps — fanned
+//      out across util::GlobalPool() (one task per tenant; kernel-level
+//      parallelism inside a tenant auto-serializes, see util/thread_pool.hpp)
+//   3. per-tenant K-voting smoothing and transition detection, serially in
+//      attach order (sinks always fire on the Submit/Detach/Drain caller's
+//      thread)
+//   4. frames matched by >= 1 live tenant are re-encoded at the configured
+//      upload bitrate and handed to the upload sink (bits are counted by a
+//      real encoder); packet metadata records (MC -> event id) memberships
+//   5. optionally, every original frame is archived (encoded to the edge
+//      store) for later demand-fetch.
+//
+// Decision alignment: a windowed MC's output refers to the center of its
+// window and K-voting refers to the middle of its vote window, so decisions
+// trail the input. The node buffers pending frames until every tenant that
+// was live at submission has decided on them, then finalizes uploads in
+// frame order. Detach replays the last feature maps through the departing
+// tenant's window tail and flushes its K-voting state, so a tenant live for
+// frames [a, b) delivers exactly one decision for each of them before its
+// handle dies; Drain() does the same for every remaining tenant.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "core/datacenter.hpp"
+#include "core/edge_store.hpp"
+#include "core/events.hpp"
+#include "core/microclassifier.hpp"
+#include "core/smoothing.hpp"
+#include "util/timer.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+
+struct EdgeNodeConfig {
+  std::int64_t frame_width = 0;
+  std::int64_t frame_height = 0;
+  std::int64_t fps = 15;
+  // K-voting parameters (paper §3.5: N = 5, K = 2).
+  std::int64_t vote_window = 5;
+  std::int64_t vote_k = 2;
+  // Target bitrate for re-encoding matched frames.
+  double upload_bitrate_bps = 500'000;
+  // Disable to skip the uplink encoder entirely (pure-filtering benches).
+  bool enable_upload = true;
+  // Edge store capacity in frames (0 disables archiving/demand-fetch).
+  std::int64_t edge_store_capacity = 0;
+  // Phase 2 across the thread pool (one task per tenant) once the tenant
+  // count is large enough to occupy it; with few tenants the MCs run
+  // serially and their kernels parallelize internally instead. Disable to
+  // always run MCs single-threaded in attach order (per-MC CPU
+  // attribution, Fig. 6).
+  bool parallel_mcs = true;
+};
+
+// Identifies one attached tenant; monotonically increasing, never reused.
+using McHandle = std::int64_t;
+
+// One finalized per-frame result for one tenant.
+struct McDecision {
+  McHandle handle = -1;
+  std::int64_t frame_index = -1;  // global stream index
+  float score = 0.0f;             // MC probability for this frame
+  bool raw = false;               // thresholded, pre-smoothing
+  bool decision = false;          // post K-voting
+  std::int64_t event_id = -1;     // valid when decision is positive
+};
+
+using DecisionSink = std::function<void(const McDecision&)>;
+// Closed events, begin/end in global frame indices.
+using EventSink = std::function<void(const EventRecord&)>;
+using UploadSink = std::function<void(const UploadPacket&)>;
+
+// Everything needed to attach one tenant. The explicit nullptr defaults let
+// designated initializers omit the sinks without tripping
+// -Wmissing-field-initializers (same trick as McConfig::pixel_crop).
+struct McSpec {
+  std::unique_ptr<Microclassifier> mc;
+  // Threshold converts the MC's probability into the raw per-frame label.
+  float threshold = 0.5f;
+  DecisionSink on_decision = nullptr;  // optional
+  EventSink on_event = nullptr;        // optional
+};
+
+// Accumulated per-tenant stream results, as the pre-session API returned
+// them. Produced by ResultCollector; frame i of the vectors is global frame
+// first_frame + i.
+struct McResult {
+  std::string name;
+  std::int64_t first_frame = 0;
+  std::vector<float> scores;            // per-frame probability
+  std::vector<std::uint8_t> raw;        // thresholded, pre-smoothing
+  std::vector<std::uint8_t> decisions;  // post K-voting
+  std::vector<std::int64_t> event_ids;  // per-frame event id or -1
+  std::vector<EventRecord> events;
+};
+
+// Opt-in sink pair that rebuilds a McResult from the push stream. Must
+// outlive the EdgeNode session it is bound into.
+class ResultCollector {
+ public:
+  ResultCollector() = default;
+  ResultCollector(const ResultCollector&) = delete;
+  ResultCollector& operator=(const ResultCollector&) = delete;
+
+  // Installs this collector's sinks on `spec` (which must not have sinks
+  // yet) and records the MC's name. One collector serves one tenant;
+  // binding twice throws.
+  void Bind(McSpec& spec);
+
+  const McResult& result() const { return result_; }
+
+ private:
+  McResult result_;
+  bool bound_ = false;
+};
+
+class EdgeNode {
+ public:
+  EdgeNode(dnn::FeatureExtractor& fx, const EdgeNodeConfig& cfg);
+  // Releases any remaining tenants' tap references (the shared extractor
+  // outlives the session); does NOT drain tails — call Drain() for that.
+  ~EdgeNode();
+
+  // Registers a tenant; legal at any frame boundary, including before the
+  // first Submit and mid-stream. The tenant's first live frame is the next
+  // submitted one.
+  McHandle Attach(McSpec spec);
+
+  // Removes a tenant at a frame boundary. Drains its windowed-MC tail and
+  // K-voting state first: its sinks receive the decisions for every
+  // remaining live frame, then its final events, before this returns.
+  void Detach(McHandle handle);
+
+  bool IsAttached(McHandle handle) const;
+  std::size_t n_mcs() const { return tenants_.size(); }
+
+  // Streaming ingestion of the next frame.
+  void Submit(const video::Frame& frame);
+
+  // End of stream: drains every remaining tenant (as Detach does) and
+  // finalizes all pending uploads. Idempotent; the node accepts no further
+  // Submit/Attach afterwards.
+  void Drain();
+
+  // Convenience: Submit() every frame of `source`, then Drain(). Returns
+  // frames processed.
+  std::int64_t Run(video::FrameSource& source);
+
+  // Uplink sink: every uploaded frame's bitstream chunk and metadata is
+  // delivered here (e.g. to a DatacenterReceiver). Binds late: takes effect
+  // for frames finalized after the call. Requires uploads enabled.
+  void SetUploadSink(UploadSink sink);
+
+  // The tenant's microclassifier (e.g. for marginal-cost accounting).
+  const Microclassifier& mc(McHandle handle) const;
+
+  std::int64_t frames_processed() const { return frames_processed_; }
+  std::int64_t frames_uploaded() const { return frames_uploaded_; }
+  std::uint64_t upload_bytes() const;
+  // Average uplink bitrate over the processed duration.
+  double UploadBitrateBps() const;
+  // Frames buffered awaiting decisions — bounded by the largest tenant
+  // decision lag (windowed delay + K-voting delay), not by stream length.
+  std::size_t pending_frames() const { return pending_.size(); }
+
+  EdgeStore* edge_store() { return store_ ? store_.get() : nullptr; }
+
+  // Phase time totals in seconds (Fig. 6's breakdown). With parallel_mcs,
+  // mc_seconds is the wall time of the fanned-out phase 2.
+  double base_dnn_seconds() const { return base_timer_.total_seconds(); }
+  double mc_seconds() const { return mc_timer_.total_seconds(); }
+  double smooth_seconds() const { return smooth_timer_.total_seconds(); }
+  double upload_seconds() const { return upload_timer_.total_seconds(); }
+
+  const EdgeNodeConfig& config() const { return cfg_; }
+
+ private:
+  struct Tenant {
+    McHandle handle = -1;
+    std::unique_ptr<Microclassifier> mc;
+    float threshold = 0.5f;
+    KVotingSmoother smoother;
+    TransitionDetector detector;
+    DecisionSink on_decision;
+    EventSink on_event;
+    std::int64_t first_frame = 0;  // global index of local frame 0
+    std::int64_t scored = 0;       // scores delivered into the smoother
+    std::int64_t decided = 0;      // decisions finalized
+    // (score, raw) per scored-but-undecided frame; bounded by vote delay.
+    std::deque<std::pair<float, bool>> undecided;
+  };
+
+  struct PendingFrame {
+    video::Frame frame;
+    std::size_t needed = 0;  // live tenants at submission
+    std::size_t decided = 0;
+    bool any_positive = false;
+    std::vector<std::pair<std::string, std::int64_t>> memberships;
+  };
+
+  // Index of the tenant owning `handle`; throws if not attached.
+  std::size_t TenantIndex(McHandle handle) const;
+  void DeliverScore(Tenant& tenant, float score);
+  void NotifyDecision(Tenant& tenant, bool positive);
+  void DeliverClosedEvent(Tenant& tenant, const EventRecord& ev);
+  void DrainTenantTail(Tenant& tenant);
+  void FinalizeReadyFrames();
+
+  dnn::FeatureExtractor& fx_;
+  EdgeNodeConfig cfg_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  McHandle next_handle_ = 0;
+  bool drained_ = false;
+
+  std::int64_t frames_processed_ = 0;
+  dnn::FeatureMaps last_fm_;  // retained for windowed-MC tail padding
+
+  // Upload path.
+  std::deque<PendingFrame> pending_;
+  std::int64_t pending_base_ = 0;
+  std::unique_ptr<codec::Encoder> uplink_;
+  std::int64_t last_uploaded_ = -2;
+  std::int64_t frames_uploaded_ = 0;
+  UploadSink upload_sink_;
+
+  std::unique_ptr<EdgeStore> store_;
+
+  util::PhaseTimer base_timer_, mc_timer_, smooth_timer_, upload_timer_;
+};
+
+}  // namespace ff::core

@@ -13,7 +13,6 @@ std::optional<EventRecord> TransitionDetector::Push(bool positive) {
   } else {
     if (open_begin_ >= 0) {
       closed = EventRecord{state_.event_id, open_begin_, frame_};
-      closed_.push_back(*closed);
       open_begin_ = -1;
     }
     state_.in_event = false;
@@ -25,7 +24,6 @@ std::optional<EventRecord> TransitionDetector::Push(bool positive) {
 std::optional<EventRecord> TransitionDetector::Finish() {
   if (open_begin_ < 0) return std::nullopt;
   const EventRecord closed{state_.event_id, open_begin_, frame_};
-  closed_.push_back(closed);
   open_begin_ = -1;
   state_.in_event = false;
   return closed;

@@ -29,16 +29,18 @@ class TransitionDetector {
   };
 
   // Feeds the smoothed decision for the next frame (frames are sequential
-  // starting at 0). Returns the event that just *closed*, if any.
+  // starting at 0). Returns the event that just *closed*, if any. Closed
+  // events are yielded to the caller, not retained — the detector's memory
+  // is O(1) no matter how long the stream runs (the edge node delivers each
+  // one straight to the tenant's EventSink).
   std::optional<EventRecord> Push(bool positive);
 
-  // Closes any open event at end of stream.
+  // Closes and returns any open event at end of stream.
   std::optional<EventRecord> Finish();
 
   // State of the most recently pushed frame.
   const FrameState& last_state() const { return state_; }
 
-  const std::vector<EventRecord>& closed_events() const { return closed_; }
   std::int64_t frames_seen() const { return frame_; }
 
  private:
@@ -46,7 +48,6 @@ class TransitionDetector {
   std::int64_t next_id_ = 0;
   std::int64_t open_begin_ = -1;
   FrameState state_;
-  std::vector<EventRecord> closed_;
 };
 
 // One matched frame's metadata: (MC name, event id) memberships.

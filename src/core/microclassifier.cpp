@@ -33,12 +33,17 @@ Microclassifier::Microclassifier(McConfig cfg, const dnn::FeatureExtractor& fx,
   }
 }
 
-nn::Tensor Microclassifier::CropFeatures(const dnn::FeatureMaps& fm) const {
+nn::TensorView Microclassifier::FeatureView(const dnn::FeatureMaps& fm) const {
   const auto it = fm.find(cfg_.tap);
   FF_CHECK_MSG(it != fm.end(), name() << ": tap " << cfg_.tap
                                       << " missing from feature maps");
-  if (!feature_rect_) return it->second;
-  return it->second.CropHW(*feature_rect_);
+  nn::TensorView v(it->second);
+  if (feature_rect_) v = v.CropHW(*feature_rect_);
+  return v;
+}
+
+nn::Tensor Microclassifier::CropFeatures(const dnn::FeatureMaps& fm) const {
+  return FeatureView(fm).Materialize();
 }
 
 std::uint64_t Microclassifier::MarginalMacsPerFrame() const {
@@ -66,8 +71,7 @@ FullFrameObjectDetectorMc::FullFrameObjectDetectorMc(
 }
 
 float FullFrameObjectDetectorMc::Infer(const dnn::FeatureMaps& fm) {
-  const nn::Tensor in = CropFeatures(fm);
-  return net_.Forward(in).data()[0];
+  return net_.Forward(FeatureView(fm)).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -99,8 +103,7 @@ LocalizedBinaryClassifierMc::LocalizedBinaryClassifierMc(
 }
 
 float LocalizedBinaryClassifierMc::Infer(const dnn::FeatureMaps& fm) {
-  const nn::Tensor in = CropFeatures(fm);
-  return net_.Forward(in).data()[0];
+  return net_.Forward(FeatureView(fm)).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -148,11 +151,11 @@ WindowedLocalizedMc::WindowedLocalizedMc(McConfig cfg,
 }
 
 float WindowedLocalizedMc::Infer(const dnn::FeatureMaps& fm) {
-  const nn::Tensor in = CropFeatures(fm);
   if (reuse_buffers_) {
     // Paper §3.3.3: the 1x1 conv runs once per frame; its output is buffered
-    // and shared by the W windows that contain this frame.
-    buffer_.push_back(net_.ForwardRange(in, 0, 1));
+    // and shared by the W windows that contain this frame. The cropped tap
+    // feeds the conv as a zero-copy view.
+    buffer_.push_back(net_.ForwardRange(FeatureView(fm), 0, 1));
     while (static_cast<std::int64_t>(buffer_.size()) < window_) {
       buffer_.push_front(buffer_.front());  // replicate-pad at stream start
     }
@@ -166,7 +169,8 @@ float WindowedLocalizedMc::Infer(const dnn::FeatureMaps& fm) {
     return net_.ForwardRange(cat, 2, net_.n_layers()).data()[0];
   }
   // Ablation path: recompute the 1x1 conv for every frame in the window.
-  raw_buffer_.push_back(in);
+  // The buffer outlives `fm`, so this path genuinely copies.
+  raw_buffer_.push_back(CropFeatures(fm));
   while (static_cast<std::int64_t>(raw_buffer_.size()) < window_) {
     raw_buffer_.push_front(raw_buffer_.front());
   }

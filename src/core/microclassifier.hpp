@@ -74,7 +74,14 @@ class Microclassifier {
   // Underlying trainable network.
   virtual nn::Sequential& net() = 0;
 
-  // Crops the tap's feature map per the config (no-op without a crop).
+  // Zero-copy view of the (optionally cropped) tap activation this MC
+  // consumes. Borrows `fm`'s storage: valid only while `fm` is alive and
+  // unmodified. This is the per-frame inference path — neither full-frame
+  // taps nor crops allocate per tenant.
+  nn::TensorView FeatureView(const dnn::FeatureMaps& fm) const;
+
+  // Owning copy of the same (for consumers that outlive the feature maps,
+  // e.g. the trainer's frame cache and the windowed no-reuse ablation).
   nn::Tensor CropFeatures(const dnn::FeatureMaps& fm) const;
 
   // Shape of the (cropped) input feature map this MC consumes.

@@ -14,11 +14,11 @@ KVotingSmoother::KVotingSmoother(std::int64_t window_n, std::int64_t k)
 
 bool KVotingSmoother::DecideFrame(std::int64_t m) const {
   const std::int64_t half = n_ / 2;
-  const std::int64_t lo = std::max<std::int64_t>(0, m - half);
+  const std::int64_t lo = std::max<std::int64_t>(base_, m - half);
   const std::int64_t hi = std::min<std::int64_t>(pushed_ - 1, m + half);
   std::int64_t votes = 0;
   for (std::int64_t t = lo; t <= hi; ++t) {
-    votes += raw_[static_cast<std::size_t>(t)] != 0 ? 1 : 0;
+    votes += raw_[static_cast<std::size_t>(t - base_)] != 0 ? 1 : 0;
   }
   return votes >= k_;
 }
@@ -30,7 +30,14 @@ std::optional<bool> KVotingSmoother::Push(bool raw) {
   if (m < 0) return std::nullopt;
   FF_CHECK_EQ(m, emitted_);
   ++emitted_;
-  return DecideFrame(m);
+  const bool decision = DecideFrame(m);
+  // The next undecided frame is `emitted_`; its window starts at
+  // emitted_ - N/2. Everything older will never be read again.
+  while (base_ < emitted_ - n_ / 2) {
+    raw_.pop_front();
+    ++base_;
+  }
+  return decision;
 }
 
 std::vector<bool> KVotingSmoother::Flush() {
@@ -44,6 +51,7 @@ std::vector<bool> KVotingSmoother::Flush() {
 
 void KVotingSmoother::Reset() {
   raw_.clear();
+  base_ = 0;
   pushed_ = 0;
   emitted_ = 0;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -43,7 +44,12 @@ class KVotingSmoother {
   bool DecideFrame(std::int64_t m) const;
 
   std::int64_t n_, k_;
-  std::vector<std::uint8_t> raw_;
+  // Sliding window of raw labels: raw_[i] is frame base_ + i. Labels older
+  // than any undecided frame's window are dropped, so the smoother's memory
+  // is O(N) regardless of stream length (the edge node runs one per tenant
+  // for unbounded sessions).
+  std::deque<std::uint8_t> raw_;
+  std::int64_t base_ = 0;
   std::int64_t pushed_ = 0;
   std::int64_t emitted_ = 0;
 };

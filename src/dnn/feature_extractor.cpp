@@ -8,6 +8,17 @@ FeatureExtractor::FeatureExtractor(MobileNetOptions opts)
 void FeatureExtractor::RequestTap(const std::string& tap) {
   FF_CHECK_MSG(net_.Contains(tap), "unknown tap layer: " << tap);
   taps_.insert(tap);
+  ++tap_refs_[tap];
+}
+
+void FeatureExtractor::ReleaseTap(const std::string& tap) {
+  const auto it = tap_refs_.find(tap);
+  FF_CHECK_MSG(it != tap_refs_.end() && it->second > 0,
+               "releasing tap " << tap << " that was never requested");
+  if (--it->second == 0) {
+    tap_refs_.erase(it);
+    taps_.erase(tap);
+  }
 }
 
 FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frame) {

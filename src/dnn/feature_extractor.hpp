@@ -22,8 +22,14 @@ class FeatureExtractor {
  public:
   explicit FeatureExtractor(MobileNetOptions opts = {});
 
-  // Registers a tap; must be one of MobileNetTapNames().
+  // Registers a tap; must be one of MobileNetTapNames(). Requests are
+  // reference-counted so independent consumers (tenants on an EdgeNode,
+  // trainers, benches) can share one extractor.
   void RequestTap(const std::string& tap);
+  // Releases one reference; when the last holder of the deepest tap lets
+  // go, subsequent Extract calls stop the forward pass earlier again (the
+  // EdgeNode calls this when a tenant detaches).
+  void ReleaseTap(const std::string& tap);
   const std::set<std::string>& taps() const { return taps_; }
 
   // Runs the base DNN on a preprocessed frame tensor (1, 3, H, W) and
@@ -48,6 +54,7 @@ class FeatureExtractor {
   MobileNetOptions opts_;
   nn::Sequential net_;
   std::set<std::string> taps_;
+  std::map<std::string, std::int64_t> tap_refs_;
 };
 
 // Converts 8-bit RGB planes to the base DNN's input tensor (1, 3, h, w),

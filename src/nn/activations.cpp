@@ -4,25 +4,46 @@
 
 namespace ff::nn {
 
-Tensor Activation::Forward(const Tensor& in) {
-  Tensor out(in.shape());
-  const float* x = in.data();
+namespace {
+
+template <typename Op>
+void ApplyElementwise(const TensorView& in, Tensor& out, Op op) {
   float* y = out.data();
-  const std::int64_t n = in.elements();
+  if (in.contiguous()) {
+    const float* x = in.data();
+    const std::int64_t n = in.elements();
+    for (std::int64_t i = 0; i < n; ++i) y[i] = op(x[i]);
+    return;
+  }
+  const Shape& s = in.shape();
+  for (std::int64_t n = 0; n < s.n; ++n) {
+    for (std::int64_t c = 0; c < s.c; ++c) {
+      for (std::int64_t r = 0; r < s.h; ++r) {
+        const float* x = in.row(n, c, r);
+        for (std::int64_t i = 0; i < s.w; ++i) *y++ = op(x[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Activation::Forward(const TensorView& in) {
+  Tensor out(in.shape());
   switch (kind_) {
     case ActKind::kRelu:
-      for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      ApplyElementwise(in, out, [](float v) { return v > 0.0f ? v : 0.0f; });
       break;
     case ActKind::kRelu6:
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float v = x[i] > 0.0f ? x[i] : 0.0f;
-        y[i] = v < 6.0f ? v : 6.0f;
-      }
+      ApplyElementwise(in, out, [](float v) {
+        const float r = v > 0.0f ? v : 0.0f;
+        return r < 6.0f ? r : 6.0f;
+      });
       break;
     case ActKind::kSigmoid:
-      for (std::int64_t i = 0; i < n; ++i) {
-        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-      }
+      ApplyElementwise(in, out, [](float v) {
+        return 1.0f / (1.0f + std::exp(-v));
+      });
       break;
   }
   if (training_) saved_out_ = out;

@@ -17,7 +17,7 @@ class Activation : public Layer {
       : Layer(std::move(name)), kind_(kind) {}
 
   Shape OutputShape(const Shape& in) const override { return in; }
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::uint64_t Macs(const Shape&) const override { return 0; }
 

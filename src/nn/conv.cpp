@@ -96,19 +96,24 @@ Shape Conv2D::OutputShape(const Shape& in) const {
   return Shape{in.n, out_c_, gy.out, gx.out};
 }
 
-Tensor Conv2D::Forward(const Tensor& in) {
+Tensor Conv2D::Forward(const TensorView& in) {
   const Shape out_shape = OutputShape(in.shape());
   Tensor out(out_shape);
   const AxisGeometry gy = ComputeAxisGeometry(in.shape().h, k_, stride_, pad_);
   const AxisGeometry gx = ComputeAxisGeometry(in.shape().w, k_, stride_, pad_);
   const std::int64_t ih = in.shape().h, iw = in.shape().w;
   const std::int64_t oh = out_shape.h, ow = out_shape.w;
+  const std::int64_t is = in.row_stride();
 
   // Fast path: 1x1 stride-1 convolution is a sequence of rank-1 (axpy)
-  // updates over contiguous planes; blocking 4 output channels per input
+  // updates over contiguous runs; blocking 4 output channels per input
   // plane load quadruples arithmetic intensity. This path carries ~75% of
-  // MobileNet's multiply-adds, so it is the one that matters.
+  // MobileNet's multiply-adds, so it is the one that matters. A dense plane
+  // is processed as one h*w run; a strided (cropped-view) plane as h runs of
+  // w floats, is apart.
   const bool pointwise = (k_ == 1 && stride_ == 1);
+  const std::int64_t n_runs = in.plane_contiguous() ? 1 : ih;
+  const std::int64_t run = in.plane_contiguous() ? ih * iw : iw;
 
   auto compute_oc_block = [&](std::int64_t n, std::int64_t oc0,
                               std::int64_t oc1) {
@@ -117,34 +122,39 @@ Tensor Conv2D::Forward(const Tensor& in) {
       std::fill(op, op + oh * ow, b_[static_cast<std::size_t>(oc)]);
     }
     if (pointwise) {
-      const std::int64_t plane = ih * iw;
       std::int64_t oc = oc0;
       for (; oc + 4 <= oc1; oc += 4) {
-        float* o0 = out.plane(n, oc);
-        float* o1 = out.plane(n, oc + 1);
-        float* o2 = out.plane(n, oc + 2);
-        float* o3 = out.plane(n, oc + 3);
         for (std::int64_t ic = 0; ic < in_c_; ++ic) {
-          const float* ip = in.plane(n, ic);
+          const float* ipl = in.plane(n, ic);
           const float w0 = w_[static_cast<std::size_t>(oc * in_c_ + ic)];
           const float w1 = w_[static_cast<std::size_t>((oc + 1) * in_c_ + ic)];
           const float w2 = w_[static_cast<std::size_t>((oc + 2) * in_c_ + ic)];
           const float w3 = w_[static_cast<std::size_t>((oc + 3) * in_c_ + ic)];
-          for (std::int64_t p = 0; p < plane; ++p) {
-            const float v = ip[p];
-            o0[p] += w0 * v;
-            o1[p] += w1 * v;
-            o2[p] += w2 * v;
-            o3[p] += w3 * v;
+          for (std::int64_t r = 0; r < n_runs; ++r) {
+            const float* ip = ipl + r * is;
+            float* o0 = out.plane(n, oc) + r * run;
+            float* o1 = out.plane(n, oc + 1) + r * run;
+            float* o2 = out.plane(n, oc + 2) + r * run;
+            float* o3 = out.plane(n, oc + 3) + r * run;
+            for (std::int64_t p = 0; p < run; ++p) {
+              const float v = ip[p];
+              o0[p] += w0 * v;
+              o1[p] += w1 * v;
+              o2[p] += w2 * v;
+              o3[p] += w3 * v;
+            }
           }
         }
       }
       for (; oc < oc1; ++oc) {
-        float* op = out.plane(n, oc);
         for (std::int64_t ic = 0; ic < in_c_; ++ic) {
-          const float* ip = in.plane(n, ic);
+          const float* ipl = in.plane(n, ic);
           const float w = w_[static_cast<std::size_t>(oc * in_c_ + ic)];
-          for (std::int64_t p = 0; p < plane; ++p) op[p] += w * ip[p];
+          for (std::int64_t r = 0; r < n_runs; ++r) {
+            const float* ip = ipl + r * is;
+            float* op = out.plane(n, oc) + r * run;
+            for (std::int64_t p = 0; p < run; ++p) op[p] += w * ip[p];
+          }
         }
       }
       return;
@@ -165,7 +175,7 @@ Tensor Conv2D::Forward(const Tensor& in) {
             for (std::int64_t oy = 0; oy < oh; ++oy) {
               const std::int64_t iy = oy * stride_ + ky - gy.pad_begin;
               if (iy < 0 || iy >= ih) continue;
-              const float* irow = ip + iy * iw + (kx - gx.pad_begin);
+              const float* irow = ip + iy * is + (kx - gx.pad_begin);
               float* orow = op + oy * ow;
               if (stride_ == 1) {
                 for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
@@ -197,7 +207,7 @@ Tensor Conv2D::Forward(const Tensor& in) {
     }
   }
 
-  if (training_) saved_in_ = in;  // copy: needed for dW
+  if (training_) saved_in_ = in.Materialize();  // copy: needed for dW
   return out;
 }
 
@@ -323,13 +333,14 @@ Shape DepthwiseConv2D::OutputShape(const Shape& in) const {
   return Shape{in.n, c_, gy.out, gx.out};
 }
 
-Tensor DepthwiseConv2D::Forward(const Tensor& in) {
+Tensor DepthwiseConv2D::Forward(const TensorView& in) {
   const Shape out_shape = OutputShape(in.shape());
   Tensor out(out_shape);
   const AxisGeometry gy = ComputeAxisGeometry(in.shape().h, k_, stride_, pad_);
   const AxisGeometry gx = ComputeAxisGeometry(in.shape().w, k_, stride_, pad_);
   const std::int64_t ih = in.shape().h, iw = in.shape().w;
   const std::int64_t oh = out_shape.h, ow = out_shape.w;
+  const std::int64_t is = in.row_stride();
 
   auto compute_c = [&](std::int64_t n, std::int64_t c0, std::int64_t c1) {
     for (std::int64_t c = c0; c < c1; ++c) {
@@ -344,7 +355,7 @@ Tensor DepthwiseConv2D::Forward(const Tensor& in) {
           for (std::int64_t oy = 0; oy < oh; ++oy) {
             const std::int64_t iy = oy * stride_ + ky - gy.pad_begin;
             if (iy < 0 || iy >= ih) continue;
-            const float* irow = ip + iy * iw + (kx - gx.pad_begin);
+            const float* irow = ip + iy * is + (kx - gx.pad_begin);
             float* orow = op + oy * ow;
             if (stride_ == 1) {
               for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
@@ -372,7 +383,7 @@ Tensor DepthwiseConv2D::Forward(const Tensor& in) {
       compute_c(n, 0, c_);
     }
   }
-  if (training_) saved_in_ = in;
+  if (training_) saved_in_ = in.Materialize();
   return out;
 }
 

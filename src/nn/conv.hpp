@@ -29,7 +29,7 @@ class Conv2D : public Layer {
          std::int64_t k, std::int64_t stride, Padding pad);
 
   Shape OutputShape(const Shape& in) const override;
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<ParamView> Params() override;
   std::uint64_t Macs(const Shape& in) const override;
@@ -57,7 +57,7 @@ class DepthwiseConv2D : public Layer {
                   std::int64_t stride, Padding pad);
 
   Shape OutputShape(const Shape& in) const override;
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<ParamView> Params() override;
   std::uint64_t Macs(const Shape& in) const override;

@@ -24,11 +24,16 @@ Shape FullyConnected::OutputShape(const Shape& in) const {
   return Shape{in.n, units_, 1, 1};
 }
 
-Tensor FullyConnected::Forward(const Tensor& in) {
+Tensor FullyConnected::Forward(const TensorView& in) {
   const Shape out_shape = OutputShape(in.shape());
   Tensor out(out_shape);
+  // The dot products need each image as one dense run; views arriving here
+  // are virtually always dense already (FCs follow materializing layers).
+  Tensor staged;
+  if (!in.contiguous()) staged = in.Materialize();
+  const float* flat = in.contiguous() ? in.data() : staged.data();
   for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    const float* x = in.plane(n, 0);
+    const float* x = flat + n * in.shape().per_image();
     float* y = out.plane(n, 0);
     util::GlobalPool().ParallelForRange(
         static_cast<std::size_t>(units_), [&](std::size_t b, std::size_t e) {
@@ -41,7 +46,8 @@ Tensor FullyConnected::Forward(const Tensor& in) {
           }
         });
   }
-  if (training_) saved_in_ = in;
+  if (training_) saved_in_ = in.contiguous() ? in.Materialize()
+                                             : std::move(staged);
   return out;
 }
 

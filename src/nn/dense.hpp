@@ -12,7 +12,7 @@ class FullyConnected : public Layer {
   FullyConnected(std::string name, std::int64_t in_dim, std::int64_t units);
 
   Shape OutputShape(const Shape& in) const override;
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<ParamView> Params() override;
   std::uint64_t Macs(const Shape& in) const override;

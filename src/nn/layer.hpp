@@ -1,6 +1,11 @@
 // Layer interface for the from-scratch NN engine.
 //
 // Design notes:
+//  * Forward() takes a non-owning tensor::TensorView (owning Tensors convert
+//    implicitly), so the multi-tenant edge node can feed cropped or
+//    full-frame feature-map taps without materializing a per-tenant copy.
+//    Kernels read through the view's row stride; layers that genuinely need
+//    dense storage materialize internally.
 //  * Forward() is usable standalone for inference. When training() is set,
 //    layers retain whatever context Backward() needs (inputs, masks,
 //    argmaxes). Inference mode retains nothing, keeping the multi-tenant
@@ -17,11 +22,13 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "tensor/tensor_view.hpp"
 
 namespace ff::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+using tensor::TensorView;
 
 // Non-owning handle to one parameter blob and its gradient accumulator.
 struct ParamView {
@@ -43,7 +50,7 @@ class Layer {
   // Shape of the output produced for input shape `in`; checks validity.
   virtual Shape OutputShape(const Shape& in) const = 0;
 
-  virtual Tensor Forward(const Tensor& in) = 0;
+  virtual Tensor Forward(const TensorView& in) = 0;
 
   // Gradient w.r.t. the layer input, given gradient w.r.t. the output of the
   // most recent Forward() (which must have run with training() == true).

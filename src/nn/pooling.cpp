@@ -16,14 +16,18 @@ Shape MaxPool2D::OutputShape(const Shape& in) const {
   return Shape{in.n, in.c, (in.h - k_) / stride_ + 1, (in.w - k_) / stride_ + 1};
 }
 
-Tensor MaxPool2D::Forward(const Tensor& in) {
+Tensor MaxPool2D::Forward(const TensorView& in) {
   const Shape out_shape = OutputShape(in.shape());
   Tensor out(out_shape);
   if (training_) {
+    // argmax_ stores flat dense-plane indices; training inputs are always
+    // owning (dense) tensors, never cropped views.
+    FF_CHECK_MSG(in.plane_contiguous(),
+                 name() << ": training forward needs dense input planes");
     argmax_.assign(static_cast<std::size_t>(out_shape.elements()), 0);
     saved_in_shape_ = in.shape();
   }
-  const std::int64_t iw = in.shape().w;
+  const std::int64_t is = in.row_stride();
   std::int64_t oi = 0;
   for (std::int64_t n = 0; n < in.shape().n; ++n) {
     for (std::int64_t c = 0; c < in.shape().c; ++c) {
@@ -36,7 +40,7 @@ Tensor MaxPool2D::Forward(const Tensor& in) {
           for (std::int64_t ky = 0; ky < k_; ++ky) {
             for (std::int64_t kx = 0; kx < k_; ++kx) {
               const std::int64_t idx =
-                  (oy * stride_ + ky) * iw + ox * stride_ + kx;
+                  (oy * stride_ + ky) * is + ox * stride_ + kx;
               if (ip[idx] > best) {
                 best = ip[idx];
                 best_idx = idx;
@@ -73,15 +77,17 @@ Tensor MaxPool2D::Backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor GlobalAvgPool::Forward(const Tensor& in) {
+Tensor GlobalAvgPool::Forward(const TensorView& in) {
   Tensor out(OutputShape(in.shape()));
-  const std::int64_t plane = in.shape().plane();
+  const std::int64_t h = in.shape().h, w = in.shape().w;
   for (std::int64_t n = 0; n < in.shape().n; ++n) {
     for (std::int64_t c = 0; c < in.shape().c; ++c) {
-      const float* ip = in.plane(n, c);
       double acc = 0;
-      for (std::int64_t p = 0; p < plane; ++p) acc += ip[p];
-      *out.plane(n, c) = static_cast<float>(acc / static_cast<double>(plane));
+      for (std::int64_t y = 0; y < h; ++y) {
+        const float* row = in.row(n, c, y);
+        for (std::int64_t x = 0; x < w; ++x) acc += row[x];
+      }
+      *out.plane(n, c) = static_cast<float>(acc / static_cast<double>(h * w));
     }
   }
   if (training_) saved_in_shape_ = in.shape();
@@ -105,23 +111,27 @@ Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor GlobalMaxPool::Forward(const Tensor& in) {
+Tensor GlobalMaxPool::Forward(const TensorView& in) {
   Tensor out(OutputShape(in.shape()));
-  const std::int64_t plane = in.shape().plane();
+  const std::int64_t h = in.shape().h, w = in.shape().w;
   if (training_) {
+    FF_CHECK_MSG(in.plane_contiguous(),
+                 name() << ": training forward needs dense input planes");
     argmax_.assign(
         static_cast<std::size_t>(in.shape().n * in.shape().c), 0);
     saved_in_shape_ = in.shape();
   }
   for (std::int64_t n = 0; n < in.shape().n; ++n) {
     for (std::int64_t c = 0; c < in.shape().c; ++c) {
-      const float* ip = in.plane(n, c);
-      float best = ip[0];
+      float best = *in.row(n, c, 0);
       std::int64_t best_idx = 0;
-      for (std::int64_t p = 1; p < plane; ++p) {
-        if (ip[p] > best) {
-          best = ip[p];
-          best_idx = p;
+      for (std::int64_t y = 0; y < h; ++y) {
+        const float* row = in.row(n, c, y);
+        for (std::int64_t x = 0; x < w; ++x) {
+          if (row[x] > best) {
+            best = row[x];
+            best_idx = y * w + x;  // dense-plane index for Backward
+          }
         }
       }
       *out.plane(n, c) = best;

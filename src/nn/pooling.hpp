@@ -12,7 +12,7 @@ class MaxPool2D : public Layer {
   MaxPool2D(std::string name, std::int64_t k, std::int64_t stride);
 
   Shape OutputShape(const Shape& in) const override;
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::uint64_t Macs(const Shape&) const override { return 0; }
 
@@ -29,7 +29,7 @@ class GlobalAvgPool : public Layer {
   Shape OutputShape(const Shape& in) const override {
     return Shape{in.n, in.c, 1, 1};
   }
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::uint64_t Macs(const Shape&) const override { return 0; }
 
@@ -45,7 +45,7 @@ class GlobalMaxPool : public Layer {
   Shape OutputShape(const Shape& in) const override {
     return Shape{in.n, in.c, 1, 1};
   }
-  Tensor Forward(const Tensor& in) override;
+  Tensor Forward(const TensorView& in) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::uint64_t Macs(const Shape&) const override { return 0; }
 

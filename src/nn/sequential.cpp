@@ -20,21 +20,21 @@ bool Sequential::Contains(const std::string& layer_name) const {
   return index_.find(layer_name) != index_.end();
 }
 
-Tensor Sequential::Forward(const Tensor& in) {
+Tensor Sequential::Forward(const TensorView& in) {
   FF_CHECK(!layers_.empty());
   Tensor x = layers_[0]->Forward(in);
   for (std::size_t i = 1; i < layers_.size(); ++i) x = layers_[i]->Forward(x);
   return x;
 }
 
-Tensor Sequential::ForwardTo(const Tensor& in, const std::string& last_layer) {
+Tensor Sequential::ForwardTo(const TensorView& in, const std::string& last_layer) {
   const std::size_t last = IndexOf(last_layer);
   Tensor x = layers_[0]->Forward(in);
   for (std::size_t i = 1; i <= last; ++i) x = layers_[i]->Forward(x);
   return x;
 }
 
-Tensor Sequential::ForwardRange(const Tensor& in, std::size_t begin,
+Tensor Sequential::ForwardRange(const TensorView& in, std::size_t begin,
                                 std::size_t end) {
   FF_CHECK(begin < end && end <= layers_.size());
   Tensor x = layers_[begin]->Forward(in);
@@ -43,7 +43,7 @@ Tensor Sequential::ForwardRange(const Tensor& in, std::size_t begin,
 }
 
 std::map<std::string, Tensor> Sequential::ForwardWithTaps(
-    const Tensor& in, const std::set<std::string>& taps) {
+    const TensorView& in, const std::set<std::string>& taps) {
   FF_CHECK(!taps.empty());
   std::size_t deepest = 0;
   for (const auto& t : taps) deepest = std::max(deepest, IndexOf(t));

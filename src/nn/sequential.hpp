@@ -36,19 +36,19 @@ class Sequential {
   bool Contains(const std::string& layer_name) const;
 
   // Full forward pass.
-  Tensor Forward(const Tensor& in);
+  Tensor Forward(const TensorView& in);
 
   // Forward pass that stops after `last_layer` (inclusive).
-  Tensor ForwardTo(const Tensor& in, const std::string& last_layer);
+  Tensor ForwardTo(const TensorView& in, const std::string& last_layer);
 
   // Forward through layers [begin, end) only. The windowed microclassifier
   // uses this to run its shared per-frame 1x1 conv once per frame and the
   // trunk once per window (paper §3.3.3's buffer-reuse optimization).
-  Tensor ForwardRange(const Tensor& in, std::size_t begin, std::size_t end);
+  Tensor ForwardRange(const TensorView& in, std::size_t begin, std::size_t end);
 
   // Forward collecting the outputs of every layer named in `taps`, stopping
   // at the deepest one. Returns the map tap-name -> activation.
-  std::map<std::string, Tensor> ForwardWithTaps(const Tensor& in,
+  std::map<std::string, Tensor> ForwardWithTaps(const TensorView& in,
                                                 const std::set<std::string>& taps);
 
   // Backpropagates through all layers (most recent Forward must have been in

@@ -25,9 +25,11 @@ class WindowPack : public Layer {
     return Shape{in.n / window_, in.c * window_, in.h, in.w};
   }
 
-  Tensor Forward(const Tensor& in) override {
+  Tensor Forward(const TensorView& in) override {
     if (training_) saved_in_shape_ = in.shape();
-    return in.Reshaped(OutputShape(in.shape()));
+    // One dense copy either way: reshaping a view materializes it, exactly
+    // like Tensor::Reshaped's copied storage.
+    return in.Materialize(OutputShape(in.shape()));
   }
 
   Tensor Backward(const Tensor& grad_out) override {

@@ -26,7 +26,7 @@ void StreamSourceFeatures(
 
 // Collects per-frame scores from one MC, compensating its decision delay so
 // scores align 1:1 with input frames (tail frames are scored by replaying
-// the final frame's features, mirroring core::Pipeline).
+// the final frame's features, mirroring core::EdgeNode).
 class McScorer {
  public:
   explicit McScorer(core::Microclassifier& mc) : mc_(mc) {

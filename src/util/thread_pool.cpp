@@ -9,6 +9,12 @@
 
 namespace ff::util {
 
+namespace {
+// The pool whose ParallelFor the current thread is executing a chunk of, if
+// any. Guards against nested dispatch onto an already-saturated pool.
+thread_local const ThreadPool* tl_active_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
     n_threads = std::thread::hardware_concurrency();
@@ -54,6 +60,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelForRange(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  // Nested call from inside one of this pool's own chunks: every worker may
+  // already be busy on the outer dispatch, so queued sub-tasks could never
+  // start. Run inline instead.
+  if (tl_active_pool == this) {
+    fn(0, n);
+    return;
+  }
   const std::size_t n_chunks = std::min(n, workers_.size() + 1);
   if (n_chunks <= 1) {
     fn(0, n);
@@ -66,21 +79,27 @@ void ThreadPool::ParallelForRange(
     std::exception_ptr error;
     std::mutex error_mu;
   } shared;
-  // The calling thread runs the last chunk itself, so only n_chunks - 1 tasks
-  // are submitted to workers.
-  shared.remaining.store(n_chunks - 1);
-
   const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  // Ceil rounding can leave trailing chunks with no work (e.g. n = 9 over 8
+  // chunks gives chunk = 2 and only 5 non-empty chunks); dispatch only the
+  // live ones rather than queueing no-op tasks on the hot path.
+  const std::size_t n_live = (n + chunk - 1) / chunk;
+  // The calling thread runs the last chunk itself, so only n_live - 1 tasks
+  // are submitted to workers.
+  shared.remaining.store(n_live - 1);
   auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    const ThreadPool* prev = tl_active_pool;
+    tl_active_pool = this;
     try {
       fn(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(shared.error_mu);
       if (!shared.error) shared.error = std::current_exception();
     }
+    tl_active_pool = prev;
   };
 
-  for (std::size_t c = 0; c + 1 < n_chunks; ++c) {
+  for (std::size_t c = 0; c + 1 < n_live; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
@@ -95,7 +114,7 @@ void ThreadPool::ParallelForRange(
       }
     });
   }
-  run_chunk((n_chunks - 1) * chunk, n);
+  run_chunk((n_live - 1) * chunk, n);
 
   std::unique_lock<std::mutex> lock(shared.done_mu);
   shared.done_cv.wait(lock, [&] { return shared.remaining.load() == 0; });

@@ -4,6 +4,14 @@
 // The pool is created once (see GlobalPool) so convolutions do not pay thread
 // creation per call. ParallelFor is synchronous: it returns only when every
 // index has been processed, which keeps layer semantics simple.
+//
+// Nested dispatch runs serial: a ParallelFor issued from inside a chunk of a
+// ParallelFor on the same pool executes its body inline on the calling
+// thread. This makes layered parallelism compose safely — the edge node fans
+// out per-tenant microclassifier inference across the pool, and the conv
+// kernels inside each tenant (which would otherwise submit to the same,
+// fully-occupied pool and deadlock waiting on their own sub-tasks)
+// automatically degrade to their serial paths.
 #pragma once
 
 #include <condition_variable>

@@ -1,5 +1,5 @@
 // Build-graph smoke test: exercises every module of the ff library in one
-// scenario (video -> dnn -> core pipeline -> codec -> datacenter, plus
+// scenario (video -> dnn -> core edge node -> codec -> datacenter, plus
 // train, metrics, and baselines) so that a broken target or missing link
 // dependency fails here even if the per-module suites are skipped. Runs a
 // few synthetic frames end to end and asserts one decision per MC per frame.
@@ -7,7 +7,7 @@
 
 #include "baselines/discrete.hpp"
 #include "core/datacenter.hpp"
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 #include "dnn/feature_extractor.hpp"
 #include "metrics/event_metrics.hpp"
 #include "train/experiment.hpp"
@@ -21,63 +21,70 @@ namespace {
 constexpr std::int64_t kWidth = 96;
 constexpr std::int64_t kFrames = 16;
 
-TEST(BuildSanity, PipelineEndToEndAcrossAllModules) {
+TEST(BuildSanity, EdgeNodeEndToEndAcrossAllModules) {
   video::DatasetSpec spec = video::JacksonSpec(kWidth, kFrames, 5);
   spec.mean_event_len = 6;
   const video::SyntheticDataset ds(spec);
 
   dnn::FeatureExtractor fx({.include_classifier = false});
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = spec.width;
   cfg.frame_height = spec.height;
   cfg.fps = spec.fps;
   cfg.upload_bitrate_bps = 40'000;
   cfg.edge_store_capacity = 8;
 
-  core::Pipeline pipe(fx, cfg);
+  core::EdgeNode node(fx, cfg);
+  std::vector<std::unique_ptr<core::ResultCollector>> collectors;
   int seed = 50;
   for (const char* arch : {"full_frame", "localized", "windowed"}) {
-    core::McConfig mc_cfg{
-        .name = std::string("smoke_") + arch,
-        .tap = arch == std::string("full_frame") ? dnn::kLateTap : dnn::kMidTap,
-        .seed = static_cast<std::uint64_t>(seed++)};
-    pipe.AddMicroclassifier(core::MakeMicroclassifier(
-        arch, mc_cfg, fx, spec.height, spec.width));
+    core::McSpec mc_spec;
+    mc_spec.mc = core::MakeMicroclassifier(
+        arch,
+        {.name = std::string("smoke_") + arch,
+         .tap = arch == std::string("full_frame") ? dnn::kLateTap
+                                                  : dnn::kMidTap,
+         .seed = static_cast<std::uint64_t>(seed++)},
+        fx, spec.height, spec.width);
+    collectors.push_back(std::make_unique<core::ResultCollector>());
+    collectors.back()->Bind(mc_spec);
+    node.Attach(std::move(mc_spec));
   }
 
   // Stream the uplink into a datacenter receiver so the decoder and event
   // reassembly are linked and run too.
   core::DatacenterReceiver receiver(spec.width, spec.height);
-  pipe.SetUploadSink(
+  node.SetUploadSink(
       [&](const core::UploadPacket& p) { receiver.Receive(p); });
 
   video::DatasetSource src(ds);
-  const std::int64_t n = pipe.Run(src);
+  const std::int64_t n = node.Run(src);
   ASSERT_EQ(n, kFrames);
 
   // The contract this test pins: exactly one decision per MC per frame.
-  for (std::size_t m = 0; m < pipe.n_mcs(); ++m) {
-    const core::McResult& r = pipe.result(m);
-    EXPECT_EQ(r.scores.size(), static_cast<std::size_t>(kFrames)) << m;
-    EXPECT_EQ(r.raw.size(), static_cast<std::size_t>(kFrames)) << m;
-    EXPECT_EQ(r.decisions.size(), static_cast<std::size_t>(kFrames)) << m;
-    EXPECT_EQ(r.event_ids.size(), static_cast<std::size_t>(kFrames)) << m;
+  for (const auto& collector : collectors) {
+    const core::McResult& r = collector->result();
+    EXPECT_EQ(r.scores.size(), static_cast<std::size_t>(kFrames)) << r.name;
+    EXPECT_EQ(r.raw.size(), static_cast<std::size_t>(kFrames)) << r.name;
+    EXPECT_EQ(r.decisions.size(), static_cast<std::size_t>(kFrames))
+        << r.name;
+    EXPECT_EQ(r.event_ids.size(), static_cast<std::size_t>(kFrames))
+        << r.name;
   }
 
   // Upload accounting and the receiver agree on what crossed the link.
-  EXPECT_EQ(receiver.frames_received(),
-            static_cast<std::int64_t>(pipe.uploaded_frames().size()));
-  EXPECT_EQ(receiver.bytes_received(), pipe.upload_bytes());
+  EXPECT_EQ(receiver.frames_received(), node.frames_uploaded());
+  EXPECT_EQ(receiver.bytes_received(), node.upload_bytes());
 
   // Metrics over one MC's decisions against dataset truth.
-  const auto em = metrics::ComputeEventMetrics(ds.labels(), ds.events(),
-                                               pipe.result(0).decisions);
+  const auto em = metrics::ComputeEventMetrics(
+      ds.labels(), ds.events(), collectors[0]->result().decisions);
   EXPECT_GE(em.f1, 0.0);
   EXPECT_LE(em.f1, 1.0);
 
   // Edge store archived the tail of the stream.
-  ASSERT_NE(pipe.edge_store(), nullptr);
-  EXPECT_EQ(pipe.edge_store()->end_available(), kFrames);
+  ASSERT_NE(node.edge_store(), nullptr);
+  EXPECT_EQ(node.edge_store()->end_available(), kFrames);
 }
 
 TEST(BuildSanity, TrainerAndBaselineLink) {

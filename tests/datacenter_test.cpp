@@ -1,9 +1,9 @@
-// End-to-end edge -> cloud tests: the pipeline's upload sink feeding a
+// End-to-end edge -> cloud tests: the edge node's upload sink feeding a
 // DatacenterReceiver, clip reassembly, and decoded-frame fidelity.
 #include <gtest/gtest.h>
 
 #include "core/datacenter.hpp"
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 #include "video/dataset.hpp"
 #include "video/source.hpp"
 
@@ -19,45 +19,49 @@ video::DatasetSpec SmallSpec(std::int64_t frames, std::uint64_t seed) {
 struct EdgeCloudRun {
   std::unique_ptr<video::SyntheticDataset> ds;
   std::unique_ptr<dnn::FeatureExtractor> fx;
-  std::unique_ptr<Pipeline> pipe;
+  std::unique_ptr<ResultCollector> collector;
+  std::unique_ptr<EdgeNode> node;
   std::unique_ptr<DatacenterReceiver> receiver;
 };
 
-// Runs a 1-MC pipeline with the given threshold, wired to a receiver.
+// Runs a 1-MC edge node with the given threshold, wired to a receiver.
 EdgeCloudRun RunEdgeCloud(std::int64_t frames, float threshold,
                           std::uint64_t seed = 61) {
   EdgeCloudRun r;
   r.ds = std::make_unique<video::SyntheticDataset>(SmallSpec(frames, seed));
   r.fx = std::make_unique<dnn::FeatureExtractor>(
       dnn::MobileNetOptions{.include_classifier = false});
-  PipelineConfig cfg;
+  EdgeNodeConfig cfg;
   cfg.frame_width = r.ds->spec().width;
   cfg.frame_height = r.ds->spec().height;
   cfg.fps = r.ds->spec().fps;
   cfg.upload_bitrate_bps = 80'000;
-  r.pipe = std::make_unique<Pipeline>(*r.fx, cfg);
+  r.collector = std::make_unique<ResultCollector>();
+  r.node = std::make_unique<EdgeNode>(*r.fx, cfg);
   r.receiver = std::make_unique<DatacenterReceiver>(cfg.frame_width,
                                                     cfg.frame_height);
-  r.pipe->SetUploadSink(
+  r.node->SetUploadSink(
       [rec = r.receiver.get()](const UploadPacket& p) { rec->Receive(p); });
-  r.pipe->AddMicroclassifier(
-      MakeMicroclassifier("full_frame",
-                          {.name = "mc", .tap = dnn::kLateTap, .seed = 3},
-                          *r.fx, r.ds->spec().height, r.ds->spec().width),
-      threshold);
+  McSpec spec;
+  spec.mc = MakeMicroclassifier(
+      "full_frame", {.name = "mc", .tap = dnn::kLateTap, .seed = 3}, *r.fx,
+      r.ds->spec().height, r.ds->spec().width);
+  spec.threshold = threshold;
+  r.collector->Bind(spec);
+  r.node->Attach(std::move(spec));
   video::DatasetSource src(*r.ds);
-  r.pipe->Run(src);
+  r.node->Run(src);
   return r;
 }
 
 TEST(Datacenter, ReceivesExactlyUploadedFrames) {
   const auto r = RunEdgeCloud(25, 0.0f);  // everything matches
   EXPECT_EQ(r.receiver->frames_received(), 25);
-  EXPECT_EQ(r.receiver->bytes_received(), r.pipe->upload_bytes());
-  // Frame indices arrive in order and match the uploads.
-  for (std::size_t i = 0; i < r.pipe->uploaded_frames().size(); ++i) {
-    EXPECT_EQ(r.receiver->frame_indices()[i],
-              r.pipe->uploaded_frames()[i].frame_index);
+  EXPECT_EQ(r.receiver->frames_received(), r.node->frames_uploaded());
+  EXPECT_EQ(r.receiver->bytes_received(), r.node->upload_bytes());
+  // Frame indices arrive in order.
+  for (std::size_t i = 0; i < r.receiver->frame_indices().size(); ++i) {
+    EXPECT_EQ(r.receiver->frame_indices()[i], static_cast<std::int64_t>(i));
   }
 }
 
@@ -68,10 +72,10 @@ TEST(Datacenter, NoMatchesNothingReceived) {
   EXPECT_TRUE(r.receiver->Clips().empty());
 }
 
-TEST(Datacenter, ClipsMatchPipelineEvents) {
+TEST(Datacenter, ClipsMatchEdgeNodeEvents) {
   const auto r = RunEdgeCloud(40, 0.0f);
   const auto clips = r.receiver->Clips();
-  const auto& events = r.pipe->result(0).events;
+  const auto& events = r.collector->result().events;
   ASSERT_EQ(clips.size(), events.size());
   for (std::size_t i = 0; i < clips.size(); ++i) {
     EXPECT_EQ(clips[i].mc_name, "mc");
@@ -115,16 +119,47 @@ TEST(Datacenter, RejectsOutOfOrderPackets) {
   EXPECT_THROW(rec.Receive(p1), util::CheckError);
 }
 
-TEST(Datacenter, SinkRequiresUploadsEnabledAndPreStream) {
+TEST(Datacenter, SinkRequiresUploadsEnabled) {
   const video::SyntheticDataset ds(SmallSpec(5, 63));
   dnn::FeatureExtractor fx({.include_classifier = false});
-  PipelineConfig cfg;
+  EdgeNodeConfig cfg;
   cfg.frame_width = ds.spec().width;
   cfg.frame_height = ds.spec().height;
   cfg.enable_upload = false;
-  Pipeline no_upload(fx, cfg);
+  EdgeNode no_upload(fx, cfg);
   EXPECT_THROW(no_upload.SetUploadSink([](const UploadPacket&) {}),
                util::CheckError);
+}
+
+TEST(Datacenter, UploadSinkBindsLate) {
+  // The sink may be installed mid-stream; it receives the frames finalized
+  // after the call (the old API silently required pre-stream binding).
+  const video::SyntheticDataset ds(SmallSpec(12, 64));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNodeConfig cfg;
+  cfg.frame_width = ds.spec().width;
+  cfg.frame_height = ds.spec().height;
+  cfg.fps = ds.spec().fps;
+  cfg.upload_bitrate_bps = 80'000;
+  EdgeNode node(fx, cfg);
+  node.Attach({.mc = MakeMicroclassifier(
+                   "full_frame",
+                   {.name = "mc", .tap = dnn::kLateTap, .seed = 3}, fx,
+                   ds.spec().height, ds.spec().width),
+               .threshold = 0.0f});  // everything matches
+  std::vector<std::int64_t> seen;
+  for (std::int64_t t = 0; t < 6; ++t) node.Submit(ds.RenderFrame(t));
+  const std::int64_t already = node.frames_uploaded();
+  node.SetUploadSink(
+      [&](const UploadPacket& p) { seen.push_back(p.frame_index); });
+  for (std::int64_t t = 6; t < 12; ++t) node.Submit(ds.RenderFrame(t));
+  node.Drain();
+  EXPECT_EQ(node.frames_uploaded(), 12);
+  ASSERT_FALSE(seen.empty());
+  // The late-bound sink saw exactly the frames finalized after binding.
+  EXPECT_EQ(seen.front(), already);
+  EXPECT_EQ(seen.back(), 11);
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), 12 - already);
 }
 
 }  // namespace

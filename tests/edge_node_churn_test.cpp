@@ -1,0 +1,308 @@
+// Decision alignment under tenant churn: tenants attach and detach
+// mid-stream and must receive exactly one decision per frame they were live
+// for, with windowed-MC tails replayed and K-voting state flushed at
+// detach time — not deferred to the end of the stream.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/edge_node.hpp"
+#include "nn/serialize.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+namespace {
+
+constexpr std::int64_t kW = 160;
+
+video::DatasetSpec SmallSpec(std::int64_t frames, std::uint64_t seed) {
+  auto spec = video::JacksonSpec(kW, frames, seed);
+  spec.mean_event_len = 10;
+  return spec;
+}
+
+EdgeNodeConfig MakeConfig(const video::DatasetSpec& spec,
+                          bool upload = true) {
+  EdgeNodeConfig cfg;
+  cfg.frame_width = spec.width;
+  cfg.frame_height = spec.height;
+  cfg.fps = spec.fps;
+  cfg.upload_bitrate_bps = 60'000;
+  cfg.enable_upload = upload;
+  return cfg;
+}
+
+std::unique_ptr<Microclassifier> MakeMc(const std::string& arch,
+                                        const dnn::FeatureExtractor& fx,
+                                        const video::DatasetSpec& spec,
+                                        std::uint64_t seed) {
+  return MakeMicroclassifier(
+      arch,
+      {.name = arch + "_" + std::to_string(seed),
+       .tap = arch == "full_frame" ? dnn::kLateTap : dnn::kMidTap,
+       .seed = seed},
+      fx, spec.height, spec.width);
+}
+
+// Per-frame decision stream captured raw (frame indices included).
+struct Recorded {
+  std::vector<McDecision> decisions;
+  std::vector<EventRecord> events;
+  McSpec Spec(std::unique_ptr<Microclassifier> mc, float threshold = 0.5f) {
+    McSpec spec;
+    spec.mc = std::move(mc);
+    spec.threshold = threshold;
+    spec.on_decision = [this](const McDecision& d) {
+      decisions.push_back(d);
+    };
+    spec.on_event = [this](const EventRecord& ev) { events.push_back(ev); };
+    return spec;
+  }
+};
+
+TEST(EdgeNodeChurn, WindowedTenantDetachedMidStreamGetsExactlyItsFrames) {
+  const video::SyntheticDataset ds(SmallSpec(30, 41));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNode node(fx, MakeConfig(ds.spec()));
+
+  // A baseline tenant spans the whole stream so uploads keep flowing.
+  Recorded base;
+  node.Attach(base.Spec(MakeMc("full_frame", fx, ds.spec(), 3), 0.4f));
+
+  constexpr std::int64_t kJoin = 5, kLeave = 17;
+  Recorded windowed;
+  McHandle wh = -1;
+  for (std::int64_t t = 0; t < ds.n_frames(); ++t) {
+    if (t == kJoin) {
+      wh = node.Attach(windowed.Spec(MakeMc("windowed", fx, ds.spec(), 4)));
+    }
+    if (t == kLeave) {
+      node.Detach(wh);
+      // The tail is drained AT detach: every live frame already decided.
+      ASSERT_EQ(windowed.decisions.size(),
+                static_cast<std::size_t>(kLeave - kJoin));
+    }
+    node.Submit(ds.RenderFrame(t));
+  }
+  node.Drain();
+
+  // Exactly one decision per live frame, in order, for [kJoin, kLeave).
+  ASSERT_EQ(windowed.decisions.size(),
+            static_cast<std::size_t>(kLeave - kJoin));
+  for (std::size_t i = 0; i < windowed.decisions.size(); ++i) {
+    EXPECT_EQ(windowed.decisions[i].frame_index,
+              kJoin + static_cast<std::int64_t>(i));
+  }
+  // Events (if any) stay inside the live range, in global coordinates.
+  for (const auto& ev : windowed.events) {
+    EXPECT_GE(ev.begin, kJoin);
+    EXPECT_LE(ev.end, kLeave);
+  }
+  // The stream-spanning tenant got every frame.
+  ASSERT_EQ(base.decisions.size(), static_cast<std::size_t>(ds.n_frames()));
+  for (std::size_t i = 0; i < base.decisions.size(); ++i) {
+    EXPECT_EQ(base.decisions[i].frame_index,
+              static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(EdgeNodeChurn, StatelessTenantScoresMatchOfflineOnItsLiveWindow) {
+  // A full-frame (stateless) MC attached mid-stream must score its live
+  // frames exactly as the same weights score them offline.
+  const video::SyntheticDataset ds(SmallSpec(20, 42));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+
+  auto live_mc = MakeMc("full_frame", fx, ds.spec(), 7);
+  auto offline_mc = MakeMc("full_frame", fx, ds.spec(), 8);
+  nn::DeserializeWeights(offline_mc->net(),
+                         nn::SerializeWeights(live_mc->net()));
+
+  EdgeNode node(fx, MakeConfig(ds.spec(), /*upload=*/false));
+  // Keep the extractor busy from frame 0 with an unrelated tenant.
+  Recorded other;
+  node.Attach(other.Spec(MakeMc("localized", fx, ds.spec(), 9)));
+
+  constexpr std::int64_t kJoin = 6;
+  Recorded live;
+  for (std::int64_t t = 0; t < ds.n_frames(); ++t) {
+    if (t == kJoin) node.Attach(live.Spec(std::move(live_mc)));
+    node.Submit(ds.RenderFrame(t));
+  }
+  node.Drain();
+
+  dnn::FeatureExtractor fx2({.include_classifier = false});
+  fx2.RequestTap(dnn::kLateTap);
+  ASSERT_EQ(live.decisions.size(),
+            static_cast<std::size_t>(ds.n_frames() - kJoin));
+  for (std::int64_t t = kJoin; t < ds.n_frames(); ++t) {
+    const video::Frame f = ds.RenderFrame(t);
+    const auto fm = fx2.Extract(dnn::PreprocessRgb(
+        f.r(), f.g(), f.b(), f.height(), f.width()));
+    const float expect = offline_mc->Infer(fm);
+    EXPECT_FLOAT_EQ(live.decisions[static_cast<std::size_t>(t - kJoin)].score,
+                    expect)
+        << "frame " << t;
+  }
+}
+
+TEST(EdgeNodeChurn, UploadsTrackTheLiveTenantSetOnly) {
+  // A frame is uploaded iff some tenant LIVE AT ITS SUBMISSION matched it.
+  // Tenant "all" (threshold 0) joins at kJoin and leaves at kLeave; no other
+  // tenant ever matches, so exactly the frames in [kJoin, kLeave) upload.
+  const video::SyntheticDataset ds(SmallSpec(24, 43));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNode node(fx, MakeConfig(ds.spec()));
+  std::set<std::int64_t> uploaded;
+  node.SetUploadSink(
+      [&](const UploadPacket& p) { uploaded.insert(p.frame_index); });
+
+  Recorded never;
+  node.Attach(never.Spec(MakeMc("full_frame", fx, ds.spec(), 11), 1.1f));
+
+  constexpr std::int64_t kJoin = 4, kLeave = 15;
+  Recorded all;
+  McHandle h = -1;
+  for (std::int64_t t = 0; t < ds.n_frames(); ++t) {
+    if (t == kJoin) {
+      h = node.Attach(all.Spec(MakeMc("windowed", fx, ds.spec(), 12), 0.0f));
+    }
+    if (t == kLeave) node.Detach(h);
+    node.Submit(ds.RenderFrame(t));
+  }
+  node.Drain();
+
+  std::set<std::int64_t> expect;
+  for (std::int64_t t = kJoin; t < kLeave; ++t) expect.insert(t);
+  EXPECT_EQ(uploaded, expect);
+  EXPECT_EQ(node.frames_uploaded(), kLeave - kJoin);
+  // The always-matching tenant produced one closed event spanning its
+  // entire live range, delivered by detach-time draining.
+  ASSERT_EQ(all.events.size(), 1u);
+  EXPECT_EQ(all.events[0].begin, kJoin);
+  EXPECT_EQ(all.events[0].end, kLeave);
+}
+
+TEST(EdgeNodeChurn, TenantShorterThanItsWindowStillDrainsCleanly) {
+  // A windowed MC (delay 2) live for a single frame: the detach drain must
+  // synthesize its one decision from the tail replay.
+  const video::SyntheticDataset ds(SmallSpec(6, 44));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNode node(fx, MakeConfig(ds.spec(), /*upload=*/false));
+  Recorded base;
+  node.Attach(base.Spec(MakeMc("full_frame", fx, ds.spec(), 13)));
+
+  Recorded brief;
+  node.Submit(ds.RenderFrame(0));
+  const McHandle h =
+      node.Attach(brief.Spec(MakeMc("windowed", fx, ds.spec(), 14)));
+  node.Submit(ds.RenderFrame(1));  // the tenant's only live frame
+  node.Detach(h);
+  ASSERT_EQ(brief.decisions.size(), 1u);
+  EXPECT_EQ(brief.decisions[0].frame_index, 1);
+  node.Submit(ds.RenderFrame(2));
+  node.Drain();
+  EXPECT_EQ(base.decisions.size(), 3u);
+
+  // Degenerate churn: attach + immediate detach between frames delivers
+  // nothing and leaves the session healthy.
+  EdgeNode node2(fx, MakeConfig(ds.spec(), /*upload=*/false));
+  Recorded empty;
+  const McHandle h2 =
+      node2.Attach(empty.Spec(MakeMc("windowed", fx, ds.spec(), 15)));
+  node2.Detach(h2);
+  EXPECT_TRUE(empty.decisions.empty());
+  EXPECT_TRUE(empty.events.empty());
+  EXPECT_EQ(node2.n_mcs(), 0u);
+}
+
+TEST(EdgeNodeChurn, FramesWithNoLiveTenantsFinalizeTrivially) {
+  // Tenant-free intervals (before the first Attach, or between a last
+  // Detach and the next Attach) must not buffer frames, and the upload
+  // frame indexing must stay aligned across them.
+  const video::SyntheticDataset ds(SmallSpec(12, 47));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNode node(fx, MakeConfig(ds.spec()));
+  std::vector<std::int64_t> uploaded;
+  node.SetUploadSink(
+      [&](const UploadPacket& p) { uploaded.push_back(p.frame_index); });
+
+  for (std::int64_t t = 0; t < 4; ++t) {
+    node.Submit(ds.RenderFrame(t));  // nobody listening
+    EXPECT_EQ(node.pending_frames(), 0u);
+  }
+  Recorded all;
+  const McHandle h =
+      node.Attach(all.Spec(MakeMc("full_frame", fx, ds.spec(), 16), 0.0f));
+  for (std::int64_t t = 4; t < 8; ++t) node.Submit(ds.RenderFrame(t));
+  node.Detach(h);
+  for (std::int64_t t = 8; t < 12; ++t) {
+    node.Submit(ds.RenderFrame(t));  // tenant-free again
+    EXPECT_EQ(node.pending_frames(), 0u);
+  }
+  node.Drain();
+
+  ASSERT_EQ(uploaded.size(), 4u);  // exactly the tenant's live frames
+  for (std::size_t i = 0; i < uploaded.size(); ++i) {
+    EXPECT_EQ(uploaded[i], 4 + static_cast<std::int64_t>(i));
+  }
+  ASSERT_EQ(all.decisions.size(), 4u);
+  EXPECT_EQ(all.decisions.front().frame_index, 4);
+  EXPECT_EQ(all.decisions.back().frame_index, 7);
+}
+
+TEST(EdgeNodeChurn, DetachReleasesTheTenantsTapReference) {
+  // A detached tenant must stop taxing the shared base DNN: when the last
+  // reader of the deepest tap leaves, the extractor's early exit recovers.
+  const video::SyntheticDataset ds(SmallSpec(6, 45));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  EdgeNode node(fx, MakeConfig(ds.spec(), /*upload=*/false));
+  Recorded mid;
+  node.Attach(mid.Spec(MakeMc("localized", fx, ds.spec(), 21)));
+  const auto shallow_macs = fx.MacsPerFrame(ds.spec().height,
+                                            ds.spec().width);
+  EXPECT_EQ(fx.taps().count(dnn::kLateTap), 0u);
+
+  Recorded deep;
+  const McHandle h =
+      node.Attach(deep.Spec(MakeMc("full_frame", fx, ds.spec(), 22)));
+  EXPECT_EQ(fx.taps().count(dnn::kLateTap), 1u);
+  EXPECT_GT(fx.MacsPerFrame(ds.spec().height, ds.spec().width),
+            shallow_macs);
+
+  node.Submit(ds.RenderFrame(0));
+  node.Detach(h);
+  // The late tap is gone and per-frame cost is back to the shallow prefix.
+  EXPECT_EQ(fx.taps().count(dnn::kLateTap), 0u);
+  EXPECT_EQ(fx.taps().count(dnn::kMidTap), 1u);
+  EXPECT_EQ(fx.MacsPerFrame(ds.spec().height, ds.spec().width),
+            shallow_macs);
+  node.Submit(ds.RenderFrame(1));
+  node.Drain();
+  EXPECT_EQ(mid.decisions.size(), 2u);
+  EXPECT_EQ(fx.taps().count(dnn::kMidTap), 0u);  // Drain released it
+
+  // A session destroyed without Drain still hands its references back.
+  {
+    EdgeNode abandoned(fx, MakeConfig(ds.spec(), /*upload=*/false));
+    Recorded r;
+    abandoned.Attach(r.Spec(MakeMc("full_frame", fx, ds.spec(), 25)));
+    EXPECT_EQ(fx.taps().count(dnn::kLateTap), 1u);
+  }
+  EXPECT_EQ(fx.taps().count(dnn::kLateTap), 0u);
+}
+
+TEST(EdgeNodeChurn, ResultCollectorRefusesDoubleBinding) {
+  const video::SyntheticDataset ds(SmallSpec(4, 46));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  ResultCollector collector;
+  McSpec a;
+  a.mc = MakeMc("full_frame", fx, ds.spec(), 23);
+  collector.Bind(a);
+  McSpec b;
+  b.mc = MakeMc("full_frame", fx, ds.spec(), 24);
+  EXPECT_THROW(collector.Bind(b), util::CheckError);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -6,7 +6,7 @@
 
 #include "codec/transcode.hpp"
 #include "core/datacenter.hpp"
-#include "core/pipeline.hpp"
+#include "core/edge_node.hpp"
 #include "metrics/event_metrics.hpp"
 #include "nn/serialize.hpp"
 #include "train/experiment.hpp"
@@ -143,25 +143,29 @@ TEST_F(EndToEnd, HeavyCompressionDegradesDetectability) {
   EXPECT_LT(m_comp.f1, m_orig.f1);
 }
 
-TEST_F(EndToEnd, PipelineMatchesOfflineScoring) {
-  // The streaming pipeline and the offline scorer implement the same math:
+TEST_F(EndToEnd, EdgeNodeMatchesOfflineScoring) {
+  // The streaming edge node and the offline scorer implement the same math:
   // decisions must agree exactly for the same MC and threshold.
   dnn::FeatureExtractor fx({.include_classifier = false});
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = test_ds_->spec().width;
   cfg.frame_height = test_ds_->spec().height;
   cfg.fps = test_ds_->spec().fps;
   cfg.enable_upload = false;
-  core::Pipeline pipe(fx, cfg);
+  core::EdgeNode node(fx, cfg);
   // Clone the trained MC through serialization (the deployment path).
   core::McConfig mc_cfg = mc_->config();
-  auto clone = core::MakeMicroclassifier("localized", mc_cfg, fx,
-                                         test_ds_->spec().height,
-                                         test_ds_->spec().width);
-  nn::DeserializeWeights(clone->net(), nn::SerializeWeights(mc_->net()));
-  pipe.AddMicroclassifier(std::move(clone), threshold_);
+  core::McSpec spec;
+  spec.mc = core::MakeMicroclassifier("localized", mc_cfg, fx,
+                                      test_ds_->spec().height,
+                                      test_ds_->spec().width);
+  nn::DeserializeWeights(spec.mc->net(), nn::SerializeWeights(mc_->net()));
+  spec.threshold = threshold_;
+  core::ResultCollector collector;
+  collector.Bind(spec);
+  node.Attach(std::move(spec));
   video::DatasetSource src(*test_ds_);
-  pipe.Run(src);
+  node.Run(src);
 
   dnn::FeatureExtractor fx2({.include_classifier = false});
   fx2.RequestTap(mc_->config().tap);
@@ -172,7 +176,7 @@ TEST_F(EndToEnd, PipelineMatchesOfflineScoring) {
       [&](std::int64_t, const dnn::FeatureMaps& fm) { scorer.Observe(fm); });
   const auto scores = scorer.Finish();
 
-  const auto& r = pipe.result(0);
+  const auto& r = collector.result();
   ASSERT_EQ(r.scores.size(), scores.size());
   for (std::size_t i = 0; i < scores.size(); ++i) {
     ASSERT_NEAR(r.scores[i], scores[i], 1e-6f) << "frame " << i;
@@ -181,30 +185,33 @@ TEST_F(EndToEnd, PipelineMatchesOfflineScoring) {
 
 TEST_F(EndToEnd, UplinkDeliversEventClipsToDatacenter) {
   dnn::FeatureExtractor fx({.include_classifier = false});
-  core::PipelineConfig cfg;
+  core::EdgeNodeConfig cfg;
   cfg.frame_width = test_ds_->spec().width;
   cfg.frame_height = test_ds_->spec().height;
   cfg.fps = test_ds_->spec().fps;
   cfg.upload_bitrate_bps = 60'000;
-  core::Pipeline pipe(fx, cfg);
+  core::EdgeNode node(fx, cfg);
   core::DatacenterReceiver receiver(cfg.frame_width, cfg.frame_height);
-  pipe.SetUploadSink(
+  node.SetUploadSink(
       [&receiver](const core::UploadPacket& p) { receiver.Receive(p); });
   core::McConfig mc_cfg = mc_->config();
-  auto clone = core::MakeMicroclassifier("localized", mc_cfg, fx,
-                                         test_ds_->spec().height,
-                                         test_ds_->spec().width);
-  nn::DeserializeWeights(clone->net(), nn::SerializeWeights(mc_->net()));
-  pipe.AddMicroclassifier(std::move(clone), threshold_);
+  core::McSpec spec;
+  spec.mc = core::MakeMicroclassifier("localized", mc_cfg, fx,
+                                      test_ds_->spec().height,
+                                      test_ds_->spec().width);
+  nn::DeserializeWeights(spec.mc->net(), nn::SerializeWeights(mc_->net()));
+  spec.threshold = threshold_;
+  core::ResultCollector collector;
+  collector.Bind(spec);
+  node.Attach(std::move(spec));
   video::DatasetSource src(*test_ds_);
-  pipe.Run(src);
+  node.Run(src);
 
-  EXPECT_EQ(receiver.frames_received(),
-            static_cast<std::int64_t>(pipe.uploaded_frames().size()));
-  EXPECT_EQ(receiver.Clips().size(), pipe.result(0).events.size());
+  EXPECT_EQ(receiver.frames_received(), node.frames_uploaded());
+  EXPECT_EQ(receiver.Clips().size(), collector.result().events.size());
   // The uplink used less bandwidth than streaming every frame would have.
   const double all_frames_bps = cfg.upload_bitrate_bps;
-  EXPECT_LT(pipe.UploadBitrateBps(), all_frames_bps);
+  EXPECT_LT(node.UploadBitrateBps(), all_frames_bps);
 }
 
 TEST_F(EndToEnd, SmoothingMasksSpuriousMisclassifications) {

@@ -1,0 +1,138 @@
+// TensorView: stride bookkeeping, zero-copy aliasing/lifetime semantics,
+// and bitwise parity between view-based and copy-based microclassifier
+// inference (the old CropFeatures path vs the new FeatureView path).
+#include <gtest/gtest.h>
+
+#include "core/microclassifier.hpp"
+#include "dnn/feature_extractor.hpp"
+#include "tensor/tensor_view.hpp"
+#include "util/rng.hpp"
+
+namespace ff::tensor {
+namespace {
+
+Tensor RandomTensor(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  util::Pcg32 rng(seed);
+  t.FillUniform(rng, -2.0f, 2.0f);
+  return t;
+}
+
+TEST(TensorView, WholeTensorViewIsContiguousAndAliases) {
+  Tensor t = RandomTensor({2, 3, 4, 5}, 1);
+  TensorView v(t);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_TRUE(v.plane_contiguous());
+  EXPECT_EQ(v.shape(), t.shape());
+  EXPECT_EQ(v.data(), t.data());  // borrowed storage, no copy
+  // Aliasing: writes through the tensor are visible through the view.
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_FLOAT_EQ(v.at(1, 2, 3, 4), 42.0f);
+}
+
+TEST(TensorView, CropViewMatchesMaterializedCropBitwise) {
+  Tensor t = RandomTensor({1, 6, 9, 13}, 2);
+  const Rect r{2, 3, 7, 11};
+  TensorView v = TensorView(t).CropHW(r);
+  EXPECT_FALSE(v.contiguous());
+  EXPECT_FALSE(v.plane_contiguous());
+  EXPECT_EQ(v.shape().h, r.height());
+  EXPECT_EQ(v.shape().w, r.width());
+  EXPECT_EQ(v.row_stride(), 13);  // parent row pitch
+
+  const Tensor copied = t.CropHW(r);
+  const Tensor materialized = v.Materialize();
+  ASSERT_TRUE(copied.shape() == materialized.shape());
+  EXPECT_EQ(Tensor::MaxAbsDiff(copied, materialized), 0.0f);
+  // Element access agrees too.
+  for (std::int64_t c = 0; c < v.shape().c; ++c) {
+    for (std::int64_t y = 0; y < v.shape().h; ++y) {
+      for (std::int64_t x = 0; x < v.shape().w; ++x) {
+        ASSERT_EQ(v.at(0, c, y, x), copied.at(0, c, y, x));
+      }
+    }
+  }
+}
+
+TEST(TensorView, MaterializeDetachesFromParentStorage) {
+  Tensor t = RandomTensor({1, 2, 4, 4}, 3);
+  TensorView v = TensorView(t).CropHW({1, 1, 3, 3});
+  Tensor snapshot = v.Materialize();
+  const float before = snapshot.at(0, 0, 0, 0);
+  t.Fill(99.0f);                             // mutate the parent...
+  EXPECT_FLOAT_EQ(v.at(0, 0, 0, 0), 99.0f);  // ...the view aliases it...
+  EXPECT_FLOAT_EQ(snapshot.at(0, 0, 0, 0), before);  // ...the copy does not
+}
+
+TEST(TensorView, MaterializeWithReshapeAndFlatAccessGuards) {
+  Tensor t = RandomTensor({2, 2, 3, 3}, 4);
+  TensorView v(t);
+  const Tensor reshaped = v.Materialize(Shape{1, 4, 3, 3});
+  EXPECT_EQ(reshaped.shape(), (Shape{1, 4, 3, 3}));
+  EXPECT_EQ(reshaped.at(0, 0, 0, 0), t.at(0, 0, 0, 0));
+  // Reshape must conserve elements; flat access needs contiguity.
+  EXPECT_THROW(v.Materialize(Shape{1, 1, 1, 1}), util::CheckError);
+  TensorView crop = v.CropHW({0, 0, 2, 2});
+  EXPECT_THROW(crop.data(), util::CheckError);
+  EXPECT_THROW(v.CropHW({0, 0, 9, 9}), util::CheckError);
+}
+
+// --- View-vs-copy inference parity ----------------------------------------
+
+class McParity : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kH = 96, kW = 160;
+
+  static dnn::FeatureExtractor& Fx() {
+    static auto* fx = [] {
+      auto* p = new dnn::FeatureExtractor({.include_classifier = false});
+      p->RequestTap(dnn::kMidTap);
+      p->RequestTap(dnn::kLateTap);
+      return p;
+    }();
+    return *fx;
+  }
+
+  static dnn::FeatureMaps Frame(std::uint64_t seed) {
+    Tensor in(Shape{1, 3, kH, kW});
+    util::Pcg32 rng(seed);
+    in.FillUniform(rng, -1.0f, 1.0f);
+    return Fx().Extract(in);
+  }
+};
+
+TEST_F(McParity, CroppedInferenceBitwiseEqualsCopyingPath) {
+  // The zero-copy FeatureView path must reproduce the materialized
+  // CropFeatures path bit for bit, crop or no crop, for both single-frame
+  // architectures.
+  for (const char* arch : {"full_frame", "localized"}) {
+    for (const bool crop : {false, true}) {
+      core::McConfig cfg{.name = std::string(arch) + (crop ? "/c" : "/f"),
+                         .tap = dnn::kMidTap,
+                         .seed = 31};
+      if (crop) cfg.pixel_crop = Rect{kH / 2, 16, kH, kW - 16};
+      auto mc = core::MakeMicroclassifier(arch, cfg, Fx(), kH, kW);
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        const auto fm = Frame(100 + s);
+        const float via_view = mc->Infer(fm);
+        const float via_copy =
+            mc->net().Forward(mc->CropFeatures(fm)).data()[0];
+        ASSERT_EQ(via_view, via_copy)
+            << arch << " crop=" << crop << " frame " << s;
+      }
+    }
+  }
+}
+
+TEST_F(McParity, ViewIsActuallyZeroCopyForFullFrameTaps) {
+  // Without a crop, FeatureView must hand back the tap's own storage.
+  core::McConfig cfg{.name = "alias", .tap = dnn::kMidTap, .seed = 5};
+  auto mc = core::MakeMicroclassifier("full_frame", cfg, Fx(), kH, kW);
+  const auto fm = Frame(7);
+  const TensorView v = mc->FeatureView(fm);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(v.data(), fm.at(dnn::kMidTap).data());
+}
+
+}  // namespace
+}  // namespace ff::tensor

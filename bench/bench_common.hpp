@@ -16,7 +16,10 @@
 //   FF_BENCH_MAX_CLASSIFIERS  top of the Fig. 5/6 sweep (default 50)
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +30,7 @@
 #include "metrics/event_metrics.hpp"
 #include "train/experiment.hpp"
 #include "train/trainer.hpp"
+#include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -122,6 +126,113 @@ inline metrics::EventMetrics EvalScores(const std::vector<float>& scores,
   }
   const auto smoothed = core::SmoothLabels(raw, 5, 2);
   return metrics::ComputeEventMetrics(ds.labels(), ds.events(), smoothed);
+}
+
+// Machine-readable bench results: scalar summary fields plus a "rows" array
+// of per-sweep-point objects, written as one JSON file so the perf
+// trajectory is trackable across PRs (BENCH_fig5.json is the checked-in
+// instance; CI uploads fresh ones as artifacts). Construct with the path
+// from `--json <path>` (or the FF_BENCH_JSON env var); an empty path
+// disables the writer and every call becomes a no-op.
+class JsonResult {
+ public:
+  static std::string PathFromArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        FF_CHECK_MSG(i + 1 < argc, "--json needs a path argument");
+        return argv[i + 1];
+      }
+    }
+    return util::EnvString("FF_BENCH_JSON", "");
+  }
+
+  JsonResult(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Set(const std::string& key, double v) {
+    if (enabled()) scalars_.push_back({key, Num(v)});
+  }
+  void Set(const std::string& key, const std::string& v) {
+    if (enabled()) scalars_.push_back({key, Quote(v)});
+  }
+  void NewRow() {
+    if (enabled()) rows_.emplace_back();
+  }
+  void Row(const std::string& key, double v) {
+    if (enabled()) CurrentRow().push_back({key, Num(v)});
+  }
+  void Row(const std::string& key, const std::string& v) {
+    if (enabled()) CurrentRow().push_back({key, Quote(v)});
+  }
+
+  // Writes the file and reports the path on stdout; no-op when disabled.
+  void Write() const {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    out << "{\n  \"bench\": " << Quote(bench_);
+    for (const auto& f : scalars_) {
+      out << ",\n  " << Quote(f.key) << ": " << f.json;
+    }
+    out << ",\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i == 0 ? "" : ", ") << Quote(rows_[r][i].key) << ": "
+            << rows_[r][i].json;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("\nwrote %s\n", path_.c_str());
+  }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string json;  // pre-rendered value
+  };
+
+  std::vector<Field>& CurrentRow() {
+    FF_CHECK_MSG(!rows_.empty(), "JsonResult::Row before NewRow");
+    return rows_.back();
+  }
+
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Field> scalars_;
+  std::vector<std::vector<Field>> rows_;
+};
+
+// Records the shared sweep parameters every bench should carry in its JSON.
+inline void AddParams(JsonResult& json, const BenchParams& bp) {
+  json.Set("width", static_cast<double>(bp.width));
+  json.Set("test_frames", static_cast<double>(bp.test_frames));
+  json.Set("object_scale", bp.object_scale);
 }
 
 inline void PrintHeader(const char* what, const BenchParams& bp) {

@@ -12,14 +12,17 @@
 // All systems run on the same frames at the same resolution through the
 // same kernels, as in the paper's testbed. Throughput is measured, not
 // modeled. Weights are untrained (throughput does not depend on values).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <span>
 #include <vector>
 
 #include "baselines/discrete.hpp"
 #include "baselines/mobilenet_filter.hpp"
 #include "bench_common.hpp"
 #include "core/edge_node.hpp"
+#include "nn/kernels.hpp"
 
 using namespace ff;
 using bench::BenchParams;
@@ -45,7 +48,8 @@ std::vector<video::Frame> RenderFrames(const video::SyntheticDataset& ds,
 double MeasureFilterForward(const std::string& arch,
                             const video::SyntheticDataset& ds,
                             const std::vector<video::Frame>& frames,
-                            std::int64_t n_classifiers) {
+                            std::int64_t n_classifiers,
+                            std::int64_t submit_batch) {
   dnn::FeatureExtractor fx({.include_classifier = false});
   // The paper's feature extractor evaluates the complete base DNN every
   // frame (its break-even analysis assumes the full MobileNet cost). Our
@@ -71,10 +75,22 @@ double MeasureFilterForward(const std::string& arch,
                       .seed = static_cast<std::uint64_t>(100 + i)},
                      fx, ds.spec().height, ds.spec().width)});
   }
-  // Warmup one frame, then measure.
+  // Warmup one frame, then measure; FF_BENCH_BATCH > 1 measures the batched
+  // Submit path (identical decisions, wider phase-1 parallelism).
   node.Submit(frames[0]);
+  const std::span<const video::Frame> rest(frames.data() + 1,
+                                           frames.size() - 1);
   util::WallTimer timer;
-  for (std::size_t i = 1; i < frames.size(); ++i) node.Submit(frames[i]);
+  if (submit_batch <= 1) {
+    for (const auto& frame : rest) node.Submit(frame);
+  } else {
+    for (std::size_t i = 0; i < rest.size();
+         i += static_cast<std::size_t>(submit_batch)) {
+      node.Submit(rest.subspan(
+          i, std::min(static_cast<std::size_t>(submit_batch),
+                      rest.size() - i)));
+    }
+  }
   const double seconds = timer.ElapsedSeconds();
   node.Drain();
   return static_cast<double>(frames.size() - 1) / seconds;
@@ -98,12 +114,19 @@ double MeasurePixelBank(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bench::PrintHeader("Fig. 5: throughput vs number of classifiers", bp);
   const std::int64_t max_classifiers =
       util::EnvInt("FF_BENCH_MAX_CLASSIFIERS", 50);
   const std::int64_t n_frames = util::EnvInt("FF_BENCH_FRAMES", 3) + 1;
+  const std::int64_t submit_batch = util::EnvInt("FF_BENCH_BATCH", 1);
+  bench::JsonResult json("fig5_throughput",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
+  json.Set("frames_per_point", static_cast<double>(n_frames - 1));
+  json.Set("submit_batch", static_cast<double>(submit_batch));
+  json.Set("simd", nn::kernels::IsaName(nn::kernels::ActiveIsa()));
 
   auto spec = video::JacksonSpec(bp.width, n_frames + 1, 31);
   spec.object_scale = bp.object_scale;
@@ -153,9 +176,12 @@ int main() {
   double ff_last = 0, dc_last = 0;
   std::int64_t crossover = -1;
   for (const std::int64_t k : ClassifierCounts(max_classifiers)) {
-    const double ff_full = MeasureFilterForward("full_frame", ds, frames, k);
-    const double ff_win = MeasureFilterForward("windowed", ds, frames, k);
-    const double ff_loc = MeasureFilterForward("localized", ds, frames, k);
+    const double ff_full =
+        MeasureFilterForward("full_frame", ds, frames, k, submit_batch);
+    const double ff_win =
+        MeasureFilterForward("windowed", ds, frames, k, submit_batch);
+    const double ff_loc =
+        MeasureFilterForward("localized", ds, frames, k, submit_batch);
 
     std::vector<std::unique_ptr<baselines::DiscreteClassifier>> dcs;
     for (std::int64_t i = 0; i < k; ++i) {
@@ -192,6 +218,13 @@ int main() {
               util::Table::Num(ff_win, 2), util::Table::Num(ff_loc, 2),
               util::Table::Num(dc_fps, 2), util::Table::Num(mob_fps, 2),
               note});
+    json.NewRow();
+    json.Row("classifiers", static_cast<double>(k));
+    json.Row("ff_full_frame_fps", ff_full);
+    json.Row("ff_windowed_fps", ff_win);
+    json.Row("ff_localized_fps", ff_loc);
+    json.Row("discrete_fps", dc_fps);
+    json.Row("mobilenets_fps", mob_fps);
     const double ff_best = std::max({ff_full, ff_win, ff_loc});
     if (k == 1) {
       ff_at_1 = ff_best;
@@ -210,5 +243,10 @@ int main() {
               static_cast<long long>(crossover));
   std::printf("  FF/DC speed at %lld         : %.2fx\n",
               static_cast<long long>(max_classifiers), ff_last / dc_last);
+  json.Set("ff_dc_ratio_at_1", ff_at_1 / dc_at_1);
+  json.Set("crossover_classifiers", static_cast<double>(crossover));
+  json.Set("ff_dc_ratio_at_max", ff_last / dc_last);
+  json.Set("base_dnn_mmacs", static_cast<double>(base_macs) / 1e6);
+  json.Write();
   return 0;
 }

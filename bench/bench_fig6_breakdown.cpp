@@ -15,13 +15,16 @@
 using namespace ff;
 using bench::BenchParams;
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bench::PrintHeader("Fig. 6: execution time breakdown (base DNN vs MCs)",
                      bp);
   const std::int64_t max_classifiers =
       util::EnvInt("FF_BENCH_MAX_CLASSIFIERS", 50);
   const std::int64_t n_frames = util::EnvInt("FF_BENCH_FRAMES", 3) + 1;
+  bench::JsonResult json("fig6_breakdown",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
 
   auto spec = video::JacksonSpec(bp.width, n_frames + 1, 32);
   spec.object_scale = bp.object_scale;
@@ -69,11 +72,17 @@ int main() {
                 util::Table::Num(base_s + mc_s, 4),
                 util::Table::Num(100.0 * mc_s / (base_s + mc_s), 1) + "%",
                 util::Table::Num(per_mc > 0 ? base_s / per_mc : 0, 1)});
+      json.NewRow();
+      json.Row("arch", arch);
+      json.Row("classifiers", static_cast<double>(k));
+      json.Row("base_dnn_s_per_frame", base_s);
+      json.Row("mc_s_per_frame", mc_s);
     }
     t.Print(std::cout);
     std::printf("\n");
   }
   std::printf("paper: base DNN dominates at low counts; its CPU time is "
               "equivalent to ~15-40 MCs depending on the architecture.\n");
+  json.Write();
   return 0;
 }

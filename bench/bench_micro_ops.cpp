@@ -11,6 +11,7 @@
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "util/rng.hpp"
 #include "video/dataset.hpp"
 
@@ -59,6 +60,74 @@ void BM_Conv3x3Stride2(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv3x3Stride2);
+
+// --- SIMD kernel library (dispatched vs scalar; arg 0 selects) -------------
+
+const nn::kernels::OpTable& KernelTable(std::int64_t simd) {
+  return simd != 0 ? nn::kernels::Active() : nn::kernels::scalar::Table();
+}
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = state.range(1);
+  util::Pcg32 rng(11);
+  std::vector<float> x(static_cast<std::size_t>(n)), y(x.size());
+  for (auto& v : x) v = rng.NextFloat();
+  for (auto _ : state) {
+    ops.axpy(1.01f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelAxpy)->Args({0, 960})->Args({1, 960});
+
+void BM_KernelPwAcc4(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = 960, n_ic = 128;
+  util::Pcg32 rng(12);
+  std::vector<float> xdata(static_cast<std::size_t>(n * n_ic));
+  for (auto& v : xdata) v = rng.NextFloat();
+  std::vector<const float*> xs(static_cast<std::size_t>(n_ic));
+  for (std::int64_t ic = 0; ic < n_ic; ++ic) xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+  std::vector<float> w(static_cast<std::size_t>(4 * n_ic)), y(static_cast<std::size_t>(4 * n));
+  for (auto& v : w) v = rng.NextFloat();
+  for (auto _ : state) {
+    ops.pw_acc4(xs.data(), n_ic, w.data(), n_ic, y.data(), y.data() + n,
+                y.data() + 2 * n, y.data() + 3 * n, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(4 * n_ic * n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelPwAcc4)->Arg(0)->Arg(1);
+
+void BM_KernelSad16x16(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  util::Pcg32 rng(13);
+  std::vector<std::uint8_t> a(64 * 64), b(64 * 64);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.sad16x16(a.data(), 64, b.data() + 5, 64));
+  }
+}
+BENCHMARK(BM_KernelSad16x16)->Arg(0)->Arg(1);
+
+void BM_KernelDot(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = 4608;
+  util::Pcg32 rng(14);
+  std::vector<float> a(static_cast<std::size_t>(n)), b(a.size());
+  for (auto& v : a) v = rng.NextFloat();
+  for (auto& v : b) v = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.dot(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelDot)->Arg(0)->Arg(1);
 
 void BM_Dct8x8RoundTrip(benchmark::State& state) {
   util::Pcg32 rng(5);

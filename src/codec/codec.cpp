@@ -5,6 +5,7 @@
 
 #include "codec/bitstream.hpp"
 #include "codec/dct.hpp"
+#include "nn/kernels.hpp"
 #include "util/check.hpp"
 
 namespace ff::codec {
@@ -45,16 +46,9 @@ void PutBlock8(std::uint8_t* p, std::int64_t stride, std::int64_t x0,
 // (x0, y0) and of `ref` at (x0+dx, y0+dy). Caller guarantees bounds.
 std::uint32_t Sad16(const YuvImage& cur, const YuvImage& ref, std::int64_t x0,
                     std::int64_t y0, std::int64_t dx, std::int64_t dy) {
-  std::uint32_t sad = 0;
-  for (int y = 0; y < 16; ++y) {
-    const std::uint8_t* c = cur.y.data() + (y0 + y) * cur.w + x0;
-    const std::uint8_t* r = ref.y.data() + (y0 + dy + y) * ref.w + x0 + dx;
-    for (int x = 0; x < 16; ++x) {
-      sad += static_cast<std::uint32_t>(std::abs(static_cast<int>(c[x]) -
-                                                 static_cast<int>(r[x])));
-    }
-  }
-  return sad;
+  return nn::kernels::Sad16x16(cur.y.data() + y0 * cur.w + x0, cur.w,
+                               ref.y.data() + (y0 + dy) * ref.w + x0 + dx,
+                               ref.w);
 }
 
 struct Mv {

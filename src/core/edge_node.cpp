@@ -183,76 +183,119 @@ void EdgeNode::FinalizeReadyFrames() {
 }
 
 void EdgeNode::Submit(const video::Frame& frame) {
-  FF_CHECK_MSG(!drained_, "cannot submit to a drained node");
-  FF_CHECK_EQ(frame.width(), cfg_.frame_width);
-  FF_CHECK_EQ(frame.height(), cfg_.frame_height);
+  Submit(std::span<const video::Frame>(&frame, 1));
+}
+
+void EdgeNode::RunMcPhases(const dnn::FeatureMaps& fm, std::int64_t image) {
   const std::int64_t t = frames_processed_;
 
-  if (cfg_.enable_upload) {
-    if (tenants_.empty()) {
-      // No tenant live: the frame can never match. Finalize it trivially
-      // instead of copying it into the pending buffer and popping it right
-      // back out. (Detach drains fully, so the buffer is empty here.)
-      FF_CHECK(pending_.empty());
-      ++pending_base_;
-    } else {
-      PendingFrame pf;
-      pf.frame = frame;
-      pf.needed = tenants_.size();
-      pending_.push_back(std::move(pf));
-    }
-  }
-  if (store_) store_->Archive(frame);
-
-  if (!tenants_.empty()) {
-    // Phase 1: shared base DNN.
-    base_timer_.Start();
-    const nn::Tensor input = dnn::PreprocessRgb(
-        frame.r(), frame.g(), frame.b(), frame.height(), frame.width());
-    dnn::FeatureMaps fm = fx_.Extract(input);
-    base_timer_.Stop();
-
-    // Phase 2: per-tenant MC inference over the shared feature maps, one
-    // pool task per tenant. Each MC touches only its own state; kernel
-    // parallelism inside a tenant degrades to serial (see thread_pool.hpp).
-    // Fan out only once there are enough tenants to occupy the pool —
-    // below that, serial tenants with intra-kernel parallelism use the
-    // cores better (2 tenants on 16 cores would otherwise cap at 2-way).
-    const std::size_t pool_threads = util::GlobalPool().size() + 1;
-    const bool fan_out = cfg_.parallel_mcs && tenants_.size() > 1 &&
-                         2 * tenants_.size() >= pool_threads;
-    std::vector<float> scores(tenants_.size());
-    mc_timer_.Start();
-    if (fan_out) {
-      util::GlobalPool().ParallelFor(tenants_.size(), [&](std::size_t i) {
-        scores[i] = tenants_[i]->mc->Infer(fm);
-      });
-    } else {
-      for (std::size_t i = 0; i < tenants_.size(); ++i) {
-        scores[i] = tenants_[i]->mc->Infer(fm);
-      }
-    }
-    mc_timer_.Stop();
-
-    // Phase 3: smoothing/eventing, serially in attach order.
-    smooth_timer_.Start();
+  // Phase 2: per-tenant MC inference over the shared feature maps, one
+  // pool task per tenant. Each MC touches only its own state; kernel
+  // parallelism inside a tenant degrades to serial (see thread_pool.hpp).
+  // Fan out only once there are enough tenants to occupy the pool —
+  // below that, serial tenants with intra-kernel parallelism use the
+  // cores better (2 tenants on 16 cores would otherwise cap at 2-way).
+  const std::size_t pool_threads = util::GlobalPool().size() + 1;
+  const bool fan_out = cfg_.parallel_mcs && tenants_.size() > 1 &&
+                       2 * tenants_.size() >= pool_threads;
+  std::vector<float> scores(tenants_.size());
+  mc_timer_.Start();
+  if (fan_out) {
+    util::GlobalPool().ParallelFor(tenants_.size(), [&](std::size_t i) {
+      scores[i] = tenants_[i]->mc->Infer(fm, image);
+    });
+  } else {
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
-      Tenant& tenant = *tenants_[i];
-      // A windowed MC's output at time t refers to frame t - delay; its
-      // first `delay` outputs precede the tenant's first live frame and are
-      // dropped.
-      const std::int64_t local_t = t - tenant.first_frame;
-      if (local_t - tenant.mc->DecisionDelay() >= 0) {
-        DeliverScore(tenant, scores[i]);
-      }
+      scores[i] = tenants_[i]->mc->Infer(fm, image);
     }
-    smooth_timer_.Stop();
+  }
+  mc_timer_.Stop();
 
-    last_fm_ = std::move(fm);
+  // Phase 3: smoothing/eventing, serially in attach order.
+  smooth_timer_.Start();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    Tenant& tenant = *tenants_[i];
+    // A windowed MC's output at time t refers to frame t - delay; its
+    // first `delay` outputs precede the tenant's first live frame and are
+    // dropped.
+    const std::int64_t local_t = t - tenant.first_frame;
+    if (local_t - tenant.mc->DecisionDelay() >= 0) {
+      DeliverScore(tenant, scores[i]);
+    }
+  }
+  smooth_timer_.Stop();
+}
+
+void EdgeNode::Submit(std::span<const video::Frame> frames) {
+  FF_CHECK_MSG(!drained_, "cannot submit to a drained node");
+  if (frames.empty()) return;
+  for (const auto& frame : frames) {
+    FF_CHECK_EQ(frame.width(), cfg_.frame_width);
+    FF_CHECK_EQ(frame.height(), cfg_.frame_height);
   }
 
-  FinalizeReadyFrames();
-  ++frames_processed_;
+  // Bookkeeping runs for the whole batch up front; the tenant set cannot
+  // change mid-batch (Attach/Detach happen between Submit calls), so every
+  // frame of the batch sees the same `needed` count it would have seen
+  // frame-at-a-time.
+  if (cfg_.enable_upload) {
+    for (const auto& frame : frames) {
+      if (tenants_.empty()) {
+        // No tenant live: the frame can never match. Finalize it trivially
+        // instead of copying it into the pending buffer and popping it
+        // right back out. (Detach drains fully, so the buffer is empty.)
+        FF_CHECK(pending_.empty());
+        ++pending_base_;
+      } else {
+        PendingFrame pf;
+        pf.frame = frame;
+        pf.needed = tenants_.size();
+        pending_.push_back(std::move(pf));
+      }
+    }
+  }
+  if (store_) {
+    for (const auto& frame : frames) store_->Archive(frame);
+  }
+
+  if (tenants_.empty()) {
+    FinalizeReadyFrames();
+    frames_processed_ += static_cast<std::int64_t>(frames.size());
+    return;
+  }
+
+  // Phase 1: shared base DNN, one forward pass over the whole batch. The
+  // conv kernels spread n × out_c across the pool, so a batch keeps
+  // multicore fed even when a single frame's channel fan-out cannot.
+  const std::int64_t batch = static_cast<std::int64_t>(frames.size());
+  base_timer_.Start();
+  nn::Tensor input(
+      nn::Shape{batch, 3, cfg_.frame_height, cfg_.frame_width});
+  for (std::int64_t i = 0; i < batch; ++i) {
+    dnn::PreprocessRgbInto(input, i, frames[static_cast<std::size_t>(i)].r(),
+                           frames[static_cast<std::size_t>(i)].g(),
+                           frames[static_cast<std::size_t>(i)].b());
+  }
+  dnn::FeatureMaps batch_fm = fx_.Extract(input);
+  base_timer_.Stop();
+
+  // Phases 2-5 per frame, in stream order; each MC reads its frame's slice
+  // of the batched maps through a zero-copy view.
+  for (std::int64_t i = 0; i < batch; ++i) {
+    RunMcPhases(batch_fm, i);
+    FinalizeReadyFrames();
+    ++frames_processed_;
+  }
+
+  // Retain the final frame's maps (owning, batch-1) for windowed-MC tail
+  // padding at Detach/Drain.
+  if (batch == 1) {
+    last_fm_ = std::move(batch_fm);
+  } else {
+    dnn::FeatureMaps last;
+    for (const auto& [tap, act] : batch_fm) last.emplace(tap, act.Slice(batch - 1));
+    last_fm_ = std::move(last);
+  }
 }
 
 void EdgeNode::DrainTenantTail(Tenant& tenant) {
@@ -293,9 +336,17 @@ void EdgeNode::Drain() {
 }
 
 std::int64_t EdgeNode::Run(video::FrameSource& source) {
+  const std::int64_t batch = std::max<std::int64_t>(1, cfg_.submit_batch);
+  std::vector<video::Frame> staged;
+  staged.reserve(static_cast<std::size_t>(batch));
   while (auto frame = source.Next()) {
-    Submit(*frame);
+    staged.push_back(std::move(*frame));
+    if (static_cast<std::int64_t>(staged.size()) == batch) {
+      Submit(std::span<const video::Frame>(staged));
+      staged.clear();
+    }
   }
+  if (!staged.empty()) Submit(std::span<const video::Frame>(staged));
   Drain();
   return frames_processed_;
 }

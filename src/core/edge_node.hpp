@@ -46,6 +46,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -78,6 +79,13 @@ struct EdgeNodeConfig {
   // always run MCs single-threaded in attach order (per-MC CPU
   // attribution, Fig. 6).
   bool parallel_mcs = true;
+  // Frames per phase-1 batch in Run(): the base DNN forwards (N, 3, H, W)
+  // at a time, so its conv kernels parallelize across n × out_c instead of
+  // out_c alone. Decisions are bitwise-identical to frame-at-a-time
+  // submission; only latency (one batch of buffering) and parallel width
+  // change. Callers using Submit directly pick their own batch via the
+  // span overload.
+  std::int64_t submit_batch = 1;
 };
 
 // Identifies one attached tenant; monotonically increasing, never reused.
@@ -165,13 +173,24 @@ class EdgeNode {
   // Streaming ingestion of the next frame.
   void Submit(const video::Frame& frame);
 
+  // Batched ingestion: phase 1 runs the base DNN once over the whole
+  // (N, 3, H, W) batch; phases 2-5 then run per frame in stream order, so
+  // every tenant sees exactly the per-frame decision stream that N
+  // single-frame Submit calls would produce (pinned by edge_batch_test).
+  // The tenant set is fixed for the whole batch — Attach/Detach remain
+  // frame-boundary operations and batches are their coarser boundary: a
+  // tenant attached after Submit(span of N) is live from global frame
+  // index frames_processed(); a detaching tenant drains through the last
+  // submitted batch.
+  void Submit(std::span<const video::Frame> frames);
+
   // End of stream: drains every remaining tenant (as Detach does) and
   // finalizes all pending uploads. Idempotent; the node accepts no further
   // Submit/Attach afterwards.
   void Drain();
 
-  // Convenience: Submit() every frame of `source`, then Drain(). Returns
-  // frames processed.
+  // Convenience: Submit() every frame of `source` (in batches of
+  // config().submit_batch), then Drain(). Returns frames processed.
   std::int64_t Run(video::FrameSource& source);
 
   // Uplink sink: every uploaded frame's bitstream chunk and metadata is
@@ -228,6 +247,10 @@ class EdgeNode {
 
   // Index of the tenant owning `handle`; throws if not attached.
   std::size_t TenantIndex(McHandle handle) const;
+  // Phases 2 (MC inference) and 3 (smoothing/eventing) for the frame at
+  // global index frames_processed_, fed by image `image` of the (possibly
+  // batched) feature maps.
+  void RunMcPhases(const dnn::FeatureMaps& fm, std::int64_t image);
   void DeliverScore(Tenant& tenant, float score);
   void NotifyDecision(Tenant& tenant, bool positive);
   void DeliverClosedEvent(Tenant& tenant, const EventRecord& ev);

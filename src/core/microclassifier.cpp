@@ -33,11 +33,13 @@ Microclassifier::Microclassifier(McConfig cfg, const dnn::FeatureExtractor& fx,
   }
 }
 
-nn::TensorView Microclassifier::FeatureView(const dnn::FeatureMaps& fm) const {
+nn::TensorView Microclassifier::FeatureView(const dnn::FeatureMaps& fm,
+                                            std::int64_t image) const {
   const auto it = fm.find(cfg_.tap);
   FF_CHECK_MSG(it != fm.end(), name() << ": tap " << cfg_.tap
                                       << " missing from feature maps");
   nn::TensorView v(it->second);
+  if (v.shape().n > 1 || image > 0) v = v.Image(image);
   if (feature_rect_) v = v.CropHW(*feature_rect_);
   return v;
 }
@@ -70,8 +72,8 @@ FullFrameObjectDetectorMc::FullFrameObjectDetectorMc(
   nn::HeInit(net_, cfg_.seed);
 }
 
-float FullFrameObjectDetectorMc::Infer(const dnn::FeatureMaps& fm) {
-  return net_.Forward(FeatureView(fm)).data()[0];
+float FullFrameObjectDetectorMc::InferView(const nn::TensorView& features) {
+  return net_.Forward(features).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -102,8 +104,8 @@ LocalizedBinaryClassifierMc::LocalizedBinaryClassifierMc(
   nn::HeInit(net_, cfg_.seed);
 }
 
-float LocalizedBinaryClassifierMc::Infer(const dnn::FeatureMaps& fm) {
-  return net_.Forward(FeatureView(fm)).data()[0];
+float LocalizedBinaryClassifierMc::InferView(const nn::TensorView& features) {
+  return net_.Forward(features).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -150,12 +152,12 @@ WindowedLocalizedMc::WindowedLocalizedMc(McConfig cfg,
   nn::HeInit(net_, cfg_.seed);
 }
 
-float WindowedLocalizedMc::Infer(const dnn::FeatureMaps& fm) {
+float WindowedLocalizedMc::InferView(const nn::TensorView& features) {
   if (reuse_buffers_) {
     // Paper §3.3.3: the 1x1 conv runs once per frame; its output is buffered
     // and shared by the W windows that contain this frame. The cropped tap
     // feeds the conv as a zero-copy view.
-    buffer_.push_back(net_.ForwardRange(FeatureView(fm), 0, 1));
+    buffer_.push_back(net_.ForwardRange(features, 0, 1));
     while (static_cast<std::int64_t>(buffer_.size()) < window_) {
       buffer_.push_front(buffer_.front());  // replicate-pad at stream start
     }
@@ -169,8 +171,8 @@ float WindowedLocalizedMc::Infer(const dnn::FeatureMaps& fm) {
     return net_.ForwardRange(cat, 2, net_.n_layers()).data()[0];
   }
   // Ablation path: recompute the 1x1 conv for every frame in the window.
-  // The buffer outlives `fm`, so this path genuinely copies.
-  raw_buffer_.push_back(CropFeatures(fm));
+  // The buffer outlives the view, so this path genuinely copies.
+  raw_buffer_.push_back(features.Materialize());
   while (static_cast<std::int64_t>(raw_buffer_.size()) < window_) {
     raw_buffer_.push_front(raw_buffer_.front());
   }

@@ -56,9 +56,12 @@ class Microclassifier {
   const McConfig& config() const { return cfg_; }
   const std::string& name() const { return cfg_.name; }
 
-  // Probability that the current frame is relevant. Stateless except for
-  // the windowed architecture (see DecisionDelay).
-  virtual float Infer(const dnn::FeatureMaps& fm) = 0;
+  // Probability that frame `image` of the feature maps is relevant (the
+  // maps may carry a whole Submit batch; the per-image view is zero-copy).
+  // Stateless except for the windowed architecture (see DecisionDelay).
+  float Infer(const dnn::FeatureMaps& fm, std::int64_t image = 0) {
+    return InferView(FeatureView(fm, image));
+  }
 
   // How many frames behind the input the decision refers to (0 for
   // single-frame MCs, W/2 for windowed ones).
@@ -75,10 +78,12 @@ class Microclassifier {
   virtual nn::Sequential& net() = 0;
 
   // Zero-copy view of the (optionally cropped) tap activation this MC
-  // consumes. Borrows `fm`'s storage: valid only while `fm` is alive and
-  // unmodified. This is the per-frame inference path — neither full-frame
-  // taps nor crops allocate per tenant.
-  nn::TensorView FeatureView(const dnn::FeatureMaps& fm) const;
+  // consumes, for image `image` of the (possibly batched) maps. Borrows
+  // `fm`'s storage: valid only while `fm` is alive and unmodified. This is
+  // the per-frame inference path — neither full-frame taps, crops, nor
+  // batch slices allocate per tenant.
+  nn::TensorView FeatureView(const dnn::FeatureMaps& fm,
+                             std::int64_t image = 0) const;
 
   // Owning copy of the same (for consumers that outlive the feature maps,
   // e.g. the trainer's frame cache and the windowed no-reuse ablation).
@@ -88,6 +93,10 @@ class Microclassifier {
   const nn::Shape& input_shape() const { return input_shape_; }
 
  protected:
+  // Architecture-specific inference over the (cropped, batch-1) feature
+  // view Infer() prepared.
+  virtual float InferView(const nn::TensorView& features) = 0;
+
   McConfig cfg_;
   nn::Shape tap_shape_;       // full tap activation shape at this resolution
   nn::Shape input_shape_;     // after the optional crop
@@ -99,8 +108,10 @@ class FullFrameObjectDetectorMc : public Microclassifier {
  public:
   FullFrameObjectDetectorMc(McConfig cfg, const dnn::FeatureExtractor& fx,
                             std::int64_t frame_h, std::int64_t frame_w);
-  float Infer(const dnn::FeatureMaps& fm) override;
   nn::Sequential& net() override { return net_; }
+
+ protected:
+  float InferView(const nn::TensorView& features) override;
 
  private:
   nn::Sequential net_;
@@ -111,8 +122,10 @@ class LocalizedBinaryClassifierMc : public Microclassifier {
  public:
   LocalizedBinaryClassifierMc(McConfig cfg, const dnn::FeatureExtractor& fx,
                               std::int64_t frame_h, std::int64_t frame_w);
-  float Infer(const dnn::FeatureMaps& fm) override;
   nn::Sequential& net() override { return net_; }
+
+ protected:
+  float InferView(const nn::TensorView& features) override;
 
  private:
   nn::Sequential net_;
@@ -128,7 +141,6 @@ class WindowedLocalizedMc : public Microclassifier {
                       std::int64_t window = kDefaultWindow,
                       bool reuse_buffers = true);
 
-  float Infer(const dnn::FeatureMaps& fm) override;
   std::int64_t DecisionDelay() const override { return window_ / 2; }
   void ResetTemporalState() override { buffer_.clear(); }
   std::uint64_t MarginalMacsPerFrame() const override;
@@ -140,6 +152,9 @@ class WindowedLocalizedMc : public Microclassifier {
   // Cost if the per-frame 1x1 conv were recomputed for the whole window each
   // frame (the ablation of paper §3.3.3's optimization).
   std::uint64_t MarginalMacsWithoutReuse() const;
+
+ protected:
+  float InferView(const nn::TensorView& features) override;
 
  private:
   std::int64_t window_;

@@ -21,10 +21,11 @@ void FeatureExtractor::ReleaseTap(const std::string& tap) {
   }
 }
 
-FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frame) {
+FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frames) {
   FF_CHECK_MSG(!taps_.empty(), "no taps requested");
-  FF_CHECK_EQ(frame.shape().c, 3);
-  return net_.ForwardWithTaps(frame, taps_);
+  FF_CHECK_EQ(frames.shape().c, 3);
+  FF_CHECK_GE(frames.shape().n, 1);
+  return net_.ForwardWithTaps(frames, taps_);
 }
 
 std::uint64_t FeatureExtractor::MacsPerFrame(std::int64_t h,
@@ -52,17 +53,24 @@ nn::Tensor PreprocessRgb(const std::uint8_t* r, const std::uint8_t* g,
                          const std::uint8_t* b, std::int64_t h,
                          std::int64_t w) {
   nn::Tensor t(nn::Shape{1, 3, h, w});
-  const std::int64_t plane = h * w;
-  float* pr = t.plane(0, 0);
-  float* pg = t.plane(0, 1);
-  float* pb = t.plane(0, 2);
+  PreprocessRgbInto(t, 0, r, g, b);
+  return t;
+}
+
+void PreprocessRgbInto(nn::Tensor& batch, std::int64_t n,
+                       const std::uint8_t* r, const std::uint8_t* g,
+                       const std::uint8_t* b) {
+  FF_CHECK_EQ(batch.shape().c, 3);
+  const std::int64_t plane = batch.shape().h * batch.shape().w;
+  float* pr = batch.plane(n, 0);
+  float* pg = batch.plane(n, 1);
+  float* pb = batch.plane(n, 2);
   constexpr float kScale = 1.0f / 127.5f;
   for (std::int64_t i = 0; i < plane; ++i) {
     pr[i] = static_cast<float>(r[i]) * kScale - 1.0f;
     pg[i] = static_cast<float>(g[i]) * kScale - 1.0f;
     pb[i] = static_cast<float>(b[i]) * kScale - 1.0f;
   }
-  return t;
 }
 
 }  // namespace ff::dnn

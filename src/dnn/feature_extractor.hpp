@@ -32,9 +32,14 @@ class FeatureExtractor {
   void ReleaseTap(const std::string& tap);
   const std::set<std::string>& taps() const { return taps_; }
 
-  // Runs the base DNN on a preprocessed frame tensor (1, 3, H, W) and
-  // returns the requested activations.
-  FeatureMaps Extract(const nn::Tensor& frame);
+  // Runs the base DNN on a preprocessed frame batch (N, 3, H, W) and
+  // returns the requested activations, each with the same leading batch
+  // dimension. Every image is computed exactly as a batch-1 call would
+  // (bitwise: image n of a batched tap equals Extract on frame n alone —
+  // pinned by edge_batch_test), but the conv kernels parallelize across
+  // n × out_c instead of out_c alone, which is what keeps a thread pool fed
+  // on multicore (ROADMAP: frame batching).
+  FeatureMaps Extract(const nn::Tensor& frames);
 
   // Multiply-adds for one frame of shape (1, 3, h, w): the cost of the
   // prefix up to the deepest requested tap. This is the "upfront overhead"
@@ -61,5 +66,12 @@ class FeatureExtractor {
 // scaled to [-1, 1] (MobileNet's 1/127.5 - 1 preprocessing).
 nn::Tensor PreprocessRgb(const std::uint8_t* r, const std::uint8_t* g,
                          const std::uint8_t* b, std::int64_t h, std::int64_t w);
+
+// Same conversion written into image `n` of a preallocated (N, 3, h, w)
+// batch tensor — the staging step of the batched Submit path. Bitwise
+// identical to PreprocessRgb on the same planes.
+void PreprocessRgbInto(nn::Tensor& batch, std::int64_t n,
+                       const std::uint8_t* r, const std::uint8_t* g,
+                       const std::uint8_t* b);
 
 }  // namespace ff::dnn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels.hpp"
+
 namespace ff::nn {
 
 namespace {
@@ -26,19 +28,36 @@ void ApplyElementwise(const TensorView& in, Tensor& out, Op op) {
   }
 }
 
+// Run-structured variant for the SIMD kernels: one call over the whole
+// buffer when dense, one per row when the view is a crop.
+void ApplyRuns(const TensorView& in, Tensor& out,
+               void (*kernel)(const float*, float*, std::int64_t)) {
+  float* y = out.data();
+  if (in.contiguous()) {
+    kernel(in.data(), y, in.elements());
+    return;
+  }
+  const Shape& s = in.shape();
+  for (std::int64_t n = 0; n < s.n; ++n) {
+    for (std::int64_t c = 0; c < s.c; ++c) {
+      for (std::int64_t r = 0; r < s.h; ++r) {
+        kernel(in.row(n, c, r), y, s.w);
+        y += s.w;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Tensor Activation::Forward(const TensorView& in) {
   Tensor out(in.shape());
   switch (kind_) {
     case ActKind::kRelu:
-      ApplyElementwise(in, out, [](float v) { return v > 0.0f ? v : 0.0f; });
+      ApplyRuns(in, out, kernels::Active().relu);
       break;
     case ActKind::kRelu6:
-      ApplyElementwise(in, out, [](float v) {
-        const float r = v > 0.0f ? v : 0.0f;
-        return r < 6.0f ? r : 6.0f;
-      });
+      ApplyRuns(in, out, kernels::Active().relu6);
       break;
     case ActKind::kSigmoid:
       ApplyElementwise(in, out, [](float v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ff::nn {
@@ -61,8 +62,7 @@ XRange ValidX(std::int64_t out_w, std::int64_t in_w, std::int64_t s,
   return {lo, std::max(lo, hi)};
 }
 
-// Parallelize when the plane work is worth a dispatch.
-bool WorthParallel(std::int64_t flops) { return flops > (1 << 17); }
+using kernels::ForEachPlaneBlock;
 
 }  // namespace
 
@@ -118,50 +118,86 @@ Tensor Conv2D::Forward(const TensorView& in) {
   auto compute_oc_block = [&](std::int64_t n, std::int64_t oc0,
                               std::int64_t oc1) {
     for (std::int64_t oc = oc0; oc < oc1; ++oc) {
-      float* op = out.plane(n, oc);
-      std::fill(op, op + oh * ow, b_[static_cast<std::size_t>(oc)]);
+      kernels::Fill(out.plane(n, oc), oh * ow,
+                    b_[static_cast<std::size_t>(oc)]);
     }
     if (pointwise) {
+      // Input-plane run pointers gathered once per oc block (the old code
+      // recomputed out.plane per input-channel iteration); the fused PwAcc
+      // kernels keep 4 output rows in registers across the whole ic loop.
+      std::vector<const float*> xs(
+          static_cast<std::size_t>(n_runs * in_c_));
+      for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+        const float* ipl = in.plane(n, ic);
+        for (std::int64_t r = 0; r < n_runs; ++r) {
+          xs[static_cast<std::size_t>(r * in_c_ + ic)] = ipl + r * is;
+        }
+      }
       std::int64_t oc = oc0;
       for (; oc + 4 <= oc1; oc += 4) {
-        for (std::int64_t ic = 0; ic < in_c_; ++ic) {
-          const float* ipl = in.plane(n, ic);
-          const float w0 = w_[static_cast<std::size_t>(oc * in_c_ + ic)];
-          const float w1 = w_[static_cast<std::size_t>((oc + 1) * in_c_ + ic)];
-          const float w2 = w_[static_cast<std::size_t>((oc + 2) * in_c_ + ic)];
-          const float w3 = w_[static_cast<std::size_t>((oc + 3) * in_c_ + ic)];
-          for (std::int64_t r = 0; r < n_runs; ++r) {
-            const float* ip = ipl + r * is;
-            float* o0 = out.plane(n, oc) + r * run;
-            float* o1 = out.plane(n, oc + 1) + r * run;
-            float* o2 = out.plane(n, oc + 2) + r * run;
-            float* o3 = out.plane(n, oc + 3) + r * run;
-            for (std::int64_t p = 0; p < run; ++p) {
-              const float v = ip[p];
-              o0[p] += w0 * v;
-              o1[p] += w1 * v;
-              o2[p] += w2 * v;
-              o3[p] += w3 * v;
-            }
-          }
+        float* const o0 = out.plane(n, oc);
+        float* const o1 = out.plane(n, oc + 1);
+        float* const o2 = out.plane(n, oc + 2);
+        float* const o3 = out.plane(n, oc + 3);
+        const float* w = &w_[static_cast<std::size_t>(oc * in_c_)];
+        for (std::int64_t r = 0; r < n_runs; ++r) {
+          kernels::PwAcc4(&xs[static_cast<std::size_t>(r * in_c_)], in_c_, w,
+                          in_c_, o0 + r * run, o1 + r * run, o2 + r * run,
+                          o3 + r * run, run);
         }
       }
       for (; oc < oc1; ++oc) {
-        for (std::int64_t ic = 0; ic < in_c_; ++ic) {
-          const float* ipl = in.plane(n, ic);
-          const float w = w_[static_cast<std::size_t>(oc * in_c_ + ic)];
-          for (std::int64_t r = 0; r < n_runs; ++r) {
-            const float* ip = ipl + r * is;
-            float* op = out.plane(n, oc) + r * run;
-            for (std::int64_t p = 0; p < run; ++p) op[p] += w * ip[p];
-          }
+        float* const op = out.plane(n, oc);
+        const float* w = &w_[static_cast<std::size_t>(oc * in_c_)];
+        for (std::int64_t r = 0; r < n_runs; ++r) {
+          kernels::PwAcc1(&xs[static_cast<std::size_t>(r * in_c_)], in_c_, w,
+                          op + r * run, run);
         }
       }
       return;
     }
-    // General KxK path: scalar weight broadcast over a row axpy; the inner
-    // x-loop is contiguous for stride 1 and vectorizes.
-    for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+    // General KxK path: scalar weight broadcast over a row axpy, blocked
+    // four output channels per input-row load for stride 1 (the inner
+    // x-loop is contiguous and runs through the SIMD kernel).
+    std::int64_t oc = oc0;
+    for (; stride_ == 1 && oc + 4 <= oc1; oc += 4) {
+      float* const o0 = out.plane(n, oc);
+      float* const o1 = out.plane(n, oc + 1);
+      float* const o2 = out.plane(n, oc + 2);
+      float* const o3 = out.plane(n, oc + 3);
+      for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+        const float* ip = in.plane(n, ic);
+        const float* wrow =
+            &w_[static_cast<std::size_t>((oc * in_c_ + ic) * k_ * k_)];
+        const std::int64_t wplane = in_c_ * k_ * k_;
+        for (std::int64_t ky = 0; ky < k_; ++ky) {
+          for (std::int64_t kx = 0; kx < k_; ++kx) {
+            const std::int64_t kidx = ky * k_ + kx;
+            const float w4[4] = {wrow[kidx], wrow[wplane + kidx],
+                                 wrow[2 * wplane + kidx],
+                                 wrow[3 * wplane + kidx]};
+            if (w4[0] == 0.0f && w4[1] == 0.0f && w4[2] == 0.0f &&
+                w4[3] == 0.0f) {
+              continue;
+            }
+            const XRange xr = ValidX(ow, iw, stride_, kx, gx.pad_begin);
+            if (xr.hi <= xr.lo) continue;
+            // Valid output rows are contiguous at stride 1; one fused call
+            // covers them all.
+            const std::int64_t oy_lo =
+                std::max<std::int64_t>(0, gy.pad_begin - ky);
+            const std::int64_t oy_hi = std::min(oh, ih - ky + gy.pad_begin);
+            if (oy_hi <= oy_lo) continue;
+            const float* xbase = ip + (oy_lo + ky - gy.pad_begin) * is +
+                                 (kx - gx.pad_begin) + xr.lo;
+            const std::int64_t off = oy_lo * ow + xr.lo;
+            kernels::Axpy4Rows(w4, xbase, is, o0 + off, o1 + off, o2 + off,
+                               o3 + off, ow, oy_hi - oy_lo, xr.hi - xr.lo);
+          }
+        }
+      }
+    }
+    for (; oc < oc1; ++oc) {
       float* op = out.plane(n, oc);
       for (std::int64_t ic = 0; ic < in_c_; ++ic) {
         const float* ip = in.plane(n, ic);
@@ -172,19 +208,25 @@ Tensor Conv2D::Forward(const TensorView& in) {
             const float w = wrow[ky * k_ + kx];
             if (w == 0.0f) continue;
             const XRange xr = ValidX(ow, iw, stride_, kx, gx.pad_begin);
+            if (xr.hi <= xr.lo) continue;
+            if (stride_ == 1) {
+              const std::int64_t oy_lo =
+                  std::max<std::int64_t>(0, gy.pad_begin - ky);
+              const std::int64_t oy_hi = std::min(oh, ih - ky + gy.pad_begin);
+              if (oy_hi <= oy_lo) continue;
+              const float* xbase = ip + (oy_lo + ky - gy.pad_begin) * is +
+                                   (kx - gx.pad_begin) + xr.lo;
+              kernels::AxpyRows(w, xbase, is, op + oy_lo * ow + xr.lo, ow,
+                                oy_hi - oy_lo, xr.hi - xr.lo);
+              continue;
+            }
             for (std::int64_t oy = 0; oy < oh; ++oy) {
               const std::int64_t iy = oy * stride_ + ky - gy.pad_begin;
               if (iy < 0 || iy >= ih) continue;
               const float* irow = ip + iy * is + (kx - gx.pad_begin);
               float* orow = op + oy * ow;
-              if (stride_ == 1) {
-                for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
-                  orow[ox] += w * irow[ox];
-                }
-              } else {
-                for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
-                  orow[ox] += w * irow[ox * stride_];
-                }
+              for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
+                orow[ox] += w * irow[ox * stride_];
               }
             }
           }
@@ -194,18 +236,8 @@ Tensor Conv2D::Forward(const TensorView& in) {
   };
 
   const std::int64_t flops_per_oc = 2 * oh * ow * in_c_ * k_ * k_;
-  for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    if (WorthParallel(flops_per_oc * out_c_)) {
-      util::GlobalPool().ParallelForRange(
-          static_cast<std::size_t>(out_c_),
-          [&](std::size_t b, std::size_t e) {
-            compute_oc_block(n, static_cast<std::int64_t>(b),
-                             static_cast<std::int64_t>(e));
-          });
-    } else {
-      compute_oc_block(n, 0, out_c_);
-    }
-  }
+  ForEachPlaneBlock(in.shape().n, out_c_,
+                    flops_per_oc * out_c_ * in.shape().n, compute_oc_block);
 
   if (training_) saved_in_ = in.Materialize();  // copy: needed for dW
   return out;
@@ -346,25 +378,31 @@ Tensor DepthwiseConv2D::Forward(const TensorView& in) {
     for (std::int64_t c = c0; c < c1; ++c) {
       const float* ip = in.plane(n, c);
       float* op = out.plane(n, c);
-      std::fill(op, op + oh * ow, b_[static_cast<std::size_t>(c)]);
+      kernels::Fill(op, oh * ow, b_[static_cast<std::size_t>(c)]);
       const float* wrow = &w_[static_cast<std::size_t>(c * k_ * k_)];
       for (std::int64_t ky = 0; ky < k_; ++ky) {
         for (std::int64_t kx = 0; kx < k_; ++kx) {
           const float w = wrow[ky * k_ + kx];
           const XRange xr = ValidX(ow, iw, stride_, kx, gx.pad_begin);
+          if (xr.hi <= xr.lo) continue;
+          if (stride_ == 1) {
+            const std::int64_t oy_lo =
+                std::max<std::int64_t>(0, gy.pad_begin - ky);
+            const std::int64_t oy_hi = std::min(oh, ih - ky + gy.pad_begin);
+            if (oy_hi <= oy_lo) continue;
+            const float* xbase = ip + (oy_lo + ky - gy.pad_begin) * is +
+                                 (kx - gx.pad_begin) + xr.lo;
+            kernels::AxpyRows(w, xbase, is, op + oy_lo * ow + xr.lo, ow,
+                              oy_hi - oy_lo, xr.hi - xr.lo);
+            continue;
+          }
           for (std::int64_t oy = 0; oy < oh; ++oy) {
             const std::int64_t iy = oy * stride_ + ky - gy.pad_begin;
             if (iy < 0 || iy >= ih) continue;
             const float* irow = ip + iy * is + (kx - gx.pad_begin);
             float* orow = op + oy * ow;
-            if (stride_ == 1) {
-              for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
-                orow[ox] += w * irow[ox];
-              }
-            } else {
-              for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
-                orow[ox] += w * irow[ox * stride_];
-              }
+            for (std::int64_t ox = xr.lo; ox < xr.hi; ++ox) {
+              orow[ox] += w * irow[ox * stride_];
             }
           }
         }
@@ -372,17 +410,8 @@ Tensor DepthwiseConv2D::Forward(const TensorView& in) {
     }
   };
 
-  for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    if (WorthParallel(2 * oh * ow * k_ * k_ * c_)) {
-      util::GlobalPool().ParallelForRange(
-          static_cast<std::size_t>(c_), [&](std::size_t b, std::size_t e) {
-            compute_c(n, static_cast<std::int64_t>(b),
-                      static_cast<std::int64_t>(e));
-          });
-    } else {
-      compute_c(n, 0, c_);
-    }
-  }
+  ForEachPlaneBlock(in.shape().n, c_,
+                    2 * oh * ow * k_ * k_ * c_ * in.shape().n, compute_c);
   if (training_) saved_in_ = in.Materialize();
   return out;
 }

@@ -1,5 +1,6 @@
 #include "nn/dense.hpp"
 
+#include "nn/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ff::nn {
@@ -35,16 +36,24 @@ Tensor FullyConnected::Forward(const TensorView& in) {
   for (std::int64_t n = 0; n < in.shape().n; ++n) {
     const float* x = flat + n * in.shape().per_image();
     float* y = out.plane(n, 0);
-    util::GlobalPool().ParallelForRange(
-        static_cast<std::size_t>(units_), [&](std::size_t b, std::size_t e) {
-          for (auto u = static_cast<std::int64_t>(b);
-               u < static_cast<std::int64_t>(e); ++u) {
-            const float* wrow = &w_[static_cast<std::size_t>(u * in_dim_)];
-            double acc = b_[static_cast<std::size_t>(u)];
-            for (std::int64_t i = 0; i < in_dim_; ++i) acc += double(wrow[i]) * x[i];
-            y[u] = static_cast<float>(acc);
-          }
-        });
+    auto compute_units = [&](std::int64_t u0, std::int64_t u1) {
+      for (std::int64_t u = u0; u < u1; ++u) {
+        const float* wrow = &w_[static_cast<std::size_t>(u * in_dim_)];
+        y[u] = static_cast<float>(b_[static_cast<std::size_t>(u)] +
+                                  kernels::Dot(wrow, x, in_dim_));
+      }
+    };
+    // The MC heads are tiny (200x1); dispatching those to the pool costs
+    // more than the dot products themselves.
+    if (kernels::WorthParallel(2 * units_ * in_dim_)) {
+      util::GlobalPool().ParallelForRange(
+          static_cast<std::size_t>(units_), [&](std::size_t b, std::size_t e) {
+            compute_units(static_cast<std::int64_t>(b),
+                          static_cast<std::int64_t>(e));
+          });
+    } else {
+      compute_units(0, units_);
+    }
   }
   if (training_) saved_in_ = in.contiguous() ? in.Materialize()
                                              : std::move(staged);

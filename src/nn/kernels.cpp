@@ -1,0 +1,801 @@
+// SIMD micro-kernels. See kernels.hpp for the bitwise-parity contract.
+//
+// This file is compiled with -ffp-contract=off (src/CMakeLists.txt) so that
+// even under -march=x86-64-v3 the compiler cannot fuse the scalar reference
+// path's multiply+add into an FMA — the SIMD paths deliberately use separate
+// mul/add, and parity is the whole point.
+
+#include "nn/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+
+#if (defined(__x86_64__) || defined(__amd64__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FF_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define FF_KERNELS_X86 0
+#endif
+
+namespace ff::nn::kernels {
+
+namespace scalar {
+namespace {
+
+void Fill(float* y, std::int64_t n, float v) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = v;
+}
+
+void Axpy(float a, const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Axpy4(const float* w, const float* x, float* y0, float* y1, float* y2,
+           float* y3, std::int64_t n) {
+  const float w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    y0[i] += w0 * v;
+    y1[i] += w1 * v;
+    y2[i] += w2 * v;
+    y3[i] += w3 * v;
+  }
+}
+
+void AxpyRows(float a, const float* x, std::int64_t x_stride, float* y,
+              std::int64_t y_stride, std::int64_t rows, std::int64_t n) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    Axpy(a, x + r * x_stride, y + r * y_stride, n);
+  }
+}
+
+void Axpy4Rows(const float* w, const float* x, std::int64_t x_stride,
+               float* y0, float* y1, float* y2, float* y3,
+               std::int64_t y_stride, std::int64_t rows, std::int64_t n) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    Axpy4(w, x + r * x_stride, y0 + r * y_stride, y1 + r * y_stride,
+          y2 + r * y_stride, y3 + r * y_stride, n);
+  }
+}
+
+void PwAcc4(const float* const* x, std::int64_t n_ic, const float* w,
+            std::int64_t w_stride, float* y0, float* y1, float* y2, float* y3,
+            std::int64_t n) {
+  const float* w0 = w;
+  const float* w1 = w + w_stride;
+  const float* w2 = w + 2 * w_stride;
+  const float* w3 = w + 3 * w_stride;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float a0 = y0[i], a1 = y1[i], a2 = y2[i], a3 = y3[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const float v = x[ic][i];
+      a0 += w0[ic] * v;
+      a1 += w1[ic] * v;
+      a2 += w2[ic] * v;
+      a3 += w3[ic] * v;
+    }
+    y0[i] = a0;
+    y1[i] = a1;
+    y2[i] = a2;
+    y3[i] = a3;
+  }
+}
+
+void PwAcc1(const float* const* x, std::int64_t n_ic, const float* w,
+            float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    float a = y[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) a += w[ic] * x[ic][i];
+    y[i] = a;
+  }
+}
+
+// The pinned reduction scheme: lane j accumulates indices i ≡ j (mod 8).
+double Dot(const float* a, const float* b, std::int64_t n) {
+  double s[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int j = 0; j < 8; ++j) {
+      s[j] += static_cast<double>(a[i + j]) * static_cast<double>(b[i + j]);
+    }
+  }
+  for (int j = 0; i < n; ++i, ++j) {
+    s[j] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void Relu(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void Relu6(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float r = x[i] > 0.0f ? x[i] : 0.0f;
+    y[i] = r < 6.0f ? r : 6.0f;
+  }
+}
+
+std::uint32_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::int64_t n) {
+  std::uint32_t sad = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    sad += static_cast<std::uint32_t>(
+        a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+  }
+  return sad;
+}
+
+std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
+                       const std::uint8_t* b, std::int64_t stride_b) {
+  std::uint32_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    sad += SadU8(a + y * stride_a, b + y * stride_b, 16);
+  }
+  return sad;
+}
+
+constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
+                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
+                            SadU8,  Sad16x16};
+
+}  // namespace
+
+const OpTable& Table() { return kTable; }
+
+}  // namespace scalar
+
+#if FF_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 — x86-64 baseline, always available on this architecture.
+// ---------------------------------------------------------------------------
+namespace sse2 {
+namespace {
+
+void Fill(float* y, std::int64_t n, float v) {
+  const __m128 vv = _mm_set1_ps(v);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm_storeu_ps(y + i, vv);
+  for (; i < n; ++i) y[i] = v;
+}
+
+void Axpy(float a, const float* x, float* y, std::int64_t n) {
+  const __m128 va = _mm_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vy = _mm_loadu_ps(y + i);
+    _mm_storeu_ps(y + i, _mm_add_ps(vy, _mm_mul_ps(va, _mm_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void Axpy4(const float* w, const float* x, float* y0, float* y1, float* y2,
+           float* y3, std::int64_t n) {
+  const __m128 w0 = _mm_set1_ps(w[0]), w1 = _mm_set1_ps(w[1]);
+  const __m128 w2 = _mm_set1_ps(w[2]), w3 = _mm_set1_ps(w[3]);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_loadu_ps(x + i);
+    _mm_storeu_ps(y0 + i, _mm_add_ps(_mm_loadu_ps(y0 + i), _mm_mul_ps(w0, v)));
+    _mm_storeu_ps(y1 + i, _mm_add_ps(_mm_loadu_ps(y1 + i), _mm_mul_ps(w1, v)));
+    _mm_storeu_ps(y2 + i, _mm_add_ps(_mm_loadu_ps(y2 + i), _mm_mul_ps(w2, v)));
+    _mm_storeu_ps(y3 + i, _mm_add_ps(_mm_loadu_ps(y3 + i), _mm_mul_ps(w3, v)));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i];
+    y0[i] += w[0] * v;
+    y1[i] += w[1] * v;
+    y2[i] += w[2] * v;
+    y3[i] += w[3] * v;
+  }
+}
+
+void AxpyRows(float a, const float* x, std::int64_t x_stride, float* y,
+              std::int64_t y_stride, std::int64_t rows, std::int64_t n) {
+  const __m128 va = _mm_set1_ps(a);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * x_stride;
+    float* yr = y + r * y_stride;
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128 vy = _mm_loadu_ps(yr + i);
+      _mm_storeu_ps(yr + i,
+                    _mm_add_ps(vy, _mm_mul_ps(va, _mm_loadu_ps(xr + i))));
+    }
+    for (; i < n; ++i) yr[i] += a * xr[i];
+  }
+}
+
+void Axpy4Rows(const float* w, const float* x, std::int64_t x_stride,
+               float* y0, float* y1, float* y2, float* y3,
+               std::int64_t y_stride, std::int64_t rows, std::int64_t n) {
+  const __m128 w0 = _mm_set1_ps(w[0]), w1 = _mm_set1_ps(w[1]);
+  const __m128 w2 = _mm_set1_ps(w[2]), w3 = _mm_set1_ps(w[3]);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * x_stride;
+    float* r0 = y0 + r * y_stride;
+    float* r1 = y1 + r * y_stride;
+    float* r2 = y2 + r * y_stride;
+    float* r3 = y3 + r * y_stride;
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128 v = _mm_loadu_ps(xr + i);
+      _mm_storeu_ps(r0 + i,
+                    _mm_add_ps(_mm_loadu_ps(r0 + i), _mm_mul_ps(w0, v)));
+      _mm_storeu_ps(r1 + i,
+                    _mm_add_ps(_mm_loadu_ps(r1 + i), _mm_mul_ps(w1, v)));
+      _mm_storeu_ps(r2 + i,
+                    _mm_add_ps(_mm_loadu_ps(r2 + i), _mm_mul_ps(w2, v)));
+      _mm_storeu_ps(r3 + i,
+                    _mm_add_ps(_mm_loadu_ps(r3 + i), _mm_mul_ps(w3, v)));
+    }
+    for (; i < n; ++i) {
+      const float v = xr[i];
+      r0[i] += w[0] * v;
+      r1[i] += w[1] * v;
+      r2[i] += w[2] * v;
+      r3[i] += w[3] * v;
+    }
+  }
+}
+
+void PwAcc4(const float* const* x, std::int64_t n_ic, const float* w,
+            std::int64_t w_stride, float* y0, float* y1, float* y2, float* y3,
+            std::int64_t n) {
+  const float* w0 = w;
+  const float* w1 = w + w_stride;
+  const float* w2 = w + 2 * w_stride;
+  const float* w3 = w + 3 * w_stride;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 a0 = _mm_loadu_ps(y0 + i), a1 = _mm_loadu_ps(y1 + i);
+    __m128 a2 = _mm_loadu_ps(y2 + i), a3 = _mm_loadu_ps(y3 + i);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const __m128 v = _mm_loadu_ps(x[ic] + i);
+      a0 = _mm_add_ps(a0, _mm_mul_ps(_mm_set1_ps(w0[ic]), v));
+      a1 = _mm_add_ps(a1, _mm_mul_ps(_mm_set1_ps(w1[ic]), v));
+      a2 = _mm_add_ps(a2, _mm_mul_ps(_mm_set1_ps(w2[ic]), v));
+      a3 = _mm_add_ps(a3, _mm_mul_ps(_mm_set1_ps(w3[ic]), v));
+    }
+    _mm_storeu_ps(y0 + i, a0);
+    _mm_storeu_ps(y1 + i, a1);
+    _mm_storeu_ps(y2 + i, a2);
+    _mm_storeu_ps(y3 + i, a3);
+  }
+  for (; i < n; ++i) {
+    float a0 = y0[i], a1 = y1[i], a2 = y2[i], a3 = y3[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const float v = x[ic][i];
+      a0 += w0[ic] * v;
+      a1 += w1[ic] * v;
+      a2 += w2[ic] * v;
+      a3 += w3[ic] * v;
+    }
+    y0[i] = a0;
+    y1[i] = a1;
+    y2[i] = a2;
+    y3[i] = a3;
+  }
+}
+
+void PwAcc1(const float* const* x, std::int64_t n_ic, const float* w,
+            float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 a = _mm_loadu_ps(y + i);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      a = _mm_add_ps(
+          a, _mm_mul_ps(_mm_set1_ps(w[ic]), _mm_loadu_ps(x[ic] + i)));
+    }
+    _mm_storeu_ps(y + i, a);
+  }
+  for (; i < n; ++i) {
+    float a = y[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) a += w[ic] * x[ic][i];
+    y[i] = a;
+  }
+}
+
+double Dot(const float* a, const float* b, std::int64_t n) {
+  // Lanes (0,1), (2,3), (4,5), (6,7) of the pinned 8-lane scheme.
+  __m128d s01 = _mm_setzero_pd(), s23 = _mm_setzero_pd();
+  __m128d s45 = _mm_setzero_pd(), s67 = _mm_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128 alo = _mm_loadu_ps(a + i), ahi = _mm_loadu_ps(a + i + 4);
+    const __m128 blo = _mm_loadu_ps(b + i), bhi = _mm_loadu_ps(b + i + 4);
+    s01 = _mm_add_pd(s01, _mm_mul_pd(_mm_cvtps_pd(alo), _mm_cvtps_pd(blo)));
+    s23 = _mm_add_pd(s23, _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(alo, alo)),
+                                     _mm_cvtps_pd(_mm_movehl_ps(blo, blo))));
+    s45 = _mm_add_pd(s45, _mm_mul_pd(_mm_cvtps_pd(ahi), _mm_cvtps_pd(bhi)));
+    s67 = _mm_add_pd(s67, _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(ahi, ahi)),
+                                     _mm_cvtps_pd(_mm_movehl_ps(bhi, bhi))));
+  }
+  alignas(16) double s[8];
+  _mm_store_pd(s + 0, s01);
+  _mm_store_pd(s + 2, s23);
+  _mm_store_pd(s + 4, s45);
+  _mm_store_pd(s + 6, s67);
+  for (int j = 0; i < n; ++i, ++j) {
+    s[j] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void Relu(const float* x, float* y, std::int64_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  std::int64_t i = 0;
+  // max(x, 0): maxps returns the second operand on NaN, so NaN -> 0,
+  // matching the scalar `v > 0 ? v : 0`.
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(y + i, _mm_max_ps(_mm_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void Relu6(const float* x, float* y, std::int64_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 six = _mm_set1_ps(6.0f);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(y + i,
+                  _mm_min_ps(_mm_max_ps(_mm_loadu_ps(x + i), zero), six));
+  }
+  for (; i < n; ++i) {
+    const float r = x[i] > 0.0f ? x[i] : 0.0f;
+    y[i] = r < 6.0f ? r : 6.0f;
+  }
+}
+
+std::uint32_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::int64_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+  }
+  std::uint32_t sad = static_cast<std::uint32_t>(
+      _mm_cvtsi128_si64(acc) + _mm_cvtsi128_si64(_mm_srli_si128(acc, 8)));
+  for (; i < n; ++i) {
+    sad += static_cast<std::uint32_t>(
+        a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+  }
+  return sad;
+}
+
+std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
+                       const std::uint8_t* b, std::int64_t stride_b) {
+  __m128i acc = _mm_setzero_si128();
+  for (int y = 0; y < 16; ++y) {
+    const __m128i va = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a + y * stride_a));
+    const __m128i vb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b + y * stride_b));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+  }
+  return static_cast<std::uint32_t>(
+      _mm_cvtsi128_si64(acc) + _mm_cvtsi128_si64(_mm_srli_si128(acc, 8)));
+}
+
+constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
+                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
+                            SadU8,  Sad16x16};
+
+}  // namespace
+}  // namespace sse2
+
+// ---------------------------------------------------------------------------
+// AVX2 — gated at runtime by CPUID; compiled via the target attribute so the
+// baseline build still carries it.
+// ---------------------------------------------------------------------------
+namespace avx2 {
+namespace {
+
+#define FF_AVX2 __attribute__((target("avx2")))
+
+FF_AVX2 void Fill(float* y, std::int64_t n, float v) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(y + i, vv);
+  for (; i < n; ++i) y[i] = v;
+}
+
+FF_AVX2 void Axpy(float a, const float* x, float* y, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+FF_AVX2 void Axpy4(const float* w, const float* x, float* y0, float* y1,
+                   float* y2, float* y3, std::int64_t n) {
+  const __m256 w0 = _mm256_set1_ps(w[0]), w1 = _mm256_set1_ps(w[1]);
+  const __m256 w2 = _mm256_set1_ps(w[2]), w3 = _mm256_set1_ps(w[3]);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(
+        y0 + i, _mm256_add_ps(_mm256_loadu_ps(y0 + i), _mm256_mul_ps(w0, v)));
+    _mm256_storeu_ps(
+        y1 + i, _mm256_add_ps(_mm256_loadu_ps(y1 + i), _mm256_mul_ps(w1, v)));
+    _mm256_storeu_ps(
+        y2 + i, _mm256_add_ps(_mm256_loadu_ps(y2 + i), _mm256_mul_ps(w2, v)));
+    _mm256_storeu_ps(
+        y3 + i, _mm256_add_ps(_mm256_loadu_ps(y3 + i), _mm256_mul_ps(w3, v)));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i];
+    y0[i] += w[0] * v;
+    y1[i] += w[1] * v;
+    y2[i] += w[2] * v;
+    y3[i] += w[3] * v;
+  }
+}
+
+FF_AVX2 void AxpyRows(float a, const float* x, std::int64_t x_stride,
+                      float* y, std::int64_t y_stride, std::int64_t rows,
+                      std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * x_stride;
+    float* yr = y + r * y_stride;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 vy = _mm256_loadu_ps(yr + i);
+      _mm256_storeu_ps(
+          yr + i, _mm256_add_ps(vy, _mm256_mul_ps(va, _mm256_loadu_ps(xr + i))));
+    }
+    for (; i < n; ++i) yr[i] += a * xr[i];
+  }
+}
+
+FF_AVX2 void Axpy4Rows(const float* w, const float* x, std::int64_t x_stride,
+                       float* y0, float* y1, float* y2, float* y3,
+                       std::int64_t y_stride, std::int64_t rows,
+                       std::int64_t n) {
+  const __m256 w0 = _mm256_set1_ps(w[0]), w1 = _mm256_set1_ps(w[1]);
+  const __m256 w2 = _mm256_set1_ps(w[2]), w3 = _mm256_set1_ps(w[3]);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * x_stride;
+    float* r0 = y0 + r * y_stride;
+    float* r1 = y1 + r * y_stride;
+    float* r2 = y2 + r * y_stride;
+    float* r3 = y3 + r * y_stride;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(xr + i);
+      _mm256_storeu_ps(
+          r0 + i, _mm256_add_ps(_mm256_loadu_ps(r0 + i), _mm256_mul_ps(w0, v)));
+      _mm256_storeu_ps(
+          r1 + i, _mm256_add_ps(_mm256_loadu_ps(r1 + i), _mm256_mul_ps(w1, v)));
+      _mm256_storeu_ps(
+          r2 + i, _mm256_add_ps(_mm256_loadu_ps(r2 + i), _mm256_mul_ps(w2, v)));
+      _mm256_storeu_ps(
+          r3 + i, _mm256_add_ps(_mm256_loadu_ps(r3 + i), _mm256_mul_ps(w3, v)));
+    }
+    for (; i < n; ++i) {
+      const float v = xr[i];
+      r0[i] += w[0] * v;
+      r1[i] += w[1] * v;
+      r2[i] += w[2] * v;
+      r3[i] += w[3] * v;
+    }
+  }
+}
+
+FF_AVX2 void PwAcc4(const float* const* x, std::int64_t n_ic, const float* w,
+                    std::int64_t w_stride, float* y0, float* y1, float* y2,
+                    float* y3, std::int64_t n) {
+  const float* w0 = w;
+  const float* w1 = w + w_stride;
+  const float* w2 = w + 2 * w_stride;
+  const float* w3 = w + 3 * w_stride;
+  std::int64_t i = 0;
+  // 4 output rows x 16 columns of accumulators live in registers across the
+  // whole ic loop: 8 accumulators + 2 column vectors + broadcasts = 14 regs.
+  for (; i + 16 <= n; i += 16) {
+    __m256 a0l = _mm256_loadu_ps(y0 + i), a0h = _mm256_loadu_ps(y0 + i + 8);
+    __m256 a1l = _mm256_loadu_ps(y1 + i), a1h = _mm256_loadu_ps(y1 + i + 8);
+    __m256 a2l = _mm256_loadu_ps(y2 + i), a2h = _mm256_loadu_ps(y2 + i + 8);
+    __m256 a3l = _mm256_loadu_ps(y3 + i), a3h = _mm256_loadu_ps(y3 + i + 8);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const __m256 vl = _mm256_loadu_ps(x[ic] + i);
+      const __m256 vh = _mm256_loadu_ps(x[ic] + i + 8);
+      __m256 wv = _mm256_set1_ps(w0[ic]);
+      a0l = _mm256_add_ps(a0l, _mm256_mul_ps(wv, vl));
+      a0h = _mm256_add_ps(a0h, _mm256_mul_ps(wv, vh));
+      wv = _mm256_set1_ps(w1[ic]);
+      a1l = _mm256_add_ps(a1l, _mm256_mul_ps(wv, vl));
+      a1h = _mm256_add_ps(a1h, _mm256_mul_ps(wv, vh));
+      wv = _mm256_set1_ps(w2[ic]);
+      a2l = _mm256_add_ps(a2l, _mm256_mul_ps(wv, vl));
+      a2h = _mm256_add_ps(a2h, _mm256_mul_ps(wv, vh));
+      wv = _mm256_set1_ps(w3[ic]);
+      a3l = _mm256_add_ps(a3l, _mm256_mul_ps(wv, vl));
+      a3h = _mm256_add_ps(a3h, _mm256_mul_ps(wv, vh));
+    }
+    _mm256_storeu_ps(y0 + i, a0l);
+    _mm256_storeu_ps(y0 + i + 8, a0h);
+    _mm256_storeu_ps(y1 + i, a1l);
+    _mm256_storeu_ps(y1 + i + 8, a1h);
+    _mm256_storeu_ps(y2 + i, a2l);
+    _mm256_storeu_ps(y2 + i + 8, a2h);
+    _mm256_storeu_ps(y3 + i, a3l);
+    _mm256_storeu_ps(y3 + i + 8, a3h);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 a0 = _mm256_loadu_ps(y0 + i), a1 = _mm256_loadu_ps(y1 + i);
+    __m256 a2 = _mm256_loadu_ps(y2 + i), a3 = _mm256_loadu_ps(y3 + i);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const __m256 v = _mm256_loadu_ps(x[ic] + i);
+      a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(w0[ic]), v));
+      a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_set1_ps(w1[ic]), v));
+      a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_set1_ps(w2[ic]), v));
+      a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_set1_ps(w3[ic]), v));
+    }
+    _mm256_storeu_ps(y0 + i, a0);
+    _mm256_storeu_ps(y1 + i, a1);
+    _mm256_storeu_ps(y2 + i, a2);
+    _mm256_storeu_ps(y3 + i, a3);
+  }
+  for (; i < n; ++i) {
+    float a0 = y0[i], a1 = y1[i], a2 = y2[i], a3 = y3[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const float v = x[ic][i];
+      a0 += w0[ic] * v;
+      a1 += w1[ic] * v;
+      a2 += w2[ic] * v;
+      a3 += w3[ic] * v;
+    }
+    y0[i] = a0;
+    y1[i] = a1;
+    y2[i] = a2;
+    y3[i] = a3;
+  }
+}
+
+FF_AVX2 void PwAcc1(const float* const* x, std::int64_t n_ic, const float* w,
+                    float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 al = _mm256_loadu_ps(y + i);
+    __m256 ah = _mm256_loadu_ps(y + i + 8);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      const __m256 wv = _mm256_set1_ps(w[ic]);
+      al = _mm256_add_ps(al, _mm256_mul_ps(wv, _mm256_loadu_ps(x[ic] + i)));
+      ah = _mm256_add_ps(ah,
+                         _mm256_mul_ps(wv, _mm256_loadu_ps(x[ic] + i + 8)));
+    }
+    _mm256_storeu_ps(y + i, al);
+    _mm256_storeu_ps(y + i + 8, ah);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 a = _mm256_loadu_ps(y + i);
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+      a = _mm256_add_ps(
+          a, _mm256_mul_ps(_mm256_set1_ps(w[ic]), _mm256_loadu_ps(x[ic] + i)));
+    }
+    _mm256_storeu_ps(y + i, a);
+  }
+  for (; i < n; ++i) {
+    float a = y[i];
+    for (std::int64_t ic = 0; ic < n_ic; ++ic) a += w[ic] * x[ic][i];
+    y[i] = a;
+  }
+}
+
+FF_AVX2 double Dot(const float* a, const float* b, std::int64_t n) {
+  // acc_lo carries lanes 0-3, acc_hi lanes 4-7 of the pinned scheme.
+  __m256d acc_lo = _mm256_setzero_pd(), acc_hi = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    const __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(alo, blo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(ahi, bhi));
+  }
+  alignas(32) double s[8];
+  _mm256_store_pd(s + 0, acc_lo);
+  _mm256_store_pd(s + 4, acc_hi);
+  for (int j = 0; i < n; ++i, ++j) {
+    s[j] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+FF_AVX2 void Relu(const float* x, float* y, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+FF_AVX2 void Relu6(const float* x, float* y, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 six = _mm256_set1_ps(6.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(x + i), zero), six));
+  }
+  for (; i < n; ++i) {
+    const float r = x[i] > 0.0f ? x[i] : 0.0f;
+    y[i] = r < 6.0f ? r : 6.0f;
+  }
+}
+
+FF_AVX2 std::uint32_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                            std::int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint32_t sad =
+      static_cast<std::uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    sad += static_cast<std::uint32_t>(
+        a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+  }
+  return sad;
+}
+
+FF_AVX2 std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
+                               const std::uint8_t* b, std::int64_t stride_b) {
+  // Two 16-byte rows per 256-bit SAD.
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < 16; y += 2) {
+    const __m256i va = _mm256_set_m128i(
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(a + (y + 1) * stride_a)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + y * stride_a)));
+    const __m256i vb = _mm256_set_m128i(
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + (y + 1) * stride_b)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + y * stride_b)));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return static_cast<std::uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+#undef FF_AVX2
+
+constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
+                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
+                            SadU8,  Sad16x16};
+
+}  // namespace
+}  // namespace avx2
+
+#endif  // FF_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Highest ISA the env cap allows; unset means "no cap". An unrecognized
+// value fails loudly — FF_SIMD exists precisely to control parity checks
+// and baseline benchmarks, where a typo silently running AVX2 would
+// invalidate the measurement.
+Isa EnvCap() {
+  const char* env = std::getenv("FF_SIMD");
+  if (env == nullptr) return Isa::kAvx2;
+  const std::string s(env);
+  if (s == "scalar") return Isa::kScalar;
+  if (s == "sse2") return Isa::kSse2;
+  FF_CHECK_MSG(s == "avx2", "FF_SIMD=" << s
+                                       << " is not one of scalar/sse2/avx2");
+  return Isa::kAvx2;
+}
+
+Isa DetectIsa() {
+  const Isa cap = EnvCap();
+#if FF_KERNELS_X86
+  if (cap >= Isa::kAvx2 && __builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (cap >= Isa::kSse2) return Isa::kSse2;  // x86-64 baseline
+#else
+  (void)cap;
+#endif
+  return Isa::kScalar;
+}
+
+struct Dispatch {
+  const OpTable* table;
+  Isa isa;
+};
+
+// Thread-safe: the first caller — which may be a thread-pool worker inside
+// a fanned-out layer — resolves the ISA under the magic-static guard.
+// SetActiveIsaForTest mutates this afterwards; tests are single-threaded.
+Dispatch& GlobalDispatch() {
+  static Dispatch d = [] {
+    const Isa isa = DetectIsa();
+    return Dispatch{TableFor(isa), isa};
+  }();
+  return d;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const OpTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar::Table();
+#if FF_KERNELS_X86
+    case Isa::kSse2:
+      return &sse2::kTable;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") ? &avx2::kTable : nullptr;
+#else
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Isa ActiveIsa() { return GlobalDispatch().isa; }
+
+const OpTable& Active() { return *GlobalDispatch().table; }
+
+Isa SetActiveIsaForTest(Isa isa) {
+  const OpTable* table = TableFor(isa);
+  FF_CHECK_MSG(table != nullptr,
+               "ISA " << IsaName(isa) << " not supported on this host");
+  Dispatch& d = GlobalDispatch();
+  const Isa prev = d.isa;
+  d.table = table;
+  d.isa = isa;
+  return prev;
+}
+
+std::int64_t ParallelFlopThreshold() {
+  static const std::int64_t threshold =
+      util::EnvInt("FF_PARALLEL_FLOPS", 1 << 17);
+  return threshold;
+}
+
+}  // namespace ff::nn::kernels

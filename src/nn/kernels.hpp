@@ -1,0 +1,207 @@
+// Portable SIMD micro-kernel library — the arithmetic core under every hot
+// path: the base DNN's convolutions (axpy/axpy4), the MCs' fully-connected
+// heads (dot), activations (relu/relu6), bias broadcast (fill), and the
+// codec's motion search (u8 SAD).
+//
+// Contract: every kernel has one *reference* implementation (namespace
+// `scalar`) and zero or more SIMD implementations (SSE2, AVX2) selected at
+// startup by compile-time support ∩ runtime CPUID ∩ the FF_SIMD env cap.
+// All implementations of a kernel are BITWISE-IDENTICAL for every input:
+//
+//  * axpy/axpy4/fill/relu/relu6 are elementwise IEEE single ops, so lane
+//    width cannot change results. The SIMD paths use separate multiply and
+//    add (never FMA), matching the scalar fallback, and kernels.cpp is
+//    compiled with -ffp-contract=off so the compiler cannot contract the
+//    scalar reference into FMA either (see src/CMakeLists.txt).
+//  * dot is a reduction, so its accumulation order is pinned by spec:
+//    8 double-precision partial sums by index mod 8, combined as
+//    ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). Scalar and SIMD implement the
+//    same scheme, so the result is bitwise-reproducible across ISAs.
+//  * sad_u8/sad16x16 are integer sums — exact under any association.
+//
+// nn_kernels_test pins the parity for every kernel on every ISA the host
+// supports, at awkward lengths (0, 1, vector-width±1, unaligned, strided).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/thread_pool.hpp"
+
+namespace ff::nn::kernels {
+
+// Instruction sets in increasing capability order. kScalar is always
+// available; on x86-64 kSse2 is too (baseline); kAvx2 needs CPUID.
+enum class Isa { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* IsaName(Isa isa);
+
+// One dispatch table; `Active()` resolves once per process.
+struct OpTable {
+  // y[i] = v
+  void (*fill)(float* y, std::int64_t n, float v);
+  // y[i] += a * x[i]
+  void (*axpy)(float a, const float* x, float* y, std::int64_t n);
+  // yk[i] += w[k] * x[i] for k in 0..3 — the register-blocked row update
+  // used by the KxK conv path: one load of x feeds four output-channel rows.
+  void (*axpy4)(const float* w, const float* x, float* y0, float* y1,
+                float* y2, float* y3, std::int64_t n);
+  // Fused row loops for the KxK and depthwise paths: apply the axpy to
+  // `rows` rows whose x/y bases advance by the given strides. One dispatch
+  // per (channel, tap) instead of one per output row, with the weight
+  // broadcasts hoisted out of the row loop. Row r is bitwise-identical to
+  // axpy(a, x + r*x_stride, y + r*y_stride, n).
+  void (*axpy_rows)(float a, const float* x, std::int64_t x_stride, float* y,
+                    std::int64_t y_stride, std::int64_t rows, std::int64_t n);
+  void (*axpy4_rows)(const float* w, const float* x, std::int64_t x_stride,
+                     float* y0, float* y1, float* y2, float* y3,
+                     std::int64_t y_stride, std::int64_t rows, std::int64_t n);
+  // The pointwise-conv workhorse: yk[i] += sum_ic w[k*w_stride + ic] *
+  // x[ic][i], accumulated in registers across the whole ic loop (one y
+  // read/write per element instead of one per input channel). Per element
+  // the fold over ic runs in index order with one rounding per step — the
+  // same sequence every implementation performs, so results are bitwise
+  // identical across ISAs and tile widths.
+  void (*pw_acc4)(const float* const* x, std::int64_t n_ic, const float* w,
+                  std::int64_t w_stride, float* y0, float* y1, float* y2,
+                  float* y3, std::int64_t n);
+  // Single-row variant for the output-channel remainder (w indexed w[ic]).
+  void (*pw_acc1)(const float* const* x, std::int64_t n_ic, const float* w,
+                  float* y, std::int64_t n);
+  // Returns sum_i a[i]*b[i] under the pinned 8-lane double scheme above.
+  double (*dot)(const float* a, const float* b, std::int64_t n);
+  // y[i] = max(x[i], 0)   (NaN -> 0, matching `v > 0 ? v : 0`)
+  void (*relu)(const float* x, float* y, std::int64_t n);
+  // y[i] = min(max(x[i], 0), 6)
+  void (*relu6)(const float* x, float* y, std::int64_t n);
+  // Sum of absolute differences of two u8 runs.
+  std::uint32_t (*sad_u8)(const std::uint8_t* a, const std::uint8_t* b,
+                          std::int64_t n);
+  // SAD of a 16x16 u8 block with independent row strides — the motion
+  // search's inner loop, dispatched once per candidate vector.
+  std::uint32_t (*sad16x16)(const std::uint8_t* a, std::int64_t stride_a,
+                            const std::uint8_t* b, std::int64_t stride_b);
+};
+
+// The table for `isa`, or nullptr when this build/CPU cannot run it.
+// Tests iterate supported ISAs and pin each against `scalar::Table()`.
+const OpTable* TableFor(Isa isa);
+
+// Highest supported ISA, capped by the FF_SIMD env var ("scalar", "sse2",
+// "avx2"); resolved once on first use.
+Isa ActiveIsa();
+
+// The active table (never nullptr).
+const OpTable& Active();
+
+// Test hook: force the active table to `isa` (must be supported); returns
+// the previously active ISA so tests can restore it.
+Isa SetActiveIsaForTest(Isa isa);
+
+// Reference implementations — always available, used as the parity oracle
+// and as the fallback on non-x86 hosts.
+namespace scalar {
+const OpTable& Table();
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatched convenience wrappers (what the layers call).
+// ---------------------------------------------------------------------------
+
+inline void Fill(float* y, std::int64_t n, float v) { Active().fill(y, n, v); }
+inline void Axpy(float a, const float* x, float* y, std::int64_t n) {
+  Active().axpy(a, x, y, n);
+}
+inline void Axpy4(const float* w, const float* x, float* y0, float* y1,
+                  float* y2, float* y3, std::int64_t n) {
+  Active().axpy4(w, x, y0, y1, y2, y3, n);
+}
+inline void AxpyRows(float a, const float* x, std::int64_t x_stride, float* y,
+                     std::int64_t y_stride, std::int64_t rows,
+                     std::int64_t n) {
+  Active().axpy_rows(a, x, x_stride, y, y_stride, rows, n);
+}
+inline void Axpy4Rows(const float* w, const float* x, std::int64_t x_stride,
+                      float* y0, float* y1, float* y2, float* y3,
+                      std::int64_t y_stride, std::int64_t rows,
+                      std::int64_t n) {
+  Active().axpy4_rows(w, x, x_stride, y0, y1, y2, y3, y_stride, rows, n);
+}
+inline void PwAcc4(const float* const* x, std::int64_t n_ic, const float* w,
+                   std::int64_t w_stride, float* y0, float* y1, float* y2,
+                   float* y3, std::int64_t n) {
+  Active().pw_acc4(x, n_ic, w, w_stride, y0, y1, y2, y3, n);
+}
+inline void PwAcc1(const float* const* x, std::int64_t n_ic, const float* w,
+                   float* y, std::int64_t n) {
+  Active().pw_acc1(x, n_ic, w, y, n);
+}
+inline double Dot(const float* a, const float* b, std::int64_t n) {
+  return Active().dot(a, b, n);
+}
+inline void Relu(const float* x, float* y, std::int64_t n) {
+  Active().relu(x, y, n);
+}
+inline void Relu6(const float* x, float* y, std::int64_t n) {
+  Active().relu6(x, y, n);
+}
+inline std::uint32_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                           std::int64_t n) {
+  return Active().sad_u8(a, b, n);
+}
+inline std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
+                              const std::uint8_t* b, std::int64_t stride_b) {
+  return Active().sad16x16(a, stride_a, b, stride_b);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool dispatch policy, shared by conv / depthwise / pooling / dense.
+// ---------------------------------------------------------------------------
+
+// Minimum flops before a layer hands work to util::GlobalPool(); below it,
+// the dispatch overhead outweighs the parallelism. Overridable via the
+// FF_PARALLEL_FLOPS env var for multicore benchmarking (read once).
+std::int64_t ParallelFlopThreshold();
+
+inline bool WorthParallel(std::int64_t flops) {
+  return flops > ParallelFlopThreshold();
+}
+
+// Runs `block(n, c0, c1)` over the flattened (batch × channel) plane index
+// space, fanned out across util::GlobalPool() when `total_flops` clears the
+// shared threshold — the one dispatch policy conv, depthwise, and the
+// pooling layers all follow. Batched inputs widen the fan-out to
+// n × channels instead of channels alone.
+template <typename Block>
+void ForEachPlaneBlock(std::int64_t batch, std::int64_t channels,
+                       std::int64_t total_flops, const Block& block) {
+  if (WorthParallel(total_flops)) {
+    util::GlobalPool().ParallelForRange(
+        static_cast<std::size_t>(batch * channels),
+        [&](std::size_t b, std::size_t e) {
+          for (auto idx = static_cast<std::int64_t>(b);
+               idx < static_cast<std::int64_t>(e);) {
+            const std::int64_t n = idx / channels;
+            const std::int64_t c0 = idx % channels;
+            const std::int64_t c1 =
+                std::min(channels, c0 + (static_cast<std::int64_t>(e) - idx));
+            block(n, c0, c1);
+            idx += c1 - c0;
+          }
+        });
+  } else {
+    for (std::int64_t n = 0; n < batch; ++n) block(n, 0, channels);
+  }
+}
+
+// Per-plane convenience wrapper: `fn(n, c)` for every plane.
+template <typename PlaneFn>
+void ForEachPlane(std::int64_t batch, std::int64_t channels,
+                  std::int64_t total_flops, const PlaneFn& fn) {
+  ForEachPlaneBlock(batch, channels, total_flops,
+                    [&](std::int64_t n, std::int64_t c0, std::int64_t c1) {
+                      for (std::int64_t c = c0; c < c1; ++c) fn(n, c);
+                    });
+}
+
+}  // namespace ff::nn::kernels

@@ -2,7 +2,17 @@
 
 #include <limits>
 
+#include "nn/kernels.hpp"
+
 namespace ff::nn {
+
+namespace {
+
+// Pooling planes are independent; fan (n, c) pairs across the pool under
+// the shared dispatch policy (same helper as conv/depthwise).
+using kernels::ForEachPlane;
+
+}  // namespace
 
 MaxPool2D::MaxPool2D(std::string name, std::int64_t k, std::int64_t stride)
     : Layer(std::move(name)), k_(k), stride_(stride) {
@@ -28,32 +38,34 @@ Tensor MaxPool2D::Forward(const TensorView& in) {
     saved_in_shape_ = in.shape();
   }
   const std::int64_t is = in.row_stride();
-  std::int64_t oi = 0;
-  for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    for (std::int64_t c = 0; c < in.shape().c; ++c) {
-      const float* ip = in.plane(n, c);
-      float* op = out.plane(n, c);
-      for (std::int64_t oy = 0; oy < out_shape.h; ++oy) {
-        for (std::int64_t ox = 0; ox < out_shape.w; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (std::int64_t ky = 0; ky < k_; ++ky) {
-            for (std::int64_t kx = 0; kx < k_; ++kx) {
-              const std::int64_t idx =
-                  (oy * stride_ + ky) * is + ox * stride_ + kx;
-              if (ip[idx] > best) {
-                best = ip[idx];
-                best_idx = idx;
+  const std::int64_t plane = out_shape.h * out_shape.w;
+  ForEachPlane(
+      in.shape().n, in.shape().c,
+      in.shape().n * in.shape().c * plane * k_ * k_,
+      [&](std::int64_t n, std::int64_t c) {
+        const float* ip = in.plane(n, c);
+        float* op = out.plane(n, c);
+        std::int64_t oi = (n * in.shape().c + c) * plane;
+        for (std::int64_t oy = 0; oy < out_shape.h; ++oy) {
+          for (std::int64_t ox = 0; ox < out_shape.w; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_idx = 0;
+            for (std::int64_t ky = 0; ky < k_; ++ky) {
+              for (std::int64_t kx = 0; kx < k_; ++kx) {
+                const std::int64_t idx =
+                    (oy * stride_ + ky) * is + ox * stride_ + kx;
+                if (ip[idx] > best) {
+                  best = ip[idx];
+                  best_idx = idx;
+                }
               }
             }
+            op[oy * out_shape.w + ox] = best;
+            if (training_) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+            ++oi;
           }
-          op[oy * out_shape.w + ox] = best;
-          if (training_) argmax_[static_cast<std::size_t>(oi)] = best_idx;
-          ++oi;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -80,16 +92,17 @@ Tensor MaxPool2D::Backward(const Tensor& grad_out) {
 Tensor GlobalAvgPool::Forward(const TensorView& in) {
   Tensor out(OutputShape(in.shape()));
   const std::int64_t h = in.shape().h, w = in.shape().w;
-  for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    for (std::int64_t c = 0; c < in.shape().c; ++c) {
-      double acc = 0;
-      for (std::int64_t y = 0; y < h; ++y) {
-        const float* row = in.row(n, c, y);
-        for (std::int64_t x = 0; x < w; ++x) acc += row[x];
-      }
-      *out.plane(n, c) = static_cast<float>(acc / static_cast<double>(h * w));
-    }
-  }
+  ForEachPlane(in.shape().n, in.shape().c,
+               in.shape().n * in.shape().c * h * w,
+               [&](std::int64_t n, std::int64_t c) {
+                 double acc = 0;
+                 for (std::int64_t y = 0; y < h; ++y) {
+                   const float* row = in.row(n, c, y);
+                   for (std::int64_t x = 0; x < w; ++x) acc += row[x];
+                 }
+                 *out.plane(n, c) =
+                     static_cast<float>(acc / static_cast<double>(h * w));
+               });
   if (training_) saved_in_shape_ = in.shape();
   return out;
 }
@@ -121,25 +134,26 @@ Tensor GlobalMaxPool::Forward(const TensorView& in) {
         static_cast<std::size_t>(in.shape().n * in.shape().c), 0);
     saved_in_shape_ = in.shape();
   }
-  for (std::int64_t n = 0; n < in.shape().n; ++n) {
-    for (std::int64_t c = 0; c < in.shape().c; ++c) {
-      float best = *in.row(n, c, 0);
-      std::int64_t best_idx = 0;
-      for (std::int64_t y = 0; y < h; ++y) {
-        const float* row = in.row(n, c, y);
-        for (std::int64_t x = 0; x < w; ++x) {
-          if (row[x] > best) {
-            best = row[x];
-            best_idx = y * w + x;  // dense-plane index for Backward
-          }
-        }
-      }
-      *out.plane(n, c) = best;
-      if (training_) {
-        argmax_[static_cast<std::size_t>(n * in.shape().c + c)] = best_idx;
-      }
-    }
-  }
+  ForEachPlane(in.shape().n, in.shape().c,
+               in.shape().n * in.shape().c * h * w,
+               [&](std::int64_t n, std::int64_t c) {
+                 float best = *in.row(n, c, 0);
+                 std::int64_t best_idx = 0;
+                 for (std::int64_t y = 0; y < h; ++y) {
+                   const float* row = in.row(n, c, y);
+                   for (std::int64_t x = 0; x < w; ++x) {
+                     if (row[x] > best) {
+                       best = row[x];
+                       best_idx = y * w + x;  // dense-plane index for Backward
+                     }
+                   }
+                 }
+                 *out.plane(n, c) = best;
+                 if (training_) {
+                   argmax_[static_cast<std::size_t>(n * in.shape().c + c)] =
+                       best_idx;
+                 }
+               });
   return out;
 }
 

@@ -11,6 +11,15 @@ TensorView::TensorView(const Tensor& t)
       sc_(t.shape().plane()),
       sh_(t.shape().w) {}
 
+TensorView TensorView::Image(std::int64_t n) const {
+  FF_CHECK_MSG(n >= 0 && n < shape_.n,
+               "image " << n << " out of range for " << shape_);
+  TensorView v = *this;
+  v.base_ = base_ + n * sn_;
+  v.shape_.n = 1;
+  return v;
+}
+
 TensorView TensorView::CropHW(const Rect& r) const {
   FF_CHECK_MSG(r.y0 >= 0 && r.x0 >= 0 && r.y1 <= shape_.h &&
                    r.x1 <= shape_.w && !r.empty(),

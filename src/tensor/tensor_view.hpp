@@ -27,6 +27,11 @@ class TensorView {
   // the zero-copy counterpart of Tensor::CropHW.
   TensorView CropHW(const Rect& r) const;
 
+  // Batch-image `n` as a batch-1 view: the zero-copy counterpart of
+  // Tensor::Slice (the batched Submit path feeds each frame's slice of the
+  // shared feature maps to the MCs through this).
+  TensorView Image(std::int64_t n) const;
+
   const Shape& shape() const { return shape_; }
   std::int64_t elements() const { return shape_.elements(); }
   bool empty() const { return base_ == nullptr || shape_.elements() == 0; }

@@ -1,0 +1,320 @@
+// Bitwise parity of the SIMD micro-kernels against the scalar reference
+// (kernels.hpp's core contract): every kernel, on every ISA this host can
+// run, at awkward lengths — 0, 1, vector-width±1, unaligned bases, strided
+// rows — must produce byte-identical results. A CI leg builds with
+// -march=x86-64-v3 and fails if these tests are skipped (non-x86 hosts have
+// no SIMD table and skip honestly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace ff::nn::kernels {
+namespace {
+
+// Vector-width boundaries for every implementation in the library (4 for
+// SSE2 floats, 8 for AVX2 floats, 16/32 for the SAD byte kernels) plus odd
+// tails and a larger run.
+const std::int64_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                                 15, 16, 17, 31, 32, 33, 63, 64, 65, 200};
+
+std::vector<Isa> SimdIsas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : {Isa::kSse2, Isa::kAvx2}) {
+    if (TableFor(isa) != nullptr) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// Random floats with sign variety plus the awkward specials the kernels
+// must treat exactly like the scalar path.
+std::vector<float> RandomFloats(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+  }
+  if (n > 3) {
+    v[1] = 0.0f;
+    v[2] = -0.0f;
+    v[3] = 6.0f;  // relu6 boundary
+  }
+  return v;
+}
+
+#define SKIP_WITHOUT_SIMD()                                       \
+  if (SimdIsas().empty()) {                                       \
+    GTEST_SKIP() << "no SIMD ISA available on this host";         \
+  }
+
+TEST(KernelParity, Fill) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      // +1 offset makes the base deliberately unaligned.
+      std::vector<float> a(static_cast<std::size_t>(n) + 1, -1.0f);
+      std::vector<float> b(a);
+      scalar::Table().fill(a.data() + 1, n, 0.37f);
+      simd.fill(b.data() + 1, n, 0.37f);
+      ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, Axpy) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      const auto x = RandomFloats(static_cast<std::size_t>(n) + 1, 11);
+      auto ya = RandomFloats(static_cast<std::size_t>(n) + 1, 12);
+      auto yb = ya;
+      scalar::Table().axpy(1.7f, x.data() + 1, ya.data() + 1, n);
+      simd.axpy(1.7f, x.data() + 1, yb.data() + 1, n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, Axpy4) {
+  SKIP_WITHOUT_SIMD();
+  const float w[4] = {0.3f, -1.2f, 0.0f, 2.5f};
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      const auto x = RandomFloats(static_cast<std::size_t>(n), 21);
+      auto ya = RandomFloats(static_cast<std::size_t>(4 * n), 22);
+      auto yb = ya;
+      auto run = [&](const OpTable& t, std::vector<float>& y) {
+        t.axpy4(w, x.data(), y.data(), y.data() + n, y.data() + 2 * n,
+                y.data() + 3 * n, n);
+      };
+      run(scalar::Table(), ya);
+      run(simd, yb);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, AxpyRowsStrided) {
+  SKIP_WITHOUT_SIMD();
+  const std::int64_t rows = 5, xs = 37, ys = 41;
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      if (n > xs || n > ys) continue;  // rows must not overlap
+      const auto x = RandomFloats(static_cast<std::size_t>(rows * xs), 31);
+      auto ya = RandomFloats(static_cast<std::size_t>(rows * ys), 32);
+      auto yb = ya;
+      scalar::Table().axpy_rows(-0.8f, x.data(), xs, ya.data(), ys, rows, n);
+      simd.axpy_rows(-0.8f, x.data(), xs, yb.data(), ys, rows, n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, Axpy4RowsStrided) {
+  SKIP_WITHOUT_SIMD();
+  const std::int64_t rows = 4, xs = 67, ys = 71;
+  const float w[4] = {1.1f, -0.4f, 0.9f, -2.2f};
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      if (n > xs || n > ys) continue;
+      const auto x = RandomFloats(static_cast<std::size_t>(rows * xs), 41);
+      auto ya = RandomFloats(static_cast<std::size_t>(4 * rows * ys), 42);
+      auto yb = ya;
+      auto run = [&](const OpTable& t, std::vector<float>& y) {
+        t.axpy4_rows(w, x.data(), xs, y.data(), y.data() + rows * ys,
+                     y.data() + 2 * rows * ys, y.data() + 3 * rows * ys, ys,
+                     rows, n);
+      };
+      run(scalar::Table(), ya);
+      run(simd, yb);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, PwAcc4AndPwAcc1) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      for (const std::int64_t n_ic : {0, 1, 3, 8}) {
+        const auto xdata =
+            RandomFloats(static_cast<std::size_t>(n_ic * n), 51);
+        std::vector<const float*> xs(static_cast<std::size_t>(n_ic));
+        for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+          xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+        }
+        const std::int64_t w_stride = n_ic + 2;  // padded weight rows
+        const auto w =
+            RandomFloats(static_cast<std::size_t>(4 * w_stride), 52);
+        auto ya = RandomFloats(static_cast<std::size_t>(4 * n), 53);
+        auto yb = ya;
+        auto run4 = [&](const OpTable& t, std::vector<float>& y) {
+          t.pw_acc4(xs.data(), n_ic, w.data(), w_stride, y.data(),
+                    y.data() + n, y.data() + 2 * n, y.data() + 3 * n, n);
+        };
+        run4(scalar::Table(), ya);
+        run4(simd, yb);
+        ASSERT_EQ(0,
+                  std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+            << IsaName(isa) << " pw_acc4 n=" << n << " ic=" << n_ic;
+
+        auto za = RandomFloats(static_cast<std::size_t>(n), 54);
+        auto zb = za;
+        scalar::Table().pw_acc1(xs.data(), n_ic, w.data(), za.data(), n);
+        simd.pw_acc1(xs.data(), n_ic, w.data(), zb.data(), n);
+        ASSERT_EQ(0,
+                  std::memcmp(za.data(), zb.data(), za.size() * sizeof(float)))
+            << IsaName(isa) << " pw_acc1 n=" << n << " ic=" << n_ic;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, DotBitwise) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      const auto a = RandomFloats(static_cast<std::size_t>(n) + 1, 61);
+      const auto b = RandomFloats(static_cast<std::size_t>(n) + 1, 62);
+      const double ds = scalar::Table().dot(a.data() + 1, b.data() + 1, n);
+      const double dv = simd.dot(a.data() + 1, b.data() + 1, n);
+      // Bitwise, not approximate: the 8-lane scheme pins the reduction
+      // order, so every ISA must land on the same double.
+      ASSERT_EQ(0, std::memcmp(&ds, &dv, sizeof(double)))
+          << IsaName(isa) << " n=" << n << " scalar=" << ds
+          << " simd=" << dv;
+    }
+  }
+}
+
+TEST(KernelParity, ReluAndRelu6WithSpecials) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      auto x = RandomFloats(static_cast<std::size_t>(n), 71);
+      if (n > 6) {
+        x[4] = std::numeric_limits<float>::quiet_NaN();
+        x[5] = std::numeric_limits<float>::infinity();
+        x[6] = -std::numeric_limits<float>::infinity();
+      }
+      std::vector<float> ya(static_cast<std::size_t>(n), -9.0f), yb = ya;
+      scalar::Table().relu(x.data(), ya.data(), n);
+      simd.relu(x.data(), yb.data(), n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " relu n=" << n;
+      scalar::Table().relu6(x.data(), ya.data(), n);
+      simd.relu6(x.data(), yb.data(), n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)))
+          << IsaName(isa) << " relu6 n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, SadU8AndSad16x16) {
+  SKIP_WITHOUT_SIMD();
+  util::Pcg32 rng(81);
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      std::vector<std::uint8_t> a(static_cast<std::size_t>(n) + 1);
+      std::vector<std::uint8_t> b(a.size());
+      for (auto& v : a) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+      for (auto& v : b) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+      ASSERT_EQ(scalar::Table().sad_u8(a.data() + 1, b.data() + 1, n),
+                simd.sad_u8(a.data() + 1, b.data() + 1, n))
+          << IsaName(isa) << " n=" << n;
+    }
+    // 16x16 block with distinct strides (the motion-search access pattern).
+    const std::int64_t sa = 23, sb = 29;
+    std::vector<std::uint8_t> pa(static_cast<std::size_t>(16 * sa) + 16);
+    std::vector<std::uint8_t> pb(static_cast<std::size_t>(16 * sb) + 16);
+    for (auto& v : pa) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+    for (auto& v : pb) v = static_cast<std::uint8_t>(rng.Uniform(0, 256));
+    ASSERT_EQ(scalar::Table().sad16x16(pa.data() + 1, sa, pb.data() + 1, sb),
+              simd.sad16x16(pa.data() + 1, sa, pb.data() + 1, sb))
+        << IsaName(isa);
+  }
+}
+
+// End-to-end: whole layers forwarded under the scalar table vs each SIMD
+// table must be byte-identical — the dispatch choice can never change a
+// network's output.
+TEST(KernelParity, ConvLayersBitwiseAcrossIsas) {
+  SKIP_WITHOUT_SIMD();
+  util::Pcg32 rng(91);
+  Conv2D pw("pw", 13, 7, 1, 1, Padding::kSameCeil);
+  HeInitLayer(pw, 1);
+  Conv2D kxk("kxk", 5, 6, 3, 1, Padding::kSameCeil);
+  HeInitLayer(kxk, 2);
+  Conv2D strided("s2", 5, 6, 3, 2, Padding::kSameFloor);
+  HeInitLayer(strided, 3);
+  DepthwiseConv2D dw("dw", 9, 3, 1, Padding::kSameCeil);
+  HeInitLayer(dw, 4);
+  FullyConnected fc("fc", 45, 11);
+  HeInitLayer(fc, 5);
+
+  Tensor in13(Shape{2, 13, 9, 11});
+  in13.FillNormal(rng, 1.0f);
+  Tensor in5(Shape{2, 5, 9, 11});
+  in5.FillNormal(rng, 1.0f);
+  Tensor in9(Shape{2, 9, 9, 11});
+  in9.FillNormal(rng, 1.0f);
+  Tensor in45(Shape{2, 45, 1, 1});
+  in45.FillNormal(rng, 1.0f);
+
+  const Isa prev = SetActiveIsaForTest(Isa::kScalar);
+  const Tensor ref_pw = pw.Forward(in13);
+  const Tensor ref_kxk = kxk.Forward(in5);
+  const Tensor ref_s2 = strided.Forward(in5);
+  const Tensor ref_dw = dw.Forward(in9);
+  const Tensor ref_fc = fc.Forward(in45);
+  for (const Isa isa : SimdIsas()) {
+    SetActiveIsaForTest(isa);
+    auto expect_same = [&](const Tensor& ref, const Tensor& got,
+                           const char* what) {
+      ASSERT_EQ(ref.elements(), got.elements());
+      ASSERT_EQ(0, std::memcmp(ref.data(), got.data(),
+                               static_cast<std::size_t>(ref.elements()) *
+                                   sizeof(float)))
+          << what << " differs on " << IsaName(isa);
+    };
+    expect_same(ref_pw, pw.Forward(in13), "pointwise conv");
+    expect_same(ref_kxk, kxk.Forward(in5), "3x3 conv");
+    expect_same(ref_s2, strided.Forward(in5), "3x3 stride-2 conv");
+    expect_same(ref_dw, dw.Forward(in9), "depthwise conv");
+    expect_same(ref_fc, fc.Forward(in45), "fully connected");
+  }
+  SetActiveIsaForTest(prev);
+}
+
+TEST(KernelDispatch, ActiveIsaIsSupported) {
+  const Isa isa = ActiveIsa();
+  EXPECT_NE(TableFor(isa), nullptr);
+  EXPECT_EQ(&Active(), TableFor(isa));
+  // The shared dispatch threshold resolves to a positive value.
+  EXPECT_GT(ParallelFlopThreshold(), 0);
+}
+
+}  // namespace
+}  // namespace ff::nn::kernels

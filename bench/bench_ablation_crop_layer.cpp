@@ -13,11 +13,14 @@
 using namespace ff;
 using bench::BenchParams;
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bp.train_frames = util::EnvInt("FF_BENCH_TRAIN_FRAMES", 1600);
   bp.test_frames = util::EnvInt("FF_BENCH_TEST_FRAMES", 700);
   bench::PrintHeader("Ablation: spatial crop and tap-layer choice", bp);
+  bench::JsonResult json("ablation_crop_layer",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
 
   const video::SyntheticDataset train_ds(
       bench::TrainSpec(video::Profile::kRoadway, bp));
@@ -53,11 +56,20 @@ int main() {
                     2),
                 util::Table::Num(m.f1, 3), util::Table::Num(m.event_recall, 3),
                 util::Table::Num(m.precision, 3)});
+      json.NewRow();
+      json.Row("tap", tap);
+      json.Row("crop", crop ? 1.0 : 0.0);
+      json.Row("marginal_mmacs",
+               static_cast<double>(trained.mc->MarginalMacsPerFrame()) / 1e6);
+      json.Row("event_f1", m.f1);
+      json.Row("event_recall", m.event_recall);
+      json.Row("precision", m.precision);
     }
   }
   t.Print(std::cout);
   std::printf("\npaper §3.2/§3.4: cropping reduces MC cost proportionally to "
               "the input-area reduction and helps accuracy; tap-layer choice "
               "is critical (too late loses small details).\n");
+  json.Write();
   return 0;
 }

@@ -11,10 +11,13 @@
 using namespace ff;
 using bench::BenchParams;
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bench::PrintHeader("Ablation: early-exit feature extraction (extension)",
                      bp);
+  bench::JsonResult json("ablation_early_exit",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
   const std::int64_t n_frames = util::EnvInt("FF_BENCH_FRAMES", 6) + 1;
   auto spec = video::JacksonSpec(bp.width, n_frames + 1, 34);
   const video::SyntheticDataset ds(spec);
@@ -47,8 +50,16 @@ int main() {
                                3),
               util::Table::Num(ms, 2),
               util::Table::Num(full_ms / ms, 2) + "x faster"});
+    json.NewRow();
+    json.Row("deepest_tap", tap);
+    json.Row("gmacs_per_frame",
+             static_cast<double>(
+                 fx.MacsPerFrame(ds.spec().height, ds.spec().width)) / 1e9);
+    json.Row("ms_per_frame", ms);
+    json.Row("speedup_vs_full", full_ms / ms);
   }
   t.Print(std::cout);
+  json.Write();
   std::printf("\nWhen every tenant taps mid-network layers, stopping there "
               "skips the deepest (widest) base-DNN layers — compounding the "
               "paper's computation sharing.\n");

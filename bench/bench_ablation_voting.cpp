@@ -13,11 +13,14 @@
 using namespace ff;
 using bench::BenchParams;
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bp.train_frames = util::EnvInt("FF_BENCH_TRAIN_FRAMES", 1600);
   bp.test_frames = util::EnvInt("FF_BENCH_TEST_FRAMES", 700);
   bench::PrintHeader("Ablation: K-voting smoothing (N, K)", bp);
+  bench::JsonResult json("ablation_voting",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
 
   const video::SyntheticDataset train_ds(
       bench::TrainSpec(video::Profile::kRoadway, bp));
@@ -62,10 +65,19 @@ int main() {
               util::Table::Num(m.precision, 3),
               std::to_string(m.detected_events) + "/" +
                   std::to_string(m.truth_events)});
+    json.NewRow();
+    json.Row("n", static_cast<double>(nk.n));
+    json.Row("k", static_cast<double>(nk.k));
+    json.Row("event_f1", m.f1);
+    json.Row("event_recall", m.event_recall);
+    json.Row("precision", m.precision);
+    json.Row("detected_events", static_cast<double>(m.detected_events));
+    json.Row("truth_events", static_cast<double>(m.truth_events));
   }
   t.Print(std::cout);
   std::printf("\npaper §3.5: smaller K favors recall (fewer missed events), "
               "larger K favors precision; (5, 2) biases toward not missing "
               "events.\n");
+  json.Write();
   return 0;
 }

@@ -13,9 +13,12 @@
 using namespace ff;
 using bench::BenchParams;
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bench::PrintHeader("Ablation: windowed MC 1x1 buffer reuse", bp);
+  bench::JsonResult json("ablation_window_reuse",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
   const std::int64_t n_frames = util::EnvInt("FF_BENCH_FRAMES", 8) + 1;
 
   auto spec = video::RoadwaySpec(bp.width, n_frames + 1, 33);
@@ -71,5 +74,13 @@ int main() {
               static_cast<double>(with_reuse.MarginalMacsWithoutReuse()) /
                   static_cast<double>(with_reuse.MarginalMacsPerFrame()),
               max_diff);
+  json.Set("reuse_ms_per_frame", reuse_ms);
+  json.Set("no_reuse_ms_per_frame", naive_ms);
+  json.Set("measured_speedup_x", naive_ms / reuse_ms);
+  json.Set("analytic_speedup_x",
+           static_cast<double>(with_reuse.MarginalMacsWithoutReuse()) /
+               static_cast<double>(with_reuse.MarginalMacsPerFrame()));
+  json.Set("max_output_diff", max_diff);
+  json.Write();
   return 0;
 }

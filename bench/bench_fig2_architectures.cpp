@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/microclassifier.hpp"
 #include "dnn/feature_extractor.hpp"
 #include "util/table.hpp"
@@ -41,8 +42,10 @@ void PrintTrace(const char* title, core::Microclassifier& mc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 2: microclassifier architectures at 1920x1080 ===\n\n");
+  bench::JsonResult json("fig2_architectures",
+                         bench::JsonResult::PathFromArgs(argc, argv));
   const std::int64_t H = 1080, W = 1920;
   dnn::FeatureExtractor fx({.include_classifier = false});
   fx.RequestTap(dnn::kMidTap);
@@ -68,6 +71,17 @@ int main() {
   core::WindowedLocalizedMc win({.name = "windowed", .tap = dnn::kMidTap},
                                 fx, H, W);
   PrintTrace("Fig. 2c: windowed, localized binary classifier", win);
+
+  for (const auto* mc : {static_cast<core::Microclassifier*>(&ff),
+                         static_cast<core::Microclassifier*>(&loc),
+                         static_cast<core::Microclassifier*>(&win)}) {
+    json.NewRow();
+    json.Row("arch", mc->name());
+    json.Row("tap", mc->config().tap);
+    json.Row("input_shape", mc->input_shape().ToString());
+    json.Row("marginal_mmacs",
+             static_cast<double>(mc->MarginalMacsPerFrame()) / 1e6);
+  }
   std::printf(
       "windowed MC without the paper's 1x1 buffer reuse: %.2f M "
       "multiply-adds/frame (reuse saves %.2f M)\n",
@@ -78,5 +92,9 @@ int main() {
   std::printf("\nbase DNN cost to conv5_6/sep at 1920x1080: %.2f G "
               "multiply-adds/frame (amortized across all MCs)\n",
               static_cast<double>(fx.MacsPerFrame(H, W)) / 1e9);
+  json.Set("windowed_mmacs_without_reuse",
+           static_cast<double>(win.MarginalMacsWithoutReuse()) / 1e6);
+  json.Set("base_dnn_gmacs", static_cast<double>(fx.MacsPerFrame(H, W)) / 1e9);
+  json.Write();
   return 0;
 }

@@ -7,13 +7,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "util/table.hpp"
 #include "video/dataset.hpp"
 
 using namespace ff;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 3: real-world evaluation videos and tasks ===\n\n");
+  bench::JsonResult json("fig3_datasets",
+                         bench::JsonResult::PathFromArgs(argc, argv));
 
   // Paper-scale frame counts; the schedule/labels are cheap to build. Mean
   // event lengths are set to the paper's implied values (95,238/506 = 188
@@ -72,5 +75,21 @@ int main() {
       "(paper: 59%%).\n",
       100.0 * static_cast<double>(rc.height() * rc.width()) /
           static_cast<double>(roadway.spec().width * roadway.spec().height));
+
+  for (const auto* ds : {&jackson, &roadway}) {
+    const auto s = ds->Stats();
+    json.NewRow();
+    json.Row("dataset", ds->spec().name);
+    json.Row("task", ds->spec().task);
+    json.Row("width", static_cast<double>(ds->spec().width));
+    json.Row("height", static_cast<double>(ds->spec().height));
+    json.Row("fps", static_cast<double>(ds->spec().fps));
+    json.Row("frames", static_cast<double>(s.frames));
+    json.Row("event_frames", static_cast<double>(s.event_frames));
+    json.Row("unique_events", static_cast<double>(s.unique_events));
+    json.Row("event_frame_fraction", static_cast<double>(s.event_frames) /
+                                         static_cast<double>(s.frames));
+  }
+  json.Write();
   return 0;
 }

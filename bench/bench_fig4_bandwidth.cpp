@@ -57,10 +57,13 @@ std::uint64_t UploadBytes(const video::SyntheticDataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   bench::PrintHeader(
       "Fig. 4: bandwidth vs event F1 (Roadway, People with red)", bp);
+  bench::JsonResult json("fig4_bandwidth",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
 
   const video::SyntheticDataset train_ds(
       bench::TrainSpec(video::Profile::kRoadway, bp));
@@ -172,6 +175,18 @@ int main() {
                 util::Table::Num(p.f1, 3)});
     }
     t.Print(std::cout);
+    for (const auto* series : {&ff_series, &ce_series}) {
+      for (const auto& p : *series) {
+        json.NewRow();
+        json.Row("panel", as.panel);
+        json.Row("arch", as.arch);
+        json.Row("strategy", series == &ff_series ? "filterforward"
+                                                  : "compress_everything");
+        json.Row("operating_point", p.label);
+        json.Row("bandwidth_kbps", p.bandwidth_bps / 1000);
+        json.Row("event_f1", p.f1);
+      }
+    }
 
     // Summary ratios: compare FF's main point against the cheapest
     // compress-everything point with F1 >= FF's (bandwidth ratio), and the
@@ -193,6 +208,10 @@ int main() {
     }
     std::printf("\nFF point: %.1f kb/s at F1 %.3f\n",
                 ff_main.bandwidth_bps / 1000, ff_main.f1);
+    json.Set(std::string(as.arch) + "_ff_kbps", ff_main.bandwidth_bps / 1000);
+    json.Set(std::string(as.arch) + "_ff_f1", ff_main.f1);
+    json.Set(std::string(as.arch) + "_bandwidth_saving_x",
+             ce_band_at_f1 > 0 ? ce_band_at_f1 / ff_main.bandwidth_bps : -1.0);
     if (ce_band_at_f1 > 0) {
       std::printf("bandwidth saving vs compression at matched F1: %.1fx "
                   "(paper: 6.3x full-frame, 13x localized)\n",
@@ -205,6 +224,9 @@ int main() {
                 "%.3f vs %.3f = %.2fx (paper: 1.5-1.9x)\n\n",
                 nearest->bandwidth_bps / 1000, ff_main.f1, nearest->f1,
                 nearest->f1 > 0 ? ff_main.f1 / nearest->f1 : 0.0);
+    json.Set(std::string(as.arch) + "_f1_ratio_at_matched_bandwidth",
+             nearest->f1 > 0 ? ff_main.f1 / nearest->f1 : 0.0);
   }
+  json.Write();
   return 0;
 }

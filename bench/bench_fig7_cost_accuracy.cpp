@@ -35,13 +35,16 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BenchParams bp;
   // Fig. 7 trains many models; default to a slightly smaller split than the
   // other benches unless overridden.
   bp.train_frames = util::EnvInt("FF_BENCH_TRAIN_FRAMES", 1600);
   bp.test_frames = util::EnvInt("FF_BENCH_TEST_FRAMES", 700);
   bench::PrintHeader("Fig. 7: multiply-adds vs event F1 (MCs vs DCs)", bp);
+  bench::JsonResult json("fig7_cost_accuracy",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
 
   const std::int64_t n_dcs = util::EnvInt("FF_BENCH_DC_COUNT", 2);
 
@@ -140,6 +143,14 @@ int main() {
                 util::Table::Num(static_cast<double>(r.macs_paper_res) / 1e6, 1),
                 util::Table::Num(r.f1, 3), util::Table::Num(r.recall, 3),
                 util::Table::Num(r.precision, 3)});
+      json.NewRow();
+      json.Row("dataset", jackson ? "jackson" : "roadway");
+      json.Row("model", r.model);
+      json.Row("mmacs", static_cast<double>(r.macs) / 1e6);
+      json.Row("mmacs_paper_res", static_cast<double>(r.macs_paper_res) / 1e6);
+      json.Row("event_f1", r.f1);
+      json.Row("event_recall", r.recall);
+      json.Row("precision", r.precision);
     }
     t.Print(std::cout);
 
@@ -162,9 +173,15 @@ int main() {
                       static_cast<double>(best_mc->macs),
                   jackson ? "1.3x accuracy, 23x cheaper"
                           : "1.1x accuracy, 11x cheaper");
+      const std::string prefix = jackson ? "jackson" : "roadway";
+      json.Set(prefix + "_mc_dc_f1_ratio", best_mc->f1 / best_dc->f1);
+      json.Set(prefix + "_mc_cost_saving_x",
+               static_cast<double>(best_dc->macs) /
+                   static_cast<double>(best_mc->macs));
     } else {
       std::printf("\n");
     }
   }
+  json.Write();
   return 0;
 }

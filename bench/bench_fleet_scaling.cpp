@@ -1,0 +1,236 @@
+// Fleet scaling: throughput vs number of camera streams on ONE edge box at
+// a FIXED total tenant count (the paper's multi-application scenario spread
+// across the multi-camera deployments of §2.2.3).
+//
+// Sweep: S streams share the box, each carrying T/S of the T tenants; the
+// phase-1 batch width stays constant, so the fleet fills each base-DNN
+// batch from S different streams instead of buffering one stream's future.
+// Baseline: the single-stream EdgeNode with all T tenants and
+// submit_batch = N (exactly PR 3's batched path).
+//
+// What the JSON must show (the PR 4 acceptance bar):
+//  * fps at S > 1 is >= the single-stream submit_batch baseline (same
+//    batch width, same shared base DNN, strictly less MC work per frame);
+//  * per-frame buffering latency (frames a stream stages per batch,
+//    frames / batches / streams) FALLS as ~N/S while the batch width — and
+//    with it phase 1's n × out_c parallel width — stays N.
+//
+// Env knobs on top of the shared FF_BENCH_*:
+//   FF_BENCH_TENANTS       total tenants T across the box (default 8)
+//   FF_BENCH_BATCH         phase-1 batch width N (default 8)
+//   FF_BENCH_FLEET_FRAMES  total frames per measurement (default 24)
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/edge_fleet.hpp"
+#include "core/edge_node.hpp"
+#include "nn/kernels.hpp"
+
+using namespace ff;
+using bench::BenchParams;
+
+namespace {
+
+// Pre-rendered frames behind the FrameSource interface, so measured time is
+// filtering, not synthesis.
+class VectorSource : public video::FrameSource {
+ public:
+  VectorSource(std::vector<video::Frame> frames, std::int64_t fps)
+      : frames_(std::move(frames)), fps_(fps) {}
+
+  std::optional<video::Frame> Next() override {
+    if (next_ >= frames_.size()) return std::nullopt;
+    return frames_[next_++];
+  }
+  void Reset() override { next_ = 0; }
+
+  std::int64_t width() const override {
+    return frames_.empty() ? 0 : frames_.front().width();
+  }
+  std::int64_t height() const override {
+    return frames_.empty() ? 0 : frames_.front().height();
+  }
+  std::int64_t fps() const override { return fps_; }
+
+ private:
+  std::vector<video::Frame> frames_;
+  std::int64_t fps_ = 15;
+  std::size_t next_ = 0;
+};
+
+std::unique_ptr<core::Microclassifier> MakeTenant(
+    const dnn::FeatureExtractor& fx, const video::DatasetSpec& spec,
+    const std::string& tap, std::int64_t i) {
+  const char* arch = i % 2 == 0 ? "windowed" : "localized";
+  return core::MakeMicroclassifier(
+      arch,
+      {.name = std::string(arch) + std::to_string(i), .tap = tap,
+       .seed = static_cast<std::uint64_t>(100 + i)},
+      fx, spec.height, spec.width);
+}
+
+struct Measurement {
+  double fps = 0;
+  double base_s_per_frame = 0;
+  double mc_s_per_frame = 0;
+  std::int64_t batches = 0;
+  std::int64_t frames = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchParams bp;
+  bench::PrintHeader("Fleet scaling: fps vs streams at fixed total tenants",
+                     bp);
+  const std::int64_t tenants = util::EnvInt("FF_BENCH_TENANTS", 8);
+  const std::int64_t batch = util::EnvInt("FF_BENCH_BATCH", 8);
+  const std::int64_t total_frames = util::EnvInt("FF_BENCH_FLEET_FRAMES", 24);
+  bench::JsonResult json("fleet_scaling",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  bench::AddParams(json, bp);
+  json.Set("tenants_total", static_cast<double>(tenants));
+  json.Set("batch", static_cast<double>(batch));
+  json.Set("frames_total", static_cast<double>(total_frames));
+  json.Set("simd", nn::kernels::IsaName(nn::kernels::ActiveIsa()));
+
+  // One synthetic camera per potential stream (same geometry, different
+  // days), frames rendered up front.
+  const std::int64_t max_streams = std::min<std::int64_t>(tenants, 8);
+  std::vector<video::SyntheticDataset> cams;
+  for (std::int64_t s = 0; s < max_streams; ++s) {
+    auto spec = video::JacksonSpec(bp.width, total_frames + 1,
+                                   static_cast<std::uint64_t>(40 + s));
+    spec.object_scale = bp.object_scale;
+    cams.emplace_back(spec);
+  }
+  const video::DatasetSpec& spec = cams.front().spec();
+  const std::string tap = bench::TapForScale(bp.width);
+
+  auto render = [&](std::int64_t cam, std::int64_t n) {
+    std::vector<video::Frame> frames;
+    for (std::int64_t i = 0; i < n; ++i) {
+      frames.push_back(cams[static_cast<std::size_t>(cam)].RenderFrame(i));
+    }
+    return frames;
+  };
+
+  // Warm the kernel dispatch / allocator before any timed run.
+  {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    fx.RequestTap(tap);
+    const video::Frame f = cams[0].RenderFrame(total_frames);
+    fx.Extract(dnn::PreprocessRgb(f.r(), f.g(), f.b(), f.height(),
+                                  f.width()));
+  }
+
+  // --- Baseline: single-stream EdgeNode, all tenants, submit_batch=N ------
+  Measurement node_m;
+  {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    core::EdgeNodeConfig cfg;
+    cfg.frame_width = spec.width;
+    cfg.frame_height = spec.height;
+    cfg.fps = spec.fps;
+    cfg.enable_upload = false;
+    cfg.submit_batch = batch;
+    core::EdgeNode node(fx, cfg);
+    for (std::int64_t i = 0; i < tenants; ++i) {
+      node.Attach({.mc = MakeTenant(fx, spec, tap, i)});
+    }
+    VectorSource src(render(0, total_frames), spec.fps);
+    util::WallTimer timer;
+    node.Run(src);
+    const double seconds = timer.ElapsedSeconds();
+    node_m.frames = node.frames_processed();
+    node_m.fps = static_cast<double>(node_m.frames) / seconds;
+    node_m.base_s_per_frame =
+        node.base_dnn_seconds() / static_cast<double>(node_m.frames);
+    node_m.mc_s_per_frame =
+        node.mc_seconds() / static_cast<double>(node_m.frames);
+    node_m.batches = node.fleet().batches_run();
+  }
+
+  util::Table t({"streams", "tenants/stream", "fps",
+                 "base DNN (ms/frame)", "MCs (ms/frame)",
+                 "buffer (frames/stream/batch)", "vs EdgeNode"});
+  auto add_row = [&](const std::string& label, std::int64_t streams,
+                     std::int64_t per_stream, const Measurement& m) {
+    const double buffer_frames =
+        static_cast<double>(m.frames) /
+        static_cast<double>(m.batches * streams);
+    t.AddRow({label, std::to_string(per_stream),
+              util::Table::Num(m.fps, 2),
+              util::Table::Num(m.base_s_per_frame * 1e3, 2),
+              util::Table::Num(m.mc_s_per_frame * 1e3, 2),
+              util::Table::Num(buffer_frames, 2),
+              util::Table::Num(m.fps / node_m.fps, 2) + "x"});
+    json.NewRow();
+    json.Row("config", label);
+    json.Row("streams", static_cast<double>(streams));
+    json.Row("tenants_per_stream", static_cast<double>(per_stream));
+    json.Row("fps", m.fps);
+    json.Row("base_dnn_s_per_frame", m.base_s_per_frame);
+    json.Row("mc_s_per_frame", m.mc_s_per_frame);
+    json.Row("batches", static_cast<double>(m.batches));
+    json.Row("buffer_frames_per_stream", buffer_frames);
+    json.Row("speedup_vs_node", m.fps / node_m.fps);
+  };
+  add_row("EdgeNode (baseline)", 1, tenants, node_m);
+
+  // --- Fleet sweep: S streams, T/S tenants each, same batch width ----------
+  for (std::int64_t streams = 1; streams <= max_streams; streams *= 2) {
+    if (tenants % streams != 0) continue;
+    const std::int64_t per_stream = tenants / streams;
+    const std::int64_t frames_per_stream = total_frames / streams;
+    if (frames_per_stream == 0) {
+      std::printf("skipping %lld streams: FF_BENCH_FLEET_FRAMES=%lld leaves "
+                  "no frames per stream\n",
+                  static_cast<long long>(streams),
+                  static_cast<long long>(total_frames));
+      continue;
+    }
+
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    core::EdgeFleetConfig cfg;
+    cfg.enable_upload = false;
+    cfg.max_batch = batch;
+    core::EdgeFleet fleet(fx, cfg);
+    std::vector<std::unique_ptr<VectorSource>> sources;
+    std::int64_t tenant_i = 0;
+    for (std::int64_t s = 0; s < streams; ++s) {
+      sources.push_back(std::make_unique<VectorSource>(
+          render(s, frames_per_stream), spec.fps));
+      const core::StreamHandle h = fleet.AddStream(*sources.back());
+      for (std::int64_t k = 0; k < per_stream; ++k) {
+        fleet.Attach(h, {.mc = MakeTenant(fx, spec, tap, tenant_i++)});
+      }
+    }
+    util::WallTimer timer;
+    fleet.Run();
+    const double seconds = timer.ElapsedSeconds();
+    Measurement m;
+    m.frames = fleet.frames_processed();
+    m.fps = static_cast<double>(m.frames) / seconds;
+    m.base_s_per_frame =
+        fleet.base_dnn_seconds() / static_cast<double>(m.frames);
+    m.mc_s_per_frame = fleet.mc_seconds() / static_cast<double>(m.frames);
+    m.batches = fleet.batches_run();
+    add_row("EdgeFleet x" + std::to_string(streams), streams, per_stream, m);
+  }
+  t.Print(std::cout);
+
+  std::printf(
+      "\nFixed batch width %lld: the fleet fills each base-DNN batch from "
+      "different streams, so per-stream buffering falls as ~batch/streams "
+      "while phase-1 parallel width (n x out_c) stays constant; with the "
+      "total tenant count fixed, per-frame MC work also drops as streams "
+      "share the box.\n",
+      static_cast<long long>(batch));
+  json.Write();
+  return 0;
+}

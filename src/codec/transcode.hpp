@@ -32,6 +32,10 @@ class TranscodedSource : public video::FrameSource {
     decoder_ = Decoder(cfg_.width, cfg_.height);
   }
 
+  std::int64_t width() const override { return cfg_.width; }
+  std::int64_t height() const override { return cfg_.height; }
+  std::int64_t fps() const override { return cfg_.fps; }
+
   std::uint64_t total_bytes() const { return encoder_.total_bytes(); }
   double AverageBitrateBps() const { return encoder_.AverageBitrateBps(); }
   const Encoder& encoder() const { return encoder_; }

@@ -21,6 +21,11 @@ namespace ff::core {
 
 // One uploaded frame as it crosses the wide-area link.
 struct UploadPacket {
+  // Originating stream (core::StreamHandle) — an EdgeFleet shares one
+  // uplink sink across cameras and the receiver side demultiplexes on
+  // this (frame_index is stream-local; feed each stream its own
+  // DatacenterReceiver, whose decoder state is per-stream).
+  std::int64_t stream = -1;
   std::int64_t frame_index = -1;
   std::string chunk;       // codec bitstream for this frame
   FrameMetadata metadata;  // (MC -> event id) memberships

@@ -1,0 +1,594 @@
+#include "core/edge_fleet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace ff::core {
+
+void ResultCollector::Bind(McSpec& spec) {
+  FF_CHECK_MSG(spec.mc != nullptr, "Bind needs a spec holding an MC");
+  FF_CHECK_MSG(!spec.on_decision && !spec.on_event,
+               "spec already has sinks installed");
+  FF_CHECK_MSG(!bound_, "collector already bound to " << result_.name
+                            << "; one collector serves one tenant");
+  bound_ = true;
+  result_.name = spec.mc->name();
+  spec.on_decision = [this](const McDecision& d) {
+    if (result_.scores.empty()) result_.first_frame = d.frame_index;
+    result_.scores.push_back(d.score);
+    result_.raw.push_back(d.raw ? 1 : 0);
+    result_.decisions.push_back(d.decision ? 1 : 0);
+    result_.event_ids.push_back(d.event_id);
+  };
+  spec.on_event = [this](const EventRecord& ev) {
+    result_.events.push_back(ev);
+  };
+}
+
+EdgeFleet::EdgeFleet(dnn::FeatureExtractor& fx, const EdgeFleetConfig& cfg)
+    : fx_(fx), cfg_(cfg) {
+  // Fail at construction, not first Attach: KVotingSmoother would throw
+  // these checks after the tap reference was already taken.
+  FF_CHECK_GE(cfg.vote_window, 1);
+  FF_CHECK(cfg.vote_k >= 1 && cfg.vote_k <= cfg.vote_window);
+  FF_CHECK_GE(cfg.max_batch, 1);
+  FF_CHECK_GE(cfg.queue_capacity, 0);
+}
+
+EdgeFleet::~EdgeFleet() {
+  // A fleet destroyed without Drain() must still hand its tap references
+  // back — the shared extractor outlives the session, and a leaked deep
+  // tap would tax every later user of it. No tail drain here: the sinks'
+  // owners may already be gone.
+  for (auto& s : streams_) {
+    for (auto& tenant : s->tenants) fx_.ReleaseTap(tenant->mc->config().tap);
+  }
+}
+
+StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
+  FF_CHECK_MSG(!drained_, "cannot add a stream to a drained fleet");
+  FF_CHECK_GT(s->width, 0);
+  FF_CHECK_GT(s->height, 0);
+  FF_CHECK_GT(s->fps, 0);
+  if (streams_.empty() && frame_width_ == 0) {
+    frame_width_ = s->width;
+    frame_height_ = s->height;
+  }
+  // One batch tensor serves every stream, so the fleet is homogeneous in
+  // frame geometry; reject mismatches loudly at AddStream, not mid-batch.
+  FF_CHECK_MSG(
+      s->width == frame_width_ && s->height == frame_height_,
+      "heterogeneous stream geometry: fleet is "
+          << frame_width_ << "x" << frame_height_ << ", new stream is "
+          << s->width << "x" << s->height
+          << " (one EdgeFleet batches one frame size; run a second fleet "
+             "for a second geometry)");
+  if (cfg_.enable_upload) {
+    codec::EncoderConfig ec;
+    ec.width = s->width;
+    ec.height = s->height;
+    ec.fps = s->fps;
+    ec.target_bitrate_bps = cfg_.upload_bitrate_bps;
+    s->uplink = std::make_unique<codec::Encoder>(ec);
+  }
+  if (cfg_.edge_store_capacity > 0) {
+    s->store = std::make_unique<EdgeStore>(cfg_.edge_store_capacity);
+  }
+  s->handle = next_stream_++;
+  streams_.push_back(std::move(s));
+  return streams_.back()->handle;
+}
+
+StreamHandle EdgeFleet::AddStream(video::FrameSource& source,
+                                  StreamConfig scfg) {
+  auto s = std::make_unique<Stream>();
+  s->source = &source;
+  s->width = scfg.frame_width > 0 ? scfg.frame_width : source.width();
+  s->height = scfg.frame_height > 0 ? scfg.frame_height : source.height();
+  s->fps = scfg.fps > 0 ? scfg.fps : (source.fps() > 0 ? source.fps() : 15);
+  FF_CHECK_MSG(s->width > 0 && s->height > 0,
+               "stream geometry unknown: set StreamConfig.frame_width/"
+               "frame_height or implement FrameSource::width()/height()");
+  return FinishAddStream(std::move(s));
+}
+
+StreamHandle EdgeFleet::AddStream(StreamConfig scfg) {
+  auto s = std::make_unique<Stream>();
+  FF_CHECK_MSG(scfg.frame_width > 0 && scfg.frame_height > 0,
+               "a push-driven stream needs explicit StreamConfig geometry");
+  s->width = scfg.frame_width;
+  s->height = scfg.frame_height;
+  s->fps = scfg.fps > 0 ? scfg.fps : 15;
+  return FinishAddStream(std::move(s));
+}
+
+std::size_t EdgeFleet::StreamIndex(StreamHandle stream) const {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i]->handle == stream) return i;
+  }
+  FF_CHECK_MSG(false, "no stream with handle " << stream);
+  return 0;  // unreachable; FF_CHECK_MSG(false, ...) throws
+}
+
+bool EdgeFleet::HasStream(StreamHandle stream) const {
+  return std::any_of(streams_.begin(), streams_.end(),
+                     [&](const auto& s) { return s->handle == stream; });
+}
+
+void EdgeFleet::DrainStream(Stream& s) {
+  for (auto& tenant : s.tenants) {
+    DrainTenantTail(s, *tenant);
+    fx_.ReleaseTap(tenant->mc->config().tap);
+  }
+  s.tenants.clear();
+  FinalizeReadyFrames(s);
+  FF_CHECK(s.pending.empty());
+}
+
+void EdgeFleet::RemoveStream(StreamHandle stream) {
+  const std::size_t idx = StreamIndex(stream);
+  DrainStream(*streams_[idx]);
+  streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+McHandle EdgeFleet::Attach(StreamHandle stream, McSpec spec) {
+  FF_CHECK_MSG(!drained_, "cannot attach to a drained fleet");
+  FF_CHECK(spec.mc != nullptr);
+  Stream& s = *streams_[StreamIndex(stream)];
+  auto t = std::make_unique<Tenant>();
+  t->handle = next_handle_++;
+  t->mc = std::move(spec.mc);
+  t->threshold = spec.threshold;
+  t->smoother = KVotingSmoother(cfg_.vote_window, cfg_.vote_k);
+  t->on_decision = std::move(spec.on_decision);
+  t->on_event = std::move(spec.on_event);
+  t->first_frame = s.frames_processed;
+  // Reserve first so the push_back after RequestTap cannot throw — a throw
+  // on either side of RequestTap must not leave a dangling tap reference.
+  s.tenants.reserve(s.tenants.size() + 1);
+  fx_.RequestTap(t->mc->config().tap);
+  s.tenants.push_back(std::move(t));
+  return s.tenants.back()->handle;
+}
+
+std::pair<EdgeFleet::Stream*, std::size_t> EdgeFleet::TenantRef(
+    McHandle handle) const {
+  for (const auto& s : streams_) {
+    for (std::size_t i = 0; i < s->tenants.size(); ++i) {
+      if (s->tenants[i]->handle == handle) return {s.get(), i};
+    }
+  }
+  FF_CHECK_MSG(false, "no attached microclassifier with handle " << handle);
+  return {nullptr, 0};  // unreachable; FF_CHECK_MSG(false, ...) throws
+}
+
+void EdgeFleet::Detach(McHandle handle) {
+  const auto [s, idx] = TenantRef(handle);
+  Tenant& tenant = *s->tenants[idx];
+  DrainTenantTail(*s, tenant);
+  // Drop the tenant's tap reference: if it was the last reader of the
+  // deepest tap, the base DNN stops earlier again from the next frame.
+  fx_.ReleaseTap(tenant.mc->config().tap);
+  s->tenants.erase(s->tenants.begin() + static_cast<std::ptrdiff_t>(idx));
+  FinalizeReadyFrames(*s);
+}
+
+bool EdgeFleet::IsAttached(McHandle handle) const {
+  for (const auto& s : streams_) {
+    for (const auto& t : s->tenants) {
+      if (t->handle == handle) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t EdgeFleet::n_mcs() const {
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s->tenants.size();
+  return n;
+}
+
+const Microclassifier& EdgeFleet::mc(McHandle handle) const {
+  const auto [s, idx] = TenantRef(handle);
+  return *s->tenants[idx]->mc;
+}
+
+void EdgeFleet::SetUploadSink(UploadSink sink) {
+  FF_CHECK_MSG(cfg_.enable_upload, "uploads are disabled in this fleet");
+  upload_sink_ = std::move(sink);
+}
+
+void EdgeFleet::ValidateFrame(const Stream& s,
+                              const video::Frame& frame) const {
+  FF_CHECK_MSG(frame.width() == s.width && frame.height() == s.height,
+               "stream " << s.handle << " expects " << s.width << "x"
+                         << s.height << ", got " << frame.width() << "x"
+                         << frame.height());
+}
+
+EdgeFleet::Stream& EdgeFleet::PushTarget(StreamHandle stream,
+                                         const video::Frame& frame) {
+  FF_CHECK_MSG(!drained_, "cannot push to a drained fleet");
+  Stream& s = *streams_[StreamIndex(stream)];
+  ValidateFrame(s, frame);
+  FF_CHECK_MSG(cfg_.queue_capacity == 0 ||
+                   static_cast<std::int64_t>(s.queue.size()) <
+                       cfg_.queue_capacity,
+               "stream " << stream << " ingest queue is full ("
+                         << cfg_.queue_capacity
+                         << " frames): Step() the fleet before pushing more");
+  return s;
+}
+
+void EdgeFleet::Push(StreamHandle stream, const video::Frame& frame) {
+  PushTarget(stream, frame).queue.push_back(frame);
+}
+
+void EdgeFleet::Push(StreamHandle stream, video::Frame&& frame) {
+  PushTarget(stream, frame).queue.push_back(std::move(frame));
+}
+
+std::size_t EdgeFleet::queued_frames(StreamHandle stream) const {
+  return streams_[StreamIndex(stream)]->queue.size();
+}
+
+std::optional<video::Frame> EdgeFleet::TakeFrame(Stream& s) {
+  if (!s.queue.empty()) {
+    video::Frame f = std::move(s.queue.front());
+    s.queue.pop_front();
+    return f;
+  }
+  if (s.source != nullptr && !s.source_done) {
+    if (auto f = s.source->Next()) {
+      ValidateFrame(s, *f);  // sources may misreport their metadata
+      return f;
+    }
+    s.source_done = true;
+  }
+  return std::nullopt;
+}
+
+void EdgeFleet::DeliverScore(Stream& s, Tenant& tenant, float score) {
+  const bool raw = score >= tenant.threshold;
+  tenant.undecided.emplace_back(score, raw);
+  ++tenant.scored;
+  if (const auto decision = tenant.smoother.Push(raw)) {
+    NotifyDecision(s, tenant, *decision);
+  }
+}
+
+void EdgeFleet::DeliverClosedEvent(Stream& s, Tenant& tenant,
+                                   const EventRecord& ev) {
+  if (!tenant.on_event) return;
+  // Detector frames are tenant-local; report stream frame indices.
+  EventRecord global = ev;
+  global.stream = s.handle;
+  global.begin += tenant.first_frame;
+  global.end += tenant.first_frame;
+  tenant.on_event(global);
+}
+
+void EdgeFleet::NotifyDecision(Stream& s, Tenant& tenant, bool positive) {
+  const auto closed = tenant.detector.Push(positive);
+  const std::int64_t frame_index = tenant.first_frame + tenant.decided;
+
+  FF_CHECK(!tenant.undecided.empty());
+  McDecision d;
+  d.handle = tenant.handle;
+  d.stream = s.handle;
+  d.frame_index = frame_index;
+  d.score = tenant.undecided.front().first;
+  d.raw = tenant.undecided.front().second;
+  d.decision = positive;
+  d.event_id = positive ? tenant.detector.last_state().event_id : -1;
+  tenant.undecided.pop_front();
+  ++tenant.decided;
+  if (tenant.on_decision) tenant.on_decision(d);
+  if (closed) DeliverClosedEvent(s, tenant, *closed);
+
+  if (!cfg_.enable_upload) return;
+  const auto slot = static_cast<std::size_t>(frame_index - s.pending_base);
+  FF_CHECK_LT(slot, s.pending.size());
+  PendingFrame& pf = s.pending[slot];
+  ++pf.decided;
+  if (positive) {
+    pf.any_positive = true;
+    pf.memberships.emplace_back(tenant.mc->name(), d.event_id);
+  }
+}
+
+void EdgeFleet::FinalizeReadyFrames(Stream& s) {
+  if (!cfg_.enable_upload) return;
+  while (!s.pending.empty() &&
+         s.pending.front().decided == s.pending.front().needed) {
+    PendingFrame& pf = s.pending.front();
+    const std::int64_t index = s.pending_base;
+    if (pf.any_positive) {
+      upload_timer_.Start();
+      // Restart prediction when the previous uploaded frame is not the
+      // temporal predecessor of this one.
+      const bool force_i = index != s.last_uploaded + 1;
+      std::string chunk = s.uplink->EncodeFrame(pf.frame, force_i);
+      upload_timer_.Stop();
+      s.last_uploaded = index;
+      ++s.frames_uploaded;
+      if (upload_sink_) {
+        UploadPacket packet;
+        packet.stream = s.handle;
+        packet.frame_index = index;
+        packet.chunk = std::move(chunk);
+        packet.metadata.frame_index = index;
+        packet.metadata.memberships = std::move(pf.memberships);
+        upload_sink_(packet);
+      }
+    }
+    s.pending.pop_front();
+    ++s.pending_base;
+  }
+}
+
+std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
+  FF_CHECK_MSG(!drained_, "cannot step a drained fleet");
+  const std::int64_t cap = max_frames > 0 ? max_frames : cfg_.max_batch;
+
+  // Gather the batch round-robin across the live streams: one frame per
+  // stream per cycle, continuing around until the batch is full or a whole
+  // cycle yields nothing. With >= cap streams ready, each contributes one
+  // frame; with fewer, their queues fill the remaining width — the
+  // per-stream buffering depth is ~cap / live_streams, never cap.
+  std::vector<BatchItem> batch;
+  if (!streams_.empty()) {
+    const std::size_t n = streams_.size();
+    std::size_t idx = rr_cursor_ % n;
+    std::size_t misses = 0;  // consecutive streams with nothing ready
+    try {
+      while (static_cast<std::int64_t>(batch.size()) < cap && misses < n) {
+        Stream& s = *streams_[idx];
+        idx = (idx + 1) % n;
+        if (auto f = TakeFrame(s)) {
+          batch.push_back(BatchItem{&s, std::move(*f), -1, {}});
+          misses = 0;
+        } else {
+          ++misses;
+        }
+      }
+    } catch (...) {
+      // One stream's source misbehaved (e.g. a mismatched frame) — restage
+      // the frames already gathered from the OTHER streams so the loud
+      // failure does not silently eat a frame of anyone's decision stream.
+      // Reverse order restores each queue's original front-to-back order.
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        it->stream->queue.push_front(std::move(it->frame));
+      }
+      throw;
+    }
+    rr_cursor_ = idx;  // the next Step resumes where this one stopped
+  }
+  if (batch.empty()) return 0;
+
+  // Bookkeeping for the whole batch up front (as the single-node path did):
+  // the tenant set cannot change mid-Step, so every frame sees the same
+  // `needed` count it would have seen frame-at-a-time.
+  for (BatchItem& it : batch) {
+    Stream& s = *it.stream;
+    if (cfg_.enable_upload) {
+      if (s.tenants.empty()) {
+        // No tenant live on this stream: the frame can never match.
+        // Finalize it trivially instead of buffering it.
+        FF_CHECK(s.pending.empty());
+        ++s.pending_base;
+      } else {
+        PendingFrame pf;
+        pf.frame = it.frame;
+        pf.needed = s.tenants.size();
+        s.pending.push_back(std::move(pf));
+      }
+    }
+    if (s.store) s.store->Archive(it.frame);
+  }
+
+  // Phase 1: one shared base-DNN forward over every tenanted frame of the
+  // batch — images from different streams side by side in one (N, 3, H, W)
+  // tensor, so the conv kernels spread n × out_c across the pool without
+  // any stream buffering its own future.
+  std::vector<BatchItem*> active;
+  std::vector<Stream*> active_streams;
+  // Per-stream items of this batch, in stream order (parallel to
+  // active_streams). Scratch, rebuilt every Step.
+  std::vector<std::vector<BatchItem*>> stream_items;
+  for (BatchItem& it : batch) {
+    if (it.stream->tenants.empty()) continue;
+    active.push_back(&it);
+    auto pos = std::find(active_streams.begin(), active_streams.end(),
+                         it.stream);
+    if (pos == active_streams.end()) {
+      active_streams.push_back(it.stream);
+      stream_items.emplace_back();
+      pos = active_streams.end() - 1;
+    }
+    stream_items[static_cast<std::size_t>(pos - active_streams.begin())]
+        .push_back(&it);
+    it.scores.resize(it.stream->tenants.size());
+  }
+
+  dnn::FeatureMaps fm;
+  if (!active.empty()) {
+    base_timer_.Start();
+    nn::Tensor input(nn::Shape{static_cast<std::int64_t>(active.size()), 3,
+                               frame_height_, frame_width_});
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      active[i]->image = static_cast<std::int64_t>(i);
+      dnn::PreprocessRgbInto(input, active[i]->image, active[i]->frame.r(),
+                             active[i]->frame.g(), active[i]->frame.b());
+    }
+    fm = fx_.Extract(input);
+    base_timer_.Stop();
+  }
+
+  // Phase 2: MC inference fanned out across streams × tenants — one pool
+  // task per (stream, tenant) pair, each walking its stream's images of
+  // this batch IN ORDER (windowed MCs are stateful; per-tenant sequencing
+  // is what makes fleet decisions bitwise-equal to a dedicated node).
+  // Tasks write disjoint score slots and read the shared maps const, so
+  // they are data-race-free; kernel parallelism inside an MC degrades to
+  // serial (see util/thread_pool.hpp).
+  if (!active.empty()) {
+    struct McTask {
+      std::size_t stream_slot = 0;  // into active_streams / stream_items
+      std::size_t tenant = 0;
+    };
+    std::vector<McTask> tasks;
+    for (std::size_t si = 0; si < active_streams.size(); ++si) {
+      for (std::size_t t = 0; t < active_streams[si]->tenants.size(); ++t) {
+        tasks.push_back({si, t});
+      }
+    }
+    const auto run_task = [&](std::size_t ti) {
+      const McTask& task = tasks[ti];
+      Microclassifier& tenant_mc =
+          *active_streams[task.stream_slot]->tenants[task.tenant]->mc;
+      for (BatchItem* it : stream_items[task.stream_slot]) {
+        it->scores[task.tenant] = tenant_mc.Infer(fm, it->image);
+      }
+    };
+    // Fan out only once there are enough tasks to occupy the pool — below
+    // that, serial tasks with intra-kernel parallelism use the cores
+    // better (2 tasks on 16 cores would otherwise cap at 2-way).
+    const std::size_t pool_threads = util::GlobalPool().size() + 1;
+    const bool fan_out = cfg_.parallel_mcs && tasks.size() > 1 &&
+                         2 * tasks.size() >= pool_threads;
+    mc_timer_.Start();
+    if (fan_out) {
+      util::GlobalPool().ParallelFor(tasks.size(), run_task);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+    }
+    mc_timer_.Stop();
+  }
+
+  // Phases 3-5 per frame, in batch order, on this thread (sinks fire
+  // here). Streams are independent, so only the per-stream frame order —
+  // which the gather preserved — matters.
+  for (BatchItem& it : batch) {
+    Stream& s = *it.stream;
+    if (!s.tenants.empty()) {
+      smooth_timer_.Start();
+      for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+        Tenant& tenant = *s.tenants[t];
+        // A windowed MC's output at time t refers to frame t - delay; its
+        // first `delay` outputs precede the tenant's first live frame and
+        // are dropped.
+        const std::int64_t local_t = s.frames_processed - tenant.first_frame;
+        if (local_t - tenant.mc->DecisionDelay() >= 0) {
+          DeliverScore(s, tenant, it.scores[t]);
+        }
+      }
+      smooth_timer_.Stop();
+    }
+    FinalizeReadyFrames(s);
+    ++s.frames_processed;
+  }
+
+  // Retain each active stream's final maps (owning, batch-1) for
+  // windowed-MC tail padding at Detach/RemoveStream/Drain. A single-image
+  // batch moves the maps instead of slicing (the frame-at-a-time path pays
+  // no copy).
+  if (active.size() == 1) {
+    active_streams[0]->last_fm = std::move(fm);
+  } else {
+    for (std::size_t si = 0; si < active_streams.size(); ++si) {
+      const BatchItem* last = stream_items[si].back();
+      dnn::FeatureMaps lf;
+      for (const auto& [tap, act] : fm) lf.emplace(tap, act.Slice(last->image));
+      active_streams[si]->last_fm = std::move(lf);
+    }
+  }
+
+  ++batches_run_;
+  return static_cast<std::int64_t>(batch.size());
+}
+
+void EdgeFleet::DrainTenantTail(Stream& s, Tenant& tenant) {
+  const std::int64_t live = s.frames_processed - tenant.first_frame;
+  // Tail-pad a windowed MC by replaying the final frame's features so its
+  // last `delay` live frames receive scores (at most `delay` replays; fewer
+  // when the tenant saw fewer frames than its delay).
+  std::int64_t replay_budget = tenant.mc->DecisionDelay();
+  while (tenant.scored < live) {
+    FF_CHECK_GT(replay_budget--, 0);
+    mc_timer_.Start();
+    const float score = tenant.mc->Infer(s.last_fm);
+    mc_timer_.Stop();
+    DeliverScore(s, tenant, score);
+  }
+  FF_CHECK_EQ(tenant.scored, live);
+  // Flush the K-voting tail, then close any open event.
+  smooth_timer_.Start();
+  for (const bool d : tenant.smoother.Flush()) NotifyDecision(s, tenant, d);
+  if (const auto ev = tenant.detector.Finish()) {
+    DeliverClosedEvent(s, tenant, *ev);
+  }
+  smooth_timer_.Stop();
+  FF_CHECK_EQ(tenant.decided, live);
+  FF_CHECK(tenant.undecided.empty());
+}
+
+void EdgeFleet::Drain() {
+  if (drained_) return;
+  drained_ = true;
+  for (auto& s : streams_) DrainStream(*s);
+}
+
+std::int64_t EdgeFleet::Run() {
+  while (Step() > 0) {
+  }
+  Drain();
+  return frames_processed();
+}
+
+std::int64_t EdgeFleet::frames_processed() const {
+  std::int64_t n = 0;
+  for (const auto& s : streams_) n += s->frames_processed;
+  return n;
+}
+
+std::int64_t EdgeFleet::frames_processed(StreamHandle stream) const {
+  return streams_[StreamIndex(stream)]->frames_processed;
+}
+
+std::int64_t EdgeFleet::frames_uploaded(StreamHandle stream) const {
+  return streams_[StreamIndex(stream)]->frames_uploaded;
+}
+
+std::uint64_t EdgeFleet::upload_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->uplink ? s->uplink->total_bytes() : 0;
+  return n;
+}
+
+std::uint64_t EdgeFleet::upload_bytes(StreamHandle stream) const {
+  const Stream& s = *streams_[StreamIndex(stream)];
+  return s.uplink ? s.uplink->total_bytes() : 0;
+}
+
+double EdgeFleet::UploadBitrateBps(StreamHandle stream) const {
+  const Stream& s = *streams_[StreamIndex(stream)];
+  if (s.frames_processed == 0) return 0.0;
+  const double seconds = static_cast<double>(s.frames_processed) /
+                         static_cast<double>(s.fps);
+  const std::uint64_t bytes = s.uplink ? s.uplink->total_bytes() : 0;
+  return static_cast<double>(bytes) * 8.0 / seconds;
+}
+
+std::size_t EdgeFleet::pending_frames(StreamHandle stream) const {
+  return streams_[StreamIndex(stream)]->pending.size();
+}
+
+EdgeStore* EdgeFleet::edge_store(StreamHandle stream) {
+  Stream& s = *streams_[StreamIndex(stream)];
+  return s.store ? s.store.get() : nullptr;
+}
+
+}  // namespace ff::core

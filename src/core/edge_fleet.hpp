@@ -1,0 +1,347 @@
+// The FilterForward edge box as a fleet: ONE constrained node, MANY camera
+// streams, one shared base DNN (paper Fig. 1 generalized to the multi-camera
+// deployments of §2.2.3 — real edge boxes multiplex several streams, and the
+// batch dimension opened in the frame path is filled *across* streams
+// instead of buffering one stream's future).
+//
+// Lifecycle:
+//
+//   EdgeFleet fleet(fx, cfg);
+//   StreamHandle s = fleet.AddStream(source, {...});  // any step boundary
+//   McHandle h = fleet.Attach(s, {.mc = ...});        // tenants per stream
+//   fleet.Step();          // one cross-stream phase-1 batch + phases 2-5
+//   fleet.RemoveStream(s); // stream leaves mid-run (tenant tails drained)
+//   fleet.Run();           // Step() until exhausted, then Drain()
+//
+// Scheduling: the fleet is pull-driven. Each Step() gathers up to
+// `max_batch` frames round-robin across the live streams — from a stream's
+// bounded Push() queue first, then its FrameSource — so each phase-1 batch
+// mixes images from *different* streams: with S streams and batch N, a
+// stream buffers only ~N/S of its own frames per batch instead of N. The
+// base DNN forwards the whole batch once (conv kernels spread n × out_c
+// across the pool), then phase 2 fans out one util::GlobalPool() task per
+// (stream, tenant) pair — streams × tenants wide — and phases 3-5 run per
+// frame on the caller's thread in batch order.
+//
+// Isolation: every stream owns its tenants, K-voting smoothers, transition
+// detectors, pending-upload buffer, uplink encoder, and edge store. The
+// pinning property (edge_fleet_test): a stream's decision/event/upload
+// byte stream through the fleet is BITWISE-IDENTICAL to running that
+// stream through a dedicated single-stream EdgeNode, no matter how the
+// fleet interleaves its batches — cross-stream batching is pure scheduling.
+//
+// All streams must share one frame geometry (the batch tensor is (N, 3, H,
+// W)); AddStream validates against the first stream's dimensions, read from
+// the source's metadata hooks (video::FrameSource::width()/height()/fps())
+// or from an explicit StreamConfig. Heterogeneous sizes are rejected
+// loudly. fps may differ per stream (it only paces that stream's uplink).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "core/datacenter.hpp"
+#include "core/edge_store.hpp"
+#include "core/events.hpp"
+#include "core/microclassifier.hpp"
+#include "core/smoothing.hpp"
+#include "util/timer.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+
+// Identifies one stream of a fleet; monotonically increasing, never reused.
+using StreamHandle = std::int64_t;
+
+// Identifies one attached tenant; monotonically increasing across the whole
+// fleet (an EdgeNode facade is a one-stream fleet), never reused.
+using McHandle = std::int64_t;
+
+// One finalized per-frame result for one tenant of one stream.
+struct McDecision {
+  McHandle handle = -1;
+  StreamHandle stream = -1;
+  std::int64_t frame_index = -1;  // index within the owning stream
+  float score = 0.0f;             // MC probability for this frame
+  bool raw = false;               // thresholded, pre-smoothing
+  bool decision = false;          // post K-voting
+  std::int64_t event_id = -1;     // valid when decision is positive
+};
+
+using DecisionSink = std::function<void(const McDecision&)>;
+// Closed events, begin/end in the owning stream's frame indices.
+using EventSink = std::function<void(const EventRecord&)>;
+using UploadSink = std::function<void(const UploadPacket&)>;
+
+// Everything needed to attach one tenant. The explicit nullptr defaults let
+// designated initializers omit the sinks without tripping
+// -Wmissing-field-initializers (same trick as McConfig::pixel_crop).
+struct McSpec {
+  std::unique_ptr<Microclassifier> mc;
+  // Threshold converts the MC's probability into the raw per-frame label.
+  float threshold = 0.5f;
+  DecisionSink on_decision = nullptr;  // optional
+  EventSink on_event = nullptr;        // optional
+};
+
+// Accumulated per-tenant stream results, as the pre-session API returned
+// them. Produced by ResultCollector; frame i of the vectors is stream frame
+// first_frame + i.
+struct McResult {
+  std::string name;
+  std::int64_t first_frame = 0;
+  std::vector<float> scores;            // per-frame probability
+  std::vector<std::uint8_t> raw;        // thresholded, pre-smoothing
+  std::vector<std::uint8_t> decisions;  // post K-voting
+  std::vector<std::int64_t> event_ids;  // per-frame event id or -1
+  std::vector<EventRecord> events;
+};
+
+// Opt-in sink pair that rebuilds a McResult from the push stream. Must
+// outlive the fleet/node session it is bound into.
+class ResultCollector {
+ public:
+  ResultCollector() = default;
+  ResultCollector(const ResultCollector&) = delete;
+  ResultCollector& operator=(const ResultCollector&) = delete;
+
+  // Installs this collector's sinks on `spec` (which must not have sinks
+  // yet) and records the MC's name. One collector serves one tenant;
+  // binding twice throws.
+  void Bind(McSpec& spec);
+
+  const McResult& result() const { return result_; }
+
+ private:
+  McResult result_;
+  bool bound_ = false;
+};
+
+// Fleet-wide policy. Per-stream geometry lives in StreamConfig; everything
+// here applies to every stream (matching the single-node EdgeNodeConfig
+// fields so the facade maps 1:1).
+struct EdgeFleetConfig {
+  // K-voting parameters (paper §3.5: N = 5, K = 2) for every tenant.
+  std::int64_t vote_window = 5;
+  std::int64_t vote_k = 2;
+  // Target bitrate for re-encoding matched frames (per-stream encoder).
+  double upload_bitrate_bps = 500'000;
+  // Disable to skip the uplink encoders entirely (pure-filtering benches).
+  bool enable_upload = true;
+  // Per-stream edge store capacity in frames (0 disables archiving).
+  std::int64_t edge_store_capacity = 0;
+  // Phase 2 across the thread pool, one task per (stream, tenant), once
+  // there are enough tasks to occupy it. Disable for serial attach-order
+  // execution (per-MC CPU attribution, Fig. 6).
+  bool parallel_mcs = true;
+  // Frames per phase-1 batch: each Step() drains up to this many frames
+  // round-robin across the live streams. With >= max_batch live streams a
+  // batch holds one frame per stream — full batch parallelism with no
+  // single-stream future buffering.
+  std::int64_t max_batch = 8;
+  // Bounded per-stream Push() ingest queue; 0 = unbounded (for callers that
+  // manage their own batching, e.g. the EdgeNode facade).
+  std::int64_t queue_capacity = 16;
+};
+
+// Per-stream geometry. Zeros mean "read it from the source's metadata
+// hooks"; push-only streams (no source) must set width/height explicitly.
+struct StreamConfig {
+  std::int64_t frame_width = 0;
+  std::int64_t frame_height = 0;
+  std::int64_t fps = 0;  // 0: source metadata, else 15
+};
+
+class EdgeFleet {
+ public:
+  EdgeFleet(dnn::FeatureExtractor& fx, const EdgeFleetConfig& cfg);
+  // Releases any remaining tenants' tap references (the shared extractor
+  // outlives the fleet); does NOT drain tails — call Drain() for that.
+  ~EdgeFleet();
+
+  // --- Stream lifecycle (legal at any Step boundary) -----------------------
+
+  // Registers a pull-driven stream; Step() draws frames from `source`,
+  // which must outlive the stream. Geometry comes from `scfg` where set,
+  // else from the source's metadata; the first stream pins the fleet's
+  // frame geometry and later streams must match it exactly (heterogeneous
+  // sizes throw).
+  StreamHandle AddStream(video::FrameSource& source, StreamConfig scfg = {});
+  // Registers a push-driven stream (frames arrive via Push). `scfg` must
+  // carry the frame geometry.
+  StreamHandle AddStream(StreamConfig scfg);
+
+  // Removes a stream at a step boundary: every tenant's windowed tail and
+  // K-voting state is drained (sinks receive the decisions for all frames
+  // the stream processed), pending uploads are finalized, and the handle
+  // dies. Frames still queued but never processed are discarded.
+  void RemoveStream(StreamHandle stream);
+
+  bool HasStream(StreamHandle stream) const;
+  std::size_t n_streams() const { return streams_.size(); }
+
+  // --- Tenants (legal at any Step boundary) --------------------------------
+
+  // Registers a tenant on one stream; its first live frame is the next one
+  // that stream processes.
+  McHandle Attach(StreamHandle stream, McSpec spec);
+  // Removes a tenant, draining its windowed-MC tail and K-voting state
+  // first (exactly one decision per frame it was live for).
+  void Detach(McHandle handle);
+  bool IsAttached(McHandle handle) const;
+  // Tenants across all streams.
+  std::size_t n_mcs() const;
+  const Microclassifier& mc(McHandle handle) const;
+
+  // --- Ingestion and scheduling --------------------------------------------
+
+  // Stages a frame on a push-driven (or pull) stream's bounded queue; the
+  // frame is processed by a later Step(). Throws when the queue is full.
+  // The move overload stages without copying pixel planes (the copying one
+  // exists for callers that must keep their frame).
+  void Push(StreamHandle stream, const video::Frame& frame);
+  void Push(StreamHandle stream, video::Frame&& frame);
+  std::size_t queued_frames(StreamHandle stream) const;
+
+  // Processes one cross-stream batch: gathers up to max_frames (0 = the
+  // configured max_batch) frames round-robin across live streams, runs the
+  // base DNN once over the whole batch, fans phase 2 out across
+  // streams × tenants, and runs phases 3-5 per frame in batch order. Sinks
+  // fire on this caller's thread. Returns frames processed; 0 means every
+  // queue is empty and every source exhausted.
+  std::int64_t Step(std::int64_t max_frames = 0);
+
+  // Step() until no stream yields a frame, then Drain(). Returns total
+  // frames processed by the fleet.
+  std::int64_t Run();
+
+  // End of the world: drains every tenant of every stream and finalizes all
+  // pending uploads. Idempotent; the fleet accepts no further
+  // Push/Step/Attach/AddStream afterwards. Streams and their accounting
+  // remain readable.
+  void Drain();
+  bool drained() const { return drained_; }
+
+  // Uplink sink shared by all streams; packets carry their stream handle.
+  // Binds late (frames finalized after the call). Requires uploads enabled.
+  void SetUploadSink(UploadSink sink);
+
+  // --- Accounting ----------------------------------------------------------
+
+  std::int64_t frames_processed() const;  // fleet total
+  std::int64_t frames_processed(StreamHandle stream) const;
+  std::int64_t frames_uploaded(StreamHandle stream) const;
+  std::uint64_t upload_bytes() const;  // fleet total
+  std::uint64_t upload_bytes(StreamHandle stream) const;
+  // Average uplink bitrate of one stream over its processed duration.
+  double UploadBitrateBps(StreamHandle stream) const;
+  // Frames buffered awaiting decisions — bounded by the stream's largest
+  // tenant decision lag, not by stream length.
+  std::size_t pending_frames(StreamHandle stream) const;
+  EdgeStore* edge_store(StreamHandle stream);
+
+  // Phase-1 batches run so far; frames_processed()/batches_run()/n_streams()
+  // is the per-stream buffering depth the scaling bench reports.
+  std::int64_t batches_run() const { return batches_run_; }
+
+  // Phase time totals in seconds (Fig. 6's breakdown, fleet-wide). With
+  // parallel_mcs, mc_seconds is the wall time of the fanned-out phase 2.
+  double base_dnn_seconds() const { return base_timer_.total_seconds(); }
+  double mc_seconds() const { return mc_timer_.total_seconds(); }
+  double smooth_seconds() const { return smooth_timer_.total_seconds(); }
+  double upload_seconds() const { return upload_timer_.total_seconds(); }
+
+  const EdgeFleetConfig& config() const { return cfg_; }
+
+ private:
+  struct Tenant {
+    McHandle handle = -1;
+    std::unique_ptr<Microclassifier> mc;
+    float threshold = 0.5f;
+    KVotingSmoother smoother;
+    TransitionDetector detector;
+    DecisionSink on_decision;
+    EventSink on_event;
+    std::int64_t first_frame = 0;  // stream index of local frame 0
+    std::int64_t scored = 0;       // scores delivered into the smoother
+    std::int64_t decided = 0;      // decisions finalized
+    // (score, raw) per scored-but-undecided frame; bounded by vote delay.
+    std::deque<std::pair<float, bool>> undecided;
+  };
+
+  struct PendingFrame {
+    video::Frame frame;
+    std::size_t needed = 0;  // live tenants at submission
+    std::size_t decided = 0;
+    bool any_positive = false;
+    std::vector<std::pair<std::string, std::int64_t>> memberships;
+  };
+
+  struct Stream {
+    StreamHandle handle = -1;
+    video::FrameSource* source = nullptr;  // null: push-driven
+    bool source_done = false;
+    std::int64_t width = 0, height = 0, fps = 15;
+    std::deque<video::Frame> queue;  // staged frames (Push), bounded
+    std::vector<std::unique_ptr<Tenant>> tenants;
+    std::int64_t frames_processed = 0;
+    dnn::FeatureMaps last_fm;  // retained for windowed-MC tail padding
+    // Upload path (all per stream: frame indices are stream-local).
+    std::deque<PendingFrame> pending;
+    std::int64_t pending_base = 0;
+    std::unique_ptr<codec::Encoder> uplink;
+    std::int64_t last_uploaded = -2;
+    std::int64_t frames_uploaded = 0;
+    std::unique_ptr<EdgeStore> store;
+  };
+
+  // One gathered frame of the current Step's batch.
+  struct BatchItem {
+    Stream* stream = nullptr;
+    video::Frame frame;
+    std::int64_t image = -1;  // index into the batch tensor; -1 = tenantless
+    std::vector<float> scores;  // one per tenant of `stream`
+  };
+
+  StreamHandle FinishAddStream(std::unique_ptr<Stream> s);
+  std::size_t StreamIndex(StreamHandle stream) const;
+  // Shared Push preamble: drained/geometry/capacity checks, then the
+  // stream whose queue accepts the frame.
+  Stream& PushTarget(StreamHandle stream, const video::Frame& frame);
+  // Owning stream and tenant index for `handle`; throws if not attached.
+  std::pair<Stream*, std::size_t> TenantRef(McHandle handle) const;
+  void ValidateFrame(const Stream& s, const video::Frame& frame) const;
+  // Next frame of `s`: staged queue first, then the source. nullopt when
+  // neither has one.
+  std::optional<video::Frame> TakeFrame(Stream& s);
+
+  void DeliverScore(Stream& s, Tenant& tenant, float score);
+  void NotifyDecision(Stream& s, Tenant& tenant, bool positive);
+  void DeliverClosedEvent(Stream& s, Tenant& tenant, const EventRecord& ev);
+  void DrainTenantTail(Stream& s, Tenant& tenant);
+  void FinalizeReadyFrames(Stream& s);
+  // Drains every tenant of `s` and finalizes its uploads (RemoveStream and
+  // Drain share this tail).
+  void DrainStream(Stream& s);
+
+  dnn::FeatureExtractor& fx_;
+  EdgeFleetConfig cfg_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  StreamHandle next_stream_ = 0;
+  McHandle next_handle_ = 0;
+  // Pinned by the first AddStream; all later streams must match.
+  std::int64_t frame_width_ = 0, frame_height_ = 0;
+  std::size_t rr_cursor_ = 0;  // round-robin fairness cursor
+  bool drained_ = false;
+  std::int64_t batches_run_ = 0;
+  UploadSink upload_sink_;
+
+  util::PhaseTimer base_timer_, mc_timer_, smooth_timer_, upload_timer_;
+};
+
+}  // namespace ff::core

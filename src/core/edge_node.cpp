@@ -2,364 +2,77 @@
 
 #include <algorithm>
 
-#include "util/thread_pool.hpp"
-
 namespace ff::core {
 
-void ResultCollector::Bind(McSpec& spec) {
-  FF_CHECK_MSG(spec.mc != nullptr, "Bind needs a spec holding an MC");
-  FF_CHECK_MSG(!spec.on_decision && !spec.on_event,
-               "spec already has sinks installed");
-  FF_CHECK_MSG(!bound_, "collector already bound to " << result_.name
-                            << "; one collector serves one tenant");
-  bound_ = true;
-  result_.name = spec.mc->name();
-  spec.on_decision = [this](const McDecision& d) {
-    if (result_.scores.empty()) result_.first_frame = d.frame_index;
-    result_.scores.push_back(d.score);
-    result_.raw.push_back(d.raw ? 1 : 0);
-    result_.decisions.push_back(d.decision ? 1 : 0);
-    result_.event_ids.push_back(d.event_id);
-  };
-  spec.on_event = [this](const EventRecord& ev) {
-    result_.events.push_back(ev);
-  };
+namespace {
+
+EdgeFleetConfig FleetConfig(const EdgeNodeConfig& cfg) {
+  EdgeFleetConfig fc;
+  fc.vote_window = cfg.vote_window;
+  fc.vote_k = cfg.vote_k;
+  fc.upload_bitrate_bps = cfg.upload_bitrate_bps;
+  fc.enable_upload = cfg.enable_upload;
+  fc.edge_store_capacity = cfg.edge_store_capacity;
+  fc.parallel_mcs = cfg.parallel_mcs;
+  fc.max_batch = std::max<std::int64_t>(1, cfg.submit_batch);
+  // Submit() stages and drains within one call (each span is exactly one
+  // Step), so the node bounds its own in-flight frames; the fleet queue
+  // need not.
+  fc.queue_capacity = 0;
+  return fc;
 }
 
+}  // namespace
+
 EdgeNode::EdgeNode(dnn::FeatureExtractor& fx, const EdgeNodeConfig& cfg)
-    : fx_(fx), cfg_(cfg) {
+    : cfg_(cfg), fleet_(fx, FleetConfig(cfg)) {
   FF_CHECK_GT(cfg.frame_width, 0);
   FF_CHECK_GT(cfg.frame_height, 0);
   FF_CHECK_GT(cfg.fps, 0);
-  // Fail at construction, not first Attach: KVotingSmoother would throw
-  // these checks after the tap reference was already taken.
-  FF_CHECK_GE(cfg.vote_window, 1);
-  FF_CHECK(cfg.vote_k >= 1 && cfg.vote_k <= cfg.vote_window);
-  if (cfg_.enable_upload) {
-    codec::EncoderConfig ec;
-    ec.width = cfg_.frame_width;
-    ec.height = cfg_.frame_height;
-    ec.fps = cfg_.fps;
-    ec.target_bitrate_bps = cfg_.upload_bitrate_bps;
-    uplink_ = std::make_unique<codec::Encoder>(ec);
-  }
-  if (cfg_.edge_store_capacity > 0) {
-    store_ = std::make_unique<EdgeStore>(cfg_.edge_store_capacity);
-  }
-}
-
-void EdgeNode::SetUploadSink(UploadSink sink) {
-  FF_CHECK_MSG(cfg_.enable_upload, "uploads are disabled in this node");
-  upload_sink_ = std::move(sink);
-}
-
-EdgeNode::~EdgeNode() {
-  // A node destroyed without Drain() must still hand its tap references
-  // back — the shared extractor outlives the session, and a leaked deep
-  // tap would tax every later user of it. No tail drain here: the sinks'
-  // owners may already be gone.
-  for (auto& tenant : tenants_) fx_.ReleaseTap(tenant->mc->config().tap);
-}
-
-McHandle EdgeNode::Attach(McSpec spec) {
-  FF_CHECK_MSG(!drained_, "cannot attach to a drained node");
-  FF_CHECK(spec.mc != nullptr);
-  auto t = std::make_unique<Tenant>();
-  t->handle = next_handle_++;
-  t->mc = std::move(spec.mc);
-  t->threshold = spec.threshold;
-  t->smoother = KVotingSmoother(cfg_.vote_window, cfg_.vote_k);
-  t->on_decision = std::move(spec.on_decision);
-  t->on_event = std::move(spec.on_event);
-  t->first_frame = frames_processed_;
-  // Reserve first so the push_back after RequestTap cannot throw — a throw
-  // on either side of RequestTap must not leave a dangling tap reference.
-  tenants_.reserve(tenants_.size() + 1);
-  fx_.RequestTap(t->mc->config().tap);
-  tenants_.push_back(std::move(t));
-  return tenants_.back()->handle;
-}
-
-std::size_t EdgeNode::TenantIndex(McHandle handle) const {
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i]->handle == handle) return i;
-  }
-  FF_CHECK_MSG(false, "no attached microclassifier with handle " << handle);
-  return 0;  // unreachable; FF_CHECK_MSG(false, ...) throws
-}
-
-bool EdgeNode::IsAttached(McHandle handle) const {
-  return std::any_of(tenants_.begin(), tenants_.end(),
-                     [&](const auto& t) { return t->handle == handle; });
-}
-
-const Microclassifier& EdgeNode::mc(McHandle handle) const {
-  return *tenants_[TenantIndex(handle)]->mc;
-}
-
-void EdgeNode::Detach(McHandle handle) {
-  const std::size_t idx = TenantIndex(handle);
-  Tenant& tenant = *tenants_[idx];
-  DrainTenantTail(tenant);
-  // Drop the tenant's tap reference: if it was the last reader of the
-  // deepest tap, the base DNN stops earlier again from the next frame.
-  fx_.ReleaseTap(tenant.mc->config().tap);
-  tenants_.erase(tenants_.begin() + static_cast<std::ptrdiff_t>(idx));
-  FinalizeReadyFrames();
-}
-
-void EdgeNode::DeliverScore(Tenant& tenant, float score) {
-  const bool raw = score >= tenant.threshold;
-  tenant.undecided.emplace_back(score, raw);
-  ++tenant.scored;
-  if (const auto decision = tenant.smoother.Push(raw)) {
-    NotifyDecision(tenant, *decision);
-  }
-}
-
-void EdgeNode::DeliverClosedEvent(Tenant& tenant, const EventRecord& ev) {
-  if (!tenant.on_event) return;
-  // Detector frames are tenant-local; report global stream indices.
-  EventRecord global = ev;
-  global.begin += tenant.first_frame;
-  global.end += tenant.first_frame;
-  tenant.on_event(global);
-}
-
-void EdgeNode::NotifyDecision(Tenant& tenant, bool positive) {
-  const auto closed = tenant.detector.Push(positive);
-  const std::int64_t frame_index = tenant.first_frame + tenant.decided;
-
-  FF_CHECK(!tenant.undecided.empty());
-  McDecision d;
-  d.handle = tenant.handle;
-  d.frame_index = frame_index;
-  d.score = tenant.undecided.front().first;
-  d.raw = tenant.undecided.front().second;
-  d.decision = positive;
-  d.event_id = positive ? tenant.detector.last_state().event_id : -1;
-  tenant.undecided.pop_front();
-  ++tenant.decided;
-  if (tenant.on_decision) tenant.on_decision(d);
-  if (closed) DeliverClosedEvent(tenant, *closed);
-
-  if (!cfg_.enable_upload) return;
-  const auto slot = static_cast<std::size_t>(frame_index - pending_base_);
-  FF_CHECK_LT(slot, pending_.size());
-  PendingFrame& pf = pending_[slot];
-  ++pf.decided;
-  if (positive) {
-    pf.any_positive = true;
-    pf.memberships.emplace_back(tenant.mc->name(), d.event_id);
-  }
-}
-
-void EdgeNode::FinalizeReadyFrames() {
-  if (!cfg_.enable_upload) return;
-  while (!pending_.empty() && pending_.front().decided == pending_.front().needed) {
-    PendingFrame& pf = pending_.front();
-    const std::int64_t index = pending_base_;
-    if (pf.any_positive) {
-      upload_timer_.Start();
-      // Restart prediction when the previous uploaded frame is not the
-      // temporal predecessor of this one.
-      const bool force_i = index != last_uploaded_ + 1;
-      std::string chunk = uplink_->EncodeFrame(pf.frame, force_i);
-      upload_timer_.Stop();
-      last_uploaded_ = index;
-      ++frames_uploaded_;
-      if (upload_sink_) {
-        UploadPacket packet;
-        packet.frame_index = index;
-        packet.chunk = std::move(chunk);
-        packet.metadata.frame_index = index;
-        packet.metadata.memberships = std::move(pf.memberships);
-        upload_sink_(packet);
-      }
-    }
-    pending_.pop_front();
-    ++pending_base_;
-  }
+  stream_ = fleet_.AddStream(StreamConfig{.frame_width = cfg.frame_width,
+                                          .frame_height = cfg.frame_height,
+                                          .fps = cfg.fps});
 }
 
 void EdgeNode::Submit(const video::Frame& frame) {
   Submit(std::span<const video::Frame>(&frame, 1));
 }
 
-void EdgeNode::RunMcPhases(const dnn::FeatureMaps& fm, std::int64_t image) {
-  const std::int64_t t = frames_processed_;
-
-  // Phase 2: per-tenant MC inference over the shared feature maps, one
-  // pool task per tenant. Each MC touches only its own state; kernel
-  // parallelism inside a tenant degrades to serial (see thread_pool.hpp).
-  // Fan out only once there are enough tenants to occupy the pool —
-  // below that, serial tenants with intra-kernel parallelism use the
-  // cores better (2 tenants on 16 cores would otherwise cap at 2-way).
-  const std::size_t pool_threads = util::GlobalPool().size() + 1;
-  const bool fan_out = cfg_.parallel_mcs && tenants_.size() > 1 &&
-                       2 * tenants_.size() >= pool_threads;
-  std::vector<float> scores(tenants_.size());
-  mc_timer_.Start();
-  if (fan_out) {
-    util::GlobalPool().ParallelFor(tenants_.size(), [&](std::size_t i) {
-      scores[i] = tenants_[i]->mc->Infer(fm, image);
-    });
-  } else {
-    for (std::size_t i = 0; i < tenants_.size(); ++i) {
-      scores[i] = tenants_[i]->mc->Infer(fm, image);
-    }
-  }
-  mc_timer_.Stop();
-
-  // Phase 3: smoothing/eventing, serially in attach order.
-  smooth_timer_.Start();
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    Tenant& tenant = *tenants_[i];
-    // A windowed MC's output at time t refers to frame t - delay; its
-    // first `delay` outputs precede the tenant's first live frame and are
-    // dropped.
-    const std::int64_t local_t = t - tenant.first_frame;
-    if (local_t - tenant.mc->DecisionDelay() >= 0) {
-      DeliverScore(tenant, scores[i]);
-    }
-  }
-  smooth_timer_.Stop();
-}
-
 void EdgeNode::Submit(std::span<const video::Frame> frames) {
-  FF_CHECK_MSG(!drained_, "cannot submit to a drained node");
+  FF_CHECK_MSG(!fleet_.drained(), "cannot submit to a drained node");
   if (frames.empty()) return;
+  // Validate the whole span before staging any of it: a bad frame must not
+  // leave a partial batch queued behind the throw.
   for (const auto& frame : frames) {
     FF_CHECK_EQ(frame.width(), cfg_.frame_width);
     FF_CHECK_EQ(frame.height(), cfg_.frame_height);
   }
-
-  // Bookkeeping runs for the whole batch up front; the tenant set cannot
-  // change mid-batch (Attach/Detach happen between Submit calls), so every
-  // frame of the batch sees the same `needed` count it would have seen
-  // frame-at-a-time.
-  if (cfg_.enable_upload) {
-    for (const auto& frame : frames) {
-      if (tenants_.empty()) {
-        // No tenant live: the frame can never match. Finalize it trivially
-        // instead of copying it into the pending buffer and popping it
-        // right back out. (Detach drains fully, so the buffer is empty.)
-        FF_CHECK(pending_.empty());
-        ++pending_base_;
-      } else {
-        PendingFrame pf;
-        pf.frame = frame;
-        pf.needed = tenants_.size();
-        pending_.push_back(std::move(pf));
-      }
-    }
-  }
-  if (store_) {
-    for (const auto& frame : frames) store_->Archive(frame);
-  }
-
-  if (tenants_.empty()) {
-    FinalizeReadyFrames();
-    frames_processed_ += static_cast<std::int64_t>(frames.size());
-    return;
-  }
-
-  // Phase 1: shared base DNN, one forward pass over the whole batch. The
-  // conv kernels spread n × out_c across the pool, so a batch keeps
-  // multicore fed even when a single frame's channel fan-out cannot.
-  const std::int64_t batch = static_cast<std::int64_t>(frames.size());
-  base_timer_.Start();
-  nn::Tensor input(
-      nn::Shape{batch, 3, cfg_.frame_height, cfg_.frame_width});
-  for (std::int64_t i = 0; i < batch; ++i) {
-    dnn::PreprocessRgbInto(input, i, frames[static_cast<std::size_t>(i)].r(),
-                           frames[static_cast<std::size_t>(i)].g(),
-                           frames[static_cast<std::size_t>(i)].b());
-  }
-  dnn::FeatureMaps batch_fm = fx_.Extract(input);
-  base_timer_.Stop();
-
-  // Phases 2-5 per frame, in stream order; each MC reads its frame's slice
-  // of the batched maps through a zero-copy view.
-  for (std::int64_t i = 0; i < batch; ++i) {
-    RunMcPhases(batch_fm, i);
-    FinalizeReadyFrames();
-    ++frames_processed_;
-  }
-
-  // Retain the final frame's maps (owning, batch-1) for windowed-MC tail
-  // padding at Detach/Drain.
-  if (batch == 1) {
-    last_fm_ = std::move(batch_fm);
-  } else {
-    dnn::FeatureMaps last;
-    for (const auto& [tap, act] : batch_fm) last.emplace(tap, act.Slice(batch - 1));
-    last_fm_ = std::move(last);
-  }
-}
-
-void EdgeNode::DrainTenantTail(Tenant& tenant) {
-  const std::int64_t live = frames_processed_ - tenant.first_frame;
-  // Tail-pad a windowed MC by replaying the final frame's features so its
-  // last `delay` live frames receive scores (at most `delay` replays; fewer
-  // when the tenant saw fewer frames than its delay).
-  std::int64_t replay_budget = tenant.mc->DecisionDelay();
-  while (tenant.scored < live) {
-    FF_CHECK_GT(replay_budget--, 0);
-    mc_timer_.Start();
-    const float score = tenant.mc->Infer(last_fm_);
-    mc_timer_.Stop();
-    DeliverScore(tenant, score);
-  }
-  FF_CHECK_EQ(tenant.scored, live);
-  // Flush the K-voting tail, then close any open event.
-  smooth_timer_.Start();
-  for (const bool d : tenant.smoother.Flush()) NotifyDecision(tenant, d);
-  if (const auto ev = tenant.detector.Finish()) {
-    DeliverClosedEvent(tenant, *ev);
-  }
-  smooth_timer_.Stop();
-  FF_CHECK_EQ(tenant.decided, live);
-  FF_CHECK(tenant.undecided.empty());
-}
-
-void EdgeNode::Drain() {
-  if (drained_) return;
-  drained_ = true;
-  for (auto& tenant : tenants_) {
-    DrainTenantTail(*tenant);
-    fx_.ReleaseTap(tenant->mc->config().tap);
-  }
-  tenants_.clear();
-  FinalizeReadyFrames();
-  FF_CHECK(pending_.empty());
+  // The caller keeps its span, so staging copies each frame once (Run()
+  // moves instead; push-driven fleet callers can too).
+  for (const auto& frame : frames) fleet_.Push(stream_, frame);
+  // One Step over exactly this span: one phase-1 batch, as documented.
+  const std::int64_t processed =
+      fleet_.Step(static_cast<std::int64_t>(frames.size()));
+  FF_CHECK_EQ(processed, static_cast<std::int64_t>(frames.size()));
 }
 
 std::int64_t EdgeNode::Run(video::FrameSource& source) {
+  FF_CHECK_MSG(!fleet_.drained(), "cannot submit to a drained node");
   const std::int64_t batch = std::max<std::int64_t>(1, cfg_.submit_batch);
-  std::vector<video::Frame> staged;
-  staged.reserve(static_cast<std::size_t>(batch));
+  // Source frames are ours: move them straight onto the stream's queue
+  // (dimension checks happen in Push) and cut a phase-1 batch whenever
+  // `batch` are staged — no staging vector, no pixel copies.
+  std::int64_t staged = 0;
   while (auto frame = source.Next()) {
-    staged.push_back(std::move(*frame));
-    if (static_cast<std::int64_t>(staged.size()) == batch) {
-      Submit(std::span<const video::Frame>(staged));
-      staged.clear();
+    fleet_.Push(stream_, std::move(*frame));
+    if (++staged == batch) {
+      fleet_.Step(staged);
+      staged = 0;
     }
   }
-  if (!staged.empty()) Submit(std::span<const video::Frame>(staged));
+  if (staged > 0) fleet_.Step(staged);
   Drain();
-  return frames_processed_;
-}
-
-std::uint64_t EdgeNode::upload_bytes() const {
-  return uplink_ ? uplink_->total_bytes() : 0;
-}
-
-double EdgeNode::UploadBitrateBps() const {
-  if (frames_processed_ == 0) return 0.0;
-  const double seconds = static_cast<double>(frames_processed_) /
-                         static_cast<double>(cfg_.fps);
-  return static_cast<double>(upload_bytes()) * 8.0 / seconds;
+  return frames_processed();
 }
 
 }  // namespace ff::core

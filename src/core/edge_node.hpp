@@ -2,6 +2,13 @@
 // session (paper Fig. 1, §2.2.3/§3.1: many concurrent per-application
 // microclassifiers sharing one box).
 //
+// Since the EdgeFleet redesign this class is a thin single-stream facade
+// over core::EdgeFleet (src/core/edge_fleet.hpp): one push-driven stream,
+// the same phases, the same decision/upload semantics — the fleet is the
+// implementation, the node is the one-camera view of it. Everything
+// documented below is preserved bitwise (edge_fleet_test pins fleet ≡
+// per-stream EdgeNode; edge_batch_test pins batched ≡ frame-at-a-time).
+//
 // Lifecycle:
 //
 //   EdgeNode node(fx, cfg);
@@ -43,20 +50,9 @@
 // handle dies; Drain() does the same for every remaining tenant.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <memory>
 #include <span>
-#include <vector>
 
-#include "codec/codec.hpp"
-#include "core/datacenter.hpp"
-#include "core/edge_store.hpp"
-#include "core/events.hpp"
-#include "core/microclassifier.hpp"
-#include "core/smoothing.hpp"
-#include "util/timer.hpp"
-#include "video/source.hpp"
+#include "core/edge_fleet.hpp"
 
 namespace ff::core {
 
@@ -84,91 +80,27 @@ struct EdgeNodeConfig {
   // out_c alone. Decisions are bitwise-identical to frame-at-a-time
   // submission; only latency (one batch of buffering) and parallel width
   // change. Callers using Submit directly pick their own batch via the
-  // span overload.
+  // span overload. (An EdgeFleet fills the same batch width across
+  // DIFFERENT streams, cutting the per-stream buffering to ~batch/streams.)
   std::int64_t submit_batch = 1;
-};
-
-// Identifies one attached tenant; monotonically increasing, never reused.
-using McHandle = std::int64_t;
-
-// One finalized per-frame result for one tenant.
-struct McDecision {
-  McHandle handle = -1;
-  std::int64_t frame_index = -1;  // global stream index
-  float score = 0.0f;             // MC probability for this frame
-  bool raw = false;               // thresholded, pre-smoothing
-  bool decision = false;          // post K-voting
-  std::int64_t event_id = -1;     // valid when decision is positive
-};
-
-using DecisionSink = std::function<void(const McDecision&)>;
-// Closed events, begin/end in global frame indices.
-using EventSink = std::function<void(const EventRecord&)>;
-using UploadSink = std::function<void(const UploadPacket&)>;
-
-// Everything needed to attach one tenant. The explicit nullptr defaults let
-// designated initializers omit the sinks without tripping
-// -Wmissing-field-initializers (same trick as McConfig::pixel_crop).
-struct McSpec {
-  std::unique_ptr<Microclassifier> mc;
-  // Threshold converts the MC's probability into the raw per-frame label.
-  float threshold = 0.5f;
-  DecisionSink on_decision = nullptr;  // optional
-  EventSink on_event = nullptr;        // optional
-};
-
-// Accumulated per-tenant stream results, as the pre-session API returned
-// them. Produced by ResultCollector; frame i of the vectors is global frame
-// first_frame + i.
-struct McResult {
-  std::string name;
-  std::int64_t first_frame = 0;
-  std::vector<float> scores;            // per-frame probability
-  std::vector<std::uint8_t> raw;        // thresholded, pre-smoothing
-  std::vector<std::uint8_t> decisions;  // post K-voting
-  std::vector<std::int64_t> event_ids;  // per-frame event id or -1
-  std::vector<EventRecord> events;
-};
-
-// Opt-in sink pair that rebuilds a McResult from the push stream. Must
-// outlive the EdgeNode session it is bound into.
-class ResultCollector {
- public:
-  ResultCollector() = default;
-  ResultCollector(const ResultCollector&) = delete;
-  ResultCollector& operator=(const ResultCollector&) = delete;
-
-  // Installs this collector's sinks on `spec` (which must not have sinks
-  // yet) and records the MC's name. One collector serves one tenant;
-  // binding twice throws.
-  void Bind(McSpec& spec);
-
-  const McResult& result() const { return result_; }
-
- private:
-  McResult result_;
-  bool bound_ = false;
 };
 
 class EdgeNode {
  public:
   EdgeNode(dnn::FeatureExtractor& fx, const EdgeNodeConfig& cfg);
-  // Releases any remaining tenants' tap references (the shared extractor
-  // outlives the session); does NOT drain tails — call Drain() for that.
-  ~EdgeNode();
 
   // Registers a tenant; legal at any frame boundary, including before the
   // first Submit and mid-stream. The tenant's first live frame is the next
   // submitted one.
-  McHandle Attach(McSpec spec);
+  McHandle Attach(McSpec spec) { return fleet_.Attach(stream_, std::move(spec)); }
 
   // Removes a tenant at a frame boundary. Drains its windowed-MC tail and
   // K-voting state first: its sinks receive the decisions for every
   // remaining live frame, then its final events, before this returns.
-  void Detach(McHandle handle);
+  void Detach(McHandle handle) { fleet_.Detach(handle); }
 
-  bool IsAttached(McHandle handle) const;
-  std::size_t n_mcs() const { return tenants_.size(); }
+  bool IsAttached(McHandle handle) const { return fleet_.IsAttached(handle); }
+  std::size_t n_mcs() const { return fleet_.n_mcs(); }
 
   // Streaming ingestion of the next frame.
   void Submit(const video::Frame& frame);
@@ -187,7 +119,7 @@ class EdgeNode {
   // End of stream: drains every remaining tenant (as Detach does) and
   // finalizes all pending uploads. Idempotent; the node accepts no further
   // Submit/Attach afterwards.
-  void Drain();
+  void Drain() { fleet_.Drain(); }
 
   // Convenience: Submit() every frame of `source` (in batches of
   // config().submit_batch), then Drain(). Returns frames processed.
@@ -196,87 +128,41 @@ class EdgeNode {
   // Uplink sink: every uploaded frame's bitstream chunk and metadata is
   // delivered here (e.g. to a DatacenterReceiver). Binds late: takes effect
   // for frames finalized after the call. Requires uploads enabled.
-  void SetUploadSink(UploadSink sink);
+  void SetUploadSink(UploadSink sink) { fleet_.SetUploadSink(std::move(sink)); }
 
   // The tenant's microclassifier (e.g. for marginal-cost accounting).
-  const Microclassifier& mc(McHandle handle) const;
+  const Microclassifier& mc(McHandle handle) const { return fleet_.mc(handle); }
 
-  std::int64_t frames_processed() const { return frames_processed_; }
-  std::int64_t frames_uploaded() const { return frames_uploaded_; }
-  std::uint64_t upload_bytes() const;
+  std::int64_t frames_processed() const {
+    return fleet_.frames_processed(stream_);
+  }
+  std::int64_t frames_uploaded() const {
+    return fleet_.frames_uploaded(stream_);
+  }
+  std::uint64_t upload_bytes() const { return fleet_.upload_bytes(stream_); }
   // Average uplink bitrate over the processed duration.
-  double UploadBitrateBps() const;
+  double UploadBitrateBps() const { return fleet_.UploadBitrateBps(stream_); }
   // Frames buffered awaiting decisions — bounded by the largest tenant
   // decision lag (windowed delay + K-voting delay), not by stream length.
-  std::size_t pending_frames() const { return pending_.size(); }
+  std::size_t pending_frames() const { return fleet_.pending_frames(stream_); }
 
-  EdgeStore* edge_store() { return store_ ? store_.get() : nullptr; }
+  EdgeStore* edge_store() { return fleet_.edge_store(stream_); }
 
   // Phase time totals in seconds (Fig. 6's breakdown). With parallel_mcs,
   // mc_seconds is the wall time of the fanned-out phase 2.
-  double base_dnn_seconds() const { return base_timer_.total_seconds(); }
-  double mc_seconds() const { return mc_timer_.total_seconds(); }
-  double smooth_seconds() const { return smooth_timer_.total_seconds(); }
-  double upload_seconds() const { return upload_timer_.total_seconds(); }
+  double base_dnn_seconds() const { return fleet_.base_dnn_seconds(); }
+  double mc_seconds() const { return fleet_.mc_seconds(); }
+  double smooth_seconds() const { return fleet_.smooth_seconds(); }
+  double upload_seconds() const { return fleet_.upload_seconds(); }
 
   const EdgeNodeConfig& config() const { return cfg_; }
+  // The underlying one-stream fleet (e.g. to observe batches_run()).
+  const EdgeFleet& fleet() const { return fleet_; }
 
  private:
-  struct Tenant {
-    McHandle handle = -1;
-    std::unique_ptr<Microclassifier> mc;
-    float threshold = 0.5f;
-    KVotingSmoother smoother;
-    TransitionDetector detector;
-    DecisionSink on_decision;
-    EventSink on_event;
-    std::int64_t first_frame = 0;  // global index of local frame 0
-    std::int64_t scored = 0;       // scores delivered into the smoother
-    std::int64_t decided = 0;      // decisions finalized
-    // (score, raw) per scored-but-undecided frame; bounded by vote delay.
-    std::deque<std::pair<float, bool>> undecided;
-  };
-
-  struct PendingFrame {
-    video::Frame frame;
-    std::size_t needed = 0;  // live tenants at submission
-    std::size_t decided = 0;
-    bool any_positive = false;
-    std::vector<std::pair<std::string, std::int64_t>> memberships;
-  };
-
-  // Index of the tenant owning `handle`; throws if not attached.
-  std::size_t TenantIndex(McHandle handle) const;
-  // Phases 2 (MC inference) and 3 (smoothing/eventing) for the frame at
-  // global index frames_processed_, fed by image `image` of the (possibly
-  // batched) feature maps.
-  void RunMcPhases(const dnn::FeatureMaps& fm, std::int64_t image);
-  void DeliverScore(Tenant& tenant, float score);
-  void NotifyDecision(Tenant& tenant, bool positive);
-  void DeliverClosedEvent(Tenant& tenant, const EventRecord& ev);
-  void DrainTenantTail(Tenant& tenant);
-  void FinalizeReadyFrames();
-
-  dnn::FeatureExtractor& fx_;
   EdgeNodeConfig cfg_;
-  std::vector<std::unique_ptr<Tenant>> tenants_;
-  McHandle next_handle_ = 0;
-  bool drained_ = false;
-
-  std::int64_t frames_processed_ = 0;
-  dnn::FeatureMaps last_fm_;  // retained for windowed-MC tail padding
-
-  // Upload path.
-  std::deque<PendingFrame> pending_;
-  std::int64_t pending_base_ = 0;
-  std::unique_ptr<codec::Encoder> uplink_;
-  std::int64_t last_uploaded_ = -2;
-  std::int64_t frames_uploaded_ = 0;
-  UploadSink upload_sink_;
-
-  std::unique_ptr<EdgeStore> store_;
-
-  util::PhaseTimer base_timer_, mc_timer_, smooth_timer_, upload_timer_;
+  EdgeFleet fleet_;
+  StreamHandle stream_ = -1;
 };
 
 }  // namespace ff::core

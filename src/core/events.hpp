@@ -18,6 +18,10 @@ struct EventRecord {
   std::int64_t id = 0;     // unique per MC, monotonically increasing
   std::int64_t begin = 0;  // first frame of the event
   std::int64_t end = 0;    // one past the last frame
+  // Owning stream (core::StreamHandle) when delivered by an EdgeFleet /
+  // EdgeNode sink; -1 inside a stream-agnostic TransitionDetector. Lets one
+  // consumer route events from many cameras.
+  std::int64_t stream = -1;
   std::int64_t length() const { return end - begin; }
 };
 

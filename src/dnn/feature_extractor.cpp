@@ -21,6 +21,11 @@ void FeatureExtractor::ReleaseTap(const std::string& tap) {
   }
 }
 
+std::int64_t FeatureExtractor::TapRefs(const std::string& tap) const {
+  const auto it = tap_refs_.find(tap);
+  return it == tap_refs_.end() ? 0 : it->second;
+}
+
 FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frames) {
   FF_CHECK_MSG(!taps_.empty(), "no taps requested");
   FF_CHECK_EQ(frames.shape().c, 3);

@@ -23,14 +23,17 @@ class FeatureExtractor {
   explicit FeatureExtractor(MobileNetOptions opts = {});
 
   // Registers a tap; must be one of MobileNetTapNames(). Requests are
-  // reference-counted so independent consumers (tenants on an EdgeNode,
-  // trainers, benches) can share one extractor.
+  // reference-counted so independent consumers (tenants across all of an
+  // EdgeFleet's streams, trainers, benches) can share one extractor.
   void RequestTap(const std::string& tap);
   // Releases one reference; when the last holder of the deepest tap lets
   // go, subsequent Extract calls stop the forward pass earlier again (the
-  // EdgeNode calls this when a tenant detaches).
+  // fleet calls this when a tenant detaches or its stream is removed).
   void ReleaseTap(const std::string& tap);
   const std::set<std::string>& taps() const { return taps_; }
+  // Outstanding references on one tap (0 when unrequested). Lets tests pin
+  // that stream/tenant churn restores the early-exit depth exactly.
+  std::int64_t TapRefs(const std::string& tap) const;
 
   // Runs the base DNN on a preprocessed frame batch (N, 3, H, W) and
   // returns the requested activations, each with the same leading batch

@@ -2,9 +2,10 @@
 //
 // An edge node ingests a camera stream; in this repository a stream is
 // either rendered on demand from a synthetic dataset or decoded from a
-// codec bitstream (see codec/decoded_source.hpp).
+// codec bitstream (see codec/transcode.hpp).
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "video/dataset.hpp"
@@ -18,28 +19,77 @@ class FrameSource {
   // Next frame, or nullopt at end of stream.
   virtual std::optional<Frame> Next() = 0;
   virtual void Reset() = 0;
+
+  // Stream metadata, 0 = unknown. core::EdgeFleet::AddStream reads these to
+  // validate a stream's geometry up front (heterogeneous frame sizes are
+  // rejected loudly) instead of discovering a mismatch mid-batch; sources
+  // that cannot know their geometry ahead of time may leave them 0 and the
+  // caller supplies an explicit StreamConfig.
+  virtual std::int64_t width() const { return 0; }
+  virtual std::int64_t height() const { return 0; }
+  virtual std::int64_t fps() const { return 0; }
 };
 
 // Streams frames [begin, end) of a synthetic dataset.
+//
+// LIFETIME: the reference constructors BORROW the dataset — it must outlive
+// this source, or Next() dereferences a dangling reference. Long-lived
+// fleet streams should prefer the shared_ptr constructors, which keep the
+// dataset alive for the source's lifetime.
 class DatasetSource : public FrameSource {
  public:
+  // Owning: shares the dataset's lifetime.
+  DatasetSource(std::shared_ptr<const SyntheticDataset> dataset,
+                std::int64_t begin, std::int64_t end)
+      : dataset_(std::move(dataset)), begin_(begin), end_(end), next_(begin) {
+    FF_CHECK_MSG(dataset_ != nullptr, "DatasetSource needs a dataset");
+    FF_CHECK(begin >= 0 && begin <= end && end <= dataset_->n_frames());
+  }
+  explicit DatasetSource(std::shared_ptr<const SyntheticDataset> dataset)
+      // Delegate with a copy: argument evaluation order is unspecified, so
+      // moving here could null the pointer AllFrames reads.
+      : DatasetSource(dataset, 0, AllFrames(dataset.get())) {}
+
+  // Non-owning: `dataset` MUST outlive this source (see class comment).
+  // The aliasing shared_ptr below never deletes.
   DatasetSource(const SyntheticDataset& dataset, std::int64_t begin,
                 std::int64_t end)
-      : dataset_(dataset), begin_(begin), end_(end), next_(begin) {
-    FF_CHECK(begin >= 0 && begin <= end && end <= dataset.n_frames());
-  }
+      : DatasetSource(
+            std::shared_ptr<const SyntheticDataset>(
+                std::shared_ptr<const SyntheticDataset>(), &dataset),
+            begin, end) {}
   explicit DatasetSource(const SyntheticDataset& dataset)
       : DatasetSource(dataset, 0, dataset.n_frames()) {}
 
   std::optional<Frame> Next() override {
     if (next_ >= end_) return std::nullopt;
-    return dataset_.RenderFrame(next_++);
+    return dataset_->RenderFrame(next_++);
   }
 
   void Reset() override { next_ = begin_; }
 
+  std::int64_t width() const override { return dataset_->spec().width; }
+  std::int64_t height() const override { return dataset_->spec().height; }
+  std::int64_t fps() const override { return dataset_->spec().fps; }
+
+  // Debug hook for the lifetime contract: true when this source SHARES
+  // ownership of its dataset (the shared_ptr constructors), false when it
+  // merely borrows one (the const& constructors — whose aliasing handle has
+  // an empty control block, hence use_count 0). No hook can detect that a
+  // borrowed dataset has actually died; FF_CHECK(source.owns_dataset()) is
+  // how a long-lived consumer (e.g. a fleet stream) asserts it was handed
+  // the safe, owning form.
+  bool owns_dataset() const { return dataset_.use_count() > 0; }
+
  private:
-  const SyntheticDataset& dataset_;
+  // The delegating constructors need the frame count before the member
+  // exists; keep the null check loud either way.
+  static std::int64_t AllFrames(const SyntheticDataset* ds) {
+    FF_CHECK_MSG(ds != nullptr, "DatasetSource needs a dataset");
+    return ds->n_frames();
+  }
+
+  std::shared_ptr<const SyntheticDataset> dataset_;
   std::int64_t begin_, end_, next_;
 };
 

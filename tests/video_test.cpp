@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "video/dataset.hpp"
 #include "video/frame.hpp"
@@ -229,6 +231,35 @@ TEST(Source, DatasetSourceStreamsRangeAndResets) {
   EXPECT_EQ(seen, (std::vector<std::int64_t>{10, 11, 12}));
   src.Reset();
   EXPECT_EQ(src.Next()->index, 10);
+}
+
+TEST(Source, DatasetSourceReportsStreamMetadata) {
+  const SyntheticDataset ds(JacksonSpec(160, 10, 3));
+  DatasetSource src(ds);
+  EXPECT_EQ(src.width(), ds.spec().width);
+  EXPECT_EQ(src.height(), ds.spec().height);
+  EXPECT_EQ(src.fps(), ds.spec().fps);
+}
+
+TEST(Source, DatasetSourceSharedOwnershipOutlivesCallerHandle) {
+  // Long-lived fleet streams hand the source shared ownership; the dataset
+  // stays alive after the caller drops its own handle (the borrowing const&
+  // constructor instead documents a must-outlive contract).
+  auto ds = std::make_shared<const SyntheticDataset>(JacksonSpec(160, 6, 4));
+  DatasetSource src(ds);
+  const Frame first = *src.Next();
+  ds.reset();  // the source keeps the only remaining reference
+  ASSERT_TRUE(src.owns_dataset());
+  std::int64_t remaining = 0;
+  while (src.Next()) ++remaining;
+  EXPECT_EQ(remaining, 5);
+  src.Reset();
+  EXPECT_EQ(Psnr(*src.Next(), first),
+            std::numeric_limits<double>::infinity());
+  // The borrowing constructor is visibly the unsafe form.
+  const SyntheticDataset borrowed_ds(JacksonSpec(160, 3, 5));
+  DatasetSource borrowed(borrowed_ds);
+  EXPECT_FALSE(borrowed.owns_dataset());
 }
 
 }  // namespace

@@ -15,14 +15,29 @@
 //    frames / batches / streams) FALLS as ~N/S while the batch width — and
 //    with it phase 1's n × out_c parallel width — stays N.
 //
+// Modes (stackable flags, all emitting into the same --json file):
+//   (default)          the sync fleet sweep above
+//   --pipeline         re-run every sweep point through the threaded
+//                      staged pipeline (StartPipeline/StopPipeline) and
+//                      report pipelined vs synchronous aggregate fps
+//   --mixed-geometry   a heterogeneous wall: half the streams at a second
+//                      frame size, one fleet, two batch buckets — reports
+//                      per-bucket batch occupancy and compares against the
+//                      pre-bucket workaround (two homogeneous fleets run
+//                      back to back)
+//
 // Env knobs on top of the shared FF_BENCH_*:
 //   FF_BENCH_TENANTS       total tenants T across the box (default 8)
 //   FF_BENCH_BATCH         phase-1 batch width N (default 8)
 //   FF_BENCH_FLEET_FRAMES  total frames per measurement (default 24)
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -90,6 +105,11 @@ int main(int argc, char** argv) {
   const std::int64_t tenants = util::EnvInt("FF_BENCH_TENANTS", 8);
   const std::int64_t batch = util::EnvInt("FF_BENCH_BATCH", 8);
   const std::int64_t total_frames = util::EnvInt("FF_BENCH_FLEET_FRAMES", 24);
+  bool mode_pipeline = false, mode_mixed = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--pipeline") mode_pipeline = true;
+    if (std::string_view(argv[i]) == "--mixed-geometry") mode_mixed = true;
+  }
   bench::JsonResult json("fleet_scaling",
                          bench::JsonResult::PathFromArgs(argc, argv));
   bench::AddParams(json, bp);
@@ -159,7 +179,8 @@ int main(int argc, char** argv) {
                  "base DNN (ms/frame)", "MCs (ms/frame)",
                  "buffer (frames/stream/batch)", "vs EdgeNode"});
   auto add_row = [&](const std::string& label, std::int64_t streams,
-                     std::int64_t per_stream, const Measurement& m) {
+                     std::int64_t per_stream, const Measurement& m,
+                     const std::string& mode, double vs_sync) {
     const double buffer_frames =
         static_cast<double>(m.frames) /
         static_cast<double>(m.batches * streams);
@@ -171,6 +192,7 @@ int main(int argc, char** argv) {
               util::Table::Num(m.fps / node_m.fps, 2) + "x"});
     json.NewRow();
     json.Row("config", label);
+    json.Row("mode", mode);
     json.Row("streams", static_cast<double>(streams));
     json.Row("tenants_per_stream", static_cast<double>(per_stream));
     json.Row("fps", m.fps);
@@ -179,22 +201,15 @@ int main(int argc, char** argv) {
     json.Row("batches", static_cast<double>(m.batches));
     json.Row("buffer_frames_per_stream", buffer_frames);
     json.Row("speedup_vs_node", m.fps / node_m.fps);
+    if (vs_sync > 0.0) json.Row("fps_vs_sync", vs_sync);
   };
-  add_row("EdgeNode (baseline)", 1, tenants, node_m);
+  add_row("EdgeNode (baseline)", 1, tenants, node_m, "sync", 0.0);
 
-  // --- Fleet sweep: S streams, T/S tenants each, same batch width ----------
-  for (std::int64_t streams = 1; streams <= max_streams; streams *= 2) {
-    if (tenants % streams != 0) continue;
-    const std::int64_t per_stream = tenants / streams;
+  // One homogeneous fleet run: S streams, T/S tenants each, through either
+  // the synchronous Step() schedule or the threaded staged pipeline.
+  auto run_fleet = [&](std::int64_t streams, std::int64_t per_stream,
+                       bool pipelined) {
     const std::int64_t frames_per_stream = total_frames / streams;
-    if (frames_per_stream == 0) {
-      std::printf("skipping %lld streams: FF_BENCH_FLEET_FRAMES=%lld leaves "
-                  "no frames per stream\n",
-                  static_cast<long long>(streams),
-                  static_cast<long long>(total_frames));
-      continue;
-    }
-
     dnn::FeatureExtractor fx({.include_classifier = false});
     core::EdgeFleetConfig cfg;
     cfg.enable_upload = false;
@@ -211,7 +226,11 @@ int main(int argc, char** argv) {
       }
     }
     util::WallTimer timer;
-    fleet.Run();
+    if (pipelined) {
+      fleet.RunPipelined();
+    } else {
+      fleet.Run();
+    }
     const double seconds = timer.ElapsedSeconds();
     Measurement m;
     m.frames = fleet.frames_processed();
@@ -220,7 +239,28 @@ int main(int argc, char** argv) {
         fleet.base_dnn_seconds() / static_cast<double>(m.frames);
     m.mc_s_per_frame = fleet.mc_seconds() / static_cast<double>(m.frames);
     m.batches = fleet.batches_run();
-    add_row("EdgeFleet x" + std::to_string(streams), streams, per_stream, m);
+    return m;
+  };
+
+  // --- Fleet sweep: S streams, T/S tenants each, same batch width ----------
+  for (std::int64_t streams = 1; streams <= max_streams; streams *= 2) {
+    if (tenants % streams != 0) continue;
+    const std::int64_t per_stream = tenants / streams;
+    if (total_frames / streams == 0) {
+      std::printf("skipping %lld streams: FF_BENCH_FLEET_FRAMES=%lld leaves "
+                  "no frames per stream\n",
+                  static_cast<long long>(streams),
+                  static_cast<long long>(total_frames));
+      continue;
+    }
+    const Measurement m = run_fleet(streams, per_stream, /*pipelined=*/false);
+    add_row("EdgeFleet x" + std::to_string(streams), streams, per_stream, m,
+            "sync", 0.0);
+    if (mode_pipeline) {
+      const Measurement p = run_fleet(streams, per_stream, /*pipelined=*/true);
+      add_row("EdgeFleet x" + std::to_string(streams) + " pipelined", streams,
+              per_stream, p, "pipelined", p.fps / m.fps);
+    }
   }
   t.Print(std::cout);
 
@@ -229,8 +269,148 @@ int main(int argc, char** argv) {
       "different streams, so per-stream buffering falls as ~batch/streams "
       "while phase-1 parallel width (n x out_c) stays constant; with the "
       "total tenant count fixed, per-frame MC work also drops as streams "
-      "share the box.\n",
-      static_cast<long long>(batch));
+      "share the box.%s\n",
+      static_cast<long long>(batch),
+      mode_pipeline
+          ? " Pipelined rows overlap source decode with phase 1 + MC "
+            "inference on dedicated stage threads (wins scale with cores; "
+            "on a 1-core box they measure scheduling overhead)."
+          : "");
+
+  // --- Mixed-geometry wall: two buckets, one fleet ------------------------
+  if (mode_mixed) {
+    // Half the wall at a second frame size (3/4 linear, snapped to the
+    // codec's 16-pixel macroblock grid).
+    std::int64_t w2 = bp.width * 3 / 4 / 16 * 16;
+    if (w2 < 64) w2 = 64;
+    // Streams per geometry; the full-res wall reuses the sweep's cams,
+    // which hold only max_streams datasets (min(FF_BENCH_TENANTS, 8)).
+    const std::int64_t per_wall = std::min<std::int64_t>(2, max_streams);
+    const std::int64_t frames_per_stream =
+        std::max<std::int64_t>(1, total_frames / (2 * per_wall));
+    const std::int64_t mcs_per_stream =
+        std::max<std::int64_t>(1, tenants / (2 * per_wall));
+    std::vector<video::SyntheticDataset> cams2;
+    for (std::int64_t s = 0; s < per_wall; ++s) {
+      auto spec2 = video::JacksonSpec(w2, frames_per_stream + 1,
+                                      static_cast<std::uint64_t>(50 + s));
+      spec2.object_scale = bp.object_scale;
+      cams2.emplace_back(spec2);
+    }
+    const std::string tap2 = bench::TapForScale(w2);
+    auto render2 = [&](std::int64_t cam, std::int64_t n) {
+      std::vector<video::Frame> frames;
+      for (std::int64_t i = 0; i < n; ++i) {
+        frames.push_back(cams2[static_cast<std::size_t>(cam)].RenderFrame(i));
+      }
+      return frames;
+    };
+
+    struct WallRun {
+      double fps = 0;
+      double seconds = 0;
+      std::int64_t frames = 0;
+    };
+    // `which`: 0 = big wall only, 1 = small wall only, 2 = both (mixed).
+    auto run_wall = [&](int which, bool pipelined,
+                        std::vector<core::BucketStats>* stats) {
+      dnn::FeatureExtractor fx({.include_classifier = false});
+      core::EdgeFleetConfig cfg;
+      cfg.enable_upload = false;
+      cfg.max_batch = batch;
+      core::EdgeFleet fleet(fx, cfg);
+      std::vector<std::unique_ptr<VectorSource>> sources;
+      std::int64_t tenant_i = 0;
+      for (std::int64_t s = 0; s < per_wall; ++s) {
+        if (which != 1) {
+          sources.push_back(std::make_unique<VectorSource>(
+              render(s, frames_per_stream), spec.fps));
+          const core::StreamHandle h = fleet.AddStream(*sources.back());
+          for (std::int64_t k = 0; k < mcs_per_stream; ++k) {
+            fleet.Attach(h, {.mc = MakeTenant(fx, spec, tap, tenant_i++)});
+          }
+        }
+        if (which != 0) {
+          sources.push_back(std::make_unique<VectorSource>(
+              render2(s, frames_per_stream), cams2[0].spec().fps));
+          const core::StreamHandle h = fleet.AddStream(*sources.back());
+          for (std::int64_t k = 0; k < mcs_per_stream; ++k) {
+            fleet.Attach(h, {.mc = MakeTenant(fx, cams2[0].spec(), tap2,
+                                              tenant_i++)});
+          }
+        }
+      }
+      util::WallTimer timer;
+      if (pipelined) {
+        fleet.RunPipelined();
+      } else {
+        fleet.Run();
+      }
+      WallRun out;
+      out.seconds = timer.ElapsedSeconds();
+      out.frames = fleet.frames_processed();
+      out.fps = static_cast<double>(out.frames) / out.seconds;
+      if (stats != nullptr) *stats = fleet.bucket_stats();
+      return out;
+    };
+
+    std::vector<core::BucketStats> stats;
+    const WallRun mixed = run_wall(/*which=*/2, /*pipelined=*/false, &stats);
+    const WallRun mixed_pipe =
+        run_wall(/*which=*/2, /*pipelined=*/true, nullptr);
+    // The pre-bucket workaround: one fleet per geometry, run back to back
+    // (filtering seconds only — setup/rendering is excluded for every arm).
+    const WallRun big = run_wall(/*which=*/0, /*pipelined=*/false, nullptr);
+    const WallRun small = run_wall(/*which=*/1, /*pipelined=*/false, nullptr);
+    const double seq_fps = static_cast<double>(big.frames + small.frames) /
+                           (big.seconds + small.seconds);
+
+    util::Table mt({"mixed wall config", "streams", "fps", "vs sequential"});
+    auto add_mixed = [&](const std::string& label, double fps,
+                         std::int64_t frames, const std::string& mode) {
+      mt.AddRow({label, std::to_string(2 * per_wall),
+                 util::Table::Num(fps, 2),
+                 util::Table::Num(fps / seq_fps, 2) + "x"});
+      json.NewRow();
+      json.Row("config", label);
+      json.Row("mode", mode);
+      json.Row("streams", static_cast<double>(2 * per_wall));
+      json.Row("fps", fps);
+      json.Row("frames", static_cast<double>(frames));
+      json.Row("fps_vs_sequential", fps / seq_fps);
+    };
+    add_mixed("two fleets sequential (pre-bucket)", seq_fps,
+              big.frames + small.frames, "sequential");
+    add_mixed("mixed-geometry fleet", mixed.fps, mixed.frames, "mixed-sync");
+    add_mixed("mixed-geometry fleet pipelined", mixed_pipe.fps,
+              mixed_pipe.frames, "mixed-pipelined");
+    std::printf("\nMixed-geometry wall (%lldx and %lldx side by side, "
+                "%lld streams each):\n",
+                static_cast<long long>(bp.width), static_cast<long long>(w2),
+                static_cast<long long>(per_wall));
+    mt.Print(std::cout);
+    for (const auto& b : stats) {
+      const double occupancy =
+          b.batches > 0 ? static_cast<double>(b.frames) /
+                              static_cast<double>(b.batches)
+                        : 0.0;
+      std::printf("  bucket %lldx%lld: %lld batches, %lld frames, "
+                  "avg occupancy %.2f / %lld\n",
+                  static_cast<long long>(b.width),
+                  static_cast<long long>(b.height),
+                  static_cast<long long>(b.batches),
+                  static_cast<long long>(b.frames), occupancy,
+                  static_cast<long long>(batch));
+      json.NewRow();
+      json.Row("config", "bucket " + std::to_string(b.width) + "x" +
+                             std::to_string(b.height));
+      json.Row("mode", "bucket-stats");
+      json.Row("streams", static_cast<double>(b.streams));
+      json.Row("batches", static_cast<double>(b.batches));
+      json.Row("frames", static_cast<double>(b.frames));
+      json.Row("batch_occupancy", occupancy);
+    }
+  }
   json.Write();
   return 0;
 }

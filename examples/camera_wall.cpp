@@ -2,8 +2,12 @@
 // several synthetic camera streams through ONE shared base DNN, filling
 // each phase-1 batch from different streams, with per-stream tenants and
 // mid-run stream churn (a camera goes offline, another comes online).
-// Upload packets from all cameras share one uplink sink and are routed by
-// their stream handle.
+// The wall is MIXED-RESOLUTION: the main cameras and a pair of low-res
+// auxiliary cameras land in separate geometry buckets of the same fleet
+// (one staging tensor per WxH, shared extractor and phase-2 pool), and the
+// per-bucket batch occupancy printed at the end makes the round-robin
+// fairness cursor observable. Upload packets from all cameras share one
+// uplink sink and are routed by their stream handle.
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -17,11 +21,13 @@ using namespace ff;
 
 namespace {
 
-constexpr std::int64_t kWidth = 192;
+constexpr std::int64_t kWidth = 192;       // the main wall
+constexpr std::int64_t kWidthSmall = 128;  // auxiliary low-res cameras
 constexpr std::int64_t kFrames = 120;
 
-std::shared_ptr<const video::SyntheticDataset> Camera(std::uint64_t seed) {
-  auto spec = video::JacksonSpec(kWidth, kFrames, seed);
+std::shared_ptr<const video::SyntheticDataset> Camera(std::int64_t width,
+                                                      std::uint64_t seed) {
+  auto spec = video::JacksonSpec(width, kFrames, seed);
   spec.mean_event_len = 15;
   spec.object_scale = 3.0;
   return std::make_shared<const video::SyntheticDataset>(spec);
@@ -40,10 +46,14 @@ std::unique_ptr<core::Microclassifier> Tenant(
 }  // namespace
 
 int main() {
-  // Three cameras now; a fourth joins mid-run. The sources take shared
-  // ownership of their datasets, so stream lifetime is self-contained.
+  // Three full-res cameras plus two low-res auxiliaries; one more full-res
+  // camera joins mid-run. The sources take shared ownership of their
+  // datasets, so stream lifetime is self-contained.
   std::vector<std::shared_ptr<const video::SyntheticDataset>> cams = {
-      Camera(61), Camera(62), Camera(63), Camera(64)};
+      Camera(kWidth, 61),      Camera(kWidth, 62), Camera(kWidth, 63),
+      Camera(kWidthSmall, 64), Camera(kWidthSmall, 65),
+      Camera(kWidth, 66),  // the late joiner
+  };
   std::vector<std::unique_ptr<video::DatasetSource>> sources;
   for (const auto& cam : cams) {
     sources.push_back(std::make_unique<video::DatasetSource>(cam));
@@ -52,18 +62,21 @@ int main() {
   dnn::FeatureExtractor fx({.include_classifier = false});
   core::EdgeFleetConfig cfg;
   cfg.upload_bitrate_bps = 40'000;
-  cfg.max_batch = 4;  // one frame per live camera per batch
+  cfg.max_batch = 4;
   core::EdgeFleet fleet(fx, cfg);
 
-  // Cameras 0-2 go live, two applications each (stream geometry is read
-  // from the sources' metadata — no explicit StreamConfig needed).
+  // Cameras 0-4 go live — two applications per full-res camera, one per
+  // auxiliary (stream geometry is read from the sources' metadata; the
+  // fleet creates one batch bucket per distinct WxH).
   std::vector<core::StreamHandle> streams;
   std::map<core::StreamHandle, std::int64_t> decisions, events;
   int app = 0;
-  for (int c = 0; c < 3; ++c) {
-    const core::StreamHandle h = fleet.AddStream(*sources[static_cast<std::size_t>(c)]);
+  for (int c = 0; c < 5; ++c) {
+    const core::StreamHandle h =
+        fleet.AddStream(*sources[static_cast<std::size_t>(c)]);
     streams.push_back(h);
-    for (int k = 0; k < 2; ++k) {
+    const int n_apps = c < 3 ? 2 : 1;
+    for (int k = 0; k < n_apps; ++k) {
       // Untrained demo tenants: the first per camera sits at the decision
       // midpoint so the upload path visibly fires.
       fleet.Attach(h, {.mc = Tenant(fx, cams[static_cast<std::size_t>(c)]->spec(), app++),
@@ -76,8 +89,11 @@ int main() {
                        }});
     }
   }
-  std::printf("fleet up: %zu cameras, %zu microclassifiers, one base DNN\n",
-              fleet.n_streams(), fleet.n_mcs());
+  std::printf("fleet up: %zu cameras in %zu geometry buckets (%lldx and "
+              "%lldx), %zu microclassifiers, one base DNN\n",
+              fleet.n_streams(), fleet.n_buckets(),
+              static_cast<long long>(kWidth),
+              static_cast<long long>(kWidthSmall), fleet.n_mcs());
 
   // One uplink for the whole wall; packets demultiplex on packet.stream.
   std::map<core::StreamHandle, std::int64_t> uploaded;
@@ -85,7 +101,7 @@ int main() {
       [&](const core::UploadPacket& p) { ++uploaded[p.stream]; });
 
   // Drive the wall with churn: camera 0 goes offline a third of the way in
-  // (its tenants' tails drain immediately), camera 3 comes online at the
+  // (its tenants' tails drain immediately), camera 5 comes online at the
   // halfway mark with one application.
   util::WallTimer timer;
   std::int64_t steps = 0, processed = 0;
@@ -104,14 +120,14 @@ int main() {
                   fleet.n_streams());
     }
     if (steps == churn_b) {
-      const core::StreamHandle h = fleet.AddStream(*sources[3]);
+      const core::StreamHandle h = fleet.AddStream(*sources[5]);
       streams.push_back(h);
-      fleet.Attach(h, {.mc = Tenant(fx, cams[3]->spec(), app++),
+      fleet.Attach(h, {.mc = Tenant(fx, cams[5]->spec(), app++),
                        .threshold = 0.9f,
                        .on_decision = [&](const core::McDecision& d) {
                          ++decisions[d.stream];
                        }});
-      std::printf("step %3lld: camera 3 online (now %zu cameras)\n",
+      std::printf("step %3lld: camera 5 online (now %zu cameras)\n",
                   static_cast<long long>(steps), fleet.n_streams());
     }
   }
@@ -132,9 +148,29 @@ int main() {
                 static_cast<long long>(events[h]),
                 static_cast<long long>(live ? fleet.frames_uploaded(h) : 0));
   }
-  std::printf("\nper frame the box paid ONE shared base DNN pass (%.2f ms) "
-              "regardless of camera count; each camera buffered only "
-              "~batch/cameras of its own frames per batch.\n",
+
+  // Per-bucket occupancy: each geometry batches independently, and the
+  // round-robin cursor keeps every camera of a bucket contributing
+  // ~batch/cameras frames per batch (visible as occupancy ~= batch width
+  // while enough cameras are live).
+  std::printf("\nper-bucket batch occupancy (batch width %lld):\n",
+              static_cast<long long>(cfg.max_batch));
+  for (const auto& b : fleet.bucket_stats()) {
+    std::printf("  bucket %4lldx%-4lld %lld cameras live, %3lld batches, "
+                "%4lld frames, avg occupancy %.2f\n",
+                static_cast<long long>(b.width),
+                static_cast<long long>(b.height),
+                static_cast<long long>(b.streams),
+                static_cast<long long>(b.batches),
+                static_cast<long long>(b.frames),
+                b.batches > 0 ? static_cast<double>(b.frames) /
+                                    static_cast<double>(b.batches)
+                              : 0.0);
+  }
+  std::printf("\nper frame the box paid ONE shared base DNN pass (%.2f ms "
+              "avg) regardless of camera count; each camera buffered only "
+              "~batch/cameras of its own frames per batch, and both "
+              "resolutions shared the extractor and the phase-2 pool.\n",
               fleet.base_dnn_seconds() /
                   static_cast<double>(processed) * 1e3);
   return 0;

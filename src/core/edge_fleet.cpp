@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <utility>
 
-#include "util/thread_pool.hpp"
+#include "dnn/feature_extractor.hpp"
+#include "tensor/tensor_view.hpp"
 
 namespace ff::core {
 
@@ -38,6 +39,15 @@ EdgeFleet::EdgeFleet(dnn::FeatureExtractor& fx, const EdgeFleetConfig& cfg)
 }
 
 EdgeFleet::~EdgeFleet() {
+  // A fleet destroyed with the pipeline still running joins the stages
+  // first (no thread may outlive the object). Deferred pipeline errors
+  // cannot propagate out of a destructor; they are dropped.
+  if (pipeline_active_) {
+    try {
+      StopPipeline();
+    } catch (...) {
+    }
+  }
   // A fleet destroyed without Drain() must still hand its tap references
   // back — the shared extractor outlives the session, and a leaked deep
   // tap would tax every later user of it. No tail drain here: the sinks'
@@ -47,24 +57,32 @@ EdgeFleet::~EdgeFleet() {
   }
 }
 
+EdgeFleet::Bucket& EdgeFleet::BucketFor(std::int64_t width,
+                                        std::int64_t height) {
+  for (auto& b : buckets_) {
+    if (b->width == width && b->height == height) return *b;
+  }
+  auto b = std::make_unique<Bucket>();
+  b->width = width;
+  b->height = height;
+  b->filling.bucket = b.get();
+  buckets_.push_back(std::move(b));
+  return *buckets_.back();
+}
+
 StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
   FF_CHECK_MSG(!drained_, "cannot add a stream to a drained fleet");
-  FF_CHECK_GT(s->width, 0);
-  FF_CHECK_GT(s->height, 0);
-  FF_CHECK_GT(s->fps, 0);
-  if (streams_.empty() && frame_width_ == 0) {
-    frame_width_ = s->width;
-    frame_height_ = s->height;
-  }
-  // One batch tensor serves every stream, so the fleet is homogeneous in
-  // frame geometry; reject mismatches loudly at AddStream, not mid-batch.
-  FF_CHECK_MSG(
-      s->width == frame_width_ && s->height == frame_height_,
-      "heterogeneous stream geometry: fleet is "
-          << frame_width_ << "x" << frame_height_ << ", new stream is "
-          << s->width << "x" << s->height
-          << " (one EdgeFleet batches one frame size; run a second fleet "
-             "for a second geometry)");
+  // Heterogeneous geometries are welcome (each WxH gets its own batch
+  // bucket); what stays a loud error is a stream that declares no usable
+  // geometry at all — the bucket's staging tensor needs real dimensions.
+  FF_CHECK_MSG(s->width > 0 && s->height > 0,
+               "stream " << next_stream_ << " declares invalid geometry "
+                         << s->width << "x" << s->height
+                         << " — set StreamConfig.frame_width/frame_height or "
+                            "implement FrameSource::width()/height()");
+  FF_CHECK_MSG(s->fps > 0, "stream " << next_stream_
+                                     << " declares invalid fps " << s->fps);
+  s->bucket = &BucketFor(s->width, s->height);
   if (cfg_.enable_upload) {
     codec::EncoderConfig ec;
     ec.width = s->width;
@@ -78,23 +96,24 @@ StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
   }
   s->handle = next_stream_++;
   streams_.push_back(std::move(s));
+  // A pipelined fleet has a new stream to service.
+  prefetch_cv_.notify_all();
   return streams_.back()->handle;
 }
 
 StreamHandle EdgeFleet::AddStream(video::FrameSource& source,
                                   StreamConfig scfg) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto s = std::make_unique<Stream>();
   s->source = &source;
   s->width = scfg.frame_width > 0 ? scfg.frame_width : source.width();
   s->height = scfg.frame_height > 0 ? scfg.frame_height : source.height();
   s->fps = scfg.fps > 0 ? scfg.fps : (source.fps() > 0 ? source.fps() : 15);
-  FF_CHECK_MSG(s->width > 0 && s->height > 0,
-               "stream geometry unknown: set StreamConfig.frame_width/"
-               "frame_height or implement FrameSource::width()/height()");
   return FinishAddStream(std::move(s));
 }
 
 StreamHandle EdgeFleet::AddStream(StreamConfig scfg) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto s = std::make_unique<Stream>();
   FF_CHECK_MSG(scfg.frame_width > 0 && scfg.frame_height > 0,
                "a push-driven stream needs explicit StreamConfig geometry");
@@ -112,9 +131,21 @@ std::size_t EdgeFleet::StreamIndex(StreamHandle stream) const {
   return 0;  // unreachable; FF_CHECK_MSG(false, ...) throws
 }
 
+EdgeFleet::Stream* EdgeFleet::FindStream(StreamHandle stream) const {
+  for (const auto& s : streams_) {
+    if (s->handle == stream) return s.get();
+  }
+  return nullptr;
+}
+
 bool EdgeFleet::HasStream(StreamHandle stream) const {
-  return std::any_of(streams_.begin(), streams_.end(),
-                     [&](const auto& s) { return s->handle == stream; });
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindStream(stream) != nullptr;
+}
+
+std::size_t EdgeFleet::n_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.size();
 }
 
 void EdgeFleet::DrainStream(Stream& s) {
@@ -128,12 +159,27 @@ void EdgeFleet::DrainStream(Stream& s) {
 }
 
 void EdgeFleet::RemoveStream(StreamHandle stream) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The prefetch stage may be inside this stream's source->Next(); the
+  // handle — and with it the caller's source-outlives-stream guarantee —
+  // cannot die under it. Re-resolve after every wait (the wait drops mu_).
+  for (;;) {
+    Stream* s = FindStream(stream);
+    FF_CHECK_MSG(s != nullptr, "no stream with handle " << stream);
+    if (!s->prefetching) break;
+    idle_cv_.wait(lock);
+  }
   const std::size_t idx = StreamIndex(stream);
   DrainStream(*streams_[idx]);
   streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(idx));
+  // Frames of this stream staged in a bucket stop resolving and are
+  // discarded at processing; wake the stages so they re-evaluate.
+  prefetch_cv_.notify_all();
+  idle_cv_.notify_all();
 }
 
 McHandle EdgeFleet::Attach(StreamHandle stream, McSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   FF_CHECK_MSG(!drained_, "cannot attach to a drained fleet");
   FF_CHECK(spec.mc != nullptr);
   Stream& s = *streams_[StreamIndex(stream)];
@@ -165,6 +211,7 @@ std::pair<EdgeFleet::Stream*, std::size_t> EdgeFleet::TenantRef(
 }
 
 void EdgeFleet::Detach(McHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto [s, idx] = TenantRef(handle);
   Tenant& tenant = *s->tenants[idx];
   DrainTenantTail(*s, tenant);
@@ -176,6 +223,7 @@ void EdgeFleet::Detach(McHandle handle) {
 }
 
 bool EdgeFleet::IsAttached(McHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& s : streams_) {
     for (const auto& t : s->tenants) {
       if (t->handle == handle) return true;
@@ -185,27 +233,38 @@ bool EdgeFleet::IsAttached(McHandle handle) const {
 }
 
 std::size_t EdgeFleet::n_mcs() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& s : streams_) n += s->tenants.size();
   return n;
 }
 
 const Microclassifier& EdgeFleet::mc(McHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto [s, idx] = TenantRef(handle);
   return *s->tenants[idx]->mc;
 }
 
 void EdgeFleet::SetUploadSink(UploadSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
   FF_CHECK_MSG(cfg_.enable_upload, "uploads are disabled in this fleet");
   upload_sink_ = std::move(sink);
 }
 
 void EdgeFleet::ValidateFrame(const Stream& s,
                               const video::Frame& frame) const {
+  // Name the offending stream and BOTH geometries: with heterogeneous
+  // buckets the common mistake is pushing camera A's frames onto camera
+  // B's handle, and "size mismatch" alone does not say which wall segment
+  // misbehaved.
   FF_CHECK_MSG(frame.width() == s.width && frame.height() == s.height,
-               "stream " << s.handle << " expects " << s.width << "x"
-                         << s.height << ", got " << frame.width() << "x"
-                         << frame.height());
+               "stream " << s.handle << " is registered as " << s.width << "x"
+                         << s.height << " but received a " << frame.width()
+                         << "x" << frame.height()
+                         << " frame — a stream's frames must match its "
+                            "declared geometry (streams of another size can "
+                            "join the same fleet as their own bucket via "
+                            "AddStream)");
 }
 
 EdgeFleet::Stream& EdgeFleet::PushTarget(StreamHandle stream,
@@ -223,14 +282,19 @@ EdgeFleet::Stream& EdgeFleet::PushTarget(StreamHandle stream,
 }
 
 void EdgeFleet::Push(StreamHandle stream, const video::Frame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   PushTarget(stream, frame).queue.push_back(frame);
+  prefetch_cv_.notify_all();
 }
 
 void EdgeFleet::Push(StreamHandle stream, video::Frame&& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   PushTarget(stream, frame).queue.push_back(std::move(frame));
+  prefetch_cv_.notify_all();
 }
 
 std::size_t EdgeFleet::queued_frames(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return streams_[StreamIndex(stream)]->queue.size();
 }
 
@@ -329,50 +393,122 @@ void EdgeFleet::FinalizeReadyFrames(Stream& s) {
   }
 }
 
-std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
-  FF_CHECK_MSG(!drained_, "cannot step a drained fleet");
-  const std::int64_t cap = max_frames > 0 ? max_frames : cfg_.max_batch;
+nn::Tensor EdgeFleet::TakeStaging(Bucket& b, std::int64_t cap) {
+  nn::Tensor t;
+  if (b.filling.entries.empty() && !b.filling.staging.empty()) {
+    t = std::move(b.filling.staging);
+  } else if (!b.spare.empty()) {
+    t = std::move(b.spare);
+  }
+  // Reallocate only when the batch width grows; a wider tensor serves a
+  // narrower batch through TensorView::Prefix.
+  if (t.empty() || t.shape().n < cap) {
+    t = nn::Tensor(nn::Shape{cap, 3, b.height, b.width});
+  }
+  return t;
+}
 
-  // Gather the batch round-robin across the live streams: one frame per
+void EdgeFleet::RecycleStaging(Bucket& b, nn::Tensor t) {
+  if (t.empty()) return;
+  if (b.filling.staging.empty() && b.filling.entries.empty()) {
+    b.filling.staging = std::move(t);
+  } else if (b.spare.empty()) {
+    b.spare = std::move(t);
+  }
+  // else: a larger reallocation superseded this tensor; drop it.
+}
+
+EdgeFleet::StagedBatch EdgeFleet::GatherSync(Bucket& b, std::int64_t cap) {
+  StagedBatch batch;
+  batch.bucket = &b;
+  std::vector<Stream*> members;
+  for (const auto& s : streams_) {
+    if (s->bucket == &b) members.push_back(s.get());
+  }
+  if (members.empty()) return batch;
+
+  // Gather round-robin across the bucket's live streams: one frame per
   // stream per cycle, continuing around until the batch is full or a whole
   // cycle yields nothing. With >= cap streams ready, each contributes one
   // frame; with fewer, their queues fill the remaining width — the
-  // per-stream buffering depth is ~cap / live_streams, never cap.
-  std::vector<BatchItem> batch;
-  if (!streams_.empty()) {
-    const std::size_t n = streams_.size();
-    std::size_t idx = rr_cursor_ % n;
-    std::size_t misses = 0;  // consecutive streams with nothing ready
-    try {
-      while (static_cast<std::int64_t>(batch.size()) < cap && misses < n) {
-        Stream& s = *streams_[idx];
-        idx = (idx + 1) % n;
-        if (auto f = TakeFrame(s)) {
-          batch.push_back(BatchItem{&s, std::move(*f), -1, {}});
-          misses = 0;
-        } else {
-          ++misses;
+  // per-stream buffering depth is ~cap / live_streams, never cap. Each
+  // frame is preprocessed into the bucket's staging tensor as it lands
+  // (stage A of the pipeline, run inline here).
+  const std::size_t n = members.size();
+  std::size_t idx = b.rr % n;
+  std::size_t misses = 0;  // consecutive streams with nothing ready
+  try {
+    while (static_cast<std::int64_t>(batch.entries.size()) < cap &&
+           misses < n) {
+      Stream& s = *members[idx];
+      idx = (idx + 1) % n;
+      if (auto f = TakeFrame(s)) {
+        StagedEntry e;
+        e.stream = s.handle;
+        e.frame = std::move(*f);
+        // The tenant set cannot change between this gather and
+        // ProcessStaged (one lock scope), so a tenantless stream's frames
+        // skip the base-DNN input entirely — they only flow through the
+        // trivial-finalize/archive tail.
+        if (!s.tenants.empty()) {
+          if (batch.staging.empty()) batch.staging = TakeStaging(b, cap);
+          e.slot = batch.n_slots++;
         }
+        batch.entries.push_back(std::move(e));
+        const StagedEntry& staged = batch.entries.back();
+        if (staged.slot >= 0) {
+          dnn::PreprocessRgbInto(batch.staging, staged.slot,
+                                 staged.frame.r(), staged.frame.g(),
+                                 staged.frame.b());
+        }
+        misses = 0;
+      } else {
+        ++misses;
       }
-    } catch (...) {
-      // One stream's source misbehaved (e.g. a mismatched frame) — restage
-      // the frames already gathered from the OTHER streams so the loud
-      // failure does not silently eat a frame of anyone's decision stream.
-      // Reverse order restores each queue's original front-to-back order.
-      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-        it->stream->queue.push_front(std::move(it->frame));
-      }
-      throw;
     }
-    rr_cursor_ = idx;  // the next Step resumes where this one stopped
+  } catch (...) {
+    // One stream's source misbehaved (e.g. a mismatched frame) — restage
+    // the frames already gathered from the OTHER streams so the loud
+    // failure does not silently eat a frame of anyone's decision stream.
+    // Reverse order restores each queue's original front-to-back order.
+    for (auto it = batch.entries.rbegin(); it != batch.entries.rend(); ++it) {
+      streams_[StreamIndex(it->stream)]->queue.push_front(
+          std::move(it->frame));
+    }
+    RecycleStaging(b, std::move(batch.staging));
+    throw;
   }
-  if (batch.empty()) return 0;
+  b.rr = idx;  // the next gather resumes where this one stopped
+  return batch;
+}
 
-  // Bookkeeping for the whole batch up front (as the single-node path did):
-  // the tenant set cannot change mid-Step, so every frame sees the same
-  // `needed` count it would have seen frame-at-a-time.
-  for (BatchItem& it : batch) {
+std::int64_t EdgeFleet::ProcessStaged(StagedBatch& batch) {
+  struct Item {
+    Stream* stream = nullptr;
+    std::int64_t image = -1;    // slot in the staging tensor / feature maps
+    std::vector<float> scores;  // one per tenant of `stream`
+  };
+  // Resolve handles to live streams; a stream removed while its frames
+  // were staged stops resolving and those frames are discarded (the same
+  // contract as frames still queued at RemoveStream).
+  std::vector<Item> items;
+  items.reserve(batch.entries.size());
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    if (Stream* s = FindStream(batch.entries[i].stream)) {
+      items.push_back(Item{s, static_cast<std::int64_t>(i), {}});
+    }
+  }
+  if (items.empty()) return 0;
+  // `image` indexes entries during bookkeeping; re-pointed to the staging
+  // slot before phase 1 (slotless frames never reach the MC phase).
+
+  // Bookkeeping for the whole batch up front (as the single-node path
+  // did): the tenant set cannot change mid-batch, so every frame sees the
+  // same `needed` count it would have seen frame-at-a-time.
+  for (Item& it : items) {
     Stream& s = *it.stream;
+    StagedEntry& e = batch.entries[static_cast<std::size_t>(it.image)];
+    if (s.store) s.store->Archive(e.pixels());
     if (cfg_.enable_upload) {
       if (s.tenants.empty()) {
         // No tenant live on this stream: the frame can never match.
@@ -381,28 +517,35 @@ std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
         ++s.pending_base;
       } else {
         PendingFrame pf;
-        pf.frame = it.frame;
+        // Owned frames move into the pending buffer (their pixels already
+        // live in the staging tensor); borrowed SubmitSpan frames are
+        // copied once — they must outlive the caller's span.
+        pf.frame = e.borrowed != nullptr ? *e.borrowed : std::move(e.frame);
         pf.needed = s.tenants.size();
         s.pending.push_back(std::move(pf));
       }
     }
-    if (s.store) s.store->Archive(it.frame);
   }
 
-  // Phase 1: one shared base-DNN forward over every tenanted frame of the
-  // batch — images from different streams side by side in one (N, 3, H, W)
-  // tensor, so the conv kernels spread n × out_c across the pool without
-  // any stream buffering its own future.
-  std::vector<BatchItem*> active;
+  // Phase 1: one shared base-DNN forward over the staged batch — images
+  // from different streams side by side in the bucket's (N, 3, H, W)
+  // staging tensor, handed over as a Prefix view so a partial batch never
+  // reallocates. Skipped when no staged frame has a live tenant.
+  std::vector<Item*> active;
   std::vector<Stream*> active_streams;
   // Per-stream items of this batch, in stream order (parallel to
-  // active_streams). Scratch, rebuilt every Step.
-  std::vector<std::vector<BatchItem*>> stream_items;
-  for (BatchItem& it : batch) {
+  // active_streams). Scratch, rebuilt every batch.
+  std::vector<std::vector<Item*>> stream_items;
+  for (Item& it : items) {
+    it.image = batch.entries[static_cast<std::size_t>(it.image)].slot;
     if (it.stream->tenants.empty()) continue;
+    // A tenanted frame always has a staging slot: the sync gather slots
+    // exactly the tenanted streams' frames (tenancy is fixed within the
+    // lock scope) and the pipelined prefetch stage slots everything.
+    FF_CHECK_GE(it.image, 0);
     active.push_back(&it);
-    auto pos = std::find(active_streams.begin(), active_streams.end(),
-                         it.stream);
+    auto pos =
+        std::find(active_streams.begin(), active_streams.end(), it.stream);
     if (pos == active_streams.end()) {
       active_streams.push_back(it.stream);
       stream_items.emplace_back();
@@ -416,14 +559,7 @@ std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
   dnn::FeatureMaps fm;
   if (!active.empty()) {
     base_timer_.Start();
-    nn::Tensor input(nn::Shape{static_cast<std::int64_t>(active.size()), 3,
-                               frame_height_, frame_width_});
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      active[i]->image = static_cast<std::int64_t>(i);
-      dnn::PreprocessRgbInto(input, active[i]->image, active[i]->frame.r(),
-                             active[i]->frame.g(), active[i]->frame.b());
-    }
-    fm = fx_.Extract(input);
+    fm = fx_.Extract(tensor::TensorView(batch.staging).Prefix(batch.n_slots));
     base_timer_.Stop();
   }
 
@@ -449,7 +585,7 @@ std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
       const McTask& task = tasks[ti];
       Microclassifier& tenant_mc =
           *active_streams[task.stream_slot]->tenants[task.tenant]->mc;
-      for (BatchItem* it : stream_items[task.stream_slot]) {
+      for (Item* it : stream_items[task.stream_slot]) {
         it->scores[task.tenant] = tenant_mc.Infer(fm, it->image);
       }
     };
@@ -470,8 +606,8 @@ std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
 
   // Phases 3-5 per frame, in batch order, on this thread (sinks fire
   // here). Streams are independent, so only the per-stream frame order —
-  // which the gather preserved — matters.
-  for (BatchItem& it : batch) {
+  // which staging preserved — matters.
+  for (Item& it : items) {
     Stream& s = *it.stream;
     if (!s.tenants.empty()) {
       smooth_timer_.Start();
@@ -489,25 +625,380 @@ std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
     }
     FinalizeReadyFrames(s);
     ++s.frames_processed;
+    ++batch.bucket->frames;
   }
 
   // Retain each active stream's final maps (owning, batch-1) for
   // windowed-MC tail padding at Detach/RemoveStream/Drain. A single-image
   // batch moves the maps instead of slicing (the frame-at-a-time path pays
   // no copy).
-  if (active.size() == 1) {
-    active_streams[0]->last_fm = std::move(fm);
-  } else {
-    for (std::size_t si = 0; si < active_streams.size(); ++si) {
-      const BatchItem* last = stream_items[si].back();
-      dnn::FeatureMaps lf;
-      for (const auto& [tap, act] : fm) lf.emplace(tap, act.Slice(last->image));
-      active_streams[si]->last_fm = std::move(lf);
+  if (!active.empty()) {
+    if (batch.n_slots == 1 && active_streams.size() == 1) {
+      active_streams[0]->last_fm = std::move(fm);
+    } else {
+      for (std::size_t si = 0; si < active_streams.size(); ++si) {
+        const Item* last = stream_items[si].back();
+        dnn::FeatureMaps lf;
+        for (const auto& [tap, act] : fm) {
+          lf.emplace(tap, act.Slice(last->image));
+        }
+        active_streams[si]->last_fm = std::move(lf);
+      }
     }
   }
 
   ++batches_run_;
-  return static_cast<std::int64_t>(batch.size());
+  ++batch.bucket->batches;
+  return static_cast<std::int64_t>(items.size());
+}
+
+std::int64_t EdgeFleet::Step(std::int64_t max_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(!drained_, "cannot step a drained fleet");
+  FF_CHECK_MSG(!pipeline_active_,
+               "Step() is the synchronous schedule; StopPipeline() first");
+  const std::int64_t cap = max_frames > 0 ? max_frames : cfg_.max_batch;
+  // One batch serves one geometry: try each bucket round-robin and process
+  // the first that yields a frame.
+  const std::size_t nb = buckets_.size();
+  for (std::size_t k = 0; k < nb; ++k) {
+    Bucket& b = *buckets_[(bucket_rr_ + k) % nb];
+    StagedBatch batch = GatherSync(b, cap);
+    if (batch.entries.empty()) {
+      RecycleStaging(b, std::move(batch.staging));
+      continue;
+    }
+    bucket_rr_ = (bucket_rr_ + k + 1) % nb;
+    const std::int64_t n = ProcessStaged(batch);
+    RecycleStaging(b, std::move(batch.staging));
+    return n;
+  }
+  return 0;
+}
+
+std::int64_t EdgeFleet::SubmitSpan(StreamHandle stream,
+                                   std::span<const video::Frame> frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(!drained_, "cannot submit to a drained fleet");
+  FF_CHECK_MSG(!pipeline_active_,
+               "SubmitSpan() is a synchronous schedule; StopPipeline() first");
+  if (frames.empty()) return 0;
+  Stream& s = *streams_[StreamIndex(stream)];
+  // A span is processed immediately; letting it overtake frames already
+  // staged on the stream's Push() queue would silently reorder the
+  // stream's decision sequence. Refuse loudly instead.
+  FF_CHECK_MSG(s.queue.empty(),
+               "stream " << stream << " has " << s.queue.size()
+                         << " queued frame(s); Step() them before "
+                            "SubmitSpan, or submit everything one way");
+  // Validate the whole span before staging any of it: a bad frame must not
+  // leave partial state behind the throw.
+  for (const auto& f : frames) ValidateFrame(s, f);
+  Bucket& b = *s.bucket;
+  const auto n = static_cast<std::int64_t>(frames.size());
+  StagedBatch batch;
+  batch.bucket = &b;
+  // As in the sync gather, a tenantless stream's frames skip the base-DNN
+  // input entirely (tenancy is fixed within this lock scope).
+  if (!s.tenants.empty()) batch.staging = TakeStaging(b, n);
+  batch.entries.reserve(frames.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const video::Frame& f = frames[static_cast<std::size_t>(i)];
+    StagedEntry e;
+    e.stream = s.handle;
+    e.borrowed = &f;  // zero-copy: preprocess reads the caller's planes
+    if (!batch.staging.empty()) {
+      e.slot = batch.n_slots++;
+      dnn::PreprocessRgbInto(batch.staging, e.slot, f.r(), f.g(), f.b());
+    }
+    batch.entries.push_back(std::move(e));
+  }
+  const std::int64_t processed = ProcessStaged(batch);
+  RecycleStaging(b, std::move(batch.staging));
+  FF_CHECK_EQ(processed, n);
+  return processed;
+}
+
+// --- Pipelined schedule ------------------------------------------------------
+
+void EdgeFleet::FlushFilling(Bucket& b, std::unique_lock<std::mutex>& lock) {
+  StagedBatch batch = std::move(b.filling);
+  b.filling = StagedBatch{};
+  b.filling.bucket = &b;
+  ++b.tensors_out;
+  const auto staged = static_cast<std::int64_t>(batch.entries.size());
+  // Never block on the bounded hand-off while holding the fleet lock: the
+  // compute stage needs it to make space.
+  lock.unlock();
+  const bool delivered = hand_off_->Push(std::move(batch));
+  lock.lock();
+  if (!delivered) {
+    // Queue closed by a failing stage; the batch was dropped with it.
+    --b.tensors_out;
+    in_flight_ -= staged;
+    idle_cv_.notify_all();
+  }
+}
+
+void EdgeFleet::PrefetchLoop(std::unique_lock<std::mutex>& lock) {
+  const std::int64_t cap = cfg_.max_batch;
+  while (!pipeline_stop_) {
+    // One scan over the streams: pick the next (round-robin, for fairness)
+    // with a frame ready whose bucket can still accept one, and note which
+    // buckets have ANY ready stream — a bucket whose streams all went
+    // quiet must flush its partial batch even while sibling buckets stay
+    // busy (otherwise a camera wall under continuous load on one geometry
+    // would withhold another geometry's staged decisions indefinitely).
+    Stream* victim = nullptr;
+    bool saturated = false;  // frames ready, but their buckets are full
+    for (const auto& b : buckets_) b->any_ready = false;
+    const std::size_t n = streams_.size();
+    // The cursor advances only after the scan: every stream must be
+    // visited for the any_ready sweep even once a victim is found, and
+    // moving prefetch_rr_ mid-scan would shift the remaining candidates.
+    const std::size_t scan_base = prefetch_rr_;
+    for (std::size_t k = 0; k < n; ++k) {
+      Stream& cand = *streams_[(scan_base + k) % n];
+      const bool ready = !cand.queue.empty() ||
+                         (cand.source != nullptr && !cand.source_done);
+      if (!ready) continue;
+      Bucket& b = *cand.bucket;
+      b.any_ready = true;
+      if (victim != nullptr) continue;
+      // Writable while a staging tensor is on hand or may still be
+      // allocated (two circulate per bucket — the double buffer).
+      const bool writable = !b.filling.staging.empty() ||
+                            !b.spare.empty() || b.tensors_out < 2;
+      if (!writable) {
+        saturated = true;
+        continue;
+      }
+      victim = &cand;
+      prefetch_rr_ = (scan_base + k + 1) % n;
+    }
+
+    // Flush every starved partial batch (staged frames, no ready stream)
+    // so the compute stage sees them now, not at StopPipeline.
+    bool flushed = false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      Bucket& b = *buckets_[i];
+      if (!b.filling.entries.empty() && !b.any_ready) {
+        FlushFilling(b, lock);
+        flushed = true;
+      }
+    }
+    // FlushFilling drops the lock around the hand-off push, so `victim`
+    // (and the whole scan) may be stale after a flush — re-scan.
+    if (flushed) continue;
+
+    if (victim == nullptr) {
+      if (saturated) {
+        // Both staging tensors of every ready bucket are in flight: wait
+        // for the compute stage to recycle one.
+        prefetch_cv_.wait(lock);
+        continue;
+      }
+      prefetch_idle_ = true;
+      idle_cv_.notify_all();
+      prefetch_cv_.wait(lock);
+      prefetch_idle_ = false;
+      continue;
+    }
+
+    Stream& s = *victim;
+    Bucket& b = *s.bucket;
+    if (b.filling.staging.empty()) {
+      FF_CHECK(b.filling.entries.empty());
+      b.filling.staging = TakeStaging(b, cap);
+      b.filling.bucket = &b;
+    }
+
+    video::Frame frame;
+    if (!s.queue.empty()) {
+      frame = std::move(s.queue.front());
+      s.queue.pop_front();
+    } else {
+      // Decode outside the lock — this is the overlap the pipeline exists
+      // for. The prefetching flag keeps RemoveStream from invalidating the
+      // stream (and the caller's source) mid-call.
+      s.prefetching = true;
+      video::FrameSource* const src = s.source;
+      lock.unlock();
+      std::optional<video::Frame> next;
+      try {
+        next = src->Next();
+      } catch (...) {
+        lock.lock();
+        s.prefetching = false;
+        idle_cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      s.prefetching = false;
+      idle_cv_.notify_all();
+      if (pipeline_stop_) {
+        // Keep the decoded frame for the next synchronous Step or
+        // pipeline restart: restaged at the queue front, order preserved.
+        // Validate first — every queued frame is trusted by the gather
+        // paths, and a misreporting source must stay loud even at stop
+        // (the throw surfaces at StopPipeline like any stage error).
+        if (next) {
+          ValidateFrame(s, *next);
+          s.queue.push_front(std::move(*next));
+        }
+        break;
+      }
+      if (!next) {
+        s.source_done = true;
+        continue;
+      }
+      ValidateFrame(s, *next);  // sources may misreport their metadata
+      frame = std::move(*next);
+    }
+
+    StagedEntry e;
+    e.stream = s.handle;
+    // Unlike the sync gather, EVERY prefetched frame gets a staging slot:
+    // a tenant may attach between staging and processing, and its frames
+    // must already be in the base-DNN input when that batch computes.
+    e.slot = b.filling.n_slots++;
+    e.frame = std::move(frame);
+    b.filling.entries.push_back(std::move(e));
+    ++in_flight_;
+    {
+      // Preprocess outside the lock: the filling batch is stage-A-private
+      // (the compute stage only ever sees batches after the hand-off).
+      const StagedEntry& staged = b.filling.entries.back();
+      nn::Tensor& staging = b.filling.staging;
+      lock.unlock();
+      dnn::PreprocessRgbInto(staging, staged.slot, staged.frame.r(),
+                             staged.frame.g(), staged.frame.b());
+      lock.lock();
+    }
+    if (static_cast<std::int64_t>(b.filling.entries.size()) >= cap) {
+      FlushFilling(b, lock);
+    }
+  }
+}
+
+void EdgeFleet::PrefetchThreadMain() {
+  try {
+    std::unique_lock<std::mutex> lock(mu_);
+    PrefetchLoop(lock);
+  } catch (...) {
+    RecordPipelineError();
+  }
+}
+
+void EdgeFleet::ComputeThreadMain() {
+  try {
+    // Pop() drains the queue after Close(), so stop processes everything
+    // staged before this thread exits (clean drain-on-stop).
+    while (auto batch = hand_off_->Pop()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto staged = static_cast<std::int64_t>(batch->entries.size());
+      ProcessStaged(*batch);
+      --batch->bucket->tensors_out;
+      RecycleStaging(*batch->bucket, std::move(batch->staging));
+      in_flight_ -= staged;
+      prefetch_cv_.notify_all();
+      idle_cv_.notify_all();
+    }
+  } catch (...) {
+    RecordPipelineError();
+  }
+}
+
+void EdgeFleet::RecordPipelineError() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pipeline_error_) pipeline_error_ = std::current_exception();
+    pipeline_stop_ = true;
+    prefetch_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  // Unblocks the peer stage: Push() returns false, Pop() drains then ends.
+  hand_off_->Close();
+}
+
+void EdgeFleet::StartPipeline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(!drained_, "cannot start a pipeline on a drained fleet");
+  FF_CHECK_MSG(!pipeline_active_, "pipeline already running");
+  pipeline_stop_ = false;
+  prefetch_idle_ = false;
+  pipeline_error_ = nullptr;
+  in_flight_ = 0;
+  for (auto& b : buckets_) {
+    b->tensors_out = 0;
+    // Only non-empty after a pipeline aborted by an error; those staged
+    // frames were already dropped from the accounting.
+    b->filling.entries.clear();
+    b->filling.n_slots = 0;
+  }
+  // Capacity 2: per-bucket double buffering already bounds staging memory;
+  // this bound is back-pressure so stage A cannot run far ahead of B/C.
+  hand_off_ = std::make_unique<util::BoundedQueue<StagedBatch>>(2);
+  pipeline_active_ = true;
+  prefetch_thread_ = std::thread(&EdgeFleet::PrefetchThreadMain, this);
+  compute_thread_ = std::thread(&EdgeFleet::ComputeThreadMain, this);
+}
+
+void EdgeFleet::StopPipeline() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FF_CHECK_MSG(pipeline_active_, "no pipeline is running");
+  pipeline_stop_ = true;
+  prefetch_cv_.notify_all();
+  lock.unlock();
+  prefetch_thread_.join();
+
+  // The prefetch stage may have exited with partial batches staged; hand
+  // them over so drain-on-stop loses no staged frame, then close the
+  // queue — the compute stage processes everything in it before exiting.
+  lock.lock();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (!buckets_[i]->filling.entries.empty()) {
+      FlushFilling(*buckets_[i], lock);
+    }
+  }
+  lock.unlock();
+  hand_off_->Close();
+  compute_thread_.join();
+
+  lock.lock();
+  pipeline_active_ = false;
+  hand_off_.reset();
+  const std::exception_ptr err = pipeline_error_;
+  pipeline_error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+bool EdgeFleet::pipeline_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pipeline_active_;
+}
+
+void EdgeFleet::WaitPipelineIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FF_CHECK_MSG(pipeline_active_, "no pipeline is running");
+  idle_cv_.wait(lock, [&] {
+    if (pipeline_error_) return true;  // StopPipeline() rethrows it
+    if (!prefetch_idle_ || in_flight_ != 0) return false;
+    for (const auto& s : streams_) {
+      if (!s->queue.empty()) return false;
+      if (s->source != nullptr && !s->source_done) return false;
+    }
+    return true;
+  });
+}
+
+std::int64_t EdgeFleet::RunPipelined() {
+  StartPipeline();
+  WaitPipelineIdle();
+  StopPipeline();
+  Drain();
+  return frames_processed();
 }
 
 void EdgeFleet::DrainTenantTail(Stream& s, Tenant& tenant) {
@@ -528,7 +1019,7 @@ void EdgeFleet::DrainTenantTail(Stream& s, Tenant& tenant) {
   smooth_timer_.Start();
   for (const bool d : tenant.smoother.Flush()) NotifyDecision(s, tenant, d);
   if (const auto ev = tenant.detector.Finish()) {
-    DeliverClosedEvent(s, tenant, *ev);
+    DeliverClosedEvent(s, tenant, ev.value());
   }
   smooth_timer_.Stop();
   FF_CHECK_EQ(tenant.decided, live);
@@ -536,9 +1027,16 @@ void EdgeFleet::DrainTenantTail(Stream& s, Tenant& tenant) {
 }
 
 void EdgeFleet::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (drained_) return;
+  FF_CHECK_MSG(!pipeline_active_, "StopPipeline() before Drain()");
   drained_ = true;
   for (auto& s : streams_) DrainStream(*s);
+}
+
+bool EdgeFleet::drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drained_;
 }
 
 std::int64_t EdgeFleet::Run() {
@@ -549,31 +1047,37 @@ std::int64_t EdgeFleet::Run() {
 }
 
 std::int64_t EdgeFleet::frames_processed() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::int64_t n = 0;
   for (const auto& s : streams_) n += s->frames_processed;
   return n;
 }
 
 std::int64_t EdgeFleet::frames_processed(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return streams_[StreamIndex(stream)]->frames_processed;
 }
 
 std::int64_t EdgeFleet::frames_uploaded(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return streams_[StreamIndex(stream)]->frames_uploaded;
 }
 
 std::uint64_t EdgeFleet::upload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t n = 0;
   for (const auto& s : streams_) n += s->uplink ? s->uplink->total_bytes() : 0;
   return n;
 }
 
 std::uint64_t EdgeFleet::upload_bytes(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Stream& s = *streams_[StreamIndex(stream)];
   return s.uplink ? s.uplink->total_bytes() : 0;
 }
 
 double EdgeFleet::UploadBitrateBps(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Stream& s = *streams_[StreamIndex(stream)];
   if (s.frames_processed == 0) return 0.0;
   const double seconds = static_cast<double>(s.frames_processed) /
@@ -583,12 +1087,62 @@ double EdgeFleet::UploadBitrateBps(StreamHandle stream) const {
 }
 
 std::size_t EdgeFleet::pending_frames(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return streams_[StreamIndex(stream)]->pending.size();
 }
 
 EdgeStore* EdgeFleet::edge_store(StreamHandle stream) {
+  std::lock_guard<std::mutex> lock(mu_);
   Stream& s = *streams_[StreamIndex(stream)];
   return s.store ? s.store.get() : nullptr;
+}
+
+std::int64_t EdgeFleet::batches_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_run_;
+}
+
+std::size_t EdgeFleet::n_buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+std::vector<BucketStats> EdgeFleet::bucket_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BucketStats> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    BucketStats st;
+    st.width = b->width;
+    st.height = b->height;
+    st.batches = b->batches;
+    st.frames = b->frames;
+    for (const auto& s : streams_) {
+      if (s->bucket == b.get()) ++st.streams;
+    }
+    out.push_back(st);
+  }
+  return out;
+}
+
+double EdgeFleet::base_dnn_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_timer_.total_seconds();
+}
+
+double EdgeFleet::mc_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mc_timer_.total_seconds();
+}
+
+double EdgeFleet::smooth_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return smooth_timer_.total_seconds();
+}
+
+double EdgeFleet::upload_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return upload_timer_.total_seconds();
 }
 
 }  // namespace ff::core

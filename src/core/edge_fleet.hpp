@@ -13,35 +13,72 @@
 //   fleet.RemoveStream(s); // stream leaves mid-run (tenant tails drained)
 //   fleet.Run();           // Step() until exhausted, then Drain()
 //
-// Scheduling: the fleet is pull-driven. Each Step() gathers up to
-// `max_batch` frames round-robin across the live streams — from a stream's
-// bounded Push() queue first, then its FrameSource — so each phase-1 batch
-// mixes images from *different* streams: with S streams and batch N, a
-// stream buffers only ~N/S of its own frames per batch instead of N. The
-// base DNN forwards the whole batch once (conv kernels spread n × out_c
-// across the pool), then phase 2 fans out one util::GlobalPool() task per
-// (stream, tenant) pair — streams × tenants wide — and phases 3-5 run per
-// frame on the caller's thread in batch order.
+//   fleet.StartPipeline(); // or: the threaded staged schedule (see below)
+//   ...                    // Push/AddStream/Attach/... at batch boundaries
+//   fleet.StopPipeline();  // join stages; staged frames fully processed
+//
+// The scheduler is an explicit three-stage pipeline over per-geometry
+// BATCH BUCKETS (one staging tensor per distinct WxH, double-buffered):
+//
+//   (A) source prefetch — pull/decode frames from each stream's bounded
+//       Push() queue or its FrameSource, round-robin for fairness, and
+//       preprocess them into the stream's bucket's filling staging tensor;
+//   (B) phase 1 — run the shared FeatureExtractor once over whichever
+//       bucket's batch filled first;
+//   (C) phase 2 fan-out — one util::GlobalPool() task per (stream, tenant)
+//       pair over the shared maps — then phases 3-5 (K-voting, events,
+//       upload, archive) per frame in batch order.
+//
+// Synchronous Step() runs A→B→C inline on the caller (the degenerate
+// single-threaded schedule; sinks fire on the caller's thread).
+// StartPipeline()/StopPipeline() run stage A on a dedicated prefetch thread
+// and stages B/C on a dedicated compute thread, handing filled buckets
+// across a bounded util::BoundedQueue: frame decode overlaps the base DNN
+// and MC inference on multicore. Each bucket keeps exactly two staging
+// tensors in circulation (fill one while the other is extracted), so
+// staged memory stays bounded; StopPipeline drains — every frame already
+// staged is processed before the stages join, and frames still in Push()
+// queues remain queued for a later Step()/StartPipeline(). In pipelined
+// mode sinks fire on the compute thread, one batch at a time.
+//
+// Scheduling is still pull-driven and fair: each batch gathers up to
+// `max_batch` frames round-robin across the live streams OF ONE BUCKET
+// (each bucket keeps its own fairness cursor), so with S streams of a
+// geometry and batch N a stream buffers only ~N/S of its own frames per
+// batch. The base DNN forwards the whole batch once (conv kernels spread
+// n × out_c across the pool); phase 2 fans out streams × tenants wide.
 //
 // Isolation: every stream owns its tenants, K-voting smoothers, transition
 // detectors, pending-upload buffer, uplink encoder, and edge store. The
-// pinning property (edge_fleet_test): a stream's decision/event/upload
-// byte stream through the fleet is BITWISE-IDENTICAL to running that
-// stream through a dedicated single-stream EdgeNode, no matter how the
-// fleet interleaves its batches — cross-stream batching is pure scheduling.
+// pinning property (edge_fleet_test, edge_fleet_pipeline_test): a stream's
+// decision/event/upload byte stream through the fleet is BITWISE-IDENTICAL
+// to running that stream through a dedicated single-stream EdgeNode, no
+// matter how the fleet interleaves its batches, which geometries share the
+// box, or whether the schedule is synchronous or pipelined — bucketed
+// cross-stream batching is pure scheduling.
 //
-// All streams must share one frame geometry (the batch tensor is (N, 3, H,
-// W)); AddStream validates against the first stream's dimensions, read from
-// the source's metadata hooks (video::FrameSource::width()/height()/fps())
-// or from an explicit StreamConfig. Heterogeneous sizes are rejected
-// loudly. fps may differ per stream (it only paces that stream's uplink).
+// Heterogeneous walls: streams of DIFFERENT frame geometries now share one
+// fleet — each distinct WxH gets its own batch bucket and the buckets share
+// the extractor, the phase-2 pool, and the uplink sink. Invalid (zero)
+// geometry is still rejected loudly at AddStream; a frame that does not
+// match ITS OWN stream's geometry is still rejected loudly at Push/gather.
+// fps may differ per stream (it only paces that stream's uplink).
+//
+// Threading contract: all public methods are serialized on one internal
+// mutex and are safe to call while the pipeline runs — stream/tenant churn
+// and Push() land at batch boundaries. StartPipeline/StopPipeline/
+// WaitPipelineIdle themselves must come from one controlling thread.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <condition_variable>
 #include <optional>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -50,6 +87,7 @@
 #include "core/events.hpp"
 #include "core/microclassifier.hpp"
 #include "core/smoothing.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "video/source.hpp"
 
@@ -73,6 +111,12 @@ struct McDecision {
   std::int64_t event_id = -1;     // valid when decision is positive
 };
 
+// Sink contract (all three kinds): sinks fire on the thread driving the
+// schedule — the Step/Detach/Drain caller, or the pipeline's compute
+// thread — WITH THE FLEET LOCK HELD, so per-stream delivery order is
+// exact even while churn lands concurrently. A sink must therefore not
+// call back into its fleet/node (that would self-deadlock on the
+// non-recursive lock); hand results off and return.
 using DecisionSink = std::function<void(const McDecision&)>;
 // Closed events, begin/end in the owning stream's frame indices.
 using EventSink = std::function<void(const EventRecord&)>;
@@ -139,10 +183,10 @@ struct EdgeFleetConfig {
   // there are enough tasks to occupy it. Disable for serial attach-order
   // execution (per-MC CPU attribution, Fig. 6).
   bool parallel_mcs = true;
-  // Frames per phase-1 batch: each Step() drains up to this many frames
-  // round-robin across the live streams. With >= max_batch live streams a
-  // batch holds one frame per stream — full batch parallelism with no
-  // single-stream future buffering.
+  // Frames per phase-1 batch: each batch drains up to this many frames
+  // round-robin across one bucket's live streams. With >= max_batch live
+  // streams a batch holds one frame per stream — full batch parallelism
+  // with no single-stream future buffering.
   std::int64_t max_batch = 8;
   // Bounded per-stream Push() ingest queue; 0 = unbounded (for callers that
   // manage their own batching, e.g. the EdgeNode facade).
@@ -157,35 +201,47 @@ struct StreamConfig {
   std::int64_t fps = 0;  // 0: source metadata, else 15
 };
 
+// Observability for one geometry bucket (examples/benches report per-bucket
+// batch occupancy to make the fairness cursor and batching shape visible).
+struct BucketStats {
+  std::int64_t width = 0, height = 0;
+  std::int64_t streams = 0;  // live streams currently in this bucket
+  std::int64_t batches = 0;  // phase-1 batches run for this bucket
+  std::int64_t frames = 0;   // frames processed through this bucket
+};
+
 class EdgeFleet {
  public:
   EdgeFleet(dnn::FeatureExtractor& fx, const EdgeFleetConfig& cfg);
-  // Releases any remaining tenants' tap references (the shared extractor
-  // outlives the fleet); does NOT drain tails — call Drain() for that.
+  // Stops a still-running pipeline (discarding any deferred pipeline
+  // error), then releases any remaining tenants' tap references (the shared
+  // extractor outlives the fleet); does NOT drain tails — call Drain().
   ~EdgeFleet();
 
-  // --- Stream lifecycle (legal at any Step boundary) -----------------------
+  // --- Stream lifecycle (legal at any batch boundary) ----------------------
 
-  // Registers a pull-driven stream; Step() draws frames from `source`,
-  // which must outlive the stream. Geometry comes from `scfg` where set,
-  // else from the source's metadata; the first stream pins the fleet's
-  // frame geometry and later streams must match it exactly (heterogeneous
-  // sizes throw).
+  // Registers a pull-driven stream; the scheduler draws frames from
+  // `source`, which must outlive the stream. Geometry comes from `scfg`
+  // where set, else from the source's metadata; the stream joins the batch
+  // bucket for its WxH (created on first sight — heterogeneous walls are
+  // fine, each distinct geometry batches separately). Invalid/zero
+  // geometry throws loudly.
   StreamHandle AddStream(video::FrameSource& source, StreamConfig scfg = {});
   // Registers a push-driven stream (frames arrive via Push). `scfg` must
   // carry the frame geometry.
   StreamHandle AddStream(StreamConfig scfg);
 
-  // Removes a stream at a step boundary: every tenant's windowed tail and
+  // Removes a stream at a batch boundary: every tenant's windowed tail and
   // K-voting state is drained (sinks receive the decisions for all frames
   // the stream processed), pending uploads are finalized, and the handle
-  // dies. Frames still queued but never processed are discarded.
+  // dies. Frames still queued — or staged by the pipeline but never
+  // processed — are discarded.
   void RemoveStream(StreamHandle stream);
 
   bool HasStream(StreamHandle stream) const;
-  std::size_t n_streams() const { return streams_.size(); }
+  std::size_t n_streams() const;
 
-  // --- Tenants (legal at any Step boundary) --------------------------------
+  // --- Tenants (legal at any batch boundary) -------------------------------
 
   // Registers a tenant on one stream; its first live frame is the next one
   // that stream processes.
@@ -201,31 +257,70 @@ class EdgeFleet {
   // --- Ingestion and scheduling --------------------------------------------
 
   // Stages a frame on a push-driven (or pull) stream's bounded queue; the
-  // frame is processed by a later Step(). Throws when the queue is full.
+  // frame is processed by a later batch. Throws when the queue is full.
   // The move overload stages without copying pixel planes (the copying one
   // exists for callers that must keep their frame).
   void Push(StreamHandle stream, const video::Frame& frame);
   void Push(StreamHandle stream, video::Frame&& frame);
   std::size_t queued_frames(StreamHandle stream) const;
 
-  // Processes one cross-stream batch: gathers up to max_frames (0 = the
-  // configured max_batch) frames round-robin across live streams, runs the
-  // base DNN once over the whole batch, fans phase 2 out across
-  // streams × tenants, and runs phases 3-5 per frame in batch order. Sinks
-  // fire on this caller's thread. Returns frames processed; 0 means every
-  // queue is empty and every source exhausted.
+  // Synchronous schedule: processes one batch inline — picks the next
+  // bucket (round-robin) with a frame ready, gathers up to max_frames
+  // (0 = the configured max_batch) frames round-robin across that bucket's
+  // streams, runs the base DNN once over the whole batch, fans phase 2 out
+  // across streams × tenants, and runs phases 3-5 per frame in batch
+  // order. Sinks fire on this caller's thread. Returns frames processed;
+  // 0 means every queue is empty and every source exhausted. Illegal while
+  // the pipeline is running.
   std::int64_t Step(std::int64_t max_frames = 0);
+
+  // Zero-copy span ingestion for one stream (the EdgeNode facade's Submit
+  // seam): preprocesses `frames` straight from the caller's storage into
+  // the stream's bucket staging tensor — no copy into the push queue — and
+  // processes them as exactly one batch. The span is only borrowed for the
+  // call; matched frames are still copied once into the pending-upload
+  // buffer (they must outlive the decision lag). The whole span is
+  // validated before any work, so a bad frame leaves no partial state;
+  // the stream's Push() queue must be empty (a span processes immediately
+  // and must not overtake queued frames — mixing the two ingestion styles
+  // on one stream throws loudly instead of reordering).
+  std::int64_t SubmitSpan(StreamHandle stream,
+                          std::span<const video::Frame> frames);
 
   // Step() until no stream yields a frame, then Drain(). Returns total
   // frames processed by the fleet.
   std::int64_t Run();
 
+  // --- Pipelined schedule --------------------------------------------------
+
+  // Starts the threaded staged pipeline: a prefetch thread decodes and
+  // preprocesses frames into the batch buckets while a compute thread runs
+  // phase 1 + the MC fan-out + the per-frame tail on each filled bucket.
+  // Per-stream decisions are bitwise-identical to the synchronous schedule
+  // (edge_fleet_pipeline_test). Sinks fire on the compute thread.
+  void StartPipeline();
+  // Joins the stages. Every frame already staged in a bucket is processed
+  // before this returns (clean drain — no gap in any stream's decision
+  // stream); frames still in Push() queues stay queued. Rethrows the first
+  // error a stage hit (e.g. a source yielding a frame that contradicts its
+  // declared geometry). The fleet is synchronous again afterwards.
+  void StopPipeline();
+  // Blocks until the pipeline has nothing left to do: every source
+  // exhausted, every queue empty, nothing staged or in flight (the
+  // pipelined analogue of Run()'s exhaustion), or a stage failed. Does not
+  // stop the pipeline — streams can still be added or pushed after.
+  void WaitPipelineIdle();
+  bool pipeline_active() const;
+  // StartPipeline() + WaitPipelineIdle() + StopPipeline() + Drain().
+  // Returns total frames processed by the fleet.
+  std::int64_t RunPipelined();
+
   // End of the world: drains every tenant of every stream and finalizes all
   // pending uploads. Idempotent; the fleet accepts no further
   // Push/Step/Attach/AddStream afterwards. Streams and their accounting
-  // remain readable.
+  // remain readable. Illegal while the pipeline is running.
   void Drain();
-  bool drained() const { return drained_; }
+  bool drained() const;
 
   // Uplink sink shared by all streams; packets carry their stream handle.
   // Binds late (frames finalized after the call). Requires uploads enabled.
@@ -245,16 +340,22 @@ class EdgeFleet {
   std::size_t pending_frames(StreamHandle stream) const;
   EdgeStore* edge_store(StreamHandle stream);
 
-  // Phase-1 batches run so far; frames_processed()/batches_run()/n_streams()
-  // is the per-stream buffering depth the scaling bench reports.
-  std::int64_t batches_run() const { return batches_run_; }
+  // Phase-1 batches run so far (all buckets); frames_processed() /
+  // batches_run() / n_streams() is the per-stream buffering depth the
+  // scaling bench reports.
+  std::int64_t batches_run() const;
+
+  // Geometry buckets: one per distinct WxH ever added (buckets persist
+  // after their last stream leaves, keeping their accounting readable).
+  std::size_t n_buckets() const;
+  std::vector<BucketStats> bucket_stats() const;
 
   // Phase time totals in seconds (Fig. 6's breakdown, fleet-wide). With
   // parallel_mcs, mc_seconds is the wall time of the fanned-out phase 2.
-  double base_dnn_seconds() const { return base_timer_.total_seconds(); }
-  double mc_seconds() const { return mc_timer_.total_seconds(); }
-  double smooth_seconds() const { return smooth_timer_.total_seconds(); }
-  double upload_seconds() const { return upload_timer_.total_seconds(); }
+  double base_dnn_seconds() const;
+  double mc_seconds() const;
+  double smooth_seconds() const;
+  double upload_seconds() const;
 
   const EdgeFleetConfig& config() const { return cfg_; }
 
@@ -282,11 +383,18 @@ class EdgeFleet {
     std::vector<std::pair<std::string, std::int64_t>> memberships;
   };
 
+  struct Bucket;
+
   struct Stream {
     StreamHandle handle = -1;
     video::FrameSource* source = nullptr;  // null: push-driven
     bool source_done = false;
+    // The prefetch stage is inside this stream's source->Next() right now
+    // (RemoveStream waits on this before the handle — and with it the
+    // caller's source-outlives-stream guarantee — dies).
+    bool prefetching = false;
     std::int64_t width = 0, height = 0, fps = 15;
+    Bucket* bucket = nullptr;        // geometry bucket; stable, never null
     std::deque<video::Frame> queue;  // staged frames (Push), bounded
     std::vector<std::unique_ptr<Tenant>> tenants;
     std::int64_t frames_processed = 0;
@@ -300,16 +408,58 @@ class EdgeFleet {
     std::unique_ptr<EdgeStore> store;
   };
 
-  // One gathered frame of the current Step's batch.
-  struct BatchItem {
-    Stream* stream = nullptr;
-    video::Frame frame;
-    std::int64_t image = -1;  // index into the batch tensor; -1 = tenantless
-    std::vector<float> scores;  // one per tenant of `stream`
+  // One frame staged into a bucket's batch. `slot` is the frame's image
+  // index in the staging tensor, or -1 when the frame was not
+  // preprocessed: the synchronous gather skips the base-DNN input for
+  // streams with no tenants (their tenancy cannot change before
+  // processing), exactly as the pre-bucket scheduler did — the pipelined
+  // prefetch stage always assigns a slot, because a tenant may attach
+  // between staging and processing. Streams are referenced by handle, not
+  // pointer: a stream removed while its frames are staged simply stops
+  // resolving and those frames are discarded at processing.
+  struct StagedEntry {
+    StreamHandle stream = -1;
+    std::int64_t slot = -1;
+    video::Frame frame;                      // owned (queue/source paths)
+    const video::Frame* borrowed = nullptr;  // SubmitSpan: caller's frame
+    const video::Frame& pixels() const {
+      return borrowed != nullptr ? *borrowed : frame;
+    }
+  };
+
+  // A bucket batch in flight: slots [0, n_slots) of `staging` are filled.
+  // This is the unit handed from the prefetch stage to the compute stage
+  // (and the unit the synchronous Step builds inline).
+  struct StagedBatch {
+    Bucket* bucket = nullptr;
+    nn::Tensor staging;  // (capacity, 3, H, W)
+    std::vector<StagedEntry> entries;
+    std::int64_t n_slots = 0;
+  };
+
+  // One geometry's batching state. Buckets are heap-stable and never die,
+  // so Stream::bucket and StagedBatch::bucket stay valid across churn.
+  struct Bucket {
+    std::int64_t width = 0, height = 0;
+    std::size_t rr = 0;  // fairness cursor among this bucket's streams
+    // Double buffer: `filling` is the batch the prefetch stage is writing;
+    // `spare` is a recycled staging tensor awaiting reuse. At most two
+    // staging tensors circulate per bucket (`tensors_out` counts the ones
+    // handed off but not yet recycled), which is what bounds pipelined
+    // staging memory and back-pressures the prefetch stage.
+    StagedBatch filling;
+    nn::Tensor spare;
+    int tensors_out = 0;
+    // Stage-A scan scratch: some stream of this bucket has a frame ready
+    // (rewritten every scan; a staged partial batch whose bucket has no
+    // ready stream is flushed instead of waiting on busier buckets).
+    bool any_ready = false;
+    std::int64_t batches = 0, frames = 0;  // accounting (bucket_stats)
   };
 
   StreamHandle FinishAddStream(std::unique_ptr<Stream> s);
   std::size_t StreamIndex(StreamHandle stream) const;
+  Stream* FindStream(StreamHandle stream) const;  // null when gone
   // Shared Push preamble: drained/geometry/capacity checks, then the
   // stream whose queue accepts the frame.
   Stream& PushTarget(StreamHandle stream, const video::Frame& frame);
@@ -319,6 +469,32 @@ class EdgeFleet {
   // Next frame of `s`: staged queue first, then the source. nullopt when
   // neither has one.
   std::optional<video::Frame> TakeFrame(Stream& s);
+
+  Bucket& BucketFor(std::int64_t width, std::int64_t height);
+  // Staging-tensor circulation (see Bucket). TakeStaging prefers the
+  // bucket's idle tensors and reallocates only when capacity grows.
+  nn::Tensor TakeStaging(Bucket& b, std::int64_t cap);
+  void RecycleStaging(Bucket& b, nn::Tensor t);
+
+  // Stage A inline: gathers up to `cap` frames round-robin across `b`'s
+  // streams, preprocessing each into the batch's staging tensor. On a
+  // mid-gather validation throw, already-gathered frames are restaged onto
+  // their queues so no stream's decision sequence gains a gap.
+  StagedBatch GatherSync(Bucket& b, std::int64_t cap);
+  // Stages B + C: bookkeeping, one base-DNN forward over the staged batch,
+  // the (stream, tenant) MC fan-out, then phases 3-5 per frame in batch
+  // order. Returns frames processed (staged entries whose stream is gone
+  // are discarded). Caller must hold mu_.
+  std::int64_t ProcessStaged(StagedBatch& batch);
+
+  // Pipeline stage bodies (dedicated threads).
+  void PrefetchThreadMain();
+  void PrefetchLoop(std::unique_lock<std::mutex>& lock);
+  void ComputeThreadMain();
+  // Hands the bucket's filling batch to the compute stage. Unlocks `lock`
+  // around the (possibly blocking) bounded-queue push.
+  void FlushFilling(Bucket& b, std::unique_lock<std::mutex>& lock);
+  void RecordPipelineError();
 
   void DeliverScore(Stream& s, Tenant& tenant, float score);
   void NotifyDecision(Stream& s, Tenant& tenant, bool positive);
@@ -332,14 +508,27 @@ class EdgeFleet {
   dnn::FeatureExtractor& fx_;
   EdgeFleetConfig cfg_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Bucket>> buckets_;
   StreamHandle next_stream_ = 0;
   McHandle next_handle_ = 0;
-  // Pinned by the first AddStream; all later streams must match.
-  std::int64_t frame_width_ = 0, frame_height_ = 0;
-  std::size_t rr_cursor_ = 0;  // round-robin fairness cursor
+  std::size_t bucket_rr_ = 0;    // sync Step: next bucket to try
+  std::size_t prefetch_rr_ = 0;  // pipeline stage A: next stream to service
   bool drained_ = false;
   std::int64_t batches_run_ = 0;
   UploadSink upload_sink_;
+
+  // Pipeline state (all guarded by mu_; the hand-off queue has its own
+  // internal lock and is only ever pushed/popped with mu_ released).
+  mutable std::mutex mu_;
+  std::thread prefetch_thread_, compute_thread_;
+  std::unique_ptr<util::BoundedQueue<StagedBatch>> hand_off_;
+  bool pipeline_active_ = false;
+  bool pipeline_stop_ = false;
+  bool prefetch_idle_ = false;    // stage A parked with nothing to do
+  std::int64_t in_flight_ = 0;    // frames staged but not yet processed
+  std::exception_ptr pipeline_error_;
+  std::condition_variable prefetch_cv_;  // wakes stage A (work/space/stop)
+  std::condition_variable idle_cv_;      // wakes WaitPipelineIdle & waiters
 
   util::PhaseTimer base_timer_, mc_timer_, smooth_timer_, upload_timer_;
 };

@@ -39,21 +39,12 @@ void EdgeNode::Submit(const video::Frame& frame) {
 }
 
 void EdgeNode::Submit(std::span<const video::Frame> frames) {
-  FF_CHECK_MSG(!fleet_.drained(), "cannot submit to a drained node");
-  if (frames.empty()) return;
-  // Validate the whole span before staging any of it: a bad frame must not
-  // leave a partial batch queued behind the throw.
-  for (const auto& frame : frames) {
-    FF_CHECK_EQ(frame.width(), cfg_.frame_width);
-    FF_CHECK_EQ(frame.height(), cfg_.frame_height);
-  }
-  // The caller keeps its span, so staging copies each frame once (Run()
-  // moves instead; push-driven fleet callers can too).
-  for (const auto& frame : frames) fleet_.Push(stream_, frame);
-  // One Step over exactly this span: one phase-1 batch, as documented.
-  const std::int64_t processed =
-      fleet_.Step(static_cast<std::int64_t>(frames.size()));
-  FF_CHECK_EQ(processed, static_cast<std::int64_t>(frames.size()));
+  // Zero-copy: the fleet's span seam preprocesses the caller's frames
+  // straight into the bucket staging tensor — no copy into the push queue
+  // (the span validates whole-or-nothing inside the fleet, and the batch
+  // is exactly one fleet step, as documented). Matched frames still pay
+  // one copy into the pending-upload buffer; nothing else does.
+  fleet_.SubmitSpan(stream_, frames);
 }
 
 std::int64_t EdgeNode::Run(video::FrameSource& source) {

@@ -109,6 +109,10 @@ class EdgeNode {
   // (N, 3, H, W) batch; phases 2-5 then run per frame in stream order, so
   // every tenant sees exactly the per-frame decision stream that N
   // single-frame Submit calls would produce (pinned by edge_batch_test).
+  // The span is ZERO-COPY: frames are preprocessed straight from the
+  // caller's storage into the fleet's bucket staging tensor
+  // (EdgeFleet::SubmitSpan) — only frames matched for upload pay a copy
+  // into the pending buffer, where they must outlive the decision lag.
   // The tenant set is fixed for the whole batch — Attach/Detach remain
   // frame-boundary operations and batches are their coarser boundary: a
   // tenant attached after Submit(span of N) is live from global frame

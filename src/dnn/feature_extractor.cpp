@@ -26,7 +26,7 @@ std::int64_t FeatureExtractor::TapRefs(const std::string& tap) const {
   return it == tap_refs_.end() ? 0 : it->second;
 }
 
-FeatureMaps FeatureExtractor::Extract(const nn::Tensor& frames) {
+FeatureMaps FeatureExtractor::Extract(const tensor::TensorView& frames) {
   FF_CHECK_MSG(!taps_.empty(), "no taps requested");
   FF_CHECK_EQ(frames.shape().c, 3);
   FF_CHECK_GE(frames.shape().n, 1);

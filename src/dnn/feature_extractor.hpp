@@ -42,7 +42,12 @@ class FeatureExtractor {
   // pinned by edge_batch_test), but the conv kernels parallelize across
   // n × out_c instead of out_c alone, which is what keeps a thread pool fed
   // on multicore (ROADMAP: frame batching).
-  FeatureMaps Extract(const nn::Tensor& frames);
+  //
+  // Taking a view (owning Tensors convert implicitly) is what lets the
+  // EdgeFleet's geometry buckets reuse one staging tensor per bucket across
+  // batches: a partial batch passes TensorView::Prefix of the staging
+  // storage instead of materializing a right-sized input every Step.
+  FeatureMaps Extract(const tensor::TensorView& frames);
 
   // Multiply-adds for one frame of shape (1, 3, h, w): the cost of the
   // prefix up to the deepest requested tap. This is the "upfront overhead"

@@ -20,6 +20,14 @@ TensorView TensorView::Image(std::int64_t n) const {
   return v;
 }
 
+TensorView TensorView::Prefix(std::int64_t n) const {
+  FF_CHECK_MSG(n >= 1 && n <= shape_.n,
+               "prefix of " << n << " images out of range for " << shape_);
+  TensorView v = *this;
+  v.shape_.n = n;
+  return v;
+}
+
 TensorView TensorView::CropHW(const Rect& r) const {
   FF_CHECK_MSG(r.y0 >= 0 && r.x0 >= 0 && r.y1 <= shape_.h &&
                    r.x1 <= shape_.w && !r.empty(),

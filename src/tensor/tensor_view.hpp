@@ -32,6 +32,12 @@ class TensorView {
   // shared feature maps to the MCs through this).
   TensorView Image(std::int64_t n) const;
 
+  // First `n` batch images as an (n, C, H, W) view. The EdgeFleet's batch
+  // buckets allocate one staging tensor at full batch width and hand the
+  // filled prefix to the base DNN through this, so a partial batch never
+  // reallocates the staging storage.
+  TensorView Prefix(std::int64_t n) const;
+
   const Shape& shape() const { return shape_; }
   std::int64_t elements() const { return shape_.elements(); }
   bool empty() const { return base_ == nullptr || shape_.elements() == 0; }

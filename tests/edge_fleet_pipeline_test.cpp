@@ -1,0 +1,522 @@
+// Pins the two scheduler properties the staged EdgeFleet redesign added:
+//
+//  (a) GEOMETRY BUCKETS — a heterogeneous fleet (streams of >= 2 distinct
+//      WxH sharing one extractor) produces per-stream decision/upload byte
+//      streams BITWISE-identical to running one homogeneous fleet per
+//      geometry (and, transitively via edge_fleet_test, to a dedicated
+//      EdgeNode per stream);
+//  (b) PIPELINED DRIVER — StartPipeline/StopPipeline (prefetch thread +
+//      compute thread, bounded hand-off) produces per-stream decisions
+//      BITWISE-identical to the synchronous Step() schedule, including
+//      under mid-run AddStream/RemoveStream churn, mixed geometries,
+//      push-driven streams, and stop/restart with a synchronous tail.
+//
+// This suite runs under the CI ThreadSanitizer leg.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/edge_fleet.hpp"
+#include "core/edge_node.hpp"
+#include "video/dataset.hpp"
+#include "video/source.hpp"
+
+namespace ff::core {
+namespace {
+
+constexpr const char* kTap = "conv3_2/sep";
+
+video::DatasetSpec CamSpec(std::int64_t width, std::int64_t frames,
+                           std::uint64_t seed) {
+  auto spec = video::JacksonSpec(width, frames, seed);
+  spec.mean_event_len = 8;
+  return spec;
+}
+
+std::unique_ptr<Microclassifier> MakeMc(const dnn::FeatureExtractor& fx,
+                                        const video::DatasetSpec& spec,
+                                        const std::string& arch,
+                                        std::uint64_t seed) {
+  return MakeMicroclassifier(
+      arch, {.name = arch + std::to_string(seed), .tap = kTap, .seed = seed},
+      fx, spec.height, spec.width);
+}
+
+EdgeFleetConfig FleetConfig() {
+  EdgeFleetConfig cfg;
+  cfg.upload_bitrate_bps = 60'000;
+  return cfg;
+}
+
+void ExpectSameResult(const McResult& a, const McResult& b) {
+  EXPECT_EQ(a.first_frame, b.first_frame) << a.name;
+  ASSERT_EQ(a.scores.size(), b.scores.size()) << a.name;
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    // Bitwise, not approximate: scheduling (buckets, batch composition,
+    // pipelining) must never change a single mantissa bit.
+    EXPECT_EQ(0, std::memcmp(&a.scores[i], &b.scores[i], sizeof(float)))
+        << a.name << " score " << i;
+  }
+  EXPECT_EQ(a.raw, b.raw) << a.name;
+  EXPECT_EQ(a.decisions, b.decisions) << a.name;
+  EXPECT_EQ(a.event_ids, b.event_ids) << a.name;
+  ASSERT_EQ(a.events.size(), b.events.size()) << a.name;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].begin, b.events[i].begin) << a.name;
+    EXPECT_EQ(a.events[i].end, b.events[i].end) << a.name;
+  }
+}
+
+// Polls a fleet accessor until it reports `goal` (the pipelined schedule
+// has no synchronous step boundary to hook; accessors are thread-safe).
+template <typename Fn>
+void WaitUntil(Fn&& done) {
+  while (!done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(EdgeFleetPipeline, HeterogeneousFleetMatchesHomogeneousFleetsBitwise) {
+  // Four cameras, two geometries (128- and 160-wide walls) in ONE fleet;
+  // reference: one homogeneous fleet per geometry, same tenant scripts.
+  const std::int64_t kFrames = 10;
+  const video::SyntheticDataset small0(CamSpec(128, kFrames, 71));
+  const video::SyntheticDataset small1(CamSpec(128, kFrames, 72));
+  const video::SyntheticDataset big0(CamSpec(160, kFrames, 73));
+  const video::SyntheticDataset big1(CamSpec(160, kFrames, 74));
+  const video::SyntheticDataset* cams[4] = {&small0, &big0, &small1, &big1};
+  const char* archs[4] = {"windowed", "localized", "full_frame", "windowed"};
+
+  auto run_mixed = [&](bool pipelined) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.max_batch = 3;  // not a multiple of either wall, deliberately
+    EdgeFleet fleet(fx, cfg);
+    std::vector<std::unique_ptr<video::DatasetSource>> sources;
+    std::vector<std::unique_ptr<ResultCollector>> collectors;
+    std::vector<StreamHandle> handles;
+    for (int c = 0; c < 4; ++c) {
+      sources.push_back(std::make_unique<video::DatasetSource>(*cams[c]));
+      handles.push_back(fleet.AddStream(*sources.back()));
+      McSpec spec{.mc = MakeMc(fx, cams[c]->spec(), archs[c],
+                               900 + static_cast<std::uint64_t>(c))};
+      collectors.push_back(std::make_unique<ResultCollector>());
+      collectors.back()->Bind(spec);
+      fleet.Attach(handles.back(), std::move(spec));
+    }
+    EXPECT_EQ(fleet.n_buckets(), 2u);
+    std::vector<std::uint64_t> bytes;
+    if (pipelined) {
+      fleet.RunPipelined();
+    } else {
+      fleet.Run();
+    }
+    EXPECT_EQ(fleet.frames_processed(), 4 * kFrames);
+    for (const StreamHandle h : handles) {
+      bytes.push_back(fleet.upload_bytes(h));
+    }
+    // Both buckets really batched (each saw its own streams' frames), and
+    // the pipelined schedule kept real batch widths — while a bucket's
+    // sources have frames ready its partial batches must NOT flush early
+    // (a prefetch fairness/readiness bug would collapse width toward 1,
+    // silently costing the cross-stream batching this scheduler exists
+    // for while every bitwise check still passes).
+    const auto stats = fleet.bucket_stats();
+    EXPECT_EQ(stats.size(), 2u);
+    for (const auto& st : stats) {
+      EXPECT_EQ(st.frames, 2 * kFrames);
+      EXPECT_LE(st.batches, 2 * kFrames / cfg.max_batch + 4)
+          << "batch width collapsed in the " << st.width << "x" << st.height
+          << " bucket";
+    }
+    std::vector<McResult> results;
+    for (const auto& c : collectors) results.push_back(c->result());
+    return std::make_pair(results, bytes);
+  };
+
+  // Reference: one homogeneous fleet per geometry (the pre-redesign
+  // workaround the buckets replace).
+  auto run_homogeneous = [&](std::initializer_list<int> cam_ids) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.max_batch = 3;
+    EdgeFleet fleet(fx, cfg);
+    std::vector<std::unique_ptr<video::DatasetSource>> sources;
+    std::vector<std::unique_ptr<ResultCollector>> collectors;
+    std::vector<StreamHandle> handles;
+    for (int c : cam_ids) {
+      sources.push_back(std::make_unique<video::DatasetSource>(*cams[c]));
+      handles.push_back(fleet.AddStream(*sources.back()));
+      McSpec spec{.mc = MakeMc(fx, cams[c]->spec(), archs[c],
+                               900 + static_cast<std::uint64_t>(c))};
+      collectors.push_back(std::make_unique<ResultCollector>());
+      collectors.back()->Bind(spec);
+      fleet.Attach(handles.back(), std::move(spec));
+    }
+    fleet.Run();
+    std::vector<McResult> results;
+    std::vector<std::uint64_t> bytes;
+    for (std::size_t i = 0; i < collectors.size(); ++i) {
+      results.push_back(collectors[i]->result());
+      bytes.push_back(fleet.upload_bytes(handles[i]));
+    }
+    return std::make_pair(results, bytes);
+  };
+
+  const auto [mixed, mixed_bytes] = run_mixed(/*pipelined=*/false);
+  const auto [piped, piped_bytes] = run_mixed(/*pipelined=*/true);
+  const auto [small_ref, small_bytes] = run_homogeneous({0, 2});
+  const auto [big_ref, big_bytes] = run_homogeneous({1, 3});
+
+  // Mixed fleet streams 0/2 are the small wall, 1/3 the big wall.
+  ExpectSameResult(mixed[0], small_ref[0]);
+  ExpectSameResult(mixed[2], small_ref[1]);
+  ExpectSameResult(mixed[1], big_ref[0]);
+  ExpectSameResult(mixed[3], big_ref[1]);
+  EXPECT_EQ(mixed_bytes[0], small_bytes[0]);
+  EXPECT_EQ(mixed_bytes[2], small_bytes[1]);
+  EXPECT_EQ(mixed_bytes[1], big_bytes[0]);
+  EXPECT_EQ(mixed_bytes[3], big_bytes[1]);
+
+  // The pipelined schedule of the SAME heterogeneous wall is also bitwise
+  // identical, upload bytes included.
+  for (int c = 0; c < 4; ++c) {
+    ExpectSameResult(piped[static_cast<std::size_t>(c)],
+                     mixed[static_cast<std::size_t>(c)]);
+    EXPECT_EQ(piped_bytes[static_cast<std::size_t>(c)],
+              mixed_bytes[static_cast<std::size_t>(c)]);
+  }
+}
+
+// Wraps a DatasetSource behind a gate: Next() blocks until Open(). This is
+// how the churn script below makes "AddStream + Attach" atomic with respect
+// to a RUNNING pipeline — between the two calls the prefetch stage may
+// legally stage (and the compute stage process) the new stream's frames,
+// which the synchronous schedule cannot reproduce. Gating the source until
+// the tenant is attached keeps both schedules on the same script.
+class GatedSource : public video::FrameSource {
+ public:
+  explicit GatedSource(const video::SyntheticDataset& ds) : src_(ds) {}
+  std::optional<video::Frame> Next() override {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return open_; });
+    }
+    return src_.Next();
+  }
+  void Reset() override { src_.Reset(); }
+  std::int64_t width() const override { return src_.width(); }
+  std::int64_t height() const override { return src_.height(); }
+  std::int64_t fps() const override { return src_.fps(); }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  video::DatasetSource src_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(EdgeFleetPipeline, PipelinedMatchesSynchronousUnderChurn) {
+  // Churn script, applied identically to a synchronous and a pipelined
+  // fleet: streams A and B run from the start; A (short) is removed once
+  // its source is exhausted and fully processed; C joins mid-run with its
+  // own tenant. Every stream's history must match the synchronous run
+  // bitwise.
+  const std::int64_t kShort = 6, kLong = 14;
+  const video::SyntheticDataset dsA(CamSpec(128, kShort, 81));
+  const video::SyntheticDataset dsB(CamSpec(128, kLong, 82));
+  const video::SyntheticDataset dsC(CamSpec(128, kLong, 83));
+
+  struct RunOut {
+    McResult a, b, c;
+    std::int64_t frames = 0;
+  };
+  auto run = [&](bool pipelined) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.max_batch = 4;
+    EdgeFleet fleet(fx, cfg);
+    video::DatasetSource sa(dsA), sb(dsB);
+    GatedSource sc(dsC);
+    const StreamHandle ha = fleet.AddStream(sa);
+    const StreamHandle hb = fleet.AddStream(sb);
+    ResultCollector ca, cb, cc;
+    McSpec spec_a{.mc = MakeMc(fx, dsA.spec(), "windowed", 501)};
+    ca.Bind(spec_a);
+    fleet.Attach(ha, std::move(spec_a));
+    McSpec spec_b{.mc = MakeMc(fx, dsB.spec(), "localized", 502)};
+    cb.Bind(spec_b);
+    fleet.Attach(hb, std::move(spec_b));
+
+    if (pipelined) fleet.StartPipeline();
+    auto advance_until = [&](auto done) {
+      if (pipelined) {
+        WaitUntil(done);
+      } else {
+        while (!done()) ASSERT_GT(fleet.Step(), 0);
+      }
+    };
+
+    // A leaves once fully processed (a deterministic churn point that both
+    // schedules can hit exactly).
+    advance_until([&] { return fleet.frames_processed(ha) == kShort; });
+    fleet.RemoveStream(ha);
+    EXPECT_FALSE(fleet.HasStream(ha));
+
+    // C joins mid-run (B is genuinely mid-stream at this point in the
+    // synchronous schedule; in the pipelined one the join lands at
+    // whatever batch boundary the compute stage is at). Its source stays
+    // gated until the tenant is attached, so both schedules see C's
+    // tenant live from C's frame 0.
+    const StreamHandle hc = fleet.AddStream(sc);
+    McSpec spec_c{.mc = MakeMc(fx, dsC.spec(), "windowed", 503)};
+    cc.Bind(spec_c);
+    fleet.Attach(hc, std::move(spec_c));
+    sc.Open();
+
+    if (pipelined) {
+      fleet.WaitPipelineIdle();
+      fleet.StopPipeline();
+      EXPECT_FALSE(fleet.pipeline_active());
+    } else {
+      while (fleet.Step() > 0) {
+      }
+    }
+    fleet.Drain();
+    EXPECT_EQ(fleet.frames_processed(hb), kLong);
+    EXPECT_EQ(fleet.frames_processed(hc), kLong);
+    EXPECT_EQ(fx.TapRefs(kTap), 0);
+    RunOut out;
+    out.a = ca.result();
+    out.b = cb.result();
+    out.c = cc.result();
+    out.frames = fleet.frames_processed();
+    return out;
+  };
+
+  const RunOut sync = run(/*pipelined=*/false);
+  const RunOut piped = run(/*pipelined=*/true);
+  // frames_processed() sums LIVE streams; A's kShort frames left with it.
+  EXPECT_EQ(sync.frames, 2 * kLong);
+  EXPECT_EQ(piped.frames, sync.frames);
+  ExpectSameResult(piped.a, sync.a);
+  ExpectSameResult(piped.b, sync.b);
+  ExpectSameResult(piped.c, sync.c);
+}
+
+TEST(EdgeFleetPipeline, PushDrivenStreamsFlowThroughThePipeline) {
+  // A push-driven stream (no FrameSource) fed while the pipeline runs:
+  // the prefetch stage drains the bounded queue, and the result matches
+  // the synchronous schedule bitwise.
+  const std::int64_t kFrames = 9;
+  const video::SyntheticDataset ds(CamSpec(128, kFrames, 91));
+
+  auto run = [&](bool pipelined) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.max_batch = 3;
+    cfg.queue_capacity = 4;
+    EdgeFleet fleet(fx, cfg);
+    const StreamHandle h = fleet.AddStream(
+        StreamConfig{.frame_width = ds.spec().width,
+                     .frame_height = ds.spec().height,
+                     .fps = ds.spec().fps});
+    ResultCollector rc;
+    McSpec spec{.mc = MakeMc(fx, ds.spec(), "windowed", 601)};
+    rc.Bind(spec);
+    fleet.Attach(h, std::move(spec));
+    if (pipelined) fleet.StartPipeline();
+    for (std::int64_t t = 0; t < kFrames; ++t) {
+      if (pipelined) {
+        // The pipeline drains the queue concurrently; wait for room
+        // instead of stepping.
+        WaitUntil([&] { return fleet.queued_frames(h) < 4; });
+        fleet.Push(h, ds.RenderFrame(t));
+      } else {
+        fleet.Push(h, ds.RenderFrame(t));
+        if (fleet.queued_frames(h) == 3) fleet.Step();
+      }
+    }
+    if (pipelined) {
+      fleet.WaitPipelineIdle();
+      fleet.StopPipeline();
+    } else {
+      while (fleet.Step() > 0) {
+      }
+    }
+    fleet.Drain();
+    EXPECT_EQ(fleet.frames_processed(h), kFrames);
+    return rc.result();
+  };
+
+  ExpectSameResult(run(/*pipelined=*/true), run(/*pipelined=*/false));
+}
+
+TEST(EdgeFleetPipeline, QuietBucketFlushesWhileSiblingBucketStaysBusy) {
+  // Bucket starvation regression: a partially filled bucket whose streams
+  // have gone quiet must flush MID-RUN, even while a sibling bucket's
+  // sources keep the prefetch stage busy — its staged decisions must not
+  // be withheld until StopPipeline.
+  const std::int64_t kBusyFrames = 36;
+  const video::SyntheticDataset busy0(CamSpec(128, kBusyFrames, 86));
+  const video::SyntheticDataset busy1(CamSpec(128, kBusyFrames, 87));
+  const video::SyntheticDataset quiet(CamSpec(160, 4, 88));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  auto cfg = FleetConfig();
+  cfg.enable_upload = false;
+  cfg.max_batch = 8;  // the quiet stream alone can never fill a batch
+  EdgeFleet fleet(fx, cfg);
+  video::DatasetSource b0(busy0), b1(busy1);
+  const StreamHandle hb0 = fleet.AddStream(b0);
+  const StreamHandle hb1 = fleet.AddStream(b1);
+  fleet.Attach(hb0, {.mc = MakeMc(fx, busy0.spec(), "localized", 811)});
+  fleet.Attach(hb1, {.mc = MakeMc(fx, busy1.spec(), "localized", 812)});
+  // The quiet camera is push-driven in the OTHER geometry bucket.
+  const StreamHandle hq = fleet.AddStream(
+      StreamConfig{.frame_width = quiet.spec().width,
+                   .frame_height = quiet.spec().height,
+                   .fps = quiet.spec().fps});
+  ResultCollector rq;
+  McSpec spec_q{.mc = MakeMc(fx, quiet.spec(), "localized", 813)};
+  rq.Bind(spec_q);
+  fleet.Attach(hq, std::move(spec_q));
+
+  fleet.StartPipeline();
+  fleet.Push(hq, quiet.RenderFrame(0));
+  // The single staged frame must come back while the busy wall still has
+  // work — under the starvation bug it only surfaced once every busy
+  // source was exhausted (or at StopPipeline).
+  WaitUntil([&] { return fleet.frames_processed(hq) == 1; });
+  EXPECT_LT(fleet.frames_processed(hb0) + fleet.frames_processed(hb1),
+            2 * kBusyFrames)
+      << "quiet bucket only flushed after the busy wall drained";
+  fleet.WaitPipelineIdle();
+  fleet.StopPipeline();
+  fleet.Drain();
+  EXPECT_EQ(fleet.frames_processed(hq), 1);
+  EXPECT_EQ(rq.result().decisions.size(), 1u);
+}
+
+TEST(EdgeFleetPipeline, StopRestartAndSynchronousTailStayBitwise) {
+  // Stop mid-run (clean drain: staged frames processed, queued frames
+  // kept), run a few synchronous Steps, restart the pipeline to the end.
+  // The spliced schedule must still match a pure synchronous run.
+  const std::int64_t kFrames = 16;
+  const video::SyntheticDataset ds0(CamSpec(128, kFrames, 95));
+  const video::SyntheticDataset ds1(CamSpec(128, kFrames, 96));
+
+  auto run = [&](bool spliced) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.enable_upload = false;
+    cfg.max_batch = 4;
+    EdgeFleet fleet(fx, cfg);
+    video::DatasetSource s0(ds0), s1(ds1);
+    const StreamHandle h0 = fleet.AddStream(s0);
+    const StreamHandle h1 = fleet.AddStream(s1);
+    ResultCollector c0, c1;
+    McSpec spec0{.mc = MakeMc(fx, ds0.spec(), "localized", 701)};
+    c0.Bind(spec0);
+    fleet.Attach(h0, std::move(spec0));
+    McSpec spec1{.mc = MakeMc(fx, ds1.spec(), "windowed", 702)};
+    c1.Bind(spec1);
+    fleet.Attach(h1, std::move(spec1));
+    if (spliced) {
+      fleet.StartPipeline();
+      WaitUntil([&] { return fleet.frames_processed() >= 8; });
+      fleet.StopPipeline();  // drains staged frames, keeps queued ones
+      fleet.Step();          // a synchronous interlude...
+      fleet.StartPipeline();  // ...then pipelined to the end
+      fleet.WaitPipelineIdle();
+      fleet.StopPipeline();
+      fleet.Drain();
+    } else {
+      fleet.Run();
+    }
+    EXPECT_EQ(fleet.frames_processed(h0), kFrames);
+    EXPECT_EQ(fleet.frames_processed(h1), kFrames);
+    return std::make_pair(c0.result(), c1.result());
+  };
+
+  const auto [p0, p1] = run(/*spliced=*/true);
+  const auto [s0r, s1r] = run(/*spliced=*/false);
+  ExpectSameResult(p0, s0r);
+  ExpectSameResult(p1, s1r);
+}
+
+// A FrameSource that advertises one geometry but yields another — the
+// pipelined analogue of edge_fleet_test's mid-gather validation: the
+// prefetch stage must fail loudly and the error must surface at
+// StopPipeline, not vanish on a background thread.
+class LyingSource : public video::FrameSource {
+ public:
+  explicit LyingSource(const video::DatasetSpec& claimed)
+      : claimed_(claimed) {}
+  std::optional<video::Frame> Next() override { return video::Frame(8, 8); }
+  void Reset() override {}
+  std::int64_t width() const override { return claimed_.width; }
+  std::int64_t height() const override { return claimed_.height; }
+  std::int64_t fps() const override { return claimed_.fps; }
+
+ private:
+  video::DatasetSpec claimed_;
+};
+
+TEST(EdgeFleetPipeline, PrefetchStageErrorSurfacesAtStop) {
+  const video::SyntheticDataset ds(CamSpec(128, 4, 97));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  auto cfg = FleetConfig();
+  cfg.enable_upload = false;
+  EdgeFleet fleet(fx, cfg);
+  LyingSource liar(ds.spec());
+  const StreamHandle h = fleet.AddStream(liar);
+  fleet.Attach(h, {.mc = MakeMc(fx, ds.spec(), "localized", 801)});
+  fleet.StartPipeline();
+  fleet.WaitPipelineIdle();  // returns when a stage fails, too
+  EXPECT_THROW(fleet.StopPipeline(), util::CheckError);
+  EXPECT_FALSE(fleet.pipeline_active());
+  // The fleet survives the failed pipeline: the liar can be removed and
+  // the synchronous schedule still runs.
+  fleet.RemoveStream(h);
+  EXPECT_EQ(fleet.Step(), 0);
+  fleet.Drain();
+}
+
+TEST(EdgeFleetPipeline, PipelineGuardsAndLifecycleChecks) {
+  const video::SyntheticDataset ds(CamSpec(128, 4, 98));
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  auto cfg = FleetConfig();
+  cfg.enable_upload = false;
+  EdgeFleet fleet(fx, cfg);
+  video::DatasetSource src(ds);
+  const StreamHandle h = fleet.AddStream(src);
+  fleet.Attach(h, {.mc = MakeMc(fx, ds.spec(), "localized", 802)});
+  EXPECT_THROW(fleet.StopPipeline(), util::CheckError);  // nothing running
+  fleet.StartPipeline();
+  EXPECT_TRUE(fleet.pipeline_active());
+  EXPECT_THROW(fleet.StartPipeline(), util::CheckError);  // already running
+  EXPECT_THROW(fleet.Step(), util::CheckError);   // synchronous schedule...
+  EXPECT_THROW(fleet.Drain(), util::CheckError);  // ...and drain are gated
+  fleet.WaitPipelineIdle();
+  fleet.StopPipeline();
+  fleet.Drain();
+  EXPECT_EQ(fleet.frames_processed(h), ds.n_frames());
+  EXPECT_THROW(fleet.StartPipeline(), util::CheckError);  // drained fleet
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -2,7 +2,8 @@
 // fleet are BITWISE-identical to running each stream through its own
 // dedicated EdgeNode — cross-stream batching is pure scheduling; (b)
 // AddStream/RemoveStream work mid-run with full tail draining; (c)
-// heterogeneous frame geometry is rejected loudly at AddStream time; plus
+// heterogeneous frame geometries land in separate batch buckets while
+// invalid/zero geometry and per-stream frame mismatches stay loud; plus
 // push-driven streams, bounded queues, round-robin batch formation, and tap
 // reference restoration under churn.
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/edge_fleet.hpp"
@@ -243,7 +245,7 @@ TEST(EdgeFleet, StreamAndTenantChurnMidRunDrainsTails) {
   EXPECT_EQ(fx.TapRefs(kTap), 0);
 }
 
-TEST(EdgeFleet, HeterogeneousGeometryRejectedLoudly) {
+TEST(EdgeFleet, GeometryBucketsAndInvalidGeometryRejectedLoudly) {
   const video::SyntheticDataset small(SmallSpec(4, 41));
   const video::SyntheticDataset big(
       video::JacksonSpec(/*width=*/160, /*n_frames=*/4, 42));
@@ -251,18 +253,51 @@ TEST(EdgeFleet, HeterogeneousGeometryRejectedLoudly) {
   EdgeFleet fleet(fx, FleetConfig());
   video::DatasetSource s0(small), s1(big);
   fleet.AddStream(s0);
-  // One fleet batches one frame geometry; a mismatched camera must fail at
-  // AddStream, not mid-batch.
-  EXPECT_THROW(fleet.AddStream(s1), util::CheckError);
-  // Push-only streams must state their geometry...
+  EXPECT_EQ(fleet.n_buckets(), 1u);
+  // A second geometry is no longer rejected — it becomes its own batch
+  // bucket (the old one-fleet-per-geometry restriction is lifted; the
+  // bitwise pinning lives in edge_fleet_pipeline_test).
+  fleet.AddStream(s1);
+  EXPECT_EQ(fleet.n_buckets(), 2u);
+  // ...and a third stream of an existing geometry joins its bucket.
+  video::DatasetSource s2(small);
+  fleet.AddStream(s2);
+  EXPECT_EQ(fleet.n_buckets(), 2u);
+  const auto stats = fleet.bucket_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].width, small.spec().width);
+  EXPECT_EQ(stats[0].streams, 2);
+  EXPECT_EQ(stats[1].width, big.spec().width);
+  EXPECT_EQ(stats[1].streams, 1);
+  // What stays a loud error: a stream with no usable geometry at all...
   EXPECT_THROW(fleet.AddStream(StreamConfig{}), util::CheckError);
-  // ...and a matching one is accepted, but rejects mismatched frames.
+  // ...and a frame that contradicts its own stream's declared geometry
+  // (the FF_CHECK names the stream and both sizes).
   const StreamHandle hp = fleet.AddStream(
       StreamConfig{.frame_width = small.spec().width,
                    .frame_height = small.spec().height,
                    .fps = small.spec().fps});
-  EXPECT_THROW(fleet.Push(hp, big.RenderFrame(0)), util::CheckError);
-  EXPECT_EQ(fleet.n_streams(), 2u);
+  try {
+    fleet.Push(hp, big.RenderFrame(0));
+    FAIL() << "mismatched frame must throw";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("stream " + std::to_string(hp)), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(small.spec().width)), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(big.spec().width)), std::string::npos)
+        << msg;
+  }
+  EXPECT_EQ(fleet.n_streams(), 4u);
+  // SubmitSpan processes immediately, so it refuses to overtake frames
+  // already staged on the stream's Push() queue (silent reordering of the
+  // decision sequence would be worse than the throw).
+  const video::Frame f0 = small.RenderFrame(0), f1 = small.RenderFrame(1);
+  fleet.Push(hp, f0);
+  EXPECT_THROW(fleet.SubmitSpan(hp, std::span<const video::Frame>(&f1, 1)),
+               util::CheckError);
+  EXPECT_EQ(fleet.queued_frames(hp), 1u);  // the queued frame is untouched
 }
 
 // A FrameSource that advertises one geometry but yields another — the kind

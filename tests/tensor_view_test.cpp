@@ -30,6 +30,24 @@ TEST(TensorView, WholeTensorViewIsContiguousAndAliases) {
   EXPECT_FLOAT_EQ(v.at(1, 2, 3, 4), 42.0f);
 }
 
+TEST(TensorView, PrefixViewsLeadingImagesZeroCopy) {
+  // Prefix is what lets a batch bucket hand a partially filled staging
+  // tensor to the base DNN without reallocating.
+  Tensor t = RandomTensor({5, 3, 4, 6}, 7);
+  TensorView v = TensorView(t).Prefix(3);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(v.shape().n, 3);
+  EXPECT_EQ(v.shape().c, 3);
+  EXPECT_EQ(v.data(), t.data());  // borrowed storage, no copy
+  for (std::int64_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(v.plane(n, 1), t.plane(n, 1));
+  }
+  // A full-width prefix is the whole view; out-of-range prefixes throw.
+  EXPECT_EQ(TensorView(t).Prefix(5).shape().n, 5);
+  EXPECT_THROW(TensorView(t).Prefix(0), util::CheckError);
+  EXPECT_THROW(TensorView(t).Prefix(6), util::CheckError);
+}
+
 TEST(TensorView, CropViewMatchesMaterializedCropBitwise) {
   Tensor t = RandomTensor({1, 6, 9, 13}, 2);
   const Rect r{2, 3, 7, 11};

@@ -27,6 +27,12 @@ struct UploadPacket {
   // DatacenterReceiver, whose decoder state is per-stream).
   std::int64_t stream = -1;
   std::int64_t frame_index = -1;
+  // Stream geometry, the "container header" a networked receiver needs to
+  // construct its decoder (DatacenterReceiver's ctor takes it out-of-band;
+  // net::DatacenterIngest reads it from here). Filled by the fleet; zero
+  // for hand-built in-process packets that never cross a wire.
+  std::int64_t frame_width = 0;
+  std::int64_t frame_height = 0;
   std::string chunk;       // codec bitstream for this frame
   FrameMetadata metadata;  // (MC -> event id) memberships
 };

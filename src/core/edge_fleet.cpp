@@ -329,6 +329,7 @@ void EdgeFleet::DeliverClosedEvent(Stream& s, Tenant& tenant,
   // Detector frames are tenant-local; report stream frame indices.
   EventRecord global = ev;
   global.stream = s.handle;
+  global.mc = tenant.mc->name();
   global.begin += tenant.first_frame;
   global.end += tenant.first_frame;
   tenant.on_event(global);
@@ -382,6 +383,8 @@ void EdgeFleet::FinalizeReadyFrames(Stream& s) {
         UploadPacket packet;
         packet.stream = s.handle;
         packet.frame_index = index;
+        packet.frame_width = s.width;
+        packet.frame_height = s.height;
         packet.chunk = std::move(chunk);
         packet.metadata.frame_index = index;
         packet.metadata.memberships = std::move(pf.memberships);

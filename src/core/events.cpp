@@ -12,7 +12,11 @@ std::optional<EventRecord> TransitionDetector::Push(bool positive) {
     state_.in_event = true;
   } else {
     if (open_begin_ >= 0) {
-      closed = EventRecord{state_.event_id, open_begin_, frame_};
+      EventRecord ev;
+      ev.id = state_.event_id;
+      ev.begin = open_begin_;
+      ev.end = frame_;
+      closed = std::move(ev);
       open_begin_ = -1;
     }
     state_.in_event = false;
@@ -23,7 +27,10 @@ std::optional<EventRecord> TransitionDetector::Push(bool positive) {
 
 std::optional<EventRecord> TransitionDetector::Finish() {
   if (open_begin_ < 0) return std::nullopt;
-  const EventRecord closed{state_.event_id, open_begin_, frame_};
+  EventRecord closed;
+  closed.id = state_.event_id;
+  closed.begin = open_begin_;
+  closed.end = frame_;
   open_begin_ = -1;
   state_.in_event = false;
   return closed;

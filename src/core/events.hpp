@@ -22,6 +22,11 @@ struct EventRecord {
   // EdgeNode sink; -1 inside a stream-agnostic TransitionDetector. Lets one
   // consumer route events from many cameras.
   std::int64_t stream = -1;
+  // Name of the MC whose detector closed this event, filled by the fleet's
+  // sink delivery (empty inside a stream-agnostic TransitionDetector).
+  // Event ids are per-MC, so a consumer aggregating several tenants — the
+  // datacenter ingest path in particular — needs this to tell them apart.
+  std::string mc;
   std::int64_t length() const { return end - begin; }
 };
 

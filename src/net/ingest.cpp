@@ -1,0 +1,174 @@
+#include "net/ingest.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ff::net {
+
+void DatacenterIngest::AddFleet(std::uint64_t fleet, Link& link) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(fleets_.find(fleet) == fleets_.end(),
+               "fleet " << fleet << " already registered");
+  fleets_[fleet].link = &link;
+}
+
+std::size_t DatacenterIngest::Pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (auto& [fleet, fs] : fleets_) {
+    while (auto datagram = fs.link->Poll()) {
+      ++n;
+      ++stats_.datagrams;
+      stats_.wire_bytes += datagram->size();
+      HandleDatagram(fleet, fs, *datagram);
+    }
+  }
+  return n;
+}
+
+void DatacenterIngest::HandleDatagram(std::uint64_t fleet, FleetState& fs,
+                                      const std::string& datagram) {
+  DecodedFrame frame;
+  const DecodeResult res = DecodeFrame(datagram, &frame);
+  if (!res.ok()) {
+    // Truncated or corrupt: the payload is unrecoverable and unattributable
+    // (the checksum is what tells us the ids are trustworthy), so the only
+    // safe move is to drop it and let the sender's retransmission recover.
+    ++stats_.corrupt_datagrams;
+    return;
+  }
+  if (frame.type != FrameType::kData) return;  // acks never arrive here
+  if (frame.data.fleet != fleet) {
+    ++stats_.unroutable;
+    return;
+  }
+  ++stats_.data_frames;
+  // Ack first, unconditionally — duplicates included. The peer retransmits
+  // exactly until an ack survives the return path, so re-acking duplicates
+  // is what terminates the loop when the ORIGINAL ack was the casualty.
+  fs.link->Send(EncodeFrame(AckFrame{fleet, frame.data.wire_seq}));
+  ++stats_.acks_sent;
+  FileFragment(fs, std::move(frame.data));
+}
+
+void DatacenterIngest::FileFragment(FleetState& fs, DataFrame frame) {
+  StreamState& ss = fs.streams[frame.stream];
+  if (frame.record_seq < ss.next_record_seq) {
+    ++stats_.duplicate_frames;  // record already delivered
+    return;
+  }
+  PartialRecord& pr = ss.partials[frame.record_seq];
+  if (pr.frag_count == 0) {
+    pr.frag_count = frame.frag_count;
+    pr.frags.resize(frame.frag_count);
+    pr.present.assign(frame.frag_count, false);
+  } else if (pr.frag_count != frame.frag_count) {
+    // Same record, contradictory geometry: one of the two frames lied
+    // despite its checksum. Keep the first story; drop the contradiction.
+    ++stats_.corrupt_datagrams;
+    return;
+  }
+  if (frame.frag_index >= pr.frag_count ||
+      pr.present[frame.frag_index]) {
+    ++stats_.duplicate_frames;
+    return;
+  }
+  pr.present[frame.frag_index] = true;
+  pr.frags[frame.frag_index] = std::move(frame.payload);
+  ++pr.received;
+  if (pr.received == pr.frag_count &&
+      frame.record_seq == ss.next_record_seq) {
+    DeliverReady(fs, ss);
+  }
+}
+
+void DatacenterIngest::DeliverReady(FleetState& fs, StreamState& ss) {
+  // Deliver the contiguous run of complete records at the cursor; a
+  // completion out of order waits here until the gap before it fills.
+  for (auto it = ss.partials.find(ss.next_record_seq);
+       it != ss.partials.end() && it->second.received == it->second.frag_count;
+       it = ss.partials.find(ss.next_record_seq)) {
+    std::string record;
+    record.reserve(std::accumulate(
+        it->second.frags.begin(), it->second.frags.end(), std::size_t{0},
+        [](std::size_t acc, const std::string& f) { return acc + f.size(); }));
+    for (const std::string& f : it->second.frags) record += f;
+    ss.partials.erase(it);
+    ++ss.next_record_seq;
+    ++stats_.records_completed;
+    DeliverRecord(fs, ss, record);
+  }
+}
+
+void DatacenterIngest::DeliverRecord(FleetState& fs, StreamState& ss,
+                                     const std::string& record) {
+  DecodedRecord rec;
+  const DecodeResult res = DecodeRecord(record, &rec);
+  if (!res.ok()) {
+    // Possible only via a checksum collision or a buggy sender; count it
+    // loudly and keep the stream moving (the cursor already advanced).
+    ++stats_.bad_records;
+    return;
+  }
+  if (rec.type == RecordType::kEvent) {
+    fs.events.push_back(std::move(rec.event));
+    ++stats_.events_delivered;
+    return;
+  }
+  core::UploadPacket& p = rec.upload;
+  if (ss.receiver == nullptr) {
+    if (p.frame_width <= 0 || p.frame_height <= 0) {
+      ++stats_.bad_records;
+      return;
+    }
+    ss.width = p.frame_width;
+    ss.height = p.frame_height;
+    ss.receiver = std::make_unique<core::DatacenterReceiver>(p.frame_width,
+                                                             p.frame_height);
+  } else if (p.frame_width != ss.width || p.frame_height != ss.height) {
+    // A stream cannot change geometry mid-flight; refuse the packet rather
+    // than corrupt the receiver's decoder state.
+    ++stats_.bad_records;
+    return;
+  }
+  ss.receiver->Receive(p);
+  ++stats_.uploads_delivered;
+}
+
+const core::DatacenterReceiver* DatacenterIngest::receiver(
+    std::uint64_t fleet, std::int64_t stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fit = fleets_.find(fleet);
+  if (fit == fleets_.end()) return nullptr;
+  const auto sit = fit->second.streams.find(stream);
+  if (sit == fit->second.streams.end()) return nullptr;
+  return sit->second.receiver.get();
+}
+
+std::vector<std::int64_t> DatacenterIngest::streams(
+    std::uint64_t fleet) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::int64_t> out;
+  const auto fit = fleets_.find(fleet);
+  if (fit == fleets_.end()) return out;
+  for (const auto& [stream, ss] : fit->second.streams) {
+    if (ss.next_record_seq > 0) out.push_back(stream);
+  }
+  return out;
+}
+
+std::vector<core::EventRecord> DatacenterIngest::events(
+    std::uint64_t fleet) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fit = fleets_.find(fleet);
+  if (fit == fleets_.end()) return {};
+  return fit->second.events;
+}
+
+IngestStats DatacenterIngest::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ff::net

@@ -1,0 +1,102 @@
+#include "net/link.hpp"
+
+#include "util/check.hpp"
+
+namespace ff::net {
+
+std::pair<std::unique_ptr<LocalLink>, std::unique_ptr<LocalLink>>
+LocalLink::MakePair() {
+  auto shared = std::make_shared<Shared>();
+  std::unique_ptr<LocalLink> a(new LocalLink(shared, /*is_a=*/true));
+  std::unique_ptr<LocalLink> b(new LocalLink(std::move(shared),
+                                             /*is_a=*/false));
+  return {std::move(a), std::move(b)};
+}
+
+void LocalLink::Send(std::string datagram) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  (is_a_ ? shared_->to_b : shared_->to_a).push_back(std::move(datagram));
+}
+
+std::optional<std::string> LocalLink::Poll() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  auto& inbox = is_a_ ? shared_->to_a : shared_->to_b;
+  if (inbox.empty()) return std::nullopt;
+  std::string out = std::move(inbox.front());
+  inbox.pop_front();
+  return out;
+}
+
+std::size_t LocalLink::pending_to_peer() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return (is_a_ ? shared_->to_b : shared_->to_a).size();
+}
+
+FaultyLink::FaultyLink(Link& inner, const FaultConfig& cfg)
+    : inner_(inner), cfg_(cfg), rng_(cfg.seed) {
+  const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+  FF_CHECK_MSG(prob(cfg.drop) && prob(cfg.duplicate) && prob(cfg.corrupt) &&
+                   prob(cfg.reorder),
+               "fault probabilities must be in [0, 1]");
+}
+
+void FaultyLink::Admit(std::string datagram) {
+  if (cfg_.reorder > 0.0 && !held_.empty() && rng_.Bernoulli(cfg_.reorder)) {
+    // Jump the queue: land at a random position among the held datagrams.
+    ++stats_.reordered;
+    const auto pos = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(held_.size()) - 1));
+    held_.insert(held_.begin() + static_cast<std::ptrdiff_t>(pos),
+                 std::move(datagram));
+  } else {
+    held_.push_back(std::move(datagram));
+  }
+  while (held_.size() > cfg_.delay_window) {
+    inner_.Send(std::move(held_.front()));
+    held_.pop_front();
+  }
+}
+
+void FaultyLink::Send(std::string datagram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sent;
+  if (rng_.Bernoulli(cfg_.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate = rng_.Bernoulli(cfg_.duplicate);
+  if (duplicate) ++stats_.duplicated;
+  for (int copy = 0; copy < (duplicate ? 2 : 1); ++copy) {
+    std::string d = datagram;
+    if (rng_.Bernoulli(cfg_.corrupt) && !d.empty()) {
+      ++stats_.corrupted;
+      const std::int64_t flips = rng_.UniformInt(1, 4);
+      for (std::int64_t i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng_.UniformInt(0, static_cast<std::int64_t>(d.size()) - 1));
+        // XOR with a nonzero byte so the flip always changes the datagram.
+        d[pos] = static_cast<char>(
+            static_cast<std::uint8_t>(d[pos]) ^
+            static_cast<std::uint8_t>(rng_.UniformInt(1, 255)));
+      }
+    }
+    Admit(std::move(d));
+  }
+}
+
+std::optional<std::string> FaultyLink::Poll() { return inner_.Poll(); }
+
+void FaultyLink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!held_.empty()) {
+    inner_.Send(std::move(held_.front()));
+    held_.pop_front();
+  }
+}
+
+FaultyLink::Stats FaultyLink::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ff::net

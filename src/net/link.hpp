@@ -1,0 +1,119 @@
+// The transport seam of the uplink plane (layer 2 of 3).
+//
+// A Link is one END of a bidirectional, UNRELIABLE, datagram-oriented
+// channel: Send() launches one datagram toward the peer (fire and forget —
+// it may be dropped, duplicated, reordered, delayed, or corrupted in
+// flight), Poll() retrieves the next datagram the peer's sends produced, or
+// nullopt when none is pending. One datagram carries exactly one wire
+// frame. Reliability and ordering are the job of the layer above
+// (UplinkClient ack/retransmit + DatacenterIngest reassembly), never of the
+// link — which is exactly what makes the plane testable: swap the transport
+// without touching the protocol.
+//
+// Two in-process implementations ship:
+//   * LocalLink::MakePair() — a perfect duplex channel over two queues;
+//   * FaultyLink — a decorator injecting seeded, deterministic faults into
+//     the SEND direction of an inner end (wrap both ends to break both
+//     directions). This is the backbone of the net test layer: the whole
+//     lossy-WAN matrix runs without sockets, bitwise-reproducibly.
+//
+// All implementations are thread-safe: the uplink's pump thread sends while
+// the ingest side polls.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace ff::net {
+
+class Link {
+ public:
+  virtual ~Link() = default;
+  // Launches one datagram toward the peer. Best-effort; never blocks.
+  virtual void Send(std::string datagram) = 0;
+  // Next datagram from the peer, or nullopt when none is pending.
+  virtual std::optional<std::string> Poll() = 0;
+};
+
+// Perfect in-process duplex channel. MakePair() returns the two connected
+// ends; each end's Send feeds the other end's Poll in FIFO order, lossless.
+class LocalLink : public Link {
+ public:
+  static std::pair<std::unique_ptr<LocalLink>, std::unique_ptr<LocalLink>>
+  MakePair();
+
+  void Send(std::string datagram) override;
+  std::optional<std::string> Poll() override;
+
+  // Datagrams sent from this end and not yet polled by the peer.
+  std::size_t pending_to_peer() const;
+
+ private:
+  struct Shared {
+    std::mutex mu;
+    std::deque<std::string> to_a, to_b;
+  };
+  LocalLink(std::shared_ptr<Shared> shared, bool is_a)
+      : shared_(std::move(shared)), is_a_(is_a) {}
+
+  std::shared_ptr<Shared> shared_;
+  bool is_a_;
+};
+
+// Seeded fault model. Probabilities are independent per datagram; a
+// datagram can be duplicated AND corrupted AND reordered in one pass.
+struct FaultConfig {
+  double drop = 0.0;       // P(datagram vanishes)
+  double duplicate = 0.0;  // P(a second copy is injected)
+  double corrupt = 0.0;    // P(1-4 random bytes are flipped)
+  double reorder = 0.0;    // P(a surviving copy jumps the holding queue)
+  // Surviving datagrams pass through a holding queue of this depth before
+  // reaching the inner link — the delay/reorder window. 0 forwards
+  // immediately (drop/duplicate/corrupt still apply). Held datagrams are
+  // released as later sends displace them (the retransmit loop keeps the
+  // queue moving) or by Flush().
+  std::size_t delay_window = 0;
+  std::uint64_t seed = 1;
+};
+
+// Decorator: injects faults into the Send direction of `inner`; Poll passes
+// through untouched. `inner` must outlive the decorator.
+class FaultyLink : public Link {
+ public:
+  FaultyLink(Link& inner, const FaultConfig& cfg);
+
+  void Send(std::string datagram) override;
+  std::optional<std::string> Poll() override;
+
+  // Releases every held datagram to the inner link (end-of-run drain).
+  void Flush();
+
+  struct Stats {
+    std::int64_t sent = 0;        // datagrams offered to this end
+    std::int64_t dropped = 0;
+    std::int64_t duplicated = 0;
+    std::int64_t corrupted = 0;
+    std::int64_t reordered = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // Caller holds mu_.
+  void Admit(std::string datagram);
+
+  mutable std::mutex mu_;
+  Link& inner_;
+  FaultConfig cfg_;
+  util::Pcg32 rng_;
+  std::deque<std::string> held_;
+  Stats stats_;
+};
+
+}  // namespace ff::net

@@ -1,0 +1,197 @@
+#include "net/uplink.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace ff::net {
+
+UplinkClient::UplinkClient(Link& link, const UplinkConfig& cfg)
+    : link_(link), cfg_(cfg) {
+  FF_CHECK_GT(cfg.queue_capacity, 0u);
+  FF_CHECK_GT(cfg.window, 0u);
+  FF_CHECK_GT(cfg.max_payload, 0u);
+  FF_CHECK_GT(cfg.rto_ms, 0);
+  FF_CHECK_GE(cfg.backoff, 1.0);
+  FF_CHECK_GE(cfg.max_rto_ms, cfg.rto_ms);
+}
+
+UplinkClient::~UplinkClient() { Stop(); }
+
+std::int64_t UplinkClient::NowMs() const {
+  if (cfg_.clock_ms) return cfg_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void UplinkClient::EnqueueRecord(std::int64_t stream, std::string bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.record_bytes += bytes.size();
+  if (queue_.size() >= cfg_.queue_capacity) {
+    if (cfg_.drop_oldest) {
+      queue_.pop_front();
+      ++stats_.records_dropped;
+    } else {
+      // Backpressure: the caller (typically the fleet's upload path, lock
+      // held) stalls until the pump frees a slot.
+      space_cv_.wait(lock, [&] {
+        return queue_.size() < cfg_.queue_capacity || stopping_;
+      });
+      FF_CHECK_MSG(!stopping_, "uplink stopped while Enqueue was blocked");
+    }
+  }
+  queue_.push_back(QueuedRecord{stream, std::move(bytes)});
+}
+
+void UplinkClient::Enqueue(const core::UploadPacket& packet) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.uploads_enqueued;
+  }
+  EnqueueRecord(packet.stream, EncodeUploadRecord(packet));
+}
+
+void UplinkClient::EnqueueEvent(const core::EventRecord& ev) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.events_enqueued;
+  }
+  EnqueueRecord(ev.stream, EncodeEventRecord(ev));
+}
+
+core::UploadSink UplinkClient::sink() {
+  return [this](const core::UploadPacket& p) { Enqueue(p); };
+}
+
+core::EventSink UplinkClient::event_sink() {
+  return [this](const core::EventRecord& ev) { EnqueueEvent(ev); };
+}
+
+void UplinkClient::Pump() { Pump(NowMs()); }
+
+void UplinkClient::Pump(std::int64_t now_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PumpLocked(now_ms, lock);
+}
+
+void UplinkClient::PumpLocked(std::int64_t now_ms,
+                              std::unique_lock<std::mutex>& lock) {
+  // 1. Drain the ack inbox. Anything that does not decode to an ack for
+  // this fleet is noise on an unreliable channel: drop it.
+  while (auto datagram = link_.Poll()) {
+    DecodedFrame frame;
+    const DecodeResult res = DecodeFrame(*datagram, &frame);
+    if (!res.ok() || frame.type != FrameType::kAck) continue;
+    if (frame.ack.fleet != cfg_.fleet) continue;
+    if (in_flight_.erase(frame.ack.wire_seq) > 0) ++stats_.frames_acked;
+  }
+
+  // 2. Retransmit everything past its deadline, oldest wire_seq first,
+  // backing off exponentially per frame.
+  for (auto& [seq, fl] : in_flight_) {
+    if (fl.due_ms > now_ms) continue;
+    link_.Send(fl.encoded);
+    ++stats_.retransmits;
+    stats_.wire_bytes += fl.encoded.size();
+    fl.rto_ms = std::min(
+        static_cast<std::int64_t>(static_cast<double>(fl.rto_ms) *
+                                  cfg_.backoff),
+        cfg_.max_rto_ms);
+    fl.due_ms = now_ms + fl.rto_ms;
+  }
+
+  // 3. Launch queued records while the window has room. record_seq is
+  // assigned here — at dequeue — so records dropped by the overflow policy
+  // never occupy a seq and the ingest side sees no delivery gap.
+  while (in_flight_.size() < cfg_.window) {
+    if (backlog_.empty()) {
+      if (queue_.empty()) break;
+      QueuedRecord rec = std::move(queue_.front());
+      queue_.pop_front();
+      space_cv_.notify_one();
+      const std::uint64_t record_seq = next_record_seq_[rec.stream]++;
+      auto frames = FragmentRecord(cfg_.fleet, rec.stream, record_seq,
+                                   rec.bytes, cfg_.max_payload);
+      backlog_.assign(std::make_move_iterator(frames.begin()),
+                      std::make_move_iterator(frames.end()));
+      ++stats_.records_sent;
+    }
+    DataFrame frame = std::move(backlog_.front());
+    backlog_.pop_front();
+    frame.wire_seq = next_wire_seq_++;
+    std::string encoded = EncodeFrame(frame);
+    link_.Send(encoded);
+    ++stats_.frames_sent;
+    stats_.wire_bytes += encoded.size();
+    in_flight_.emplace(frame.wire_seq,
+                       InFlight{std::move(encoded), now_ms + cfg_.rto_ms,
+                                cfg_.rto_ms});
+  }
+
+  if (queue_.empty() && backlog_.empty() && in_flight_.empty()) {
+    idle_cv_.notify_all();
+  }
+  (void)lock;
+}
+
+void UplinkClient::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    PumpLocked(NowMs(), lock);
+    idle_cv_.wait_for(
+        lock, std::chrono::milliseconds(cfg_.pump_interval_ms),
+        [&] { return stopping_; });
+  }
+}
+
+void UplinkClient::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(!thread_running_, "uplink pump thread already running");
+  stopping_ = false;
+  thread_running_ = true;
+  pump_thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void UplinkClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_running_) return;
+    stopping_ = true;
+    space_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  pump_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+}
+
+bool UplinkClient::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_running_;
+}
+
+bool UplinkClient::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && backlog_.empty() && in_flight_.empty();
+}
+
+bool UplinkClient::WaitIdle(std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return (queue_.empty() && backlog_.empty() && in_flight_.empty()) ||
+           stopping_;
+  });
+  return queue_.empty() && backlog_.empty() && in_flight_.empty();
+}
+
+UplinkStats UplinkClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UplinkStats s = stats_;
+  s.queued = queue_.size();
+  s.in_flight = in_flight_.size();
+  return s;
+}
+
+}  // namespace ff::net

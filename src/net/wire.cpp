@@ -1,0 +1,345 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ff::net {
+namespace {
+
+// --- CRC-32 -----------------------------------------------------------------
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// --- Bounds-checked little-endian serialization -----------------------------
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(std::uint16_t v) { Le(v, 2); }
+  void U32(std::uint32_t v) { Le(v, 4); }
+  void U64(std::uint64_t v) { Le(v, 8); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  // u32 length prefix + raw bytes.
+  void Bytes(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::string out_;
+};
+
+// Every accessor checks the remaining length BEFORE touching or allocating
+// anything, so corrupt input can neither over-read nor drive a giant
+// allocation; the first failure latches an error message.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t U8(const char* what) { return static_cast<std::uint8_t>(Le(1, what)); }
+  std::uint32_t U32(const char* what) { return static_cast<std::uint32_t>(Le(4, what)); }
+  std::uint64_t U64(const char* what) { return Le(8, what); }
+  std::int64_t I64(const char* what) {
+    return static_cast<std::int64_t>(Le(8, what));
+  }
+
+  std::string Bytes(const char* what, std::size_t max_len) {
+    const std::uint32_t len = U32(what);
+    if (failed_) return {};
+    if (len > max_len) {
+      Fail(std::string(what) + " length " + std::to_string(len) +
+           " exceeds cap " + std::to_string(max_len));
+      return {};
+    }
+    if (len > remaining()) {
+      Fail(std::string(what) + " length " + std::to_string(len) +
+           " overruns the " + std::to_string(remaining()) +
+           " bytes remaining");
+      return {};
+    }
+    std::string out(buf_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  // The whole record/body must be consumed: trailing garbage is corrupt.
+  bool ExpectEnd(const char* what) {
+    if (failed_) return false;
+    if (remaining() != 0) {
+      Fail(std::string(what) + " has " + std::to_string(remaining()) +
+           " trailing bytes");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t Le(std::size_t n, const char* what) {
+    if (failed_) return 0;
+    if (remaining() < n) {
+      Fail(std::string("truncated ") + what + ": need " + std::to_string(n) +
+           " bytes, have " + std::to_string(remaining()));
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  void Fail(std::string msg) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(msg);
+    }
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+DecodeResult Corrupt(std::string error) {
+  return {DecodeStatus::kCorrupt, 0, std::move(error)};
+}
+
+DecodeResult NeedMore() { return {DecodeStatus::kNeedMore, 0, {}}; }
+
+std::string FrameAround(FrameType type, std::string body) {
+  FF_CHECK_LE(body.size(), kMaxBody);
+  Writer w;
+  w.U32(kMagic);
+  w.U8(kVersion);
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U16(0);  // reserved
+  w.U32(static_cast<std::uint32_t>(body.size()));
+  w.U32(Crc32(body));
+  std::string out = w.Take();
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(const DataFrame& f) {
+  FF_CHECK_MSG(f.frag_count >= 1 && f.frag_index < f.frag_count,
+               "fragment " << f.frag_index << "/" << f.frag_count);
+  FF_CHECK_LE(f.frag_count, kMaxFragCount);
+  Writer w;
+  w.U64(f.fleet);
+  w.I64(f.stream);
+  w.U64(f.wire_seq);
+  w.U64(f.record_seq);
+  w.U32(f.frag_index);
+  w.U32(f.frag_count);
+  w.Bytes(f.payload);
+  return FrameAround(FrameType::kData, w.Take());
+}
+
+std::string EncodeFrame(const AckFrame& f) {
+  Writer w;
+  w.U64(f.fleet);
+  w.U64(f.wire_seq);
+  return FrameAround(FrameType::kAck, w.Take());
+}
+
+DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out) {
+  FF_CHECK(out != nullptr);
+  if (buf.size() < kHeaderBytes) return NeedMore();
+  Reader h(buf.substr(0, kHeaderBytes));
+  const std::uint32_t magic = h.U32("magic");
+  const std::uint8_t version = h.U8("version");
+  const std::uint8_t type = h.U8("type");
+  const std::uint8_t r0 = h.U8("reserved");
+  const std::uint8_t r1 = h.U8("reserved");
+  const std::uint32_t body_len = h.U32("body length");
+  const std::uint32_t crc = h.U32("crc");
+  if (magic != kMagic) return Corrupt("bad magic");
+  if (version != kVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+  if (type != static_cast<std::uint8_t>(FrameType::kData) &&
+      type != static_cast<std::uint8_t>(FrameType::kAck)) {
+    return Corrupt("unknown frame type " + std::to_string(type));
+  }
+  if (r0 != 0 || r1 != 0) return Corrupt("reserved bits set");
+  if (body_len > kMaxBody) {
+    return Corrupt("body length " + std::to_string(body_len) +
+                   " exceeds cap " + std::to_string(kMaxBody));
+  }
+  if (buf.size() < kHeaderBytes + body_len) return NeedMore();
+  const std::string_view body = buf.substr(kHeaderBytes, body_len);
+  if (Crc32(body) != crc) return Corrupt("checksum mismatch");
+
+  Reader b(body);
+  if (type == static_cast<std::uint8_t>(FrameType::kData)) {
+    out->type = FrameType::kData;
+    DataFrame& d = out->data;
+    d.fleet = b.U64("fleet");
+    d.stream = b.I64("stream");
+    d.wire_seq = b.U64("wire_seq");
+    d.record_seq = b.U64("record_seq");
+    d.frag_index = b.U32("frag_index");
+    d.frag_count = b.U32("frag_count");
+    d.payload = b.Bytes("payload", kMaxBody);
+    if (!b.failed()) {
+      if (d.frag_count < 1 || d.frag_count > kMaxFragCount) {
+        return Corrupt("frag_count " + std::to_string(d.frag_count) +
+                       " out of range");
+      }
+      if (d.frag_index >= d.frag_count) {
+        return Corrupt("frag_index " + std::to_string(d.frag_index) +
+                       " >= frag_count " + std::to_string(d.frag_count));
+      }
+    }
+  } else {
+    out->type = FrameType::kAck;
+    out->ack.fleet = b.U64("fleet");
+    out->ack.wire_seq = b.U64("wire_seq");
+  }
+  if (b.failed()) return Corrupt("data body: " + b.error());
+  if (!b.ExpectEnd("frame body")) return Corrupt(b.error());
+  return {DecodeStatus::kOk, kHeaderBytes + body_len, {}};
+}
+
+std::string EncodeUploadRecord(const core::UploadPacket& p) {
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(RecordType::kUpload));
+  w.I64(p.stream);
+  w.I64(p.frame_index);
+  w.I64(p.frame_width);
+  w.I64(p.frame_height);
+  FF_CHECK_LE(p.metadata.memberships.size(), kMaxMemberships);
+  w.U32(static_cast<std::uint32_t>(p.metadata.memberships.size()));
+  for (const auto& [mc_name, event_id] : p.metadata.memberships) {
+    w.Bytes(mc_name);
+    w.I64(event_id);
+  }
+  w.Bytes(p.chunk);
+  return w.Take();
+}
+
+std::string EncodeEventRecord(const core::EventRecord& ev) {
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(RecordType::kEvent));
+  w.Bytes(ev.mc);
+  w.I64(ev.id);
+  w.I64(ev.begin);
+  w.I64(ev.end);
+  w.I64(ev.stream);
+  return w.Take();
+}
+
+DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out) {
+  FF_CHECK(out != nullptr);
+  Reader r(bytes);
+  const std::uint8_t type = r.U8("record type");
+  if (r.failed()) return Corrupt("record: " + r.error());
+  if (type == static_cast<std::uint8_t>(RecordType::kUpload)) {
+    out->type = RecordType::kUpload;
+    core::UploadPacket& p = out->upload;
+    p = {};
+    p.stream = r.I64("stream");
+    p.frame_index = r.I64("frame_index");
+    p.frame_width = r.I64("frame_width");
+    p.frame_height = r.I64("frame_height");
+    const std::uint32_t n = r.U32("membership count");
+    if (r.failed()) return Corrupt("upload record: " + r.error());
+    if (n > kMaxMemberships) {
+      return Corrupt("membership count " + std::to_string(n) +
+                     " exceeds cap");
+    }
+    // Each membership needs >= 12 bytes; checked implicitly per field, so a
+    // lying count fails on the first short read instead of reserving.
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      std::string name = r.Bytes("mc name", kMaxNameBytes);
+      const std::int64_t event_id = r.I64("event id");
+      if (!r.failed()) p.metadata.memberships.emplace_back(std::move(name), event_id);
+    }
+    p.chunk = r.Bytes("chunk", kMaxBody);
+    p.metadata.frame_index = p.frame_index;
+    if (r.failed()) return Corrupt("upload record: " + r.error());
+    if (!r.ExpectEnd("upload record")) return Corrupt(r.error());
+  } else if (type == static_cast<std::uint8_t>(RecordType::kEvent)) {
+    out->type = RecordType::kEvent;
+    core::EventRecord& ev = out->event;
+    ev = {};
+    ev.mc = r.Bytes("mc name", kMaxNameBytes);
+    ev.id = r.I64("event id");
+    ev.begin = r.I64("begin");
+    ev.end = r.I64("end");
+    ev.stream = r.I64("stream");
+    if (r.failed()) return Corrupt("event record: " + r.error());
+    if (!r.ExpectEnd("event record")) return Corrupt(r.error());
+  } else {
+    return Corrupt("unknown record type " + std::to_string(type));
+  }
+  return {DecodeStatus::kOk, bytes.size(), {}};
+}
+
+std::vector<DataFrame> FragmentRecord(std::uint64_t fleet,
+                                      std::int64_t stream,
+                                      std::uint64_t record_seq,
+                                      std::string_view record,
+                                      std::size_t max_payload) {
+  FF_CHECK_GT(max_payload, 0u);
+  const std::size_t n_frags =
+      record.empty() ? 1 : (record.size() + max_payload - 1) / max_payload;
+  FF_CHECK_MSG(n_frags <= kMaxFragCount,
+               "record of " << record.size() << " bytes needs " << n_frags
+                            << " fragments at payload budget " << max_payload
+                            << " (cap " << kMaxFragCount << ")");
+  std::vector<DataFrame> frames;
+  frames.reserve(n_frags);
+  for (std::size_t i = 0; i < n_frags; ++i) {
+    DataFrame f;
+    f.fleet = fleet;
+    f.stream = stream;
+    f.record_seq = record_seq;
+    f.frag_index = static_cast<std::uint32_t>(i);
+    f.frag_count = static_cast<std::uint32_t>(n_frags);
+    const std::size_t begin = i * max_payload;
+    f.payload = std::string(
+        record.substr(begin, std::min(max_payload, record.size() - begin)));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+}  // namespace ff::net

@@ -1,0 +1,125 @@
+// The FilterForward wire format (uplink plane, layer 1 of 3 — see
+// docs/ARCHITECTURE.md, "The uplink plane").
+//
+// Everything that crosses the WAN is a length-prefixed, checksummed FRAME:
+//
+//   [0..3]   magic "FFN1"
+//   [4]      version (kVersion)
+//   [5]      frame type (FrameType)
+//   [6..7]   reserved, must be zero
+//   [8..11]  body length (little-endian u32, <= kMaxBody)
+//   [12..15] CRC-32 of the body
+//   [16..]   body
+//
+// DATA frames carry one fragment of a RECORD — the logical unit the edge
+// ships: a serialized core::UploadPacket (matched frame chunk + event
+// metadata) or a serialized core::EventRecord. Records larger than the
+// link's payload budget are chunked into frag_count fragments sharing one
+// (stream, record_seq); the ingest side reassembles. ACK frames flow the
+// other way and name the wire_seq they confirm.
+//
+// Decoding is strict and bounds-checked: truncated input reports kNeedMore,
+// anything else that does not parse — bad magic, bad version, reserved bits
+// set, oversized length, checksum mismatch, short body fields — reports
+// kCorrupt with a loud human-readable reason. Decoders never throw on wire
+// bytes and never read past the input (net_wire_test fuzzes this under
+// ASan/UBSan in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "core/events.hpp"
+
+namespace ff::net {
+
+// CRC-32 (IEEE, reflected polynomial 0xEDB88320) of `data`.
+std::uint32_t Crc32(std::string_view data);
+
+inline constexpr std::uint32_t kMagic = 0x314E4646u;  // "FFN1" on the wire
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+// Sanity cap on one frame's body: anything claiming more is corrupt by
+// definition, so a flipped length byte cannot drive a giant allocation.
+inline constexpr std::size_t kMaxBody = 1u << 24;
+// Sanity caps inside record/body field decoding (same motivation).
+inline constexpr std::size_t kMaxNameBytes = 1u << 12;
+inline constexpr std::uint32_t kMaxMemberships = 1u << 16;
+inline constexpr std::uint32_t kMaxFragCount = 1u << 12;
+
+enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
+
+// One fragment of a record in flight. wire_seq is per-uplink and exists for
+// ack/retransmit/dedup; record_seq is per-stream and orders records for
+// delivery (both assigned by the UplinkClient).
+struct DataFrame {
+  std::uint64_t fleet = 0;       // routing: which edge fleet
+  std::int64_t stream = -1;      // routing: which camera stream of the fleet
+  std::uint64_t wire_seq = 0;    // per-uplink transmission id (acked)
+  std::uint64_t record_seq = 0;  // per-stream record order (reassembly)
+  std::uint32_t frag_index = 0;  // position within the record
+  std::uint32_t frag_count = 1;  // total fragments of the record
+  std::string payload;           // record bytes [frag_index*budget, ...)
+};
+
+struct AckFrame {
+  std::uint64_t fleet = 0;
+  std::uint64_t wire_seq = 0;
+};
+
+std::string EncodeFrame(const DataFrame& f);
+std::string EncodeFrame(const AckFrame& f);
+
+enum class DecodeStatus { kOk, kNeedMore, kCorrupt };
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kCorrupt;
+  // kOk: bytes of the decoded frame (header + body). Otherwise 0.
+  std::size_t consumed = 0;
+  std::string error;  // loud reason when kCorrupt
+  bool ok() const { return status == DecodeStatus::kOk; }
+};
+
+struct DecodedFrame {
+  FrameType type = FrameType::kData;
+  DataFrame data;  // valid when type == kData
+  AckFrame ack;    // valid when type == kAck
+};
+
+// Decodes one frame from the head of `buf` (datagram links deliver exactly
+// one frame per datagram; stream links call this repeatedly and skip
+// `consumed` bytes). Never throws, never reads past `buf`.
+DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out);
+
+// --- Records: the logical payload DATA frames fragment ---------------------
+
+enum class RecordType : std::uint8_t { kUpload = 1, kEvent = 2 };
+
+std::string EncodeUploadRecord(const core::UploadPacket& p);
+std::string EncodeEventRecord(const core::EventRecord& ev);
+
+struct DecodedRecord {
+  RecordType type = RecordType::kUpload;
+  core::UploadPacket upload;  // valid when type == kUpload
+  core::EventRecord event;    // valid when type == kEvent
+};
+
+// Decodes one reassembled record. Same strictness contract as DecodeFrame
+// (kNeedMore is never reported: a record is complete by construction, so
+// short input is corrupt).
+DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out);
+
+// Splits `record` into DATA frames of at most `max_payload` payload bytes,
+// all sharing (fleet, stream, record_seq). wire_seq is left 0 — the
+// UplinkClient assigns it per transmission. An empty record yields one
+// empty-payload fragment.
+std::vector<DataFrame> FragmentRecord(std::uint64_t fleet,
+                                      std::int64_t stream,
+                                      std::uint64_t record_seq,
+                                      std::string_view record,
+                                      std::size_t max_payload);
+
+}  // namespace ff::net

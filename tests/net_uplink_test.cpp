@@ -1,0 +1,353 @@
+// UplinkClient tests: sliding-window ack/retransmit behaviour pinned with a
+// fake clock and a hand-rolled acking peer, plus the two overflow policies —
+// drop-oldest bounding the queue and blocking backpressure bounding memory
+// under a threaded producer (the latter runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/uplink.hpp"
+#include "net/wire.hpp"
+#include "util/check.hpp"
+
+namespace ff::net {
+namespace {
+
+core::UploadPacket MakePacket(std::int64_t stream, std::int64_t frame_index,
+                              std::size_t chunk_bytes) {
+  core::UploadPacket p;
+  p.stream = stream;
+  p.frame_index = frame_index;
+  p.frame_width = 32;
+  p.frame_height = 32;
+  p.metadata.frame_index = frame_index;
+  p.metadata.memberships.emplace_back("mc0", 7);
+  p.chunk.assign(chunk_bytes, static_cast<char>('a' + frame_index % 26));
+  return p;
+}
+
+// The ingest side of these tests, reduced to its ack duty: polls the
+// server-side link end, records every DATA frame, acks each one.
+struct AckingPeer {
+  explicit AckingPeer(Link& end) : end_(end) {}
+
+  // Returns the number of datagrams drained. `ack` = false observes
+  // without acknowledging (simulates a dead return path).
+  int Drain(bool ack = true) {
+    int n = 0;
+    while (auto datagram = end_.Poll()) {
+      ++n;
+      DecodedFrame frame;
+      const DecodeResult res = DecodeFrame(*datagram, &frame);
+      ASSERT_OK(res);
+      if (frame.type != FrameType::kData) continue;
+      frames.push_back(frame.data);
+      if (ack) end_.Send(EncodeFrame(AckFrame{frame.data.fleet,
+                                              frame.data.wire_seq}));
+    }
+    return n;
+  }
+
+  // Concatenated payloads of the unique fragments of `record_seq` on
+  // `stream`, in frag_index order.
+  std::string Reassemble(std::int64_t stream, std::uint64_t record_seq) const {
+    std::uint32_t count = 0;
+    for (const auto& f : frames) {
+      if (f.stream == stream && f.record_seq == record_seq) count = f.frag_count;
+    }
+    std::vector<std::string> slots(count);
+    for (const auto& f : frames) {
+      if (f.stream == stream && f.record_seq == record_seq) {
+        slots[f.frag_index] = f.payload;
+      }
+    }
+    std::string out;
+    for (const auto& s : slots) out += s;
+    return out;
+  }
+
+  Link& end_;
+  std::vector<DataFrame> frames;
+
+ private:
+  static void ASSERT_OK(const DecodeResult& res) {
+    ASSERT_TRUE(res.ok()) << res.error;
+  }
+};
+
+UplinkConfig FakeClockConfig(std::int64_t* now) {
+  UplinkConfig cfg;
+  cfg.fleet = 9;
+  cfg.clock_ms = [now] { return *now; };
+  return cfg;
+}
+
+TEST(NetUplink, DeliversAndGoesIdle) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkClient uplink(*edge, FakeClockConfig(&now));
+  AckingPeer peer(*server);
+
+  auto sink = uplink.sink();
+  for (int i = 0; i < 5; ++i) sink(MakePacket(0, i, 500));
+  EXPECT_FALSE(uplink.idle());
+
+  uplink.Pump(now);
+  peer.Drain();
+  uplink.Pump(now);  // absorb acks
+  EXPECT_TRUE(uplink.idle());
+
+  const UplinkStats s = uplink.stats();
+  EXPECT_EQ(s.uploads_enqueued, 5);
+  EXPECT_EQ(s.records_sent, 5);
+  EXPECT_EQ(s.frames_sent, 5);  // 500-byte chunks fit one 1200-byte frame
+  EXPECT_EQ(s.frames_acked, 5);
+  EXPECT_EQ(s.retransmits, 0);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  // record_seq is per-stream and dense from 0.
+  for (std::size_t i = 0; i < peer.frames.size(); ++i) {
+    EXPECT_EQ(peer.frames[i].record_seq, i);
+    EXPECT_EQ(peer.frames[i].fleet, 9u);
+  }
+}
+
+TEST(NetUplink, FragmentsLargeRecordsExactly) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkConfig cfg = FakeClockConfig(&now);
+  cfg.max_payload = 100;
+  cfg.window = 256;
+  UplinkClient uplink(*edge, cfg);
+  AckingPeer peer(*server);
+
+  const core::UploadPacket p = MakePacket(3, 0, 5000);
+  const std::string record = EncodeUploadRecord(p);
+  uplink.Enqueue(p);
+  uplink.Pump(now);
+  peer.Drain();
+  uplink.Pump(now);
+  EXPECT_TRUE(uplink.idle());
+
+  ASSERT_FALSE(peer.frames.empty());
+  EXPECT_EQ(peer.frames.size(), (record.size() + 99) / 100);
+  EXPECT_EQ(peer.Reassemble(3, 0), record);
+}
+
+TEST(NetUplink, RetransmitsWithExponentialBackoff) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkConfig cfg = FakeClockConfig(&now);
+  cfg.rto_ms = 40;
+  cfg.backoff = 2.0;
+  cfg.max_rto_ms = 100;
+  UplinkClient uplink(*edge, cfg);
+  AckingPeer peer(*server);
+
+  uplink.Enqueue(MakePacket(0, 0, 10));
+  uplink.Pump(now);
+  peer.Drain(/*ack=*/false);
+  ASSERT_EQ(peer.frames.size(), 1u);
+
+  // Not yet due: nothing moves.
+  now = 39;
+  uplink.Pump(now);
+  EXPECT_EQ(uplink.stats().retransmits, 0);
+  // Due at 40, then backed off to 80ms (due 120), then capped at 100 (220).
+  const std::int64_t expected_due[] = {40, 120, 220, 320};
+  for (int i = 0; i < 4; ++i) {
+    now = expected_due[i] - 1;
+    uplink.Pump(now);
+    EXPECT_EQ(uplink.stats().retransmits, i) << "early fire at " << now;
+    now = expected_due[i];
+    uplink.Pump(now);
+    EXPECT_EQ(uplink.stats().retransmits, i + 1) << "missed fire at " << now;
+  }
+  // Every retransmission reuses the SAME wire_seq — the ack matches any copy.
+  peer.Drain(/*ack=*/false);
+  ASSERT_EQ(peer.frames.size(), 5u);
+  for (const auto& f : peer.frames) EXPECT_EQ(f.wire_seq, peer.frames[0].wire_seq);
+
+  // One ack (for the much-retransmitted frame) settles everything.
+  peer.end_.Send(EncodeFrame(AckFrame{cfg.fleet, peer.frames[0].wire_seq}));
+  uplink.Pump(now);
+  EXPECT_TRUE(uplink.idle());
+  EXPECT_EQ(uplink.stats().frames_acked, 1);
+}
+
+TEST(NetUplink, WindowBoundsInFlightFrames) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkConfig cfg = FakeClockConfig(&now);
+  cfg.window = 4;
+  cfg.max_payload = 100;
+  UplinkClient uplink(*edge, cfg);
+  AckingPeer peer(*server);
+
+  uplink.Enqueue(MakePacket(0, 0, 1000));  // >> 10 fragments
+  uplink.Pump(now);
+  EXPECT_EQ(uplink.stats().in_flight, 4u);
+  EXPECT_EQ(peer.Drain(/*ack=*/false), 4);
+
+  // Ack two: the window admits exactly two more.
+  for (int i = 0; i < 2; ++i) {
+    peer.end_.Send(EncodeFrame(AckFrame{cfg.fleet, peer.frames[
+        static_cast<std::size_t>(i)].wire_seq}));
+  }
+  uplink.Pump(now);
+  EXPECT_EQ(uplink.stats().in_flight, 4u);
+  EXPECT_EQ(uplink.stats().frames_sent, 6);
+  // Acks for unknown wire_seqs are ignored, not crashes.
+  peer.end_.Send(EncodeFrame(AckFrame{cfg.fleet, 999'999}));
+  peer.end_.Send(EncodeFrame(AckFrame{cfg.fleet + 1, peer.frames[2].wire_seq}));
+  uplink.Pump(now);
+  EXPECT_EQ(uplink.stats().frames_acked, 2);
+}
+
+TEST(NetUplink, DropOldestBoundsQueueAndLeavesNoSeqGap) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkConfig cfg = FakeClockConfig(&now);
+  cfg.drop_oldest = true;
+  cfg.queue_capacity = 8;
+  cfg.window = 64;
+  UplinkClient uplink(*edge, cfg);
+  AckingPeer peer(*server);
+
+  // Sustained overload with the pump stalled: the queue must stay bounded.
+  for (int i = 0; i < 100; ++i) uplink.Enqueue(MakePacket(0, i, 50));
+  UplinkStats s = uplink.stats();
+  EXPECT_EQ(s.queued, 8u);
+  EXPECT_EQ(s.records_dropped, 92);
+
+  uplink.Pump(now);
+  peer.Drain();
+  uplink.Pump(now);
+  EXPECT_TRUE(uplink.idle());
+  // The eight survivors (the freshest) went out with DENSE record_seqs
+  // 0..7 — dropped records never claimed one, so the receiver sees no gap.
+  ASSERT_EQ(peer.frames.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(peer.frames[i].record_seq, i);
+    DecodedRecord rec;
+    ASSERT_TRUE(DecodeRecord(peer.Reassemble(0, i), &rec).ok());
+    EXPECT_EQ(rec.upload.frame_index, 92 + static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(NetUplink, BlockingBackpressureBoundsMemory) {
+  auto [edge, server] = LocalLink::MakePair();
+  UplinkConfig cfg;
+  cfg.fleet = 9;
+  cfg.queue_capacity = 4;
+  cfg.window = 2;
+  cfg.pump_interval_ms = 1;
+  UplinkClient uplink(*edge, cfg);
+  uplink.Start();
+
+  // An acking peer on its own thread: the return path that frees the window.
+  std::atomic<bool> peer_stop{false};
+  std::atomic<int> peer_frames{0};
+  std::thread peer([&] {
+    while (!peer_stop.load()) {
+      while (auto datagram = server->Poll()) {
+        DecodedFrame frame;
+        if (DecodeFrame(*datagram, &frame).ok() &&
+            frame.type == FrameType::kData) {
+          ++peer_frames;
+          server->Send(EncodeFrame(AckFrame{frame.data.fleet,
+                                            frame.data.wire_seq}));
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // The producer floods 200 records through the blocking sink. Between
+  // enqueues, queued records must never exceed the bound: memory stays
+  // O(queue_capacity + window), not O(records produced).
+  constexpr int kRecords = 200;
+  auto sink = uplink.sink();
+  std::size_t max_queued = 0;
+  for (int i = 0; i < kRecords; ++i) {
+    sink(MakePacket(0, i, 300));
+    max_queued = std::max(max_queued, uplink.stats().queued);
+  }
+  EXPECT_LE(max_queued, cfg.queue_capacity);
+
+  ASSERT_TRUE(uplink.WaitIdle(/*timeout_ms=*/30'000));
+  const UplinkStats s = uplink.stats();
+  EXPECT_EQ(s.uploads_enqueued, kRecords);
+  EXPECT_EQ(s.records_sent, kRecords);  // blocking policy drops nothing
+  EXPECT_EQ(s.records_dropped, 0);
+
+  peer_stop = true;
+  peer.join();
+  uplink.Stop();
+  EXPECT_FALSE(uplink.running());
+}
+
+TEST(NetUplink, StopUnblocksAStalledEnqueueLoudly) {
+  auto [edge, server] = LocalLink::MakePair();
+  UplinkConfig cfg;
+  cfg.fleet = 1;
+  cfg.queue_capacity = 1;
+  cfg.window = 1;
+  UplinkClient uplink(*edge, cfg);
+  uplink.Start();
+  // Never acked: the single window slot jams, the queue fills behind it.
+  uplink.Enqueue(MakePacket(0, 0, 10));
+
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      // Eventually blocks on the full queue (no acks ever free the window).
+      for (int i = 1; i < 50; ++i) uplink.Enqueue(MakePacket(0, i, 10));
+    } catch (const util::CheckError&) {
+      threw = true;
+    }
+  });
+  // Give the producer time to hit the wall, then stop the uplink under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  uplink.Stop();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(NetUplink, EventRecordsTravelTheSamePath) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkClient uplink(*edge, FakeClockConfig(&now));
+  AckingPeer peer(*server);
+
+  core::EventRecord ev;
+  ev.id = 3;
+  ev.begin = 100;
+  ev.end = 130;
+  ev.stream = 2;
+  ev.mc = "pedestrians";
+  uplink.event_sink()(ev);
+  uplink.Pump(now);
+  peer.Drain();
+  uplink.Pump(now);
+  EXPECT_TRUE(uplink.idle());
+  EXPECT_EQ(uplink.stats().events_enqueued, 1);
+
+  DecodedRecord rec;
+  ASSERT_TRUE(DecodeRecord(peer.Reassemble(2, 0), &rec).ok());
+  ASSERT_EQ(rec.type, RecordType::kEvent);
+  EXPECT_EQ(rec.event.id, 3);
+  EXPECT_EQ(rec.event.begin, 100);
+  EXPECT_EQ(rec.event.end, 130);
+  EXPECT_EQ(rec.event.stream, 2);
+  EXPECT_EQ(rec.event.mc, "pedestrians");
+}
+
+}  // namespace
+}  // namespace ff::net

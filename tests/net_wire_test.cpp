@@ -1,0 +1,337 @@
+// Wire-format tests: seeded round-trip properties over randomized frames
+// and records, exhaustive truncation, and a decoder fuzz loop — random byte
+// mutations of valid frames must never crash or over-read, only return a
+// loud decode error (this suite runs under ASan/UBSan in CI precisely to
+// catch the over-reads a green assertion would hide).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ff::net {
+namespace {
+
+std::string RandomBytes(util::Pcg32& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.UniformInt(0, 255));
+  return s;
+}
+
+DataFrame RandomDataFrame(util::Pcg32& rng) {
+  DataFrame f;
+  f.fleet = rng.NextU64();
+  f.stream = rng.UniformInt(-1, 1'000'000);
+  f.wire_seq = rng.NextU64();
+  f.record_seq = rng.NextU64();
+  f.frag_count = static_cast<std::uint32_t>(rng.UniformInt(1, 64));
+  f.frag_index = static_cast<std::uint32_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(f.frag_count) - 1));
+  f.payload = RandomBytes(rng, static_cast<std::size_t>(
+                                   rng.UniformInt(0, 4096)));
+  return f;
+}
+
+core::UploadPacket RandomUpload(util::Pcg32& rng) {
+  core::UploadPacket p;
+  p.stream = rng.UniformInt(0, 1000);
+  p.frame_index = rng.UniformInt(0, 1'000'000);
+  p.frame_width = rng.UniformInt(16, 1920);
+  p.frame_height = rng.UniformInt(16, 1080);
+  p.metadata.frame_index = p.frame_index;
+  const std::int64_t n = rng.UniformInt(0, 5);
+  for (std::int64_t i = 0; i < n; ++i) {
+    p.metadata.memberships.emplace_back(
+        "mc_" + std::to_string(rng.UniformInt(0, 99)),
+        rng.UniformInt(0, 1000));
+  }
+  p.chunk = RandomBytes(rng, static_cast<std::size_t>(
+                                 rng.UniformInt(0, 20'000)));
+  return p;
+}
+
+core::EventRecord RandomEvent(util::Pcg32& rng) {
+  core::EventRecord ev;
+  ev.id = rng.UniformInt(0, 10'000);
+  ev.begin = rng.UniformInt(0, 1'000'000);
+  ev.end = ev.begin + rng.UniformInt(1, 500);
+  ev.stream = rng.UniformInt(-1, 1000);
+  ev.mc = "mc_" + std::to_string(rng.UniformInt(0, 99));
+  return ev;
+}
+
+TEST(NetWire, DataFrameRoundTrip) {
+  util::Pcg32 rng(101);
+  for (int iter = 0; iter < 200; ++iter) {
+    const DataFrame f = RandomDataFrame(rng);
+    const std::string bytes = EncodeFrame(f);
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bytes, &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.consumed, bytes.size());
+    ASSERT_EQ(out.type, FrameType::kData);
+    EXPECT_EQ(out.data.fleet, f.fleet);
+    EXPECT_EQ(out.data.stream, f.stream);
+    EXPECT_EQ(out.data.wire_seq, f.wire_seq);
+    EXPECT_EQ(out.data.record_seq, f.record_seq);
+    EXPECT_EQ(out.data.frag_index, f.frag_index);
+    EXPECT_EQ(out.data.frag_count, f.frag_count);
+    EXPECT_EQ(out.data.payload, f.payload);
+  }
+}
+
+TEST(NetWire, AckFrameRoundTrip) {
+  util::Pcg32 rng(102);
+  for (int iter = 0; iter < 100; ++iter) {
+    const AckFrame f{rng.NextU64(), rng.NextU64()};
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(EncodeFrame(f), &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(out.type, FrameType::kAck);
+    EXPECT_EQ(out.ack.fleet, f.fleet);
+    EXPECT_EQ(out.ack.wire_seq, f.wire_seq);
+  }
+}
+
+TEST(NetWire, UploadRecordRoundTrip) {
+  util::Pcg32 rng(103);
+  for (int iter = 0; iter < 100; ++iter) {
+    const core::UploadPacket p = RandomUpload(rng);
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(EncodeUploadRecord(p), &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(out.type, RecordType::kUpload);
+    EXPECT_EQ(out.upload.stream, p.stream);
+    EXPECT_EQ(out.upload.frame_index, p.frame_index);
+    EXPECT_EQ(out.upload.frame_width, p.frame_width);
+    EXPECT_EQ(out.upload.frame_height, p.frame_height);
+    EXPECT_EQ(out.upload.metadata.frame_index, p.metadata.frame_index);
+    EXPECT_EQ(out.upload.metadata.memberships, p.metadata.memberships);
+    EXPECT_EQ(out.upload.chunk, p.chunk);
+  }
+}
+
+TEST(NetWire, EventRecordRoundTrip) {
+  util::Pcg32 rng(104);
+  for (int iter = 0; iter < 100; ++iter) {
+    const core::EventRecord ev = RandomEvent(rng);
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(EncodeEventRecord(ev), &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(out.type, RecordType::kEvent);
+    EXPECT_EQ(out.event.mc, ev.mc);
+    EXPECT_EQ(out.event.id, ev.id);
+    EXPECT_EQ(out.event.begin, ev.begin);
+    EXPECT_EQ(out.event.end, ev.end);
+    EXPECT_EQ(out.event.stream, ev.stream);
+  }
+}
+
+TEST(NetWire, FragmentationCoversRecordExactly) {
+  util::Pcg32 rng(105);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::string record =
+        RandomBytes(rng, static_cast<std::size_t>(rng.UniformInt(0, 5000)));
+    const std::size_t budget =
+        static_cast<std::size_t>(rng.UniformInt(1, 700));
+    auto frames = FragmentRecord(7, 3, 42, record, budget);
+    const std::size_t expect =
+        record.empty() ? 1 : (record.size() + budget - 1) / budget;
+    ASSERT_EQ(frames.size(), expect);
+    // Reassemble out of order by frag_index.
+    std::shuffle(frames.begin(), frames.end(),
+                 std::mt19937(static_cast<unsigned>(iter)));
+    std::vector<std::string> slots(expect);
+    for (const auto& f : frames) {
+      EXPECT_EQ(f.fleet, 7u);
+      EXPECT_EQ(f.stream, 3);
+      EXPECT_EQ(f.record_seq, 42u);
+      EXPECT_EQ(f.frag_count, expect);
+      EXPECT_LE(f.payload.size(), budget);
+      slots[f.frag_index] = f.payload;
+    }
+    std::string rebuilt;
+    for (const auto& s : slots) rebuilt += s;
+    EXPECT_EQ(rebuilt, record);
+  }
+}
+
+TEST(NetWire, EveryTruncationIsLoudNeverOk) {
+  util::Pcg32 rng(106);
+  const DataFrame f = RandomDataFrame(rng);
+  const std::string bytes = EncodeFrame(f);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(std::string_view(bytes).substr(0, len),
+                                         &out);
+    EXPECT_NE(res.status, DecodeStatus::kOk) << "truncated to " << len;
+    // A truncated prefix of a valid frame is recognizably incomplete.
+    if (len >= kHeaderBytes) {
+      EXPECT_EQ(res.status, DecodeStatus::kNeedMore) << "at " << len;
+    }
+  }
+}
+
+TEST(NetWire, HeaderLiesAreCorruptNotAllocations) {
+  const std::string valid = EncodeFrame(AckFrame{1, 2});
+  // Bad magic.
+  {
+    std::string bad = valid;
+    bad[0] = 'X';
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bad, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("magic"), std::string::npos);
+  }
+  // Future version.
+  {
+    std::string bad = valid;
+    bad[4] = 9;
+    DecodedFrame out;
+    EXPECT_EQ(DecodeFrame(bad, &out).status, DecodeStatus::kCorrupt);
+  }
+  // Unknown type.
+  {
+    std::string bad = valid;
+    bad[5] = 77;
+    DecodedFrame out;
+    EXPECT_EQ(DecodeFrame(bad, &out).status, DecodeStatus::kCorrupt);
+  }
+  // Reserved bits set.
+  {
+    std::string bad = valid;
+    bad[6] = 1;
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bad, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("reserved"), std::string::npos);
+  }
+  // A length claiming 4 GiB must be rejected up front (kCorrupt), not
+  // trigger a NeedMore that makes a stream reader buffer forever, and
+  // certainly not an allocation.
+  {
+    std::string bad = valid;
+    bad[8] = bad[9] = bad[10] = bad[11] = static_cast<char>(0xFF);
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bad, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("length"), std::string::npos);
+  }
+  // Flipped checksum.
+  {
+    std::string bad = valid;
+    bad[12] = static_cast<char>(bad[12] ^ 0x5A);
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bad, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("checksum"), std::string::npos);
+  }
+}
+
+// The fuzz loops: mutate valid wire bytes at random and decode. The
+// assertions are deliberately weak — the real check is that ASan/UBSan
+// stay quiet (no crash, no over-read, no giant allocation) for ANY input.
+TEST(NetWire, FrameDecoderFuzz) {
+  util::Pcg32 rng(107);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 8; ++i) corpus.push_back(EncodeFrame(RandomDataFrame(rng)));
+  corpus.push_back(EncodeFrame(AckFrame{rng.NextU64(), rng.NextU64()}));
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::string bytes = corpus[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    const std::int64_t mutations = rng.UniformInt(1, 8);
+    for (std::int64_t m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(static_cast<std::uint8_t>(bytes[pos]) ^
+                                     rng.UniformInt(1, 255));
+    }
+    // Also fuzz random truncation/extension.
+    if (rng.Bernoulli(0.25)) {
+      bytes.resize(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()))));
+    } else if (rng.Bernoulli(0.1)) {
+      bytes += RandomBytes(rng, 32);
+    }
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(bytes, &out);
+    if (res.ok()) {
+      EXPECT_LE(res.consumed, bytes.size());
+    } else if (res.status == DecodeStatus::kCorrupt) {
+      EXPECT_FALSE(res.error.empty());  // corrupt is always loud
+    }
+  }
+}
+
+TEST(NetWire, RecordDecoderFuzz) {
+  util::Pcg32 rng(108);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 6; ++i) corpus.push_back(EncodeUploadRecord(RandomUpload(rng)));
+  for (int i = 0; i < 2; ++i) corpus.push_back(EncodeEventRecord(RandomEvent(rng)));
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::string bytes = corpus[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    const std::int64_t mutations = rng.UniformInt(1, 8);
+    for (std::int64_t m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(static_cast<std::uint8_t>(bytes[pos]) ^
+                                     rng.UniformInt(1, 255));
+    }
+    if (rng.Bernoulli(0.25)) {
+      bytes.resize(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()))));
+    }
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    if (!res.ok()) {
+      EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+      EXPECT_FALSE(res.error.empty());
+    }
+  }
+}
+
+// Pure-garbage decode: no structure at all, any length.
+TEST(NetWire, GarbageDecoderFuzz) {
+  util::Pcg32 rng(109);
+  for (int iter = 0; iter < 5'000; ++iter) {
+    const std::string bytes =
+        RandomBytes(rng, static_cast<std::size_t>(rng.UniformInt(0, 200)));
+    DecodedFrame frame;
+    (void)DecodeFrame(bytes, &frame);
+    DecodedRecord record;
+    (void)DecodeRecord(bytes, &record);
+  }
+}
+
+TEST(NetWire, StreamOfFramesParsesSequentially) {
+  util::Pcg32 rng(110);
+  std::vector<DataFrame> frames;
+  std::string stream;
+  for (int i = 0; i < 10; ++i) {
+    frames.push_back(RandomDataFrame(rng));
+    stream += EncodeFrame(frames.back());
+  }
+  std::string_view rest = stream;
+  for (int i = 0; i < 10; ++i) {
+    DecodedFrame out;
+    const DecodeResult res = DecodeFrame(rest, &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(out.data.wire_seq, frames[static_cast<std::size_t>(i)].wire_seq);
+    rest.remove_prefix(res.consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(NetWire, Crc32KnownVector) {
+  // The standard IEEE test vector pins the polynomial and reflection.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+}  // namespace
+}  // namespace ff::net

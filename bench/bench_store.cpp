@@ -1,0 +1,204 @@
+// Store-plane bench: cost of durability for the edge archive (paper §3.2).
+// Sweeps the archival path over both ArchiveBackends — in-RAM MemoryArchive
+// vs the memory-mapped on-disk PackArchive — and reports:
+//
+//   * append throughput (frames/s and archived MB/s), encode included, for
+//     gop 1 and gop 8, with and without fdatasync-per-append;
+//   * reopen (crash-recovery) latency of the resulting pack directory;
+//   * demand-fetch latency of a 16-frame clip as the archive grows.
+//
+// Synthetic frames, fixed seeds: deterministic work, wall-clock timings.
+//
+// Extra knobs:
+//   FF_BENCH_STORE_FRAMES  frames per append run (default 240)
+//   FF_BENCH_STORE_WIDTH   frame width (default 192; height = 3/4 width)
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "core/edge_store.hpp"
+#include "util/timer.hpp"
+#include "video/frame.hpp"
+
+namespace ff {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ff_bench_store_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+video::Frame BenchFrame(std::int64_t w, std::int64_t h, std::int64_t i) {
+  video::Frame f(w, h);
+  f.FillRect((i * 7) % w, (i * 5) % h, w / 4, h / 4,
+             {static_cast<std::uint8_t>(50 + i * 11), 130, 60});
+  f.FillRect((i * 3) % w, (i * 13) % h, w / 6, h / 6,
+             {200, static_cast<std::uint8_t>(i * 17), 90});
+  f.index = i;
+  return f;
+}
+
+struct AppendPoint {
+  std::string backend;
+  std::int64_t gop = 1;
+  bool fsync = false;
+  double seconds = 0.0;
+  std::uint64_t stored_bytes = 0;
+  double reopen_ms = 0.0;  // pack only
+};
+
+AppendPoint RunAppend(const std::string& backend, std::int64_t frames,
+                      std::int64_t width, std::int64_t gop, bool fsync) {
+  const std::int64_t height = width * 3 / 4;
+  std::optional<TempDir> dir;
+  core::EdgeStoreConfig cfg;
+  cfg.capacity_frames = frames;  // no eviction inside the run
+  cfg.gop = gop;
+  if (backend == "pack") {
+    dir.emplace("append");
+    cfg.dir = dir->str();
+    cfg.fsync_each_append = fsync;
+  }
+  AppendPoint p;
+  p.backend = backend;
+  p.gop = gop;
+  p.fsync = fsync;
+  {
+    core::EdgeStore store(cfg);
+    util::WallTimer timer;
+    for (std::int64_t i = 0; i < frames; ++i) {
+      store.Archive(BenchFrame(width, height, i));
+    }
+    p.seconds = timer.ElapsedSeconds();
+    p.stored_bytes = store.stored_bytes();
+  }  // destructor seals the active segment
+  if (backend == "pack") {
+    util::WallTimer timer;
+    core::EdgeStore reopened(cfg);
+    FF_CHECK_EQ(reopened.end_available(), frames);
+    FF_CHECK_MSG(reopened.recovery()->clean(),
+                 reopened.recovery()->ToString());
+    p.reopen_ms = timer.ElapsedSeconds() * 1e3;
+  }
+  return p;
+}
+
+struct FetchPoint {
+  std::string backend;
+  std::int64_t archive_frames = 0;
+  double fetch_ms = 0.0;  // one 16-frame clip from the middle
+};
+
+FetchPoint RunFetch(const std::string& backend, std::int64_t archive_frames,
+                    std::int64_t width) {
+  const std::int64_t height = width * 3 / 4;
+  std::optional<TempDir> dir;
+  core::EdgeStoreConfig cfg;
+  cfg.capacity_frames = archive_frames;
+  cfg.gop = 8;
+  if (backend == "pack") {
+    dir.emplace("fetch");
+    cfg.dir = dir->str();
+  }
+  core::EdgeStore store(cfg);
+  for (std::int64_t i = 0; i < archive_frames; ++i) {
+    store.Archive(BenchFrame(width, height, i));
+  }
+  const std::int64_t begin = archive_frames / 2;
+  const std::int64_t end = begin + 16;
+  // Warm once (maps the segment), then time a small batch.
+  FF_CHECK_MSG(store.FetchClip(begin, end, 200'000, 15).has_value(),
+               "warm fetch failed");
+  constexpr int kReps = 5;
+  util::WallTimer timer;
+  for (int r = 0; r < kReps; ++r) {
+    const auto clip = store.FetchClip(begin, end, 200'000, 15);
+    FF_CHECK_EQ(clip->end - clip->begin, 16);
+  }
+  FetchPoint p;
+  p.backend = backend;
+  p.archive_frames = archive_frames;
+  p.fetch_ms = timer.ElapsedSeconds() * 1e3 / kReps;
+  return p;
+}
+
+}  // namespace
+}  // namespace ff
+
+int main(int argc, char** argv) {
+  using namespace ff;
+  const std::int64_t frames = util::EnvInt("FF_BENCH_STORE_FRAMES", 240);
+  const std::int64_t width = util::EnvInt("FF_BENCH_STORE_WIDTH", 192);
+  bench::JsonResult json("store",
+                         bench::JsonResult::PathFromArgs(argc, argv));
+  json.Set("frames", static_cast<double>(frames));
+  json.Set("width", static_cast<double>(width));
+
+  std::printf("=== Edge archive: cost of durability ===\n");
+  std::printf("frames=%lld width=%lld (append timings include encode)\n\n",
+              static_cast<long long>(frames), static_cast<long long>(width));
+
+  std::printf("--- append throughput ---\n");
+  std::printf("%8s %5s %7s %10s %12s %12s %10s\n", "backend", "gop", "fsync",
+              "frames/s", "archive MB/s", "stored", "reopen ms");
+  struct Case {
+    const char* backend;
+    std::int64_t gop;
+    bool fsync;
+  };
+  const Case cases[] = {{"memory", 1, false}, {"memory", 8, false},
+                        {"pack", 1, false},   {"pack", 8, false},
+                        {"pack", 8, true}};
+  for (const Case& c : cases) {
+    const auto p = RunAppend(c.backend, frames, width, c.gop, c.fsync);
+    const double fps = static_cast<double>(frames) / p.seconds;
+    const double mbps =
+        static_cast<double>(p.stored_bytes) / 1e6 / p.seconds;
+    std::printf("%8s %5lld %7s %10.1f %12.2f %11.1fK %10.2f\n", c.backend,
+                static_cast<long long>(c.gop), c.fsync ? "yes" : "no", fps,
+                mbps, static_cast<double>(p.stored_bytes) / 1e3,
+                p.reopen_ms);
+    json.NewRow();
+    json.Row("section", "append");
+    json.Row("backend", c.backend);
+    json.Row("gop", static_cast<double>(c.gop));
+    json.Row("fsync", c.fsync ? 1.0 : 0.0);
+    json.Row("frames_per_s", fps);
+    json.Row("archive_mb_per_s", mbps);
+    json.Row("stored_bytes", static_cast<double>(p.stored_bytes));
+    json.Row("reopen_ms", p.reopen_ms);
+  }
+
+  std::printf("\n--- demand-fetch latency (16-frame clip, gop 8) ---\n");
+  std::printf("%8s %14s %12s\n", "backend", "archive_frames", "fetch ms");
+  for (const std::int64_t n : {64, 256, 1024}) {
+    if (n > frames * 8) continue;  // keep the big point skippable via env
+    for (const char* backend : {"memory", "pack"}) {
+      const auto p = RunFetch(backend, n, width);
+      std::printf("%8s %14lld %12.2f\n", backend,
+                  static_cast<long long>(n), p.fetch_ms);
+      json.NewRow();
+      json.Row("section", "fetch");
+      json.Row("backend", backend);
+      json.Row("archive_frames", static_cast<double>(n));
+      json.Row("fetch_clip_ms", p.fetch_ms);
+    }
+  }
+
+  json.Write();
+  return 0;
+}

@@ -91,8 +91,19 @@ StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
     ec.target_bitrate_bps = cfg_.upload_bitrate_bps;
     s->uplink = std::make_unique<codec::Encoder>(ec);
   }
-  if (cfg_.edge_store_capacity > 0) {
-    s->store = std::make_unique<EdgeStore>(cfg_.edge_store_capacity);
+  if (archiving_enabled()) {
+    EdgeStoreConfig sc;
+    sc.capacity_frames = cfg_.edge_store_capacity;
+    sc.budget_bytes = cfg_.archive_budget_bytes;
+    sc.gop = cfg_.archive_gop;
+    sc.bitrate_bps = cfg_.archive_bitrate_bps;
+    sc.fps = s->fps;
+    sc.segment_frames = cfg_.archive_segment_frames;
+    sc.fsync_each_append = cfg_.archive_fsync;
+    if (!cfg_.archive_dir.empty()) {
+      sc.dir = cfg_.archive_dir + "/stream-" + std::to_string(next_stream_);
+    }
+    s->store = std::make_shared<EdgeStore>(sc);
   }
   s->handle = next_stream_++;
   streams_.push_back(std::move(s));
@@ -171,6 +182,11 @@ void EdgeFleet::RemoveStream(StreamHandle stream) {
   }
   const std::size_t idx = StreamIndex(stream);
   DrainStream(*streams_[idx]);
+  // The archive outlives the stream: a datacenter application can still
+  // demand-fetch history from a camera that has since detached.
+  if (streams_[idx]->store != nullptr) {
+    retired_stores_.emplace_back(stream, streams_[idx]->store);
+  }
   streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(idx));
   // Frames of this stream staged in a bucket stop resolving and are
   // discarded at processing; wake the stages so they re-evaluate.
@@ -485,7 +501,8 @@ EdgeFleet::StagedBatch EdgeFleet::GatherSync(Bucket& b, std::int64_t cap) {
   return batch;
 }
 
-std::int64_t EdgeFleet::ProcessStaged(StagedBatch& batch) {
+std::int64_t EdgeFleet::ProcessStaged(
+    StagedBatch& batch, std::vector<ArchiveItem>* deferred_archive) {
   struct Item {
     Stream* stream = nullptr;
     std::int64_t image = -1;    // slot in the staging tensor / feature maps
@@ -511,7 +528,16 @@ std::int64_t EdgeFleet::ProcessStaged(StagedBatch& batch) {
   for (Item& it : items) {
     Stream& s = *it.stream;
     StagedEntry& e = batch.entries[static_cast<std::size_t>(it.image)];
-    if (s.store) s.store->Archive(e.pixels());
+    if (s.store != nullptr) {
+      if (deferred_archive != nullptr) {
+        // Copy now — the frame may be moved into the pending buffer below —
+        // and append on the archive-writer thread, outside mu_.
+        deferred_archive->push_back(ArchiveItem{s.store, e.pixels()});
+        ++archive_in_flight_;
+      } else {
+        s.store->Archive(e.pixels());
+      }
+    }
     if (cfg_.enable_upload) {
       if (s.tenants.empty()) {
         // No tenant live on this stream: the frame can never match.
@@ -897,18 +923,57 @@ void EdgeFleet::ComputeThreadMain() {
   try {
     // Pop() drains the queue after Close(), so stop processes everything
     // staged before this thread exits (clean drain-on-stop).
+    std::vector<ArchiveItem> deferred;
     while (auto batch = hand_off_->Pop()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      const auto staged = static_cast<std::int64_t>(batch->entries.size());
-      ProcessStaged(*batch);
-      --batch->bucket->tensors_out;
-      RecycleStaging(*batch->bucket, std::move(batch->staging));
-      in_flight_ -= staged;
-      prefetch_cv_.notify_all();
-      idle_cv_.notify_all();
+      deferred.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto staged = static_cast<std::int64_t>(batch->entries.size());
+        ProcessStaged(*batch, archive_queue_ != nullptr ? &deferred : nullptr);
+        --batch->bucket->tensors_out;
+        RecycleStaging(*batch->bucket, std::move(batch->staging));
+        in_flight_ -= staged;
+        prefetch_cv_.notify_all();
+        idle_cv_.notify_all();
+      }
+      // Hand archive appends to the writer thread with mu_ RELEASED: the
+      // push may block on a full queue, and the writer never needs mu_ to
+      // make space, so this cannot deadlock.
+      for (ArchiveItem& item : deferred) {
+        if (!archive_queue_->Push(std::move(item))) {
+          // Queue closed by an error elsewhere; undo the in-flight count.
+          std::lock_guard<std::mutex> lock(mu_);
+          --archive_in_flight_;
+          idle_cv_.notify_all();
+        }
+      }
     }
   } catch (...) {
     RecordPipelineError();
+  }
+}
+
+void EdgeFleet::ArchiveThreadMain() {
+  // Single consumer: per-stream append order is exactly the order the
+  // compute stage emitted, which is batch order — the same order the
+  // synchronous schedule archives in.
+  while (auto item = archive_queue_->Pop()) {
+    try {
+      item->store->Archive(item->frame);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --archive_in_flight_;
+        idle_cv_.notify_all();
+      }
+      RecordPipelineError();
+      // Keep draining so a blocked producer always gets unstuck; the error
+      // surfaces at StopPipeline.
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    --archive_in_flight_;
+    idle_cv_.notify_all();
   }
 }
 
@@ -920,8 +985,9 @@ void EdgeFleet::RecordPipelineError() {
     prefetch_cv_.notify_all();
     idle_cv_.notify_all();
   }
-  // Unblocks the peer stage: Push() returns false, Pop() drains then ends.
+  // Unblocks the peer stages: Push() returns false, Pop() drains then ends.
   hand_off_->Close();
+  if (archive_queue_ != nullptr) archive_queue_->Close();
 }
 
 void EdgeFleet::StartPipeline() {
@@ -942,6 +1008,15 @@ void EdgeFleet::StartPipeline() {
   // Capacity 2: per-bucket double buffering already bounds staging memory;
   // this bound is back-pressure so stage A cannot run far ahead of B/C.
   hand_off_ = std::make_unique<util::BoundedQueue<StagedBatch>>(2);
+  if (archiving_enabled()) {
+    // Deep enough to absorb a couple of batches of archive appends before
+    // back-pressuring the compute stage.
+    archive_queue_ = std::make_unique<util::BoundedQueue<ArchiveItem>>(
+        static_cast<std::size_t>(std::max<std::int64_t>(2 * cfg_.max_batch,
+                                                        8)));
+    archive_in_flight_ = 0;
+    archive_thread_ = std::thread(&EdgeFleet::ArchiveThreadMain, this);
+  }
   pipeline_active_ = true;
   prefetch_thread_ = std::thread(&EdgeFleet::PrefetchThreadMain, this);
   compute_thread_ = std::thread(&EdgeFleet::ComputeThreadMain, this);
@@ -967,10 +1042,18 @@ void EdgeFleet::StopPipeline() {
   lock.unlock();
   hand_off_->Close();
   compute_thread_.join();
+  // The compute stage is done pushing; close the archive queue and let the
+  // writer drain it — every staged frame's archive append lands before the
+  // pipeline reports stopped.
+  if (archive_queue_ != nullptr) {
+    archive_queue_->Close();
+    archive_thread_.join();
+  }
 
   lock.lock();
   pipeline_active_ = false;
   hand_off_.reset();
+  archive_queue_.reset();
   const std::exception_ptr err = pipeline_error_;
   pipeline_error_ = nullptr;
   lock.unlock();
@@ -987,7 +1070,8 @@ void EdgeFleet::WaitPipelineIdle() {
   FF_CHECK_MSG(pipeline_active_, "no pipeline is running");
   idle_cv_.wait(lock, [&] {
     if (pipeline_error_) return true;  // StopPipeline() rethrows it
-    if (!prefetch_idle_ || in_flight_ != 0) return false;
+    if (!prefetch_idle_ || in_flight_ != 0 || archive_in_flight_ != 0)
+      return false;
     for (const auto& s : streams_) {
       if (!s->queue.empty()) return false;
       if (s->source != nullptr && !s->source_done) return false;
@@ -1095,9 +1179,19 @@ std::size_t EdgeFleet::pending_frames(StreamHandle stream) const {
 }
 
 EdgeStore* EdgeFleet::edge_store(StreamHandle stream) {
+  // The fleet keeps its own reference (live or retired), so the raw pointer
+  // stays valid after the temporary shared_ptr dies.
+  return edge_store_shared(stream).get();
+}
+
+std::shared_ptr<EdgeStore> EdgeFleet::edge_store_shared(StreamHandle stream) {
   std::lock_guard<std::mutex> lock(mu_);
-  Stream& s = *streams_[StreamIndex(stream)];
-  return s.store ? s.store.get() : nullptr;
+  if (Stream* s = FindStream(stream)) return s->store;
+  for (const auto& [handle, st] : retired_stores_) {
+    if (handle == stream) return st;
+  }
+  FF_CHECK_MSG(false, "no stream (live or retired) with handle " << stream);
+  return nullptr;  // unreachable; FF_CHECK_MSG(false, ...) throws
 }
 
 std::int64_t EdgeFleet::batches_run() const {

@@ -177,8 +177,24 @@ struct EdgeFleetConfig {
   double upload_bitrate_bps = 500'000;
   // Disable to skip the uplink encoders entirely (pure-filtering benches).
   bool enable_upload = true;
-  // Per-stream edge store capacity in frames (0 disables archiving).
+  // Per-stream edge store capacity in frames (0 disables archiving unless
+  // archive_dir is set; with a dir, 0 means "bounded by bytes only").
   std::int64_t edge_store_capacity = 0;
+  // Durable archiving: when non-empty, each stream's edge store is a
+  // memory-mapped pack on disk under <archive_dir>/stream-<handle>/ that
+  // survives restarts (store::PackArchive); empty keeps the in-RAM store.
+  std::string archive_dir;
+  // Per-stream archive byte budget (0 = unbounded; pack evicts whole
+  // segments, RAM evicts keyframe groups).
+  std::uint64_t archive_budget_bytes = 0;
+  // Archival-encode keyframe cadence; 1 = every frame an I-frame (the
+  // pre-durability retention semantics), larger gops compress better.
+  std::int64_t archive_gop = 1;
+  // Archival encode target bitrate; 0 = constant-QP.
+  double archive_bitrate_bps = 0;
+  // Records per pack segment file, and whether to fdatasync every append.
+  std::int64_t archive_segment_frames = 64;
+  bool archive_fsync = false;
   // Phase 2 across the thread pool, one task per (stream, tenant), once
   // there are enough tasks to occupy it. Disable for serial attach-order
   // execution (per-MC CPU attribution, Fig. 6).
@@ -338,7 +354,15 @@ class EdgeFleet {
   // Frames buffered awaiting decisions — bounded by the stream's largest
   // tenant decision lag, not by stream length.
   std::size_t pending_frames(StreamHandle stream) const;
+  // The stream's archive. Live streams resolve to their store (null when
+  // archiving is disabled); removed streams keep resolving — their archive
+  // outlives the stream so historical demand-fetch still works — and a
+  // handle never seen throws loudly.
   EdgeStore* edge_store(StreamHandle stream);
+  // Shared ownership of the same store, for demand-fetch handlers that must
+  // not touch the fleet lock on their serving thread (see
+  // net::UplinkClient::SetFetchHandler).
+  std::shared_ptr<EdgeStore> edge_store_shared(StreamHandle stream);
 
   // Phase-1 batches run so far (all buckets); frames_processed() /
   // batches_run() / n_streams() is the per-stream buffering depth the
@@ -405,7 +429,18 @@ class EdgeFleet {
     std::unique_ptr<codec::Encoder> uplink;
     std::int64_t last_uploaded = -2;
     std::int64_t frames_uploaded = 0;
-    std::unique_ptr<EdgeStore> store;
+    // Shared: the pipelined archive tail and demand-fetch handlers hold
+    // references that outlive stream churn (fetch-after-detach).
+    std::shared_ptr<EdgeStore> store;
+  };
+
+  // One deferred archive append: the pipelined schedule hands (store, frame
+  // copy) to a dedicated archive-writer thread so disk I/O never stalls the
+  // compute stage. Single consumer, so per-stream append order is exactly
+  // batch order — pipelined and synchronous archives are bitwise-identical.
+  struct ArchiveItem {
+    std::shared_ptr<EdgeStore> store;
+    video::Frame frame;
   };
 
   // One frame staged into a bucket's batch. `slot` is the frame's image
@@ -484,13 +519,26 @@ class EdgeFleet {
   // Stages B + C: bookkeeping, one base-DNN forward over the staged batch,
   // the (stream, tenant) MC fan-out, then phases 3-5 per frame in batch
   // order. Returns frames processed (staged entries whose stream is gone
-  // are discarded). Caller must hold mu_.
-  std::int64_t ProcessStaged(StagedBatch& batch);
+  // are discarded). Caller must hold mu_. When `deferred_archive` is
+  // non-null, archive appends are collected there (with a frame copy)
+  // instead of running inline — the pipelined compute stage pushes them to
+  // the archive-writer thread AFTER releasing mu_, so a full archive queue
+  // can never deadlock against the fleet lock.
+  std::int64_t ProcessStaged(StagedBatch& batch,
+                             std::vector<ArchiveItem>* deferred_archive =
+                                 nullptr);
 
   // Pipeline stage bodies (dedicated threads).
   void PrefetchThreadMain();
   void PrefetchLoop(std::unique_lock<std::mutex>& lock);
   void ComputeThreadMain();
+  // Archive tail (pipelined mode only): pops ArchiveItems and appends them
+  // to their stores. Never takes mu_ while appending, so the compute stage
+  // can block on a full archive queue without holding up this consumer.
+  void ArchiveThreadMain();
+  bool archiving_enabled() const {
+    return cfg_.edge_store_capacity > 0 || !cfg_.archive_dir.empty();
+  }
   // Hands the bucket's filling batch to the compute stage. Unlocks `lock`
   // around the (possibly blocking) bounded-queue push.
   void FlushFilling(Bucket& b, std::unique_lock<std::mutex>& lock);
@@ -509,6 +557,9 @@ class EdgeFleet {
   EdgeFleetConfig cfg_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Bucket>> buckets_;
+  // Archives of removed streams, still fetchable by their old handle.
+  std::vector<std::pair<StreamHandle, std::shared_ptr<EdgeStore>>>
+      retired_stores_;
   StreamHandle next_stream_ = 0;
   McHandle next_handle_ = 0;
   std::size_t bucket_rr_ = 0;    // sync Step: next bucket to try
@@ -520,8 +571,10 @@ class EdgeFleet {
   // Pipeline state (all guarded by mu_; the hand-off queue has its own
   // internal lock and is only ever pushed/popped with mu_ released).
   mutable std::mutex mu_;
-  std::thread prefetch_thread_, compute_thread_;
+  std::thread prefetch_thread_, compute_thread_, archive_thread_;
   std::unique_ptr<util::BoundedQueue<StagedBatch>> hand_off_;
+  std::unique_ptr<util::BoundedQueue<ArchiveItem>> archive_queue_;
+  std::int64_t archive_in_flight_ = 0;  // items queued but not yet appended
   bool pipeline_active_ = false;
   bool pipeline_stop_ = false;
   bool prefetch_idle_ = false;    // stage A parked with nothing to do

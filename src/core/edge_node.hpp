@@ -67,8 +67,14 @@ struct EdgeNodeConfig {
   double upload_bitrate_bps = 500'000;
   // Disable to skip the uplink encoder entirely (pure-filtering benches).
   bool enable_upload = true;
-  // Edge store capacity in frames (0 disables archiving/demand-fetch).
+  // Edge store capacity in frames (0 disables archiving/demand-fetch
+  // unless archive_dir is set).
   std::int64_t edge_store_capacity = 0;
+  // Durable archiving (see EdgeFleetConfig::archive_dir and friends): when
+  // non-empty the node's archive is an on-disk pack that survives restarts.
+  std::string archive_dir;
+  std::uint64_t archive_budget_bytes = 0;
+  std::int64_t archive_gop = 1;
   // Phase 2 across the thread pool (one task per tenant) once the tenant
   // count is large enough to occupy it; with few tenants the MCs run
   // serially and their kernels parallelize internally instead. Disable to
@@ -151,6 +157,10 @@ class EdgeNode {
   std::size_t pending_frames() const { return fleet_.pending_frames(stream_); }
 
   EdgeStore* edge_store() { return fleet_.edge_store(stream_); }
+  // Shared ownership for demand-fetch handlers (see EdgeFleet).
+  std::shared_ptr<EdgeStore> edge_store_shared() {
+    return fleet_.edge_store_shared(stream_);
+  }
 
   // Phase time totals in seconds (Fig. 6's breakdown). With parallel_mcs,
   // mc_seconds is the wall time of the fanned-out phase 2.

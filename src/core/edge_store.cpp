@@ -5,45 +5,160 @@
 #include "util/check.hpp"
 
 namespace ff::core {
+namespace {
 
-EdgeStore::EdgeStore(std::int64_t capacity_frames)
-    : capacity_(capacity_frames) {
-  FF_CHECK_GT(capacity_frames, 0);
+store::RetentionPolicy RetentionFrom(const EdgeStoreConfig& cfg) {
+  store::RetentionPolicy r;
+  r.capacity_frames = cfg.capacity_frames;
+  r.budget_bytes = cfg.budget_bytes;
+  return r;
 }
 
-void EdgeStore::Archive(const video::Frame& frame) {
-  frames_.push_back(frame);
-  while (static_cast<std::int64_t>(frames_.size()) > capacity_) {
-    frames_.pop_front();
-    ++base_;
+}  // namespace
+
+EdgeStore::EdgeStore(const EdgeStoreConfig& config) : config_(config) {
+  FF_CHECK_GE(config.capacity_frames, 0);
+  FF_CHECK_GT(config.gop, 0);
+  FF_CHECK_GT(config.fps, 0);
+  FF_CHECK_MSG(
+      config.capacity_frames > 0 || config.budget_bytes > 0 ||
+          !config.dir.empty(),
+      "an unbounded in-RAM edge store would grow forever; set a frame or "
+      "byte budget (or a durable dir)");
+  if (config.dir.empty()) {
+    backend_ = std::make_unique<store::MemoryArchive>(RetentionFrom(config));
+  } else {
+    store::PackConfig pc;
+    pc.retention = RetentionFrom(config);
+    pc.segment_frames = config.segment_frames;
+    pc.fsync_each_append = config.fsync_each_append;
+    backend_ = std::make_unique<store::PackArchive>(config.dir, pc);
   }
+}
+
+EdgeStore::EdgeStore(std::int64_t capacity_frames)
+    : EdgeStore([capacity_frames] {
+        FF_CHECK_GT(capacity_frames, 0);
+        EdgeStoreConfig cfg;
+        cfg.capacity_frames = capacity_frames;
+        return cfg;
+      }()) {}
+
+void EdgeStore::Archive(const video::Frame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArchiveLocked(frame);
+}
+
+void EdgeStore::ArchiveLocked(const video::Frame& frame) {
+  if (archival_encoder_ == nullptr) {
+    if (backend_->has_stream_meta()) {
+      // Reopened durable archive: the geometry on disk is authoritative.
+      const store::StreamMeta meta = backend_->stream_meta();
+      FF_CHECK_MSG(
+          frame.width() == meta.width && frame.height() == meta.height,
+          "frame geometry " << frame.width() << "x" << frame.height()
+                            << " does not match the reopened archive's "
+                            << meta.width << "x" << meta.height);
+    } else {
+      store::StreamMeta meta;
+      meta.width = frame.width();
+      meta.height = frame.height();
+      meta.fps = config_.fps;
+      meta.gop = config_.gop;
+      backend_->SetStreamMeta(meta);
+    }
+    codec::EncoderConfig ec;
+    ec.width = frame.width();
+    ec.height = frame.height();
+    ec.fps = config_.fps;
+    ec.target_bitrate_bps = config_.bitrate_bps;
+    ec.gop_size = static_cast<int>(config_.gop);
+    archival_encoder_ = std::make_unique<codec::Encoder>(ec);
+  }
+  // A fresh encoder opens with an I-frame, so the first append after (re)open
+  // is always a keyframe — exactly what the backend's invariants require.
+  const std::string chunk = archival_encoder_->EncodeFrame(frame);
+  backend_->Append(backend_->end_available(),
+                   archival_encoder_->last_stats().is_iframe, chunk);
+}
+
+std::int64_t EdgeStore::first_available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->first_available();
+}
+
+std::int64_t EdgeStore::end_available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->end_available();
+}
+
+std::uint64_t EdgeStore::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->stored_bytes();
 }
 
 std::optional<EdgeStore::Clip> EdgeStore::FetchClip(std::int64_t begin,
                                                     std::int64_t end,
                                                     double bitrate_bps,
                                                     std::int64_t fps) const {
-  const std::int64_t lo = std::max(begin, first_available());
-  const std::int64_t hi = std::min(end, end_available());
+  FF_CHECK_GT(fps, 0);
+  FF_CHECK_GT(bitrate_bps, 0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t lo = std::max(begin, backend_->first_available());
+  const std::int64_t hi = std::min(end, backend_->end_available());
   if (lo >= hi) return std::nullopt;
 
-  const video::Frame& first = frames_[static_cast<std::size_t>(lo - base_)];
-  codec::EncoderConfig cfg;
-  cfg.width = first.width();
-  cfg.height = first.height();
-  cfg.fps = fps;
-  cfg.target_bitrate_bps = bitrate_bps;
-  codec::Encoder encoder(cfg);
+  const store::StreamMeta meta = backend_->stream_meta();
+
+  // Reconstruct pixels from the archived bitstream, starting at the keyframe
+  // at or before `lo` (everything between decodes and is discarded). The
+  // decode state depends only on the archived chunks, which are byte-equal
+  // across backends — so the re-encoded clip is too.
+  const std::optional<std::int64_t> key = backend_->KeyframeAtOrBefore(lo);
+  FF_CHECK_MSG(key.has_value(), "no keyframe covers frame " << lo);
+  codec::Decoder decoder(meta.width, meta.height);
+  codec::EncoderConfig ec;
+  ec.width = meta.width;
+  ec.height = meta.height;
+  ec.fps = fps;
+  ec.target_bitrate_bps = bitrate_bps;
+  codec::Encoder encoder(ec);
 
   Clip clip;
   clip.begin = lo;
   clip.end = hi;
-  for (std::int64_t i = lo; i < hi; ++i) {
-    clip.chunks.push_back(encoder.EncodeFrame(
-        frames_[static_cast<std::size_t>(i - base_)], /*force_iframe=*/i == lo));
+  for (std::int64_t i = *key; i < hi; ++i) {
+    const std::optional<store::RecordRef> rec = backend_->Read(i);
+    FF_CHECK_MSG(rec.has_value(), "archived frame " << i << " went missing");
+    const video::Frame pixels = decoder.DecodeFrame(rec->bytes);
+    if (i < lo) continue;
+    clip.chunks.push_back(
+        encoder.EncodeFrame(pixels, /*force_iframe=*/i == lo));
     clip.bytes += clip.chunks.back().size();
   }
   return clip;
+}
+
+std::optional<std::string> EdgeStore::ReadChunk(
+    std::int64_t frame_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::optional<store::RecordRef> rec = backend_->Read(frame_index);
+  if (!rec.has_value()) return std::nullopt;
+  return std::string(rec->bytes);
+}
+
+std::optional<store::StreamMeta> EdgeStore::meta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!backend_->has_stream_meta()) return std::nullopt;
+  return backend_->stream_meta();
+}
+
+std::optional<store::RecoveryReport> EdgeStore::recovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* pack = dynamic_cast<const store::PackArchive*>(backend_.get());
+  if (pack == nullptr) return std::nullopt;
+  return pack->recovery();
 }
 
 }  // namespace ff::core

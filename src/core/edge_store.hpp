@@ -2,33 +2,72 @@
 // video stream to disk so that datacenter applications can demand-fetch
 // additional video (e.g., context segments surrounding a matched segment)".
 //
-// The store keeps the most recent `capacity` frames. A datacenter-side
-// application fetches a clip by frame range; the clip is re-encoded on
-// demand at the requested bitrate and returned as real bitstream chunks.
+// The store archives each frame ONCE, as an encoded bitstream chunk, into a
+// store::ArchiveBackend — in RAM (store::MemoryArchive) or as a durable
+// memory-mapped pack on disk (store::PackArchive) when `dir` is set. Both
+// backends hold byte-identical chunks, and FetchClip runs one shared
+// decode-from-keyframe + re-encode path over either, so a clip fetched from
+// disk is bitwise-equal to one fetched from RAM (store_pack_test pins this).
+//
+// Retention keeps the most recent window under the configured frame/byte
+// budget. A datacenter-side application fetches a clip by frame range; the
+// clip is re-encoded on demand at the requested bitrate and returned as real
+// bitstream chunks.
+//
+// Thread-safe: Archive and FetchClip may race (the fleet's archive tail
+// appends while a demand-fetch reads); an internal mutex serializes them.
 #pragma once
 
-#include <deque>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "store/archive.hpp"
+#include "store/pack.hpp"
 #include "video/frame.hpp"
 
 namespace ff::core {
 
+struct EdgeStoreConfig {
+  // Retention window. At least one bound (or a dir, whose disk budget can be
+  // the only bound) must be set; an unbounded in-RAM archive is a misconfig.
+  std::int64_t capacity_frames = 0;  // 0 = unbounded
+  std::uint64_t budget_bytes = 0;    // 0 = unbounded
+  // Archival-encode keyframe cadence. 1 (every frame an I-frame) keeps the
+  // pre-durability retention semantics: evictions move one frame at a time.
+  // Larger gops compress much better but evict in keyframe groups.
+  std::int64_t gop = 1;
+  // Archival encode rate. 0 = constant-QP (rate control off).
+  double bitrate_bps = 0;
+  std::int64_t fps = 30;
+  // Empty: in-RAM MemoryArchive. Non-empty: durable PackArchive rooted at
+  // this directory (created if needed, recovered if it holds a prior run).
+  std::string dir;
+  std::int64_t segment_frames = 64;
+  bool fsync_each_append = false;
+};
+
 class EdgeStore {
  public:
+  explicit EdgeStore(const EdgeStoreConfig& config);
+  // Pre-durability convenience: in-RAM store of the given frame capacity.
   explicit EdgeStore(std::int64_t capacity_frames);
 
+  // Encodes and appends one frame at index end_available(). The archive
+  // timeline is the store's own contiguous counter — deliberately decoupled
+  // from fleet frame numbering so it spans process restarts (a reopened pack
+  // keeps appending where the previous run stopped).
   void Archive(const video::Frame& frame);
 
-  std::int64_t capacity() const { return capacity_; }
+  std::int64_t capacity() const { return config_.capacity_frames; }
   // Range of frame indices currently held: [first_available, end_available).
-  std::int64_t first_available() const { return base_; }
-  std::int64_t end_available() const {
-    return base_ + static_cast<std::int64_t>(frames_.size());
-  }
+  std::int64_t first_available() const;
+  std::int64_t end_available() const;
+  std::uint64_t stored_bytes() const;
 
   struct Clip {
     std::int64_t begin = 0;
@@ -37,15 +76,33 @@ class EdgeStore {
     std::uint64_t bytes = 0;
   };
 
-  // Re-encodes frames [begin, end) at `bitrate_bps`. The range is clamped to
-  // what is still stored; returns nullopt when nothing overlaps.
+  // Re-encodes frames [begin, end) at `bitrate_bps`/`fps` (both must be
+  // positive — checked loudly). The range is clamped to what is still
+  // stored; returns nullopt when nothing overlaps (including begin > end
+  // and fully-evicted ranges).
   std::optional<Clip> FetchClip(std::int64_t begin, std::int64_t end,
                                 double bitrate_bps, std::int64_t fps) const;
 
+  // Copy of the archived chunk at `frame_index` (nullopt when evicted or
+  // never archived). Bitwise-equality tests compare these across backends.
+  std::optional<std::string> ReadChunk(std::int64_t frame_index) const;
+
+  // Recovery report from opening a durable archive; nullopt for in-RAM
+  // stores. A non-clean() report means the previous run ended in a crash.
+  std::optional<store::RecoveryReport> recovery() const;
+
+  // Stream geometry (width/height/fps/gop) once known — set by the first
+  // Archive, or already on disk for a reopened pack. nullopt before either.
+  std::optional<store::StreamMeta> meta() const;
+
  private:
-  std::int64_t capacity_;
-  std::int64_t base_ = 0;  // index of frames_.front()
-  std::deque<video::Frame> frames_;
+  void ArchiveLocked(const video::Frame& frame);
+
+  EdgeStoreConfig config_;
+  mutable std::mutex mu_;
+  std::unique_ptr<store::ArchiveBackend> backend_;
+  // Lazily built on the first Archive (geometry comes from the frame).
+  std::unique_ptr<codec::Encoder> archival_encoder_;
 };
 
 }  // namespace ff::core

@@ -1,10 +1,29 @@
 #include "net/ingest.hpp"
 
 #include <numeric>
+#include <utility>
 
+#include "codec/codec.hpp"
 #include "util/check.hpp"
 
 namespace ff::net {
+
+namespace {
+// Re-send an unanswered fetch request every this many Pump() calls. Fetch
+// frames are fire-and-forget; this is their whole loss-recovery story.
+constexpr std::int64_t kFetchResendPumps = 4;
+}  // namespace
+
+std::vector<video::Frame> FetchedClip::DecodeFrames() const {
+  FF_CHECK_MSG(ok, "DecodeFrames on a refused clip");
+  codec::Decoder decoder(width, height);
+  std::vector<video::Frame> frames;
+  frames.reserve(chunks.size());
+  for (const std::string& chunk : chunks) {
+    frames.push_back(decoder.DecodeFrame(chunk));
+  }
+  return frames;
+}
 
 void DatacenterIngest::AddFleet(std::uint64_t fleet, Link& link) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,7 +43,54 @@ std::size_t DatacenterIngest::Pump() {
       HandleDatagram(fleet, fs, *datagram);
     }
   }
+  ResendFetches();
   return n;
+}
+
+std::uint64_t DatacenterIngest::RequestClip(std::uint64_t fleet,
+                                            std::int64_t stream,
+                                            std::int64_t begin,
+                                            std::int64_t end,
+                                            std::int64_t bitrate_bps,
+                                            std::int64_t fps) {
+  FF_CHECK_GT(bitrate_bps, 0);
+  FF_CHECK_GT(fps, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fit = fleets_.find(fleet);
+  FF_CHECK_MSG(fit != fleets_.end(), "fleet " << fleet << " not registered");
+  FetchRequest req;
+  req.fleet = fleet;
+  req.stream = stream;
+  req.request_id = next_request_id_++;
+  req.begin = begin;
+  req.end = end;
+  req.bitrate_bps = bitrate_bps;
+  req.fps = fps;
+  fit->second.link->Send(EncodeFrame(req));
+  ++stats_.fetch_requests;
+  pending_fetches_[req.request_id] = PendingFetch{req, 0};
+  return req.request_id;
+}
+
+void DatacenterIngest::ResendFetches() {
+  for (auto& [id, pending] : pending_fetches_) {
+    if (++pending.pumps_since_send < kFetchResendPumps) continue;
+    pending.pumps_since_send = 0;
+    const auto fit = fleets_.find(pending.req.fleet);
+    if (fit == fleets_.end()) continue;
+    fit->second.link->Send(EncodeFrame(pending.req));
+    ++stats_.fetch_retransmits;
+  }
+}
+
+std::optional<FetchedClip> DatacenterIngest::TakeFetched(
+    std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = completed_fetches_.find(request_id);
+  if (it == completed_fetches_.end()) return std::nullopt;
+  FetchedClip clip = std::move(it->second);
+  completed_fetches_.erase(it);
+  return clip;
 }
 
 void DatacenterIngest::HandleDatagram(std::uint64_t fleet, FleetState& fs,
@@ -114,6 +180,25 @@ void DatacenterIngest::DeliverRecord(FleetState& fs, StreamState& ss,
   if (rec.type == RecordType::kEvent) {
     fs.events.push_back(std::move(rec.event));
     ++stats_.events_delivered;
+    return;
+  }
+  if (rec.type == RecordType::kClip) {
+    ClipRecord& clip = rec.clip;
+    // A clip answering a request we never made (or already took) is stale —
+    // e.g. the edge's dedup window forgot a drop-then-reserve pair. Count
+    // delivery either way; record it only when someone is waiting.
+    if (pending_fetches_.erase(clip.request_id) > 0) {
+      FetchedClip out;
+      out.ok = clip.ok;
+      out.stream = clip.stream;
+      out.begin = clip.begin;
+      out.end = clip.end;
+      out.width = clip.width;
+      out.height = clip.height;
+      out.chunks = std::move(clip.chunks);
+      completed_fetches_[clip.request_id] = std::move(out);
+    }
+    ++stats_.clips_delivered;
     return;
   }
   core::UploadPacket& p = rec.upload;

@@ -21,6 +21,14 @@
 // window runs ahead of its oldest unacked frame, and duplicate/ordering
 // bookkeeping never grows with loss rate or stream length.
 //
+// DEMAND-FETCH (paper §3.2): the ingest is also the datacenter-side client
+// of the edge archive. RequestClip() sends a FetchRequest frame down the
+// fleet's link; fetch frames are fire-and-forget like acks, so Pump()
+// re-sends every unanswered request on a fixed pump cadence until the
+// matching ClipRecord arrives on the reliable record path (the edge dedups
+// re-sent request_ids). TakeFetched() hands the completed clip — refusals
+// included — to the caller exactly once.
+//
 // Pump() drains every registered link and is single-threaded; all public
 // methods are serialized on one internal mutex, so stats/accessors may be
 // read while another thread pumps.
@@ -30,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +46,7 @@
 #include "core/events.hpp"
 #include "net/link.hpp"
 #include "net/wire.hpp"
+#include "video/frame.hpp"
 
 namespace ff::net {
 
@@ -51,7 +61,27 @@ struct IngestStats {
   std::int64_t uploads_delivered = 0;  // fed to a DatacenterReceiver
   std::int64_t events_delivered = 0;
   std::int64_t bad_records = 0;        // reassembled but undecodable
+  std::int64_t fetch_requests = 0;     // RequestClip calls
+  std::int64_t fetch_retransmits = 0;  // re-sent unanswered requests
+  std::int64_t clips_delivered = 0;    // ClipRecords completed
   std::uint64_t wire_bytes = 0;        // datagram bytes polled
+};
+
+// A completed demand-fetch. ok == false means the edge refused (range
+// evicted/never recorded, or the stream is unknown there); otherwise chunks
+// holds one bitstream chunk per frame of the served range [begin, end).
+struct FetchedClip {
+  bool ok = false;
+  std::int64_t stream = -1;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::vector<std::string> chunks;
+
+  // Decodes the chunks back to pixels (a clip always opens with an
+  // I-frame, so a fresh decoder suffices). Requires ok.
+  std::vector<video::Frame> DecodeFrames() const;
 };
 
 class DatacenterIngest {
@@ -66,9 +96,23 @@ class DatacenterIngest {
   // unroutable and dropped.
   void AddFleet(std::uint64_t fleet, Link& link);
 
-  // Drains every registered fleet's link: decode, ack, reassemble, deliver.
+  // Drains every registered fleet's link (decode, ack, reassemble, deliver),
+  // then re-sends unanswered fetch requests past their pump cadence.
   // Returns the number of datagrams processed.
   std::size_t Pump();
+
+  // Demand-fetches frames [begin, end) of one stream's edge archive at the
+  // given re-encode parameters (both must be positive — checked loudly; the
+  // fleet must be registered). Sends immediately; Pump() re-sends until the
+  // clip record arrives. Returns the request_id to poll TakeFetched with.
+  std::uint64_t RequestClip(std::uint64_t fleet, std::int64_t stream,
+                            std::int64_t begin, std::int64_t end,
+                            std::int64_t bitrate_bps = 500'000,
+                            std::int64_t fps = 15);
+
+  // Takes the completed clip for `request_id` out of the ingest (one-shot:
+  // a second call returns nullopt). nullopt while still unanswered.
+  std::optional<FetchedClip> TakeFetched(std::uint64_t request_id);
 
   // Per-(fleet, stream) receiver; nullptr until the stream's first upload
   // record is delivered. The pointer stays valid for the server's lifetime.
@@ -101,6 +145,11 @@ class DatacenterIngest {
     std::vector<core::EventRecord> events;
   };
 
+  struct PendingFetch {
+    FetchRequest req;
+    std::int64_t pumps_since_send = 0;
+  };
+
   // All private helpers run under mu_.
   void HandleDatagram(std::uint64_t fleet, FleetState& fs,
                       const std::string& datagram);
@@ -108,9 +157,13 @@ class DatacenterIngest {
   void DeliverReady(FleetState& fs, StreamState& ss);
   void DeliverRecord(FleetState& fs, StreamState& ss,
                      const std::string& record);
+  void ResendFetches();
 
   mutable std::mutex mu_;
   std::map<std::uint64_t, FleetState> fleets_;
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, PendingFetch> pending_fetches_;   // by request_id
+  std::map<std::uint64_t, FetchedClip> completed_fetches_;  // by request_id
   IngestStats stats_;
 };
 

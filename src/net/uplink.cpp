@@ -2,10 +2,41 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <utility>
 
+#include "core/edge_store.hpp"
 #include "util/check.hpp"
 
 namespace ff::net {
+
+namespace {
+// Answered request_ids remembered for dedup. The ingest stops re-sending as
+// soon as the clip record arrives, so the window only needs to cover the
+// requests in flight at once — 4096 is orders of magnitude beyond that.
+constexpr std::size_t kFetchDedupCap = 4096;
+}  // namespace
+
+FetchHandler MakeFleetFetchHandler(core::EdgeFleet& fleet) {
+  return [&fleet](const FetchRequest& req) {
+    ClipRecord clip;  // ok == false until a clip is actually served
+    // Throws on a handle the fleet never saw — the caller's try/catch turns
+    // that into an ok == false reply.
+    std::shared_ptr<core::EdgeStore> store = fleet.edge_store_shared(req.stream);
+    auto fetched = store->FetchClip(
+        req.begin, req.end, static_cast<double>(req.bitrate_bps), req.fps);
+    if (!fetched.has_value()) return clip;
+    const auto meta = store->meta();
+    FF_CHECK_MSG(meta.has_value(), "store served a clip without stream meta");
+    clip.ok = true;
+    clip.begin = fetched->begin;
+    clip.end = fetched->end;
+    clip.width = meta->width;
+    clip.height = meta->height;
+    clip.chunks = std::move(fetched->chunks);
+    return clip;
+  };
+}
 
 UplinkClient::UplinkClient(Link& link, const UplinkConfig& cfg)
     : link_(link), cfg_(cfg) {
@@ -69,21 +100,52 @@ core::EventSink UplinkClient::event_sink() {
   return [this](const core::EventRecord& ev) { EnqueueEvent(ev); };
 }
 
+void UplinkClient::SetFetchHandler(FetchHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fetch_handler_ = std::move(handler);
+}
+
 void UplinkClient::Pump() { Pump(NowMs()); }
 
 void UplinkClient::Pump(std::int64_t now_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  PumpLocked(now_ms, lock);
+  std::vector<FetchRequest> fetches;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PumpLocked(now_ms, lock, &fetches);
+  }
+  // Outside the lock: the handler re-encodes real video.
+  ServeFetches(fetches);
 }
 
 void UplinkClient::PumpLocked(std::int64_t now_ms,
-                              std::unique_lock<std::mutex>& lock) {
-  // 1. Drain the ack inbox. Anything that does not decode to an ack for
-  // this fleet is noise on an unreliable channel: drop it.
+                              std::unique_lock<std::mutex>& lock,
+                              std::vector<FetchRequest>* fetches) {
+  // 1. Drain the inbox: acks for our window, fetch requests to collect.
+  // Anything else that does not decode for this fleet is noise on an
+  // unreliable channel: drop it.
   while (auto datagram = link_.Poll()) {
     DecodedFrame frame;
     const DecodeResult res = DecodeFrame(*datagram, &frame);
-    if (!res.ok() || frame.type != FrameType::kAck) continue;
+    if (!res.ok()) continue;
+    if (frame.type == FrameType::kFetch) {
+      if (frame.fetch.fleet != cfg_.fleet) continue;
+      ++stats_.fetches_received;
+      if (!fetch_handler_) continue;
+      if (served_fetch_ids_.count(frame.fetch.request_id) > 0) {
+        // Already answered (the ingest re-sends until the clip lands).
+        ++stats_.fetches_deduped;
+        continue;
+      }
+      served_fetch_ids_.insert(frame.fetch.request_id);
+      served_fetch_order_.push_back(frame.fetch.request_id);
+      while (served_fetch_order_.size() > kFetchDedupCap) {
+        served_fetch_ids_.erase(served_fetch_order_.front());
+        served_fetch_order_.pop_front();
+      }
+      if (fetches != nullptr) fetches->push_back(frame.fetch);
+      continue;
+    }
+    if (frame.type != FrameType::kAck) continue;
     if (frame.ack.fleet != cfg_.fleet) continue;
     if (in_flight_.erase(frame.ack.wire_seq) > 0) ++stats_.frames_acked;
   }
@@ -136,10 +198,54 @@ void UplinkClient::PumpLocked(std::int64_t now_ms,
   (void)lock;
 }
 
+void UplinkClient::ServeFetches(const std::vector<FetchRequest>& fetches) {
+  for (const FetchRequest& req : fetches) {
+    FetchHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = fetch_handler_;
+    }
+    if (!handler) continue;  // cleared between collect and serve
+    ClipRecord clip;
+    std::string bytes;
+    try {
+      clip = handler(req);
+      clip.request_id = req.request_id;
+      clip.stream = req.stream;
+      bytes = EncodeClipRecord(clip);
+    } catch (const std::exception&) {
+      // Unknown stream, evicted archive, or a handler bug: answer loudly
+      // with a refusal instead of killing the pump thread.
+      ClipRecord refusal;
+      refusal.request_id = req.request_id;
+      refusal.stream = req.stream;
+      bytes = EncodeClipRecord(refusal);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= cfg_.queue_capacity) {
+      // Never block the pump on the queue only the pump drains. Drop the
+      // response and forget the id so the ingest's re-request is served.
+      ++stats_.fetch_responses_dropped;
+      served_fetch_ids_.erase(req.request_id);
+      continue;
+    }
+    stats_.record_bytes += bytes.size();
+    queue_.push_back(QueuedRecord{req.stream, std::move(bytes)});
+    ++stats_.fetches_served;
+  }
+}
+
 void UplinkClient::ThreadMain() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
-    PumpLocked(NowMs(), lock);
+    std::vector<FetchRequest> fetches;
+    PumpLocked(NowMs(), lock, &fetches);
+    if (!fetches.empty()) {
+      lock.unlock();
+      ServeFetches(fetches);
+      lock.lock();
+      continue;  // launch the replies promptly on the next tick
+    }
     idle_cv_.wait_for(
         lock, std::chrono::milliseconds(cfg_.pump_interval_ms),
         [&] { return stopping_; });

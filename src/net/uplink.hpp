@@ -29,6 +29,16 @@
 // retransmit due frames, launch new ones) and is the deterministic seam the
 // tests drive with a fake clock. Start() runs the same pump on a dedicated
 // thread against the configured clock — the async mode deployments use.
+//
+// DEMAND-FETCH SERVING (paper §3.2): the same link also carries datacenter →
+// edge FETCH frames. With a FetchHandler installed, the pump collects fetch
+// requests addressed to this fleet and serves them on the pumping thread,
+// OUTSIDE the client lock (the handler typically re-encodes a clip — real
+// work — and may take the fleet/store locks). The resulting ClipRecord rides
+// the normal reliable record path back. request_ids already answered are
+// deduped (the ingest re-sends requests until the clip arrives), and a
+// response that finds the send queue full is DROPPED — never block the pump
+// on its own queue — un-marking the id so the ingest's re-request is served.
 #pragma once
 
 #include <condition_variable>
@@ -37,8 +47,10 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/datacenter.hpp"
 #include "core/edge_fleet.hpp"
@@ -81,11 +93,28 @@ struct UplinkStats {
   std::int64_t retransmits = 0;      // re-sends after timeout
   std::int64_t frames_acked = 0;
   std::int64_t records_dropped = 0;  // drop-oldest overflow victims
+  std::int64_t fetches_received = 0;  // valid FETCH frames for this fleet
+  std::int64_t fetches_served = 0;    // handler ran, response enqueued
+  std::int64_t fetches_deduped = 0;   // request_id already answered
+  std::int64_t fetch_responses_dropped = 0;  // send queue full at reply time
   std::uint64_t wire_bytes = 0;      // every byte offered to the link
   std::uint64_t record_bytes = 0;    // serialized record bytes enqueued
   std::size_t queued = 0;            // snapshot: records awaiting a seq
   std::size_t in_flight = 0;         // snapshot: unacked frames
 };
+
+// Serves one fetch request: fill ok/begin/end/width/height/chunks (the
+// client overwrites request_id and stream from the request). Runs on the
+// pumping thread with NO uplink lock held; a throw is caught and answered
+// with ok == false, so an unknown stream or evicted range never kills the
+// pump. Must not call back into the serving UplinkClient.
+using FetchHandler = std::function<ClipRecord(const FetchRequest&)>;
+
+// The standard handler: resolve the stream's edge store in `fleet` (live or
+// retired — fetch-after-detach works) and FetchClip the requested range.
+// ok == false when the range no longer overlaps the archive or the stream
+// handle was never seen.
+FetchHandler MakeFleetFetchHandler(core::EdgeFleet& fleet);
 
 class UplinkClient {
  public:
@@ -113,10 +142,14 @@ class UplinkClient {
   core::UploadSink sink();
   core::EventSink event_sink();
 
-  // One deterministic tick at the given clock reading: drains acks off the
-  // link, retransmits every frame past its deadline, then launches queued
-  // records while the window has room. The no-argument form reads the
-  // configured clock.
+  // Installs (or clears) the demand-fetch handler. Fetch frames arriving
+  // while no handler is installed are dropped (counted as received only).
+  void SetFetchHandler(FetchHandler handler);
+
+  // One deterministic tick at the given clock reading: drains acks and fetch
+  // requests off the link, retransmits every frame past its deadline,
+  // launches queued records while the window has room, then serves collected
+  // fetches (lock released). The no-argument form reads the configured clock.
   void Pump(std::int64_t now_ms);
   void Pump();
 
@@ -146,7 +179,13 @@ class UplinkClient {
   };
 
   void EnqueueRecord(std::int64_t stream, std::string bytes);
-  void PumpLocked(std::int64_t now_ms, std::unique_lock<std::mutex>& lock);
+  // Collects fetch requests accepted this tick into *fetches (dedup and the
+  // received/deduped counters happen here, under the lock).
+  void PumpLocked(std::int64_t now_ms, std::unique_lock<std::mutex>& lock,
+                  std::vector<FetchRequest>* fetches);
+  // Runs the handler per request and enqueues replies. Caller must NOT hold
+  // mu_ — the handler does real work and the reply re-takes the lock.
+  void ServeFetches(const std::vector<FetchRequest>& fetches);
   std::int64_t NowMs() const;
   void ThreadMain();
 
@@ -163,6 +202,11 @@ class UplinkClient {
   std::map<std::uint64_t, InFlight> in_flight_;  // by wire_seq
   std::map<std::int64_t, std::uint64_t> next_record_seq_;  // per stream
   std::uint64_t next_wire_seq_ = 0;
+  FetchHandler fetch_handler_;
+  // Answered request_ids, bounded FIFO (kFetchDedupCap): membership dedups
+  // the ingest's re-sent requests; eviction order forgets the oldest.
+  std::set<std::uint64_t> served_fetch_ids_;
+  std::deque<std::uint64_t> served_fetch_order_;
   UplinkStats stats_;
   bool stopping_ = false;  // unblocks Enqueue during Stop()
   bool thread_running_ = false;

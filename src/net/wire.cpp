@@ -1,26 +1,12 @@
 #include "net/wire.hpp"
 
-#include <array>
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 
 namespace ff::net {
 namespace {
-
-// --- CRC-32 -----------------------------------------------------------------
-
-std::array<std::uint32_t, 256> MakeCrcTable() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 // --- Bounds-checked little-endian serialization -----------------------------
 
@@ -148,14 +134,7 @@ std::string FrameAround(FrameType type, std::string body) {
 
 }  // namespace
 
-std::uint32_t Crc32(std::string_view data) {
-  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : data) {
-    crc = kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+std::uint32_t Crc32(std::string_view data) { return util::Crc32(data); }
 
 std::string EncodeFrame(const DataFrame& f) {
   FF_CHECK_MSG(f.frag_count >= 1 && f.frag_index < f.frag_count,
@@ -179,6 +158,20 @@ std::string EncodeFrame(const AckFrame& f) {
   return FrameAround(FrameType::kAck, w.Take());
 }
 
+std::string EncodeFrame(const FetchRequest& f) {
+  FF_CHECK_GT(f.bitrate_bps, 0);
+  FF_CHECK_GT(f.fps, 0);
+  Writer w;
+  w.U64(f.fleet);
+  w.I64(f.stream);
+  w.U64(f.request_id);
+  w.I64(f.begin);
+  w.I64(f.end);
+  w.I64(f.bitrate_bps);
+  w.I64(f.fps);
+  return FrameAround(FrameType::kFetch, w.Take());
+}
+
 DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out) {
   FF_CHECK(out != nullptr);
   if (buf.size() < kHeaderBytes) return NeedMore();
@@ -195,7 +188,8 @@ DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out) {
     return Corrupt("unsupported version " + std::to_string(version));
   }
   if (type != static_cast<std::uint8_t>(FrameType::kData) &&
-      type != static_cast<std::uint8_t>(FrameType::kAck)) {
+      type != static_cast<std::uint8_t>(FrameType::kAck) &&
+      type != static_cast<std::uint8_t>(FrameType::kFetch)) {
     return Corrupt("unknown frame type " + std::to_string(type));
   }
   if (r0 != 0 || r1 != 0) return Corrupt("reserved bits set");
@@ -228,10 +222,26 @@ DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out) {
                        " >= frag_count " + std::to_string(d.frag_count));
       }
     }
-  } else {
+  } else if (type == static_cast<std::uint8_t>(FrameType::kAck)) {
     out->type = FrameType::kAck;
     out->ack.fleet = b.U64("fleet");
     out->ack.wire_seq = b.U64("wire_seq");
+  } else {
+    out->type = FrameType::kFetch;
+    FetchRequest& f = out->fetch;
+    f.fleet = b.U64("fleet");
+    f.stream = b.I64("stream");
+    f.request_id = b.U64("request_id");
+    f.begin = b.I64("begin");
+    f.end = b.I64("end");
+    f.bitrate_bps = b.I64("bitrate_bps");
+    f.fps = b.I64("fps");
+    if (!b.failed()) {
+      // Reject up front what the edge-side archive would reject loudly — a
+      // corrupt request must not be able to throw on the serving thread.
+      if (f.bitrate_bps <= 0) return Corrupt("fetch bitrate_bps not positive");
+      if (f.fps <= 0) return Corrupt("fetch fps not positive");
+    }
   }
   if (b.failed()) return Corrupt("data body: " + b.error());
   if (!b.ExpectEnd("frame body")) return Corrupt(b.error());
@@ -263,6 +273,33 @@ std::string EncodeEventRecord(const core::EventRecord& ev) {
   w.I64(ev.begin);
   w.I64(ev.end);
   w.I64(ev.stream);
+  return w.Take();
+}
+
+std::string EncodeClipRecord(const ClipRecord& clip) {
+  FF_CHECK_LE(clip.chunks.size(), kMaxClipFrames);
+  if (clip.ok) {
+    FF_CHECK_EQ(clip.end - clip.begin,
+                static_cast<std::int64_t>(clip.chunks.size()));
+    FF_CHECK_GT(clip.width, 0);
+    FF_CHECK_GT(clip.height, 0);
+  } else {
+    FF_CHECK_EQ(clip.chunks.size(), 0u);
+  }
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(RecordType::kClip));
+  w.U64(clip.request_id);
+  w.I64(clip.stream);
+  w.U8(clip.ok ? 1 : 0);
+  w.I64(clip.begin);
+  w.I64(clip.end);
+  w.I64(clip.width);
+  w.I64(clip.height);
+  w.U32(static_cast<std::uint32_t>(clip.chunks.size()));
+  for (const std::string& chunk : clip.chunks) {
+    FF_CHECK_LE(chunk.size(), kMaxBody);
+    w.Bytes(chunk);
+  }
   return w.Take();
 }
 
@@ -307,6 +344,46 @@ DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out) {
     ev.stream = r.I64("stream");
     if (r.failed()) return Corrupt("event record: " + r.error());
     if (!r.ExpectEnd("event record")) return Corrupt(r.error());
+  } else if (type == static_cast<std::uint8_t>(RecordType::kClip)) {
+    out->type = RecordType::kClip;
+    ClipRecord& clip = out->clip;
+    clip = {};
+    clip.request_id = r.U64("request_id");
+    clip.stream = r.I64("stream");
+    const std::uint8_t ok = r.U8("ok flag");
+    clip.begin = r.I64("begin");
+    clip.end = r.I64("end");
+    clip.width = r.I64("width");
+    clip.height = r.I64("height");
+    const std::uint32_t n = r.U32("chunk count");
+    if (r.failed()) return Corrupt("clip record: " + r.error());
+    if (ok > 1) return Corrupt("clip ok flag " + std::to_string(ok));
+    clip.ok = ok == 1;
+    if (n > kMaxClipFrames) {
+      return Corrupt("clip chunk count " + std::to_string(n) + " exceeds cap");
+    }
+    // The served range and the chunk list must agree, and a refused fetch
+    // carries no chunks — a frame per chunk is what DecodeFrames relies on.
+    if (clip.ok) {
+      if (clip.end - clip.begin != static_cast<std::int64_t>(n)) {
+        return Corrupt("clip range [" + std::to_string(clip.begin) + ", " +
+                       std::to_string(clip.end) + ") disagrees with " +
+                       std::to_string(n) + " chunks");
+      }
+      if (clip.width <= 0 || clip.height <= 0) {
+        return Corrupt("clip geometry not positive");
+      }
+    } else if (n != 0) {
+      return Corrupt("refused clip carries chunks");
+    }
+    // Chunks are length-prefixed; a lying count fails on the first short
+    // read instead of reserving.
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      std::string chunk = r.Bytes("clip chunk", kMaxBody);
+      if (!r.failed()) clip.chunks.push_back(std::move(chunk));
+    }
+    if (r.failed()) return Corrupt("clip record: " + r.error());
+    if (!r.ExpectEnd("clip record")) return Corrupt(r.error());
   } else {
     return Corrupt("unknown record type " + std::to_string(type));
   }

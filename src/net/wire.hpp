@@ -49,8 +49,11 @@ inline constexpr std::size_t kMaxBody = 1u << 24;
 inline constexpr std::size_t kMaxNameBytes = 1u << 12;
 inline constexpr std::uint32_t kMaxMemberships = 1u << 16;
 inline constexpr std::uint32_t kMaxFragCount = 1u << 12;
+// Frames per demand-fetched clip record (a clip is bounded by the edge
+// store's retention window, but the decoder must not trust the wire).
+inline constexpr std::uint32_t kMaxClipFrames = 1u << 16;
 
-enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
+enum class FrameType : std::uint8_t { kData = 1, kAck = 2, kFetch = 3 };
 
 // One fragment of a record in flight. wire_seq is per-uplink and exists for
 // ack/retransmit/dedup; record_seq is per-stream and orders records for
@@ -70,8 +73,25 @@ struct AckFrame {
   std::uint64_t wire_seq = 0;
 };
 
+// Datacenter → edge: demand-fetch a historical clip from one stream's edge
+// archive (paper §3.2). Fire-and-forget like ACKs — the ingest re-sends
+// until the clip record arrives (the response rides the normal reliable
+// record path; request_id dedups re-sent requests edge-side). Decoding
+// rejects non-positive bitrate/fps up front so a corrupt request can never
+// reach the archive's loud argument checks.
+struct FetchRequest {
+  std::uint64_t fleet = 0;
+  std::int64_t stream = -1;       // stream handle within the fleet
+  std::uint64_t request_id = 0;   // assigned by the ingest; dedup + matching
+  std::int64_t begin = 0;         // requested frame range [begin, end)
+  std::int64_t end = 0;
+  std::int64_t bitrate_bps = 500'000;  // re-encode parameters
+  std::int64_t fps = 15;
+};
+
 std::string EncodeFrame(const DataFrame& f);
 std::string EncodeFrame(const AckFrame& f);
+std::string EncodeFrame(const FetchRequest& f);
 
 enum class DecodeStatus { kOk, kNeedMore, kCorrupt };
 
@@ -85,8 +105,9 @@ struct DecodeResult {
 
 struct DecodedFrame {
   FrameType type = FrameType::kData;
-  DataFrame data;  // valid when type == kData
-  AckFrame ack;    // valid when type == kAck
+  DataFrame data;      // valid when type == kData
+  AckFrame ack;        // valid when type == kAck
+  FetchRequest fetch;  // valid when type == kFetch
 };
 
 // Decodes one frame from the head of `buf` (datagram links deliver exactly
@@ -96,15 +117,32 @@ DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out);
 
 // --- Records: the logical payload DATA frames fragment ---------------------
 
-enum class RecordType : std::uint8_t { kUpload = 1, kEvent = 2 };
+enum class RecordType : std::uint8_t { kUpload = 1, kEvent = 2, kClip = 3 };
+
+// Edge → datacenter: the response to a FetchRequest. ok == false means the
+// requested range no longer overlaps the archive (evicted or never
+// recorded); otherwise chunks holds one re-encoded bitstream chunk per
+// frame of the served (clamped) range [begin, end).
+struct ClipRecord {
+  std::uint64_t request_id = 0;
+  std::int64_t stream = -1;
+  bool ok = false;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t width = 0;  // decode geometry (carried out-of-band by the
+  std::int64_t height = 0;  // archive's stream metadata edge-side)
+  std::vector<std::string> chunks;
+};
 
 std::string EncodeUploadRecord(const core::UploadPacket& p);
 std::string EncodeEventRecord(const core::EventRecord& ev);
+std::string EncodeClipRecord(const ClipRecord& clip);
 
 struct DecodedRecord {
   RecordType type = RecordType::kUpload;
   core::UploadPacket upload;  // valid when type == kUpload
   core::EventRecord event;    // valid when type == kEvent
+  ClipRecord clip;            // valid when type == kClip
 };
 
 // Decodes one reassembled record. Same strictness contract as DecodeFrame

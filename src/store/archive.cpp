@@ -1,0 +1,79 @@
+#include "store/archive.hpp"
+
+#include "util/check.hpp"
+
+namespace ff::store {
+
+MemoryArchive::MemoryArchive(const RetentionPolicy& retention)
+    : retention_(retention) {
+  FF_CHECK_GE(retention.capacity_frames, 0);
+}
+
+void MemoryArchive::SetStreamMeta(const StreamMeta& meta) {
+  FF_CHECK_GT(meta.width, 0);
+  FF_CHECK_GT(meta.height, 0);
+  FF_CHECK_GT(meta.gop, 0);
+  meta_ = meta;
+  has_meta_ = true;
+}
+
+void MemoryArchive::Append(std::int64_t frame_index, bool keyframe,
+                           std::string_view chunk) {
+  FF_CHECK_MSG(has_meta_, "SetStreamMeta must precede the first Append");
+  if (records_.empty()) {
+    FF_CHECK_MSG(keyframe, "the first archived record must be a keyframe");
+    base_ = frame_index;
+  } else {
+    FF_CHECK_EQ(frame_index, end_available());
+  }
+  records_.push_back(Rec{keyframe, std::string(chunk)});
+  bytes_ += chunk.size();
+  Evict();
+}
+
+std::optional<RecordRef> MemoryArchive::Read(std::int64_t frame_index) const {
+  if (frame_index < base_ || frame_index >= end_available())
+    return std::nullopt;
+  const Rec& rec = records_[static_cast<std::size_t>(frame_index - base_)];
+  return RecordRef{frame_index, rec.keyframe, rec.bytes};
+}
+
+std::optional<std::int64_t> MemoryArchive::KeyframeAtOrBefore(
+    std::int64_t frame_index) const {
+  if (frame_index < base_ || frame_index >= end_available())
+    return std::nullopt;
+  for (std::int64_t i = frame_index; i >= base_; --i) {
+    if (records_[static_cast<std::size_t>(i - base_)].keyframe) return i;
+  }
+  // Unreachable: the front record is a keyframe by the Append/Evict
+  // invariants.
+  FF_CHECK_MSG(false, "archive window does not start at a keyframe");
+  return std::nullopt;
+}
+
+bool MemoryArchive::OverBudget() const {
+  if (retention_.capacity_frames > 0 &&
+      static_cast<std::int64_t>(records_.size()) > retention_.capacity_frames)
+    return true;
+  if (retention_.budget_bytes > 0 && bytes_ > retention_.budget_bytes)
+    return true;
+  return false;
+}
+
+void MemoryArchive::Evict() {
+  // Drop whole keyframe groups from the front so the window always starts
+  // at a keyframe — but never the group holding the newest record.
+  while (OverBudget()) {
+    std::size_t group_end = 1;  // first record past the front group
+    while (group_end < records_.size() && !records_[group_end].keyframe)
+      ++group_end;
+    if (group_end >= records_.size()) break;  // would empty the archive
+    for (std::size_t i = 0; i < group_end; ++i) {
+      bytes_ -= records_.front().bytes.size();
+      records_.pop_front();
+      ++base_;
+    }
+  }
+}
+
+}  // namespace ff::store

@@ -1,0 +1,131 @@
+// Archive backends for the edge store (paper §3.2 demand-fetch).
+//
+// An archive holds one stream's ENCODED bitstream chunks, one per frame
+// index, over a contiguous window [first_available, end_available). The
+// window is bounded by a RetentionPolicy; eviction always happens at the
+// front and always lands on a keyframe, so every retained suffix is
+// independently decodable from its first chunk.
+//
+// Two backends implement the interface:
+//   - MemoryArchive — in-RAM deque; keeps the pre-durability behavior for
+//     tests and for deployments that never restart.
+//   - PackArchive (store/pack.hpp) — mmap'd segment files on disk with
+//     crash-safe append; survives kill -9 and process restarts.
+//
+// Backends are NOT thread-safe; core::EdgeStore serializes access.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ff::store {
+
+// Byte/frame budget for the retained window. Zero means "unbounded" for that
+// axis. A backend may exceed the budget by less than one eviction unit (one
+// frame for MemoryArchive, one segment for PackArchive) and never evicts the
+// group containing the newest record.
+struct RetentionPolicy {
+  std::int64_t capacity_frames = 0;
+  std::uint64_t budget_bytes = 0;
+};
+
+// Stream-level metadata persisted with the archive so a reopened pack can
+// rebuild the fetch path without re-seeing a frame.
+struct StreamMeta {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::int64_t fps = 0;
+  std::int64_t gop = 1;  // archival-encode keyframe cadence
+};
+
+// A stored record. `bytes` points into backend-owned storage and stays valid
+// until the next non-const backend call.
+struct RecordRef {
+  std::int64_t frame_index = -1;
+  bool keyframe = false;
+  std::string_view bytes;
+};
+
+class ArchiveBackend {
+ public:
+  virtual ~ArchiveBackend() = default;
+
+  // Records the stream metadata. Must be called before the first Append on
+  // an empty archive; a reopened pack already carries it.
+  virtual void SetStreamMeta(const StreamMeta& meta) = 0;
+  virtual StreamMeta stream_meta() const = 0;
+  virtual bool has_stream_meta() const = 0;
+
+  // Appends the chunk for `frame_index`. Indices are contiguous: the first
+  // append on an empty archive sets the base, every later one must equal
+  // end_available(). The first record of an archive (and, for PackArchive,
+  // of every segment) must be a keyframe.
+  virtual void Append(std::int64_t frame_index, bool keyframe,
+                      std::string_view chunk) = 0;
+
+  // Retained window [first_available, end_available); empty when equal.
+  virtual std::int64_t first_available() const = 0;
+  virtual std::int64_t end_available() const = 0;
+
+  // Zero-copy read of one record; nullopt when outside the window. Verifies
+  // integrity where the backend can (PackArchive checks the record CRC and
+  // throws util::CheckError on mismatch — corruption is loud, never torn
+  // bytes).
+  virtual std::optional<RecordRef> Read(std::int64_t frame_index) const = 0;
+
+  // Greatest keyframe index <= frame_index inside the window; nullopt when
+  // frame_index is outside it. This is where a fetch decode starts.
+  virtual std::optional<std::int64_t> KeyframeAtOrBefore(
+      std::int64_t frame_index) const = 0;
+
+  // Payload bytes retained (MemoryArchive) or segment-file bytes on disk
+  // including headers (PackArchive).
+  virtual std::uint64_t stored_bytes() const = 0;
+
+  // Makes appended records crash-durable (no-op for MemoryArchive).
+  virtual void Flush() {}
+};
+
+// In-RAM backend: bounded deque of chunks, evicted front-first in keyframe
+// groups. With gop == 1 (every chunk a keyframe) this is exactly the
+// pre-durability EdgeStore retention: one frame in, one frame out.
+class MemoryArchive final : public ArchiveBackend {
+ public:
+  explicit MemoryArchive(const RetentionPolicy& retention);
+
+  void SetStreamMeta(const StreamMeta& meta) override;
+  StreamMeta stream_meta() const override { return meta_; }
+  bool has_stream_meta() const override { return has_meta_; }
+
+  void Append(std::int64_t frame_index, bool keyframe,
+              std::string_view chunk) override;
+  std::int64_t first_available() const override { return base_; }
+  std::int64_t end_available() const override {
+    return base_ + static_cast<std::int64_t>(records_.size());
+  }
+  std::optional<RecordRef> Read(std::int64_t frame_index) const override;
+  std::optional<std::int64_t> KeyframeAtOrBefore(
+      std::int64_t frame_index) const override;
+  std::uint64_t stored_bytes() const override { return bytes_; }
+
+ private:
+  struct Rec {
+    bool keyframe = false;
+    std::string bytes;
+  };
+
+  bool OverBudget() const;
+  void Evict();
+
+  RetentionPolicy retention_;
+  StreamMeta meta_;
+  bool has_meta_ = false;
+  std::int64_t base_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::deque<Rec> records_;
+};
+
+}  // namespace ff::store

@@ -1,0 +1,142 @@
+#include "store/mmio.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ff::store {
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " failed for '" + path +
+         "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      data_(other.data_),
+      size_(other.size_) {
+  other.fd_ = -1;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  FF_CHECK_MSG(fd_ >= 0, Errno("open", path));
+  Remap();
+}
+
+void MappedFile::Remap() {
+  FF_CHECK_MSG(fd_ >= 0, "MappedFile::Remap on a closed file");
+  struct stat st;
+  FF_CHECK_MSG(::fstat(fd_, &st) == 0, Errno("fstat", path_));
+  const std::size_t new_size = static_cast<std::size_t>(st.st_size);
+  if (data_ != nullptr && new_size == size_) return;
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = new_size;
+  if (size_ == 0) {
+    // mmap of length 0 is EINVAL; an empty file is a valid empty view.
+    data_ = nullptr;
+    return;
+  }
+  data_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  FF_CHECK_MSG(data_ != MAP_FAILED, Errno("mmap", path_));
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+void AppendFile::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  FF_CHECK_MSG(fd_ >= 0, Errno("open", path));
+  struct stat st;
+  FF_CHECK_MSG(::fstat(fd_, &st) == 0, Errno("fstat", path));
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+void AppendFile::Write(std::string_view bytes) {
+  FF_CHECK_MSG(fd_ >= 0, "AppendFile::Write on a closed file");
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FF_CHECK_MSG(false, Errno("write", path_));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  size_ += bytes.size();
+}
+
+void AppendFile::Flush() {
+  FF_CHECK_MSG(fd_ >= 0, "AppendFile::Flush on a closed file");
+  FF_CHECK_MSG(::fdatasync(fd_) == 0, Errno("fdatasync", path_));
+}
+
+void TruncateFile(const std::string& path, std::uint64_t new_size) {
+  FF_CHECK_MSG(::truncate(path.c_str(), static_cast<off_t>(new_size)) == 0,
+               Errno("truncate", path));
+}
+
+std::int64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+}  // namespace ff::store

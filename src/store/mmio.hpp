@@ -1,0 +1,85 @@
+// Thin RAII wrappers over the POSIX file primitives the pack archive needs:
+// a read-only memory mapping that can be refreshed as the underlying file
+// grows (MappedFile), and an append-only write handle with explicit flush
+// and truncate (AppendFile). Nothing here knows about the record format —
+// src/store/pack.cpp layers that on top.
+//
+// Both types fail loudly (util::CheckError) on unexpected OS errors; the
+// callers treat a missing or short file as data, not as a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ff::store {
+
+// Read-only mmap of a file. The mapping covers the file size observed at
+// Open/Remap time; if the file grows (the pack's active segment does), call
+// Remap() to widen the view. Views returned by bytes() are invalidated by
+// Remap() and by destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  // Maps `path` read-only. An empty file maps to an empty view.
+  void Open(const std::string& path);
+  // Re-stats the file and remaps if its size changed. Requires Open().
+  void Remap();
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::size_t size() const { return size_; }
+  // The whole mapped file. Valid until Remap()/Close()/destruction.
+  std::string_view bytes() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Append-only writer. Creates the file if missing; all writes go to the end.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  void Open(const std::string& path);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  // Appends all of `bytes` (loops over short writes / EINTR).
+  void Write(std::string_view bytes);
+  // fdatasync: makes every byte written so far crash-durable.
+  void Flush();
+
+  // Bytes written through this handle plus the size found at Open().
+  std::uint64_t size() const { return size_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+// Truncates `path` to `new_size` bytes (used by torn-tail recovery).
+void TruncateFile(const std::string& path, std::uint64_t new_size);
+
+// Size of `path` in bytes, or -1 if it does not exist.
+std::int64_t FileSize(const std::string& path);
+
+}  // namespace ff::store

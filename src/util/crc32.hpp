@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), shared by the wire
+// format (net/wire.cpp) and the on-disk pack archive (store/pack.cpp) so a
+// chunk checksummed on disk and a chunk checksummed on the wire agree.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ff::util {
+
+std::uint32_t Crc32(std::string_view data);
+
+}  // namespace ff::util

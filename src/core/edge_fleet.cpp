@@ -29,13 +29,33 @@ void ResultCollector::Bind(McSpec& spec) {
 }
 
 EdgeFleet::EdgeFleet(dnn::FeatureExtractor& fx, const EdgeFleetConfig& cfg)
-    : fx_(fx), cfg_(cfg) {
+    : fx_(fx),
+      cfg_(cfg),
+      clock_(cfg.clock != nullptr ? cfg.clock
+                                  : &util::SystemClock::Instance()),
+      fleet_latency_(static_cast<std::size_t>(
+          std::max<std::int64_t>(cfg.latency_window, 1))) {
   // Fail at construction, not first Attach: KVotingSmoother would throw
   // these checks after the tap reference was already taken.
   FF_CHECK_GE(cfg.vote_window, 1);
   FF_CHECK(cfg.vote_k >= 1 && cfg.vote_k <= cfg.vote_window);
   FF_CHECK_GE(cfg.max_batch, 1);
   FF_CHECK_GE(cfg.queue_capacity, 0);
+  FF_CHECK_GE(cfg.slo_ms, 0.0);
+  FF_CHECK_GE(cfg.shed_queue_depth, 0);
+  FF_CHECK_GE(cfg.shed_breach_frames, 1);
+  FF_CHECK_GE(cfg.shed_recover_frames, 1);
+  FF_CHECK_GE(cfg.max_keep_every, 1);
+  FF_CHECK_GE(cfg.latency_window, 1);
+  // A queue-depth trigger at or above the queue capacity could never fire:
+  // Push would throw queue-full first. Catch the misconfig loudly.
+  if (cfg.shed_queue_depth > 0 && cfg.queue_capacity > 0) {
+    FF_CHECK_MSG(cfg.shed_queue_depth <= cfg.queue_capacity,
+                 "shed_queue_depth (" << cfg.shed_queue_depth
+                                      << ") exceeds queue_capacity ("
+                                      << cfg.queue_capacity
+                                      << ") — the trigger would never fire");
+  }
 }
 
 EdgeFleet::~EdgeFleet() {
@@ -106,6 +126,8 @@ StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
     s->store = std::make_shared<EdgeStore>(sc);
   }
   s->handle = next_stream_++;
+  s->latency = util::WindowedStat(
+      static_cast<std::size_t>(cfg_.latency_window));
   streams_.push_back(std::move(s));
   // A pipelined fleet has a new stream to service.
   prefetch_cv_.notify_all();
@@ -120,6 +142,7 @@ StreamHandle EdgeFleet::AddStream(video::FrameSource& source,
   s->width = scfg.frame_width > 0 ? scfg.frame_width : source.width();
   s->height = scfg.frame_height > 0 ? scfg.frame_height : source.height();
   s->fps = scfg.fps > 0 ? scfg.fps : (source.fps() > 0 ? source.fps() : 15);
+  s->priority = scfg.priority;
   return FinishAddStream(std::move(s));
 }
 
@@ -131,6 +154,7 @@ StreamHandle EdgeFleet::AddStream(StreamConfig scfg) {
   s->width = scfg.frame_width;
   s->height = scfg.frame_height;
   s->fps = scfg.fps > 0 ? scfg.fps : 15;
+  s->priority = scfg.priority;
   return FinishAddStream(std::move(s));
 }
 
@@ -283,29 +307,92 @@ void EdgeFleet::ValidateFrame(const Stream& s,
                             "AddStream)");
 }
 
+bool EdgeFleet::CanEscalate(const Stream& s) const {
+  // Shed strictly lowest-priority-first: `s` may only decimate harder once
+  // every live stream BELOW it is already fully decimated. Equal-priority
+  // streams never gate each other (they degrade together).
+  for (const auto& other : streams_) {
+    if (other->priority < s.priority &&
+        other->keep_every < cfg_.max_keep_every)
+      return false;
+  }
+  return true;
+}
+
+bool EdgeFleet::AdmitFrame(Stream& s, video::Frame& frame) {
+  ++s.frames_offered;
+  const std::int64_t now = clock_->NowNs();
+  // Stamp the arrival time when the source carries no capture timestamp —
+  // from here on the frame's age is well-defined on the fleet's clock.
+  if (frame.capture_ts_ns < 0) frame.capture_ts_ns = now;
+  if (!overload_enabled()) return true;
+
+  const double age_ms =
+      static_cast<double>(now - frame.capture_ts_ns) / 1e6;
+  const bool breach =
+      (cfg_.slo_ms > 0 && age_ms > cfg_.slo_ms) ||
+      (cfg_.shed_queue_depth > 0 &&
+       static_cast<std::int64_t>(s.queue.size()) >= cfg_.shed_queue_depth);
+  if (breach) {
+    s.ok_streak = 0;
+    if (++s.breach_streak >= cfg_.shed_breach_frames) {
+      s.breach_streak = 0;
+      if (s.keep_every < cfg_.max_keep_every && CanEscalate(s)) {
+        ++s.keep_every;
+      }
+    }
+  } else {
+    s.breach_streak = 0;
+    if (++s.ok_streak >= cfg_.shed_recover_frames) {
+      s.ok_streak = 0;
+      if (s.keep_every > 1) --s.keep_every;
+    }
+  }
+
+  if (++s.since_kept >= s.keep_every) {
+    s.since_kept = 0;
+    // Bind the post-gap keyframe to THIS frame at admission: older frames
+    // of the same stream may still be queued ahead of it, and they precede
+    // the gap — the restart must land on the first frame after it.
+    if (s.force_keyframe_next) {
+      frame.force_keyframe = true;
+      s.force_keyframe_next = false;
+    }
+    return true;
+  }
+  ++s.frames_shed;
+  s.force_keyframe_next = true;
+  return false;
+}
+
 EdgeFleet::Stream& EdgeFleet::PushTarget(StreamHandle stream,
                                          const video::Frame& frame) {
   FF_CHECK_MSG(!drained_, "cannot push to a drained fleet");
   Stream& s = *streams_[StreamIndex(stream)];
   ValidateFrame(s, frame);
+  return s;
+}
+
+void EdgeFleet::Push(StreamHandle stream, const video::Frame& frame) {
+  Push(stream, video::Frame(frame));
+}
+
+void EdgeFleet::Push(StreamHandle stream, video::Frame&& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream& s = PushTarget(stream, frame);
+  // Admission first: a shed frame vanishes here, quietly — in particular a
+  // full queue is exactly when the controller sheds, and shedding must not
+  // trip the queue-full error an ADMITTED frame would still hit.
+  if (!AdmitFrame(s, frame)) return;
   FF_CHECK_MSG(cfg_.queue_capacity == 0 ||
                    static_cast<std::int64_t>(s.queue.size()) <
                        cfg_.queue_capacity,
                "stream " << stream << " ingest queue is full ("
                          << cfg_.queue_capacity
                          << " frames): Step() the fleet before pushing more");
-  return s;
-}
-
-void EdgeFleet::Push(StreamHandle stream, const video::Frame& frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PushTarget(stream, frame).queue.push_back(frame);
-  prefetch_cv_.notify_all();
-}
-
-void EdgeFleet::Push(StreamHandle stream, video::Frame&& frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PushTarget(stream, frame).queue.push_back(std::move(frame));
+  s.queue.push_back(std::move(frame));
+  s.queue_peak = std::max(s.queue_peak,
+                          static_cast<std::int64_t>(s.queue.size()));
   prefetch_cv_.notify_all();
 }
 
@@ -316,16 +403,22 @@ std::size_t EdgeFleet::queued_frames(StreamHandle stream) const {
 
 std::optional<video::Frame> EdgeFleet::TakeFrame(Stream& s) {
   if (!s.queue.empty()) {
+    // Queued frames passed admission at Push; never re-admit.
     video::Frame f = std::move(s.queue.front());
     s.queue.pop_front();
     return f;
   }
-  if (s.source != nullptr && !s.source_done) {
-    if (auto f = s.source->Next()) {
-      ValidateFrame(s, *f);  // sources may misreport their metadata
-      return f;
+  while (s.source != nullptr && !s.source_done) {
+    auto f = s.source->Next();
+    if (!f) {
+      s.source_done = true;
+      break;
     }
-    s.source_done = true;
+    ValidateFrame(s, *f);  // sources may misreport their metadata
+    // A shed frame vanishes before staging; pull the source again — the
+    // decimator keeps every k-th OFFERED frame, so one Take may consume
+    // several source frames under overload.
+    if (AdmitFrame(s, *f)) return f;
   }
   return std::nullopt;
 }
@@ -465,6 +558,7 @@ EdgeFleet::StagedBatch EdgeFleet::GatherSync(Bucket& b, std::int64_t cap) {
         StagedEntry e;
         e.stream = s.handle;
         e.frame = std::move(*f);
+        e.ingest_ns = e.frame.capture_ts_ns;
         // The tenant set cannot change between this gather and
         // ProcessStaged (one lock scope), so a tenantless stream's frames
         // skip the base-DNN input entirely — they only flow through the
@@ -505,8 +599,9 @@ std::int64_t EdgeFleet::ProcessStaged(
     StagedBatch& batch, std::vector<ArchiveItem>* deferred_archive) {
   struct Item {
     Stream* stream = nullptr;
-    std::int64_t image = -1;    // slot in the staging tensor / feature maps
-    std::vector<float> scores;  // one per tenant of `stream`
+    std::int64_t image = -1;      // slot in the staging tensor / feature maps
+    std::int64_t ingest_ns = -1;  // capture/arrival time (latency stats)
+    std::vector<float> scores;    // one per tenant of `stream`
   };
   // Resolve handles to live streams; a stream removed while its frames
   // were staged stops resolving and those frames are discarded (the same
@@ -515,7 +610,8 @@ std::int64_t EdgeFleet::ProcessStaged(
   items.reserve(batch.entries.size());
   for (std::size_t i = 0; i < batch.entries.size(); ++i) {
     if (Stream* s = FindStream(batch.entries[i].stream)) {
-      items.push_back(Item{s, static_cast<std::int64_t>(i), {}});
+      items.push_back(Item{s, static_cast<std::int64_t>(i),
+                           batch.entries[i].ingest_ns, {}});
     }
   }
   if (items.empty()) return 0;
@@ -529,13 +625,19 @@ std::int64_t EdgeFleet::ProcessStaged(
     Stream& s = *it.stream;
     StagedEntry& e = batch.entries[static_cast<std::size_t>(it.image)];
     if (s.store != nullptr) {
+      // The first kept frame after a shed gap restarts archival prediction
+      // (the gap's frames were never encoded); AdmitFrame stamped the flag
+      // onto that frame, so it lands on exactly one append in FIFO order.
+      const bool force = e.pixels().force_keyframe;
+      const std::int64_t ts = e.pixels().capture_ts_ns;
       if (deferred_archive != nullptr) {
         // Copy now — the frame may be moved into the pending buffer below —
         // and append on the archive-writer thread, outside mu_.
-        deferred_archive->push_back(ArchiveItem{s.store, e.pixels()});
+        deferred_archive->push_back(ArchiveItem{s.store, e.pixels(), ts,
+                                                force});
         ++archive_in_flight_;
       } else {
-        s.store->Archive(e.pixels());
+        s.store->Archive(e.pixels(), ts, force);
       }
     }
     if (cfg_.enable_upload) {
@@ -635,9 +737,18 @@ std::int64_t EdgeFleet::ProcessStaged(
 
   // Phases 3-5 per frame, in batch order, on this thread (sinks fire
   // here). Streams are independent, so only the per-stream frame order —
-  // which staging preserved — matters.
+  // which staging preserved — matters. One clock read serves the whole
+  // batch's ingest→decision latency samples (frames of one batch complete
+  // together, so per-frame reads would only measure the loop below).
+  const std::int64_t batch_now = clock_->NowNs();
   for (Item& it : items) {
     Stream& s = *it.stream;
+    if (it.ingest_ns >= 0) {
+      const double latency_ms = std::max(
+          0.0, static_cast<double>(batch_now - it.ingest_ns) / 1e6);
+      s.latency.Add(latency_ms);
+      fleet_latency_.Add(latency_ms);
+    }
     if (!s.tenants.empty()) {
       smooth_timer_.Start();
       for (std::size_t t = 0; t < s.tenants.size(); ++t) {
@@ -725,6 +836,13 @@ std::int64_t EdgeFleet::SubmitSpan(StreamHandle stream,
   for (const auto& f : frames) ValidateFrame(s, f);
   Bucket& b = *s.bucket;
   const auto n = static_cast<std::int64_t>(frames.size());
+  // Spans are exempt from shedding (the EdgeNode facade's bitwise contract
+  // forbids dropping from a caller's own batch) but still count as offered
+  // load, and their latency is measured from the caller's capture stamp
+  // when present — a span of untimestamped frames measures zero by
+  // construction (ingested and decided inside one call).
+  s.frames_offered += n;
+  const std::int64_t span_now = clock_->NowNs();
   StagedBatch batch;
   batch.bucket = &b;
   // As in the sync gather, a tenantless stream's frames skip the base-DNN
@@ -736,6 +854,7 @@ std::int64_t EdgeFleet::SubmitSpan(StreamHandle stream,
     StagedEntry e;
     e.stream = s.handle;
     e.borrowed = &f;  // zero-copy: preprocess reads the caller's planes
+    e.ingest_ns = f.capture_ts_ns >= 0 ? f.capture_ts_ns : span_now;
     if (!batch.staging.empty()) {
       e.slot = batch.n_slots++;
       dnn::PreprocessRgbInto(batch.staging, e.slot, f.r(), f.g(), f.b());
@@ -759,12 +878,25 @@ void EdgeFleet::FlushFilling(Bucket& b, std::unique_lock<std::mutex>& lock) {
   // Never block on the bounded hand-off while holding the fleet lock: the
   // compute stage needs it to make space.
   lock.unlock();
-  const bool delivered = hand_off_->Push(std::move(batch));
+  const bool delivered = hand_off_->PushOrKeep(batch);
   lock.lock();
   if (!delivered) {
-    // Queue closed by a failing stage; the batch was dropped with it.
+    // Queue closed by a failing stage. The abort must not cost any stream
+    // its staged frames (one dead camera must never open gaps in its
+    // siblings' decision streams): restage them at their queues' front in
+    // reverse batch order, so the post-error synchronous schedule sees the
+    // exact per-stream sequences the pipeline would have. Entries here
+    // always own their pixels — SubmitSpan (the only borrowed path) never
+    // stages through the pipeline hand-off.
     --b.tensors_out;
     in_flight_ -= staged;
+    for (auto it = batch.entries.rbegin(); it != batch.entries.rend(); ++it) {
+      Stream* const s = FindStream(it->stream);
+      if (s != nullptr && it->borrowed == nullptr) {
+        s->queue.push_front(std::move(it->frame));
+      }
+    }
+    RecycleStaging(b, std::move(batch.staging));
     idle_cv_.notify_all();
   }
 }
@@ -865,23 +997,27 @@ void EdgeFleet::PrefetchLoop(std::unique_lock<std::mutex>& lock) {
       lock.lock();
       s.prefetching = false;
       idle_cv_.notify_all();
-      if (pipeline_stop_) {
-        // Keep the decoded frame for the next synchronous Step or
-        // pipeline restart: restaged at the queue front, order preserved.
-        // Validate first — every queued frame is trusted by the gather
-        // paths, and a misreporting source must stay loud even at stop
-        // (the throw surfaces at StopPipeline like any stage error).
-        if (next) {
-          ValidateFrame(s, *next);
-          s.queue.push_front(std::move(*next));
-        }
-        break;
-      }
       if (!next) {
         s.source_done = true;
+        if (pipeline_stop_) break;
         continue;
       }
-      ValidateFrame(s, *next);  // sources may misreport their metadata
+      // Validate and admit BEFORE the stop check: a misreporting source
+      // must stay loud even at stop (the throw surfaces at StopPipeline
+      // like any stage error), and the shed schedule must not depend on
+      // when StopPipeline happened to land — a frame the controller sheds
+      // is shed whether or not the pipeline is stopping.
+      ValidateFrame(s, *next);
+      const bool admitted = AdmitFrame(s, *next);
+      if (pipeline_stop_) {
+        // Keep an ADMITTED decoded frame for the next synchronous Step or
+        // pipeline restart: restaged at the queue front, order preserved
+        // (every queued frame is post-admission, so only admitted frames
+        // may be restaged).
+        if (admitted) s.queue.push_front(std::move(*next));
+        break;
+      }
+      if (!admitted) continue;
       frame = std::move(*next);
     }
 
@@ -892,6 +1028,7 @@ void EdgeFleet::PrefetchLoop(std::unique_lock<std::mutex>& lock) {
     // must already be in the base-DNN input when that batch computes.
     e.slot = b.filling.n_slots++;
     e.frame = std::move(frame);
+    e.ingest_ns = e.frame.capture_ts_ns;
     b.filling.entries.push_back(std::move(e));
     ++in_flight_;
     {
@@ -959,7 +1096,7 @@ void EdgeFleet::ArchiveThreadMain() {
   // synchronous schedule archives in.
   while (auto item = archive_queue_->Pop()) {
     try {
-      item->store->Archive(item->frame);
+      item->store->Archive(item->frame, item->ts_ns, item->force_keyframe);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -1000,8 +1137,9 @@ void EdgeFleet::StartPipeline() {
   in_flight_ = 0;
   for (auto& b : buckets_) {
     b->tensors_out = 0;
-    // Only non-empty after a pipeline aborted by an error; those staged
-    // frames were already dropped from the accounting.
+    // Always empty here: StopPipeline flushes or restages every filling
+    // batch, even after an aborted pipeline. Clearing is a belt-and-braces
+    // guard for that invariant, not a drop path.
     b->filling.entries.clear();
     b->filling.n_slots = 0;
   }
@@ -1214,12 +1352,60 @@ std::vector<BucketStats> EdgeFleet::bucket_stats() const {
     st.height = b->height;
     st.batches = b->batches;
     st.frames = b->frames;
+    st.staged = static_cast<std::int64_t>(b->filling.entries.size());
     for (const auto& s : streams_) {
-      if (s->bucket == b.get()) ++st.streams;
+      if (s->bucket == b.get()) {
+        ++st.streams;
+        st.queued += static_cast<std::int64_t>(s->queue.size());
+        st.shed += s->frames_shed;
+      }
     }
     out.push_back(st);
   }
   return out;
+}
+
+FleetStats EdgeFleet::fleet_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetStats fs;
+  const std::int64_t now = clock_->NowNs();
+  for (const auto& s : streams_) {
+    StreamStats st;
+    st.handle = s->handle;
+    st.priority = s->priority;
+    st.frames_offered = s->frames_offered;
+    st.frames_shed = s->frames_shed;
+    st.frames_admitted = s->frames_offered - s->frames_shed;
+    st.frames_processed = s->frames_processed;
+    st.keep_every = s->keep_every;
+    st.queue_depth = static_cast<std::int64_t>(s->queue.size());
+    st.queue_peak = s->queue_peak;
+    if (!s->queue.empty() && s->queue.front().capture_ts_ns >= 0) {
+      st.oldest_staged_ms = std::max(
+          0.0,
+          static_cast<double>(now - s->queue.front().capture_ts_ns) / 1e6);
+    }
+    if (s->latency.window_count() > 0) {
+      st.latency_p50_ms = s->latency.Percentile(50);
+      st.latency_p95_ms = s->latency.Percentile(95);
+      st.latency_max_ms = s->latency.max();
+    }
+    st.latency_samples = s->latency.count();
+    fs.frames_offered += st.frames_offered;
+    fs.frames_admitted += st.frames_admitted;
+    fs.frames_processed += st.frames_processed;
+    fs.frames_shed += st.frames_shed;
+    fs.streams.push_back(std::move(st));
+  }
+  fs.batches = batches_run_;
+  fs.in_flight = in_flight_;
+  if (fleet_latency_.window_count() > 0) {
+    fs.latency_p50_ms = fleet_latency_.Percentile(50);
+    fs.latency_p95_ms = fleet_latency_.Percentile(95);
+    fs.latency_max_ms = fleet_latency_.max();
+  }
+  fs.latency_samples = fleet_latency_.count();
+  return fs;
 }
 
 double EdgeFleet::base_dnn_seconds() const {

@@ -68,6 +68,31 @@
 // mutex and are safe to call while the pipeline runs — stream/tenant churn
 // and Push() land at batch boundaries. StartPipeline/StopPipeline/
 // WaitPipelineIdle themselves must come from one controlling thread.
+//
+// Overload control (graceful degradation): when configured with an SLO
+// (EdgeFleetConfig::slo_ms / shed_queue_depth), the fleet sheds load at
+// ADMISSION — Push() and the source gather paths — by per-stream frame-rate
+// decimation: a stream whose frames keep arriving older than the SLO (or
+// whose ingest queue keeps sitting at the shed depth) escalates its
+// keep-every-k cadence one notch at a time, and eases back one notch after
+// a run of healthy admissions. Priority tenants (StreamConfig::priority)
+// shed strictly low-first: a stream may only escalate once every live
+// stream of strictly lower priority is already fully decimated, so
+// high-priority streams keep their full frame rate until the low tiers are
+// exhausted. Shed frames vanish before batching (never scored, never
+// archived); the next KEPT frame after a gap is archived as a forced
+// keyframe so every archived run stays independently decodable. All policy
+// decisions read time through the injectable util::Clock
+// (EdgeFleetConfig::clock), which makes the shed/keep schedule a pure
+// function of the arrival timestamps — deterministic under a FakeClock,
+// and identical between the synchronous and pipelined schedules for
+// streams of one bucket (edge_fleet_overload_test pins both; admission
+// ORDER across different buckets may differ between schedules, so the
+// bitwise contract is per-bucket). With the controller disabled (the
+// default), admission is a no-op and the fleet behaves exactly as before.
+// fleet_stats() reports the accounting: per-stream ingest→decision latency
+// percentiles over a sliding window, queue depths/peaks, shed counters,
+// and the current keep-every cadence.
 #pragma once
 
 #include <deque>
@@ -87,6 +112,8 @@
 #include "core/events.hpp"
 #include "core/microclassifier.hpp"
 #include "core/smoothing.hpp"
+#include "util/clock.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "video/source.hpp"
@@ -207,6 +234,32 @@ struct EdgeFleetConfig {
   // Bounded per-stream Push() ingest queue; 0 = unbounded (for callers that
   // manage their own batching, e.g. the EdgeNode facade).
   std::int64_t queue_capacity = 16;
+
+  // --- Overload control (defaults: fully disabled — no behavior change) ---
+
+  // Time source for latency accounting and shed decisions. Borrowed, must
+  // outlive the fleet; null uses the process-wide steady clock. Tests
+  // inject a util::FakeClock to make the shed schedule deterministic.
+  util::Clock* clock = nullptr;
+  // Admission SLO: a frame arriving more than this many milliseconds after
+  // its capture timestamp counts as a breach. 0 disables the age trigger.
+  double slo_ms = 0;
+  // Queue-depth trigger: admission while the stream's ingest queue already
+  // holds at least this many frames counts as a breach. 0 disables it.
+  // Either trigger alone arms the controller.
+  std::int64_t shed_queue_depth = 0;
+  // Consecutive breaching admissions before the stream's keep-every cadence
+  // escalates one notch (hysteresis against one-off spikes).
+  std::int64_t shed_breach_frames = 4;
+  // Consecutive healthy admissions before the cadence eases one notch.
+  std::int64_t shed_recover_frames = 8;
+  // Ceiling on the decimation cadence: at k the stream keeps every k-th
+  // offered frame, so max_keep_every bounds the worst-case shed ratio at
+  // (k-1)/k and is what "fully decimated" means for the priority gate.
+  std::int64_t max_keep_every = 8;
+  // Sliding-window size for the per-stream and fleet-wide ingest→decision
+  // latency percentiles reported by fleet_stats().
+  std::int64_t latency_window = 512;
 };
 
 // Per-stream geometry. Zeros mean "read it from the source's metadata
@@ -215,6 +268,12 @@ struct StreamConfig {
   std::int64_t frame_width = 0;
   std::int64_t frame_height = 0;
   std::int64_t fps = 0;  // 0: source metadata, else 15
+  // Overload-shedding tier: under overload, streams shed strictly
+  // lowest-priority-first — a stream escalates its decimation only once
+  // every live stream of strictly lower priority is already at
+  // max_keep_every. Equal priorities degrade together. Irrelevant while
+  // the controller is disabled.
+  std::int64_t priority = 0;
 };
 
 // Observability for one geometry bucket (examples/benches report per-bucket
@@ -224,6 +283,47 @@ struct BucketStats {
   std::int64_t streams = 0;  // live streams currently in this bucket
   std::int64_t batches = 0;  // phase-1 batches run for this bucket
   std::int64_t frames = 0;   // frames processed through this bucket
+  std::int64_t queued = 0;   // frames on member streams' ingest queues
+  std::int64_t staged = 0;   // frames in the bucket's filling batch
+  std::int64_t shed = 0;     // frames shed across member streams
+};
+
+// Per-stream overload/latency accounting (fleet_stats()). Latency is
+// ingest→decision wall time: from the frame's capture timestamp (stamped at
+// admission when the source did not provide one) to the end of the batch
+// that processed it, in milliseconds, over the last `latency_window`
+// processed frames. Percentile fields are 0 until a frame has completed.
+struct StreamStats {
+  StreamHandle handle = -1;
+  std::int64_t priority = 0;
+  std::int64_t frames_offered = 0;   // admission attempts (Push/gather)
+  std::int64_t frames_admitted = 0;  // offered - shed
+  std::int64_t frames_processed = 0;
+  std::int64_t frames_shed = 0;
+  std::int64_t keep_every = 1;  // current decimation cadence (1 = keep all)
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_peak = 0;
+  double oldest_staged_ms = 0;  // age of the oldest queued frame
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_max_ms = 0;
+  std::int64_t latency_samples = 0;  // frames ever measured
+};
+
+// Fleet-wide roll-up plus the per-stream breakdown. The fleet-wide latency
+// window pools every stream's samples.
+struct FleetStats {
+  std::int64_t frames_offered = 0;
+  std::int64_t frames_admitted = 0;
+  std::int64_t frames_processed = 0;
+  std::int64_t frames_shed = 0;
+  std::int64_t batches = 0;
+  std::int64_t in_flight = 0;  // staged but not yet processed (pipelined)
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_max_ms = 0;
+  std::int64_t latency_samples = 0;
+  std::vector<StreamStats> streams;
 };
 
 class EdgeFleet {
@@ -319,7 +419,13 @@ class EdgeFleet {
   // before this returns (clean drain — no gap in any stream's decision
   // stream); frames still in Push() queues stay queued. Rethrows the first
   // error a stage hit (e.g. a source yielding a frame that contradicts its
-  // declared geometry). The fleet is synchronous again afterwards.
+  // declared geometry, or a FrameSource::Next() that threw mid-prefetch).
+  // An ABORTED pipeline is lossless for the surviving streams: admitted
+  // frames that were staged but not processed when a stage failed are
+  // restaged onto their streams' queues in order, so after removing the
+  // offending stream the synchronous schedule (or a fresh pipeline)
+  // continues every sibling bitwise-unchanged. The fleet is synchronous
+  // again afterwards.
   void StopPipeline();
   // Blocks until the pipeline has nothing left to do: every source
   // exhausted, every queue empty, nothing staged or in flight (the
@@ -374,6 +480,11 @@ class EdgeFleet {
   std::size_t n_buckets() const;
   std::vector<BucketStats> bucket_stats() const;
 
+  // Overload/latency accounting: fleet-wide roll-up plus one StreamStats
+  // per live stream. Consistent snapshot (taken under the fleet lock, so
+  // never torn against a concurrently running pipeline).
+  FleetStats fleet_stats() const;
+
   // Phase time totals in seconds (Fig. 6's breakdown, fleet-wide). With
   // parallel_mcs, mc_seconds is the wall time of the fanned-out phase 2.
   double base_dnn_seconds() const;
@@ -418,6 +529,22 @@ class EdgeFleet {
     // caller's source-outlives-stream guarantee — dies).
     bool prefetching = false;
     std::int64_t width = 0, height = 0, fps = 15;
+    // Overload controller state (all mutated under mu_ at admission).
+    std::int64_t priority = 0;
+    std::int64_t frames_offered = 0;
+    std::int64_t frames_shed = 0;
+    std::int64_t keep_every = 1;  // admit every k-th offered frame
+    std::int64_t since_kept = 0;
+    std::int64_t breach_streak = 0;
+    std::int64_t ok_streak = 0;
+    // A shed gap is open: the next KEPT admission gets
+    // Frame::force_keyframe stamped on it (the flag travels WITH that
+    // frame through the queue/staging, so older frames still queued ahead
+    // of the gap archive normally) and the archive never predicts across
+    // frames it did not see.
+    bool force_keyframe_next = false;
+    std::int64_t queue_peak = 0;
+    util::WindowedStat latency;  // ingest→decision ms, sliding window
     Bucket* bucket = nullptr;        // geometry bucket; stable, never null
     std::deque<video::Frame> queue;  // staged frames (Push), bounded
     std::vector<std::unique_ptr<Tenant>> tenants;
@@ -441,6 +568,8 @@ class EdgeFleet {
   struct ArchiveItem {
     std::shared_ptr<EdgeStore> store;
     video::Frame frame;
+    std::int64_t ts_ns = -1;      // capture timestamp (wall-clock index)
+    bool force_keyframe = false;  // first kept frame after a shed gap
   };
 
   // One frame staged into a bucket's batch. `slot` is the frame's image
@@ -455,6 +584,7 @@ class EdgeFleet {
   struct StagedEntry {
     StreamHandle stream = -1;
     std::int64_t slot = -1;
+    std::int64_t ingest_ns = -1;  // capture/arrival time (latency stats)
     video::Frame frame;                      // owned (queue/source paths)
     const video::Frame* borrowed = nullptr;  // SubmitSpan: caller's frame
     const video::Frame& pixels() const {
@@ -501,6 +631,20 @@ class EdgeFleet {
   // Owning stream and tenant index for `handle`; throws if not attached.
   std::pair<Stream*, std::size_t> TenantRef(McHandle handle) const;
   void ValidateFrame(const Stream& s, const video::Frame& frame) const;
+  // Overload-control admission, called (under mu_) for every frame entering
+  // via Push or a source gather. Stamps the frame's capture timestamp when
+  // the source left it unset, updates the stream's breach/recovery streaks,
+  // and returns whether the frame is kept (false = shed now, before any
+  // staging). SubmitSpan is exempt: a span is the caller's own batch and
+  // the EdgeNode facade's bitwise contract forbids silently dropping from
+  // it.
+  bool AdmitFrame(Stream& s, video::Frame& frame);
+  // Priority gate: may `s` escalate its decimation? Only when every live
+  // stream of strictly lower priority is already at max_keep_every.
+  bool CanEscalate(const Stream& s) const;
+  bool overload_enabled() const {
+    return cfg_.slo_ms > 0 || cfg_.shed_queue_depth > 0;
+  }
   // Next frame of `s`: staged queue first, then the source. nullopt when
   // neither has one.
   std::optional<video::Frame> TakeFrame(Stream& s);
@@ -555,6 +699,8 @@ class EdgeFleet {
 
   dnn::FeatureExtractor& fx_;
   EdgeFleetConfig cfg_;
+  util::Clock* clock_ = nullptr;  // borrowed (cfg.clock) or the SystemClock
+  util::WindowedStat fleet_latency_;  // pooled ingest→decision ms
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Bucket>> buckets_;
   // Archives of removed streams, still fetchable by their old handle.

@@ -18,6 +18,7 @@ EdgeFleetConfig FleetConfig(const EdgeNodeConfig& cfg) {
   fc.archive_gop = cfg.archive_gop;
   fc.parallel_mcs = cfg.parallel_mcs;
   fc.max_batch = std::max<std::int64_t>(1, cfg.submit_batch);
+  fc.clock = cfg.clock;
   // Submit() stages and drains within one call (each span is exactly one
   // Step), so the node bounds its own in-flight frames; the fleet queue
   // need not.

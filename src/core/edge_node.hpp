@@ -81,6 +81,12 @@ struct EdgeNodeConfig {
   // always run MCs single-threaded in attach order (per-MC CPU
   // attribution, Fig. 6).
   bool parallel_mcs = true;
+  // Time source for the node's ingest→decision latency accounting
+  // (fleet_stats() through the facade). Borrowed, must outlive the node;
+  // null uses the process-wide steady clock. The single-stream node never
+  // sheds (Submit is a span, exempt by the fleet's admission contract), so
+  // this only affects the latency numbers.
+  util::Clock* clock = nullptr;
   // Frames per phase-1 batch in Run(): the base DNN forwards (N, 3, H, W)
   // at a time, so its conv kernels parallelize across n × out_c instead of
   // out_c alone. Decisions are bitwise-identical to frame-at-a-time
@@ -172,6 +178,9 @@ class EdgeNode {
   const EdgeNodeConfig& config() const { return cfg_; }
   // The underlying one-stream fleet (e.g. to observe batches_run()).
   const EdgeFleet& fleet() const { return fleet_; }
+  // Latency/overload accounting for the node's single stream (the fleet
+  // roll-up and the one StreamStats coincide here).
+  FleetStats fleet_stats() const { return fleet_.fleet_stats(); }
 
  private:
   EdgeNodeConfig cfg_;

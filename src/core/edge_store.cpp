@@ -34,6 +34,11 @@ EdgeStore::EdgeStore(const EdgeStoreConfig& config) : config_(config) {
     pc.fsync_each_append = config.fsync_each_append;
     backend_ = std::make_unique<store::PackArchive>(config.dir, pc);
   }
+  // Reopened durable archive: seed the monotone-timestamp clamp from the
+  // newest record's index entry so time keeps moving forward across
+  // restarts (index-only — a corrupt newest payload must fail at Read, not
+  // at reopen).
+  last_ts_ns_ = backend_->LastTimestamp().value_or(-1);
 }
 
 EdgeStore::EdgeStore(std::int64_t capacity_frames)
@@ -44,12 +49,14 @@ EdgeStore::EdgeStore(std::int64_t capacity_frames)
         return cfg;
       }()) {}
 
-void EdgeStore::Archive(const video::Frame& frame) {
+void EdgeStore::Archive(const video::Frame& frame, std::int64_t ts_ns,
+                        bool force_keyframe) {
   std::lock_guard<std::mutex> lock(mu_);
-  ArchiveLocked(frame);
+  ArchiveLocked(frame, ts_ns, force_keyframe);
 }
 
-void EdgeStore::ArchiveLocked(const video::Frame& frame) {
+void EdgeStore::ArchiveLocked(const video::Frame& frame, std::int64_t ts_ns,
+                              bool force_keyframe) {
   if (archival_encoder_ == nullptr) {
     if (backend_->has_stream_meta()) {
       // Reopened durable archive: the geometry on disk is authoritative.
@@ -77,9 +84,14 @@ void EdgeStore::ArchiveLocked(const video::Frame& frame) {
   }
   // A fresh encoder opens with an I-frame, so the first append after (re)open
   // is always a keyframe — exactly what the backend's invariants require.
-  const std::string chunk = archival_encoder_->EncodeFrame(frame);
+  const std::string chunk = archival_encoder_->EncodeFrame(frame, force_keyframe);
+  // Clamp the wall-clock index monotone; synthesize last + 1 when the caller
+  // has no timestamp so time-addressing stays defined.
+  const std::int64_t ts = ts_ns >= 0 ? std::max(ts_ns, last_ts_ns_)
+                                     : (last_ts_ns_ >= 0 ? last_ts_ns_ + 1 : 0);
+  last_ts_ns_ = ts;
   backend_->Append(backend_->end_available(),
-                   archival_encoder_->last_stats().is_iframe, chunk);
+                   archival_encoder_->last_stats().is_iframe, ts, chunk);
 }
 
 std::int64_t EdgeStore::first_available() const {
@@ -101,10 +113,33 @@ std::optional<EdgeStore::Clip> EdgeStore::FetchClip(std::int64_t begin,
                                                     std::int64_t end,
                                                     double bitrate_bps,
                                                     std::int64_t fps) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FetchClipLocked(begin, end, bitrate_bps, fps);
+}
+
+std::optional<EdgeStore::Clip> EdgeStore::FetchClipByTime(
+    std::int64_t ts_begin_ns, std::int64_t ts_end_ns, double bitrate_bps,
+    std::int64_t fps) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts_begin_ns >= ts_end_ns) return std::nullopt;
+  // First frame captured at or after ts_begin; nullopt means every retained
+  // frame predates the range. The end maps to the first frame at or after
+  // ts_end (exclusive, matching the half-open time range); when no frame is
+  // that late the range runs to the newest record.
+  const std::optional<std::int64_t> lo =
+      backend_->FirstIndexAtOrAfterTime(ts_begin_ns);
+  if (!lo.has_value()) return std::nullopt;
+  const std::int64_t hi = backend_->FirstIndexAtOrAfterTime(ts_end_ns)
+                              .value_or(backend_->end_available());
+  return FetchClipLocked(*lo, hi, bitrate_bps, fps);
+}
+
+std::optional<EdgeStore::Clip> EdgeStore::FetchClipLocked(
+    std::int64_t begin, std::int64_t end, double bitrate_bps,
+    std::int64_t fps) const {
   FF_CHECK_GT(fps, 0);
   FF_CHECK_GT(bitrate_bps, 0);
 
-  std::lock_guard<std::mutex> lock(mu_);
   const std::int64_t lo = std::max(begin, backend_->first_available());
   const std::int64_t hi = std::min(end, backend_->end_available());
   if (lo >= hi) return std::nullopt;
@@ -146,6 +181,21 @@ std::optional<std::string> EdgeStore::ReadChunk(
   const std::optional<store::RecordRef> rec = backend_->Read(frame_index);
   if (!rec.has_value()) return std::nullopt;
   return std::string(rec->bytes);
+}
+
+std::optional<std::int64_t> EdgeStore::TimestampOf(
+    std::int64_t frame_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::optional<store::RecordRef> rec = backend_->Read(frame_index);
+  if (!rec.has_value()) return std::nullopt;
+  return rec->ts_ns;
+}
+
+std::optional<bool> EdgeStore::KeyframeAt(std::int64_t frame_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::optional<store::RecordRef> rec = backend_->Read(frame_index);
+  if (!rec.has_value()) return std::nullopt;
+  return rec->keyframe;
 }
 
 std::optional<store::StreamMeta> EdgeStore::meta() const {

@@ -61,7 +61,19 @@ class EdgeStore {
   // timeline is the store's own contiguous counter — deliberately decoupled
   // from fleet frame numbering so it spans process restarts (a reopened pack
   // keeps appending where the previous run stopped).
-  void Archive(const video::Frame& frame);
+  //
+  // `ts_ns` is the frame's capture timestamp — the wall-clock index stored
+  // alongside the frame index so FetchClipByTime can address by time. It is
+  // clamped to be non-decreasing (a stale clock never corrupts the index);
+  // pass -1 for "unknown" and the store synthesizes last + 1 (0 for the
+  // first record), which keeps time-addressing well-defined for callers
+  // that only ever use frame indices.
+  //
+  // `force_keyframe` forces the archival encoder to emit an I-frame — the
+  // fleet's drop-to-keyframe degradation uses it so the first archived frame
+  // after a shed gap is independently decodable.
+  void Archive(const video::Frame& frame, std::int64_t ts_ns = -1,
+               bool force_keyframe = false);
 
   std::int64_t capacity() const { return config_.capacity_frames; }
   // Range of frame indices currently held: [first_available, end_available).
@@ -83,6 +95,24 @@ class EdgeStore {
   std::optional<Clip> FetchClip(std::int64_t begin, std::int64_t end,
                                 double bitrate_bps, std::int64_t fps) const;
 
+  // Time-addressed fetch: maps the wall-clock range [ts_begin_ns, ts_end_ns)
+  // onto frame indices via the archive's timestamp index, then fetches that
+  // range exactly like FetchClip. Returns nullopt when no retained frame
+  // falls inside the range. Timestamps are the (clamped) values passed to
+  // Archive; Clip::begin/end report which frame indices the range mapped to.
+  std::optional<Clip> FetchClipByTime(std::int64_t ts_begin_ns,
+                                      std::int64_t ts_end_ns,
+                                      double bitrate_bps,
+                                      std::int64_t fps) const;
+
+  // Stored capture timestamp of one archived frame; nullopt when evicted or
+  // never archived.
+  std::optional<std::int64_t> TimestampOf(std::int64_t frame_index) const;
+
+  // Whether the archived chunk at `frame_index` is a keyframe; nullopt when
+  // outside the retained window. Tests use this to pin drop-to-keyframe.
+  std::optional<bool> KeyframeAt(std::int64_t frame_index) const;
+
   // Copy of the archived chunk at `frame_index` (nullopt when evicted or
   // never archived). Bitwise-equality tests compare these across backends.
   std::optional<std::string> ReadChunk(std::int64_t frame_index) const;
@@ -96,13 +126,21 @@ class EdgeStore {
   std::optional<store::StreamMeta> meta() const;
 
  private:
-  void ArchiveLocked(const video::Frame& frame);
+  void ArchiveLocked(const video::Frame& frame, std::int64_t ts_ns,
+                     bool force_keyframe);
+  std::optional<Clip> FetchClipLocked(std::int64_t begin, std::int64_t end,
+                                      double bitrate_bps,
+                                      std::int64_t fps) const;
 
   EdgeStoreConfig config_;
   mutable std::mutex mu_;
   std::unique_ptr<store::ArchiveBackend> backend_;
   // Lazily built on the first Archive (geometry comes from the frame).
   std::unique_ptr<codec::Encoder> archival_encoder_;
+  // Timestamp of the newest archived record (-1 before the first). Seeds the
+  // non-decreasing clamp; initialized from a reopened pack's newest record
+  // so the wall-clock index stays monotone across restarts too.
+  std::int64_t last_ts_ns_ = -1;
 };
 
 }  // namespace ff::core

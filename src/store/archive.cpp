@@ -1,5 +1,7 @@
 #include "store/archive.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace ff::store {
@@ -18,15 +20,19 @@ void MemoryArchive::SetStreamMeta(const StreamMeta& meta) {
 }
 
 void MemoryArchive::Append(std::int64_t frame_index, bool keyframe,
-                           std::string_view chunk) {
+                           std::int64_t ts_ns, std::string_view chunk) {
   FF_CHECK_MSG(has_meta_, "SetStreamMeta must precede the first Append");
+  FF_CHECK_GE(ts_ns, 0);
   if (records_.empty()) {
     FF_CHECK_MSG(keyframe, "the first archived record must be a keyframe");
     base_ = frame_index;
   } else {
     FF_CHECK_EQ(frame_index, end_available());
+    FF_CHECK_MSG(ts_ns >= records_.back().ts_ns,
+                 "archive timestamps must be non-decreasing (got "
+                     << ts_ns << " after " << records_.back().ts_ns << ")");
   }
-  records_.push_back(Rec{keyframe, std::string(chunk)});
+  records_.push_back(Rec{keyframe, ts_ns, std::string(chunk)});
   bytes_ += chunk.size();
   Evict();
 }
@@ -35,7 +41,17 @@ std::optional<RecordRef> MemoryArchive::Read(std::int64_t frame_index) const {
   if (frame_index < base_ || frame_index >= end_available())
     return std::nullopt;
   const Rec& rec = records_[static_cast<std::size_t>(frame_index - base_)];
-  return RecordRef{frame_index, rec.keyframe, rec.bytes};
+  return RecordRef{frame_index, rec.keyframe, rec.ts_ns, rec.bytes};
+}
+
+std::optional<std::int64_t> MemoryArchive::FirstIndexAtOrAfterTime(
+    std::int64_t ts_ns) const {
+  // Timestamps are non-decreasing by the Append invariant.
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), ts_ns,
+      [](const Rec& rec, std::int64_t t) { return rec.ts_ns < t; });
+  if (it == records_.end()) return std::nullopt;
+  return base_ + (it - records_.begin());
 }
 
 std::optional<std::int64_t> MemoryArchive::KeyframeAtOrBefore(

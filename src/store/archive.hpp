@@ -42,10 +42,12 @@ struct StreamMeta {
 };
 
 // A stored record. `bytes` points into backend-owned storage and stays valid
-// until the next non-const backend call.
+// until the next non-const backend call. `ts_ns` is the record's wall-clock
+// capture timestamp (the time-based index alongside the frame index).
 struct RecordRef {
   std::int64_t frame_index = -1;
   bool keyframe = false;
+  std::int64_t ts_ns = -1;
   std::string_view bytes;
 };
 
@@ -59,12 +61,14 @@ class ArchiveBackend {
   virtual StreamMeta stream_meta() const = 0;
   virtual bool has_stream_meta() const = 0;
 
-  // Appends the chunk for `frame_index`. Indices are contiguous: the first
-  // append on an empty archive sets the base, every later one must equal
-  // end_available(). The first record of an archive (and, for PackArchive,
-  // of every segment) must be a keyframe.
+  // Appends the chunk for `frame_index`, captured at `ts_ns`. Indices are
+  // contiguous: the first append on an empty archive sets the base, every
+  // later one must equal end_available(). Timestamps are the wall-clock
+  // index: non-negative and non-decreasing (core::EdgeStore clamps; the
+  // backend checks loudly). The first record of an archive (and, for
+  // PackArchive, of every segment) must be a keyframe.
   virtual void Append(std::int64_t frame_index, bool keyframe,
-                      std::string_view chunk) = 0;
+                      std::int64_t ts_ns, std::string_view chunk) = 0;
 
   // Retained window [first_available, end_available); empty when equal.
   virtual std::int64_t first_available() const = 0;
@@ -80,6 +84,20 @@ class ArchiveBackend {
   // frame_index is outside it. This is where a fetch decode starts.
   virtual std::optional<std::int64_t> KeyframeAtOrBefore(
       std::int64_t frame_index) const = 0;
+
+  // The time-based index: smallest retained frame index whose timestamp is
+  // >= ts_ns, or nullopt when every retained record is older (including an
+  // empty window). Timestamps are non-decreasing, so this is a binary
+  // search; FetchClipByTime maps a wall-clock range onto frame indices with
+  // it.
+  virtual std::optional<std::int64_t> FirstIndexAtOrAfterTime(
+      std::int64_t ts_ns) const = 0;
+
+  // Timestamp of the newest retained record; nullopt on an empty window.
+  // Index-only (never touches payload bytes), so it is safe on a reopened
+  // archive whose newest payload is corrupt — Read() reports that loudly,
+  // this must not.
+  virtual std::optional<std::int64_t> LastTimestamp() const = 0;
 
   // Payload bytes retained (MemoryArchive) or segment-file bytes on disk
   // including headers (PackArchive).
@@ -100,7 +118,7 @@ class MemoryArchive final : public ArchiveBackend {
   StreamMeta stream_meta() const override { return meta_; }
   bool has_stream_meta() const override { return has_meta_; }
 
-  void Append(std::int64_t frame_index, bool keyframe,
+  void Append(std::int64_t frame_index, bool keyframe, std::int64_t ts_ns,
               std::string_view chunk) override;
   std::int64_t first_available() const override { return base_; }
   std::int64_t end_available() const override {
@@ -109,11 +127,18 @@ class MemoryArchive final : public ArchiveBackend {
   std::optional<RecordRef> Read(std::int64_t frame_index) const override;
   std::optional<std::int64_t> KeyframeAtOrBefore(
       std::int64_t frame_index) const override;
+  std::optional<std::int64_t> FirstIndexAtOrAfterTime(
+      std::int64_t ts_ns) const override;
+  std::optional<std::int64_t> LastTimestamp() const override {
+    if (records_.empty()) return std::nullopt;
+    return records_.back().ts_ns;
+  }
   std::uint64_t stored_bytes() const override { return bytes_; }
 
  private:
   struct Rec {
     bool keyframe = false;
+    std::int64_t ts_ns = -1;
     std::string bytes;
   };
 

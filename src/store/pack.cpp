@@ -61,7 +61,7 @@ bool IsSegmentFileName(const std::string& name) {
 }
 
 std::string RecordHeader(std::int64_t frame_index, bool keyframe,
-                         std::string_view chunk) {
+                         std::int64_t ts_ns, std::string_view chunk) {
   std::string h;
   h.reserve(kRecHeaderBytes);
   PutU32(h, kRecMagic);
@@ -72,6 +72,7 @@ std::string RecordHeader(std::int64_t frame_index, bool keyframe,
   PutU32(h, static_cast<std::uint32_t>(chunk.size()));
   PutU32(h, util::Crc32(chunk));
   PutI64(h, frame_index);
+  PutI64(h, ts_ns);
   return h;
 }
 
@@ -228,6 +229,7 @@ bool PackArchive::TryLoadFooter(Segment& seg, std::string_view file) {
   std::vector<Entry> entries;
   entries.reserve(count);
   std::uint64_t expect_offset = kSegHeaderBytes;
+  std::int64_t prev_ts = -1;
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::size_t at = idx_start + i * kIdxEntryBytes;
     Entry e;
@@ -238,6 +240,9 @@ bool PackArchive::TryLoadFooter(Segment& seg, std::string_view file) {
     e.keyframe = kf == 1;
     if (file[at + 13] != 0 || file[at + 14] != 0 || file[at + 15] != 0)
       return false;
+    e.ts_ns = GetI64(file, at + 16);
+    if (e.ts_ns < 0 || e.ts_ns < prev_ts) return false;
+    prev_ts = e.ts_ns;
     if (e.offset != expect_offset) return false;
     if (e.length > kMaxChunkBytes) return false;
     if (e.offset + kRecHeaderBytes + e.length > idx_start) return false;
@@ -251,6 +256,7 @@ bool PackArchive::TryLoadFooter(Segment& seg, std::string_view file) {
     if (GetU32(file, rec + 8) != e.length) return false;
     if (GetI64(file, rec + 16) != seg.first + static_cast<std::int64_t>(i))
       return false;
+    if (GetI64(file, rec + 24) != e.ts_ns) return false;
     expect_offset = e.offset + kRecHeaderBytes + e.length;
     entries.push_back(e);
   }
@@ -269,6 +275,7 @@ bool PackArchive::TryLoadFooter(Segment& seg, std::string_view file) {
 void PackArchive::ScanSegment(Segment& seg, std::string_view file) {
   std::size_t pos = kSegHeaderBytes;
   std::int64_t expect_index = seg.first;
+  std::int64_t prev_ts = -1;
   std::vector<Entry> entries;
   while (true) {
     if (pos + kRecHeaderBytes > file.size()) break;
@@ -280,11 +287,16 @@ void PackArchive::ScanSegment(Segment& seg, std::string_view file) {
     if (len > kMaxChunkBytes) break;
     if (pos + kRecHeaderBytes + len > file.size()) break;
     if (GetI64(file, pos + 16) != expect_index) break;
+    const std::int64_t ts = GetI64(file, pos + 24);
+    // A negative or time-travelling timestamp can only be a torn/corrupt
+    // record (appends enforce monotonicity); it ends the segment.
+    if (ts < 0 || ts < prev_ts) break;
     if (GetU32(file, pos + 12) !=
         util::Crc32(file.substr(pos + kRecHeaderBytes, len)))
       break;
     if (entries.empty() && kf != 1) break;  // undecodable without a keyframe
-    entries.push_back(Entry{pos, len, kf == 1});
+    entries.push_back(Entry{pos, len, kf == 1, ts});
+    prev_ts = ts;
     pos += kRecHeaderBytes + len;
     ++expect_index;
   }
@@ -312,6 +324,7 @@ void PackArchive::ScanSegment(Segment& seg, std::string_view file) {
     footer.push_back(0);
     footer.push_back(0);
     footer.push_back(0);
+    PutI64(footer, e.ts_ns);
   }
   const std::uint32_t idx_crc = util::Crc32(footer);
   PutU32(footer, kIdxMagic);
@@ -348,11 +361,20 @@ void PackArchive::SetStreamMeta(const StreamMeta& meta) {
 }
 
 void PackArchive::Append(std::int64_t frame_index, bool keyframe,
-                         std::string_view chunk) {
+                         std::int64_t ts_ns, std::string_view chunk) {
   FF_CHECK_MSG(has_meta_, "SetStreamMeta must precede the first Append");
   FF_CHECK_GE(frame_index, 0);
+  FF_CHECK_GE(ts_ns, 0);
   FF_CHECK_LE(chunk.size(), kMaxChunkBytes);
-  if (!segments_.empty()) FF_CHECK_EQ(frame_index, end_available());
+  if (!segments_.empty()) {
+    FF_CHECK_EQ(frame_index, end_available());
+    const std::int64_t prev_ts = segments_.back().entries.empty()
+                                     ? -1
+                                     : segments_.back().entries.back().ts_ns;
+    FF_CHECK_MSG(ts_ns >= prev_ts,
+                 "archive timestamps must be non-decreasing (got "
+                     << ts_ns << " after " << prev_ts << ")");
+  }
 
   const bool need_new =
       segments_.empty() || segments_.back().sealed ||
@@ -367,14 +389,14 @@ void PackArchive::Append(std::int64_t frame_index, bool keyframe,
   }
 
   Segment& seg = segments_.back();
-  std::string rec = RecordHeader(frame_index, keyframe, chunk);
+  std::string rec = RecordHeader(frame_index, keyframe, ts_ns, chunk);
   rec.append(chunk);
   const std::uint64_t offset = active_.size();
   active_.Write(rec);
   if (config_.fsync_each_append) active_.Flush();
 
   seg.entries.push_back(
-      Entry{offset, static_cast<std::uint32_t>(chunk.size()), keyframe});
+      Entry{offset, static_cast<std::uint32_t>(chunk.size()), keyframe, ts_ns});
   seg.file_bytes += rec.size();
   total_file_bytes_ += rec.size();
   ++total_records_;
@@ -392,6 +414,7 @@ void PackArchive::SealActive() {
     footer.push_back(0);
     footer.push_back(0);
     footer.push_back(0);
+    PutI64(footer, e.ts_ns);
   }
   const std::uint32_t idx_crc = util::Crc32(footer);
   PutU32(footer, kIdxMagic);
@@ -507,7 +530,7 @@ std::optional<RecordRef> PackArchive::Read(std::int64_t frame_index) const {
                "CRC mismatch reading frame " << frame_index << " from "
                                              << seg->path
                                              << " — on-disk corruption");
-  return RecordRef{frame_index, e.keyframe, payload};
+  return RecordRef{frame_index, e.keyframe, e.ts_ns, payload};
 }
 
 std::optional<std::int64_t> PackArchive::KeyframeAtOrBefore(
@@ -520,6 +543,22 @@ std::optional<std::int64_t> PackArchive::KeyframeAtOrBefore(
   }
   // Unreachable: every segment's first record is a keyframe by construction.
   FF_CHECK_MSG(false, "segment " << seg->path << " does not start at a keyframe");
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> PackArchive::FirstIndexAtOrAfterTime(
+    std::int64_t ts_ns) const {
+  // Timestamps are non-decreasing across the whole archive (the Append
+  // invariant spans segment rolls), so binary-search segments, then entries.
+  // Last segment whose FIRST entry timestamp is <= ts_ns could still be too
+  // early throughout; the next segment then answers.
+  for (const Segment& seg : segments_) {
+    if (seg.entries.back().ts_ns < ts_ns) continue;
+    const auto it = std::partition_point(
+        seg.entries.begin(), seg.entries.end(),
+        [ts_ns](const Entry& e) { return e.ts_ns < ts_ns; });
+    return seg.first + (it - seg.entries.begin());
+  }
   return std::nullopt;
 }
 

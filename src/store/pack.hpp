@@ -14,26 +14,36 @@
 //     [32..39] stream fps          (i64)
 //     [40..47] archival gop        (i64)
 //
-//   record (24-byte header + payload), repeated
+//   record (32-byte header + payload), repeated
 //     [0..3]   magic "FFR1"
 //     [4]      keyframe flag (0 or 1)
 //     [5..7]   reserved, must be zero
 //     [8..11]  payload length      (u32, <= kMaxChunkBytes)
 //     [12..15] CRC-32 of payload
 //     [16..23] frame index         (i64, contiguous within the segment)
+//     [24..31] capture timestamp   (i64 ns, non-negative, non-decreasing
+//              within the segment — the wall-clock index)
 //
 //   footer index (sealed segments only)
-//     count × 16-byte entries:
+//     count × 24-byte entries:
 //       [0..7]   record header offset from file start (u64)
 //       [8..11]  payload length (u32)
 //       [12]     keyframe flag
 //       [13..15] reserved, must be zero
+//       [16..23] capture timestamp (i64 ns, cross-checked against the
+//                record header it points at)
 //     16-byte trailer at EOF:
 //       [0..3]   magic "FFX1"
 //       [4]      version
 //       [5..7]   reserved, must be zero
 //       [8..11]  entry count (u32)
 //       [12..15] CRC-32 of the entry bytes
+//
+// Format history: version 2 added the capture timestamp to record headers
+// (24 -> 32 bytes) and footer entries (16 -> 24 bytes) — the time-based
+// index FetchClipByTime addresses. There is no migration path: a version-1
+// file fails the version check at reopen and is removed loudly (reported in
+// RecoveryReport), exactly like any other unrecoverable file.
 //
 // Reopen protocol. Sealed segments load in O(1) via the footer (every byte
 // of which is untrusted and bounds-checked; any inconsistency falls back to
@@ -66,10 +76,10 @@ namespace ff::store {
 inline constexpr std::uint32_t kSegMagic = 0x31534646u;  // "FFS1"
 inline constexpr std::uint32_t kRecMagic = 0x31524646u;  // "FFR1"
 inline constexpr std::uint32_t kIdxMagic = 0x31584646u;  // "FFX1"
-inline constexpr std::uint8_t kPackVersion = 1;
+inline constexpr std::uint8_t kPackVersion = 2;
 inline constexpr std::size_t kSegHeaderBytes = 48;
-inline constexpr std::size_t kRecHeaderBytes = 24;
-inline constexpr std::size_t kIdxEntryBytes = 16;
+inline constexpr std::size_t kRecHeaderBytes = 32;
+inline constexpr std::size_t kIdxEntryBytes = 24;
 inline constexpr std::size_t kIdxTrailerBytes = 16;
 // Caps on untrusted on-disk values, same motivation as net::kMaxBody: a
 // flipped length byte must not drive a giant allocation or over-read.
@@ -119,13 +129,20 @@ class PackArchive final : public ArchiveBackend {
   StreamMeta stream_meta() const override { return meta_; }
   bool has_stream_meta() const override { return has_meta_; }
 
-  void Append(std::int64_t frame_index, bool keyframe,
+  void Append(std::int64_t frame_index, bool keyframe, std::int64_t ts_ns,
               std::string_view chunk) override;
   std::int64_t first_available() const override;
   std::int64_t end_available() const override;
   std::optional<RecordRef> Read(std::int64_t frame_index) const override;
   std::optional<std::int64_t> KeyframeAtOrBefore(
       std::int64_t frame_index) const override;
+  std::optional<std::int64_t> FirstIndexAtOrAfterTime(
+      std::int64_t ts_ns) const override;
+  std::optional<std::int64_t> LastTimestamp() const override {
+    if (segments_.empty() || segments_.back().entries.empty())
+      return std::nullopt;
+    return segments_.back().entries.back().ts_ns;
+  }
   std::uint64_t stored_bytes() const override { return total_file_bytes_; }
   void Flush() override;
 
@@ -140,6 +157,7 @@ class PackArchive final : public ArchiveBackend {
     std::uint64_t offset = 0;  // record header offset from file start
     std::uint32_t length = 0;  // payload length
     bool keyframe = false;
+    std::int64_t ts_ns = 0;  // capture timestamp (the wall-clock index)
   };
 
   struct Segment {

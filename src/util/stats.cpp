@@ -46,4 +46,48 @@ double RunningStat::Percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+WindowedStat::WindowedStat(std::size_t window) : cap_(window) {
+  FF_CHECK_GT(window, 0u);
+}
+
+void WindowedStat::Add(double x) {
+  ++total_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(x);
+    return;
+  }
+  ring_[next_] = x;
+  next_ = (next_ + 1) % cap_;
+}
+
+double WindowedStat::Percentile(double p) const {
+  FF_CHECK(!ring_.empty());
+  FF_CHECK(p >= 0.0 && p <= 100.0);
+  scratch_ = ring_;
+  std::sort(scratch_.begin(), scratch_.end());
+  if (scratch_.size() == 1) return scratch_[0];
+  const double rank = p / 100.0 * static_cast<double>(scratch_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, scratch_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+}
+
+double WindowedStat::max() const {
+  if (ring_.empty()) return 0.0;
+  return *std::max_element(ring_.begin(), ring_.end());
+}
+
+double WindowedStat::min() const {
+  if (ring_.empty()) return 0.0;
+  return *std::min_element(ring_.begin(), ring_.end());
+}
+
+double WindowedStat::mean() const {
+  if (ring_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : ring_) s += x;
+  return s / static_cast<double>(ring_.size());
+}
+
 }  // namespace ff::util

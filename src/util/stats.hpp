@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ff::util {
@@ -31,6 +32,38 @@ class RunningStat {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+// Percentiles over a sliding window of the last `window` samples — bounded
+// memory for infinite streams (RunningStat retains everything, fine for
+// benches, wrong for a fleet's per-stream latency that runs forever). The
+// fleet's SLO accounting reads p50/p95 of recent ingest→decision latencies
+// through this. Not thread-safe; callers (EdgeFleet) serialize on their own
+// lock.
+class WindowedStat {
+ public:
+  explicit WindowedStat(std::size_t window = 512);
+
+  void Add(double x);
+
+  // Samples ever added / currently in the window.
+  std::int64_t count() const { return total_; }
+  std::size_t window_count() const { return ring_.size(); }
+  std::size_t window() const { return cap_; }
+
+  // Over the current window. Percentile requires window_count() > 0;
+  // max()/min() return 0 on an empty window.
+  double Percentile(double p) const;
+  double max() const;
+  double min() const;
+  double mean() const;
+
+ private:
+  std::size_t cap_;
+  std::size_t next_ = 0;  // ring write cursor once the window is full
+  std::int64_t total_ = 0;
+  std::vector<double> ring_;
+  mutable std::vector<double> scratch_;  // sorted copy for Percentile
 };
 
 }  // namespace ff::util

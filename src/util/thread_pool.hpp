@@ -55,7 +55,12 @@ class BoundedQueue {
 
   // Blocks while the queue is full. Returns true once the item is enqueued,
   // false if the queue was closed first (the item is dropped).
-  bool Push(T item) {
+  bool Push(T item) { return PushOrKeep(item); }
+
+  // Like Push, but when the queue was closed first `item` is left INTACT
+  // (only moved from on success) so the caller can recover it — e.g. the
+  // fleet restages frames of a batch an aborting pipeline refused.
+  bool PushOrKeep(T& item) {
     std::unique_lock<std::mutex> lock(mu_);
     space_cv_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });

@@ -47,6 +47,21 @@ class Frame {
   // Frame index within its stream (set by sources).
   std::int64_t index = 0;
 
+  // Capture/arrival timestamp in nanoseconds on the ingesting fleet's clock
+  // (util::Clock), or -1 for "unknown" — the fleet then stamps its own
+  // admission time. Sources that model real arrival schedules
+  // (video::BurstySource) set it; the fleet's latency accounting and
+  // overload SLO measure ingest→decision age from it, and the edge store
+  // persists it as the archive's wall-clock index.
+  std::int64_t capture_ts_ns = -1;
+
+  // Request an I-frame when this frame is archived (core::EdgeStore). The
+  // fleet's overload controller sets it on the first KEPT frame after a
+  // shed gap — binding the restart to the frame at admission, not to
+  // whatever older queued frame happens to archive next — so archival
+  // prediction never crosses frames the encoder did not see.
+  bool force_keyframe = false;
+
  private:
   std::int64_t width_ = 0, height_ = 0;
   std::vector<std::uint8_t> r_, g_, b_;

@@ -26,6 +26,7 @@
 #include "core/edge_fleet.hpp"
 #include "core/edge_node.hpp"
 #include "video/dataset.hpp"
+#include "video/fault_source.hpp"
 #include "video/source.hpp"
 
 namespace ff::core {
@@ -494,6 +495,118 @@ TEST(EdgeFleetPipeline, PrefetchStageErrorSurfacesAtStop) {
   fleet.RemoveStream(h);
   EXPECT_EQ(fleet.Step(), 0);
   fleet.Drain();
+}
+
+TEST(EdgeFleetPipeline, DeadCameraSurfacesAtStopAndSiblingStaysBitwise) {
+  // A camera dies (FrameSource::Next() throws) inside the prefetch stage
+  // mid-run. The error must surface at StopPipeline — not vanish on the
+  // background thread and not wedge WaitPipelineIdle — and the SIBLING
+  // stream must come through bitwise-identical to a run that never shared
+  // the box with the dead camera: an aborting pipeline restages staged
+  // frames instead of dropping them.
+  const std::int64_t kFrames = 14;
+  const video::SyntheticDataset ds_dead(CamSpec(128, kFrames, 131));
+  const video::SyntheticDataset ds_ok(CamSpec(128, kFrames, 132));
+
+  auto run_sibling_solo = [&] {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.enable_upload = false;
+    cfg.max_batch = 4;
+    EdgeFleet fleet(fx, cfg);
+    video::DatasetSource src(ds_ok);
+    const StreamHandle h = fleet.AddStream(src);
+    ResultCollector rc;
+    McSpec spec{.mc = MakeMc(fx, ds_ok.spec(), "localized", 821)};
+    rc.Bind(spec);
+    fleet.Attach(h, std::move(spec));
+    fleet.Run();
+    return rc.result();
+  };
+
+  dnn::FeatureExtractor fx({.include_classifier = false});
+  auto cfg = FleetConfig();
+  cfg.enable_upload = false;
+  cfg.max_batch = 4;
+  EdgeFleet fleet(fx, cfg);
+  video::DatasetSource raw_dead(ds_dead), src_ok(ds_ok);
+  video::StallingSource dead(raw_dead, {.throw_at = 3});
+  const StreamHandle hd = fleet.AddStream(dead);
+  const StreamHandle ho = fleet.AddStream(src_ok);
+  fleet.Attach(hd, {.mc = MakeMc(fx, ds_dead.spec(), "localized", 822)});
+  ResultCollector rc;
+  McSpec spec{.mc = MakeMc(fx, ds_ok.spec(), "localized", 821)};
+  rc.Bind(spec);
+  fleet.Attach(ho, std::move(spec));
+
+  fleet.StartPipeline();
+  fleet.WaitPipelineIdle();  // must return when the stage fails, not wedge
+  EXPECT_THROW(fleet.StopPipeline(), std::runtime_error);
+  EXPECT_FALSE(fleet.pipeline_active());
+  EXPECT_GE(dead.throws(), 1);
+  EXPECT_EQ(dead.frames_delivered(), 3);
+
+  // The dead camera stays dead (its source keeps throwing); remove it and
+  // finish the survivor synchronously. Nothing of the sibling's stream was
+  // lost to the abort, so its whole history matches the solo run bitwise.
+  fleet.RemoveStream(hd);
+  while (fleet.Step() > 0) {
+  }
+  fleet.Drain();
+  EXPECT_EQ(fleet.frames_processed(ho), kFrames);
+  ExpectSameResult(rc.result(), run_sibling_solo());
+}
+
+TEST(EdgeFleetPipeline, StallingSourceStopsBoundedAndStaysBitwise) {
+  // A camera that STALLS (slow Next(), never fails) must not wedge
+  // StopPipeline — stop waits out at most the in-flight call — and the
+  // spliced pipelined/synchronous schedule still matches a pure
+  // synchronous run bitwise for both streams.
+  const std::int64_t kFrames = 8;
+  const video::SyntheticDataset ds_slow(CamSpec(128, kFrames, 141));
+  const video::SyntheticDataset ds_fast(CamSpec(128, kFrames, 142));
+
+  auto run = [&](bool pipelined) {
+    dnn::FeatureExtractor fx({.include_classifier = false});
+    auto cfg = FleetConfig();
+    cfg.enable_upload = false;
+    cfg.max_batch = 4;
+    EdgeFleet fleet(fx, cfg);
+    video::DatasetSource raw_slow(ds_slow), src_fast(ds_fast);
+    video::StallingSource slow(raw_slow, {.stall_ms = 5, .stall_from = 2});
+    const StreamHandle hs = fleet.AddStream(slow);
+    const StreamHandle hf = fleet.AddStream(src_fast);
+    ResultCollector cs, cf;
+    McSpec spec_s{.mc = MakeMc(fx, ds_slow.spec(), "windowed", 831)};
+    cs.Bind(spec_s);
+    fleet.Attach(hs, std::move(spec_s));
+    McSpec spec_f{.mc = MakeMc(fx, ds_fast.spec(), "localized", 832)};
+    cf.Bind(spec_f);
+    fleet.Attach(hf, std::move(spec_f));
+    if (pipelined) {
+      fleet.StartPipeline();
+      // Stop mid-stall: StopPipeline may wait for the one in-flight
+      // Next(), never for the whole stream.
+      WaitUntil([&] { return fleet.frames_processed() >= 4; });
+      fleet.StopPipeline();
+      EXPECT_FALSE(fleet.pipeline_active());
+      fleet.StartPipeline();  // restart finishes the tail
+      fleet.WaitPipelineIdle();
+      fleet.StopPipeline();
+    } else {
+      while (fleet.Step() > 0) {
+      }
+    }
+    fleet.Drain();
+    EXPECT_EQ(fleet.frames_processed(hs), kFrames);
+    EXPECT_EQ(fleet.frames_processed(hf), kFrames);
+    return std::make_pair(cs.result(), cf.result());
+  };
+
+  const auto [ps, pf] = run(/*pipelined=*/true);
+  const auto [ss, sf] = run(/*pipelined=*/false);
+  ExpectSameResult(ps, ss);
+  ExpectSameResult(pf, sf);
 }
 
 TEST(EdgeFleetPipeline, PipelineGuardsAndLifecycleChecks) {

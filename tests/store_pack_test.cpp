@@ -464,5 +464,130 @@ TEST(PackStore, ConcurrentAppendAndFetchIsSerializedSafely) {
   EXPECT_EQ(store.end_available(), 160);
 }
 
+// --- Wall-clock time index (satellite) -------------------------------------
+
+// Archives [begin, end) with explicit capture timestamps ts = (i + 1) * 1ms,
+// so frame index i sits at a known, strictly increasing wall-clock point.
+void ArchiveFramesTimed(core::EdgeStore& store, std::int64_t w, std::int64_t h,
+                        std::int64_t begin, std::int64_t end) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    store.Archive(TestFrame(w, h, i), /*ts_ns=*/(i + 1) * 1'000'000);
+  }
+}
+
+TEST(TimeIndex, DefaultTimestampsSynthesizeContiguousSequence) {
+  core::EdgeStore store(/*capacity_frames=*/16);
+  ArchiveFrames(store, 32, 24, 0, 5);  // default ts_ns = -1 throughout
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const auto ts = store.TimestampOf(i);
+    ASSERT_TRUE(ts.has_value());
+    EXPECT_EQ(*ts, i);  // synthesized 0, 1, 2, ...
+  }
+  EXPECT_FALSE(store.TimestampOf(-1).has_value());
+  EXPECT_FALSE(store.TimestampOf(5).has_value());  // never archived
+}
+
+TEST(TimeIndex, StaleClockIsClampedMonotoneAndDefaultContinues) {
+  core::EdgeStore store(/*capacity_frames=*/16);
+  store.Archive(TestFrame(32, 24, 0), /*ts_ns=*/5'000);
+  store.Archive(TestFrame(32, 24, 1), /*ts_ns=*/3'000);  // clock went backwards
+  store.Archive(TestFrame(32, 24, 2));                   // unknown after known
+  EXPECT_EQ(store.TimestampOf(0).value(), 5'000);
+  EXPECT_EQ(store.TimestampOf(1).value(), 5'000);  // clamped, never decreasing
+  EXPECT_EQ(store.TimestampOf(2).value(), 5'001);  // synthesized last + 1
+}
+
+TEST(TimeIndex, TimestampsPersistAcrossReopenAndSeedContinuation) {
+  TempDir dir("time_reopen");
+  {
+    core::EdgeStore store(PackCfg(dir.str()));
+    ArchiveFramesTimed(store, 32, 24, 0, 6);
+  }
+  core::EdgeStore store(PackCfg(dir.str()));
+  ASSERT_TRUE(store.recovery().has_value());
+  EXPECT_TRUE(store.recovery()->clean());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(store.TimestampOf(i).value(), (i + 1) * 1'000'000);
+  }
+  // A default-ts append after reopen continues from the on-disk newest
+  // timestamp — the index stays monotone across the process restart.
+  store.Archive(TestFrame(32, 24, 6));
+  EXPECT_EQ(store.TimestampOf(6).value(), 6 * 1'000'000 + 1);
+}
+
+TEST(TimeIndex, FetchClipByTimeBoundaryMatrix) {
+  core::EdgeStore store(/*capacity_frames=*/100);
+  ArchiveFramesTimed(store, 32, 24, 0, 8);  // ts = 1ms .. 8ms
+
+  // Exact hits on stored timestamps: [2ms, 5ms) -> frames 1, 2, 3.
+  auto clip = store.FetchClipByTime(2'000'000, 5'000'000, 50'000, 15);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->begin, 1);
+  EXPECT_EQ(clip->end, 4);
+
+  // Boundaries between samples round up to the next captured frame.
+  clip = store.FetchClipByTime(1'500'000, 3'500'000, 50'000, 15);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->begin, 1);  // first ts >= 1.5ms is frame 1 @ 2ms
+  EXPECT_EQ(clip->end, 3);    // first ts >= 3.5ms is frame 3 @ 4ms
+
+  // A range opening before the first capture starts at the first frame; one
+  // extending past the newest runs to end_available().
+  clip = store.FetchClipByTime(0, 2'000'000'000, 50'000, 15);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->begin, 0);
+  EXPECT_EQ(clip->end, 8);
+
+  // Nothing retained at or after ts_begin, or a degenerate range: nullopt.
+  EXPECT_FALSE(store.FetchClipByTime(9'000'000, 10'000'000, 50'000, 15)
+                   .has_value());
+  EXPECT_FALSE(store.FetchClipByTime(3'000'000, 3'000'000, 50'000, 15)
+                   .has_value());
+  EXPECT_FALSE(store.FetchClipByTime(5'000'000, 2'000'000, 50'000, 15)
+                   .has_value());
+
+  // Time-addressing is pure index mapping: the clip is bitwise what
+  // FetchClip returns for the mapped frame range.
+  const auto by_time = store.FetchClipByTime(2'000'000, 5'000'000, 50'000, 15);
+  const auto by_index = store.FetchClip(1, 4, 50'000, 15);
+  ASSERT_TRUE(by_time.has_value());
+  ASSERT_TRUE(by_index.has_value());
+  EXPECT_EQ(by_time->chunks, by_index->chunks);
+  EXPECT_EQ(by_time->bytes, by_index->bytes);
+}
+
+TEST(TimeIndex, EvictionMovesTheQueryableWindowForward) {
+  core::EdgeStore store(/*capacity_frames=*/4);
+  ArchiveFramesTimed(store, 32, 24, 0, 10);  // retains frames [6, 10)
+  EXPECT_FALSE(store.TimestampOf(5).has_value());  // evicted
+  EXPECT_EQ(store.TimestampOf(6).value(), 7'000'000);
+  // A query opening inside the evicted prefix clamps to the retained window.
+  const auto clip = store.FetchClipByTime(0, 9'000'000, 50'000, 15);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->begin, 6);
+  EXPECT_EQ(clip->end, 8);  // first ts >= 9ms is frame 8 @ 9ms
+}
+
+TEST(TimeIndex, PackMatchesMemoryForTimeFetch) {
+  TempDir dir("time_parity");
+  core::EdgeStoreConfig mem_cfg;
+  mem_cfg.capacity_frames = 100;
+  mem_cfg.gop = 4;
+  core::EdgeStore mem(mem_cfg);
+  core::EdgeStore pack(PackCfg(dir.str(), /*gop=*/4));
+  ArchiveFramesTimed(mem, 32, 24, 0, 12);
+  ArchiveFramesTimed(pack, 32, 24, 0, 12);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(mem.TimestampOf(i), pack.TimestampOf(i));
+  }
+  const auto a = mem.FetchClipByTime(3'000'000, 9'000'000, 60'000, 15);
+  const auto b = pack.FetchClipByTime(3'000'000, 9'000'000, 60'000, 15);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->begin, b->begin);
+  EXPECT_EQ(a->end, b->end);
+  EXPECT_EQ(a->chunks, b->chunks);
+}
+
 }  // namespace
 }  // namespace ff

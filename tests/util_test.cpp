@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/clock.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -256,6 +257,66 @@ TEST(Env, ParsesIntDoubleStringWithFallbacks) {
   EXPECT_EQ(util::EnvString("FF_TEST_STR", "x"), "hello");
   EXPECT_EQ(util::EnvInt("FF_TEST_BAD", 7), 7);
   EXPECT_EQ(util::EnvInt("FF_TEST_UNSET_XYZ", -3), -3);
+}
+
+TEST(FakeClock, StartsAtGivenTimeAndAdvancesExactly) {
+  util::FakeClock clock(5'000);
+  EXPECT_EQ(clock.NowNs(), 5'000);
+  clock.AdvanceNs(250);
+  EXPECT_EQ(clock.NowNs(), 5'250);
+  clock.AdvanceMs(3);
+  EXPECT_EQ(clock.NowNs(), 3'005'250);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 3.00525);
+  clock.SetNs(42);
+  EXPECT_EQ(clock.NowNs(), 42);
+  util::FakeClock fresh;
+  EXPECT_EQ(fresh.NowNs(), 0);
+}
+
+TEST(WindowedStat, EmptyWindowIsZeroAndPercentileRefuses) {
+  util::WindowedStat ws(4);
+  EXPECT_EQ(ws.count(), 0);
+  EXPECT_EQ(ws.window_count(), 0u);
+  EXPECT_DOUBLE_EQ(ws.max(), 0.0);
+  EXPECT_DOUBLE_EQ(ws.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ws.mean(), 0.0);
+  EXPECT_THROW(ws.Percentile(50.0), util::CheckError);
+  EXPECT_THROW(util::WindowedStat(0), util::CheckError);
+}
+
+TEST(WindowedStat, SingleSampleIsEveryPercentile) {
+  util::WindowedStat ws(4);
+  ws.Add(7.5);
+  EXPECT_DOUBLE_EQ(ws.Percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(ws.Percentile(50.0), 7.5);
+  EXPECT_DOUBLE_EQ(ws.Percentile(100.0), 7.5);
+  EXPECT_DOUBLE_EQ(ws.max(), 7.5);
+  EXPECT_DOUBLE_EQ(ws.min(), 7.5);
+}
+
+TEST(WindowedStat, PercentileInterpolatesLikeRunningStat) {
+  util::WindowedStat ws(8);
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) ws.Add(x);
+  // rank = p/100 * (n-1); p50 of {10,20,30,40} -> rank 1.5 -> 25.
+  EXPECT_DOUBLE_EQ(ws.Percentile(50.0), 25.0);
+  EXPECT_DOUBLE_EQ(ws.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ws.Percentile(100.0), 40.0);
+  EXPECT_THROW(ws.Percentile(-1.0), util::CheckError);
+  EXPECT_THROW(ws.Percentile(101.0), util::CheckError);
+}
+
+TEST(WindowedStat, RingOverwriteForgetsSamplesPastTheWindow) {
+  util::WindowedStat ws(3);
+  for (const double x : {100.0, 1.0, 2.0, 3.0, 4.0}) ws.Add(x);
+  // Window of 3 holds {2, 3, 4}; the 100 spike has aged out, but count()
+  // still reports every sample ever added.
+  EXPECT_EQ(ws.count(), 5);
+  EXPECT_EQ(ws.window_count(), 3u);
+  EXPECT_EQ(ws.window(), 3u);
+  EXPECT_DOUBLE_EQ(ws.max(), 4.0);
+  EXPECT_DOUBLE_EQ(ws.min(), 2.0);
+  EXPECT_DOUBLE_EQ(ws.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(ws.Percentile(100.0), 4.0);
 }
 
 }  // namespace

@@ -17,11 +17,22 @@ void DatacenterReceiver::Receive(const UploadPacket& packet) {
   FF_CHECK_EQ(packet.frame_index, packet.metadata.frame_index);
   last_index_ = packet.frame_index;
   bytes_received_ += packet.chunk.size();
+  clips_dirty_ = true;
 
-  frames_.push_back(decoder_.DecodeFrame(packet.chunk));
-  frames_.back().index = packet.frame_index;
-  frame_indices_.push_back(packet.frame_index);
-  const std::size_t slot = frames_.size() - 1;
+  // Tombstones carry metadata only: the clip was suppressed by cross-camera
+  // dedupe (its canonical view arrives on another stream's receiver). The
+  // decoder must not see them — suppressed frames were never encoded, and
+  // the next real upload restarts with an I-frame.
+  std::size_t slot = static_cast<std::size_t>(-1);
+  if (packet.tombstone) {
+    FF_CHECK_MSG(packet.chunk.empty(), "tombstone packets carry no bitstream");
+    ++tombstones_received_;
+  } else {
+    frames_.push_back(decoder_.DecodeFrame(packet.chunk));
+    frames_.back().index = packet.frame_index;
+    frame_indices_.push_back(packet.frame_index);
+    slot = frames_.size() - 1;
+  }
 
   for (const auto& [mc_name, event_id] : packet.metadata.memberships) {
     const auto key = std::make_pair(mc_name, event_id);
@@ -34,15 +45,19 @@ void DatacenterReceiver::Receive(const UploadPacket& packet) {
       it = clips_.emplace(key, std::move(clip)).first;
     }
     it->second.last_frame = packet.frame_index;
-    it->second.frame_slots.push_back(slot);
+    if (!packet.tombstone) it->second.frame_slots.push_back(slot);
   }
 }
 
-std::vector<DatacenterReceiver::EventClip> DatacenterReceiver::Clips() const {
-  std::vector<EventClip> out;
-  out.reserve(clips_.size());
-  for (const auto& [key, clip] : clips_) out.push_back(clip);
-  return out;
+const std::vector<DatacenterReceiver::EventClip>& DatacenterReceiver::Clips()
+    const {
+  if (clips_dirty_) {
+    clips_cache_.clear();
+    clips_cache_.reserve(clips_.size());
+    for (const auto& [key, clip] : clips_) clips_cache_.push_back(clip);
+    clips_dirty_ = false;
+  }
+  return clips_cache_;
 }
 
 }  // namespace ff::core

@@ -33,7 +33,12 @@ struct UploadPacket {
   // for hand-built in-process packets that never cross a wire.
   std::int64_t frame_width = 0;
   std::int64_t frame_height = 0;
-  std::string chunk;       // codec bitstream for this frame
+  // Cross-camera dedupe (xcam plane): a tombstone ships METADATA ONLY — the
+  // chunk is empty because every event this frame belongs to was fused into
+  // a cross-camera group whose canonical view is another stream. The full
+  // clip stays in the edge archive and remains demand-fetchable.
+  bool tombstone = false;
+  std::string chunk;       // codec bitstream for this frame (tombstone: empty)
   FrameMetadata metadata;  // (MC -> event id) memberships
 };
 
@@ -53,8 +58,11 @@ class DatacenterReceiver {
     std::vector<std::size_t> frame_slots;  // indices into frames()
   };
 
-  // Clips observed so far, grouped per MC in (mc, event id) order.
-  std::vector<EventClip> Clips() const;
+  // Clips observed so far, grouped per MC in (mc, event id) order. The
+  // returned view is stable between Receive() calls: it is rebuilt lazily
+  // and cached, so ingest-side polling loops are O(1) per pump instead of
+  // O(clips). The reference is invalidated by the next Receive().
+  const std::vector<EventClip>& Clips() const;
 
   // All decoded frames, in arrival order (frame_slots index into this).
   const std::vector<video::Frame>& frames() const { return frames_; }
@@ -66,6 +74,8 @@ class DatacenterReceiver {
   std::int64_t frames_received() const {
     return static_cast<std::int64_t>(frames_.size());
   }
+  // Metadata-only packets whose clip was suppressed by cross-camera dedupe.
+  std::int64_t tombstones_received() const { return tombstones_received_; }
 
  private:
   codec::Decoder decoder_;
@@ -73,8 +83,11 @@ class DatacenterReceiver {
   std::vector<std::int64_t> frame_indices_;
   // (mc, event id) -> clip under assembly.
   std::map<std::pair<std::string, std::int64_t>, EventClip> clips_;
+  mutable std::vector<EventClip> clips_cache_;
+  mutable bool clips_dirty_ = false;
   std::uint64_t bytes_received_ = 0;
   std::int64_t last_index_ = -1;
+  std::int64_t tombstones_received_ = 0;
 };
 
 }  // namespace ff::core

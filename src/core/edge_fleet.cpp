@@ -75,6 +75,7 @@ EdgeFleet::~EdgeFleet() {
   for (auto& s : streams_) {
     for (auto& tenant : s->tenants) fx_.ReleaseTap(tenant->mc->config().tap);
   }
+  if (xcam_ != nullptr) fx_.ReleaseTap(xcam_->tap);
 }
 
 EdgeFleet::Bucket& EdgeFleet::BucketFor(std::int64_t width,
@@ -126,6 +127,10 @@ StreamHandle EdgeFleet::FinishAddStream(std::unique_ptr<Stream> s) {
     s->store = std::make_shared<EdgeStore>(sc);
   }
   s->handle = next_stream_++;
+  if (xcam_ != nullptr && xcam_->topology.Contains(s->handle)) {
+    s->in_topology = true;
+    s->bg = std::make_unique<xcam::BackgroundModel>();
+  }
   s->latency = util::WindowedStat(
       static_cast<std::size_t>(cfg_.latency_window));
   streams_.push_back(std::move(s));
@@ -191,6 +196,11 @@ void EdgeFleet::DrainStream(Stream& s) {
   s.tenants.clear();
   FinalizeReadyFrames(s);
   FF_CHECK(s.pending.empty());
+  PruneSigRing(s);
+  // The tail drain may have closed events; once the LAST topology stream
+  // drains this Finish()es the correlator and resolves every deferred
+  // upload.
+  XcamPump();
 }
 
 void EdgeFleet::RemoveStream(StreamHandle stream) {
@@ -206,6 +216,19 @@ void EdgeFleet::RemoveStream(StreamHandle stream) {
   }
   const std::size_t idx = StreamIndex(stream);
   DrainStream(*streams_[idx]);
+  if (xcam_ != nullptr && streams_[idx]->in_topology) {
+    // Force verdicts for every pending group touching this stream (its
+    // deferred uploads must resolve before the handle dies). Flushing may
+    // also unblock siblings whose deferred frames fused into the same
+    // groups — a missed dedupe at the churn boundary, never a lost clip.
+    xcam_->correlator->FlushStream(stream);
+    if (cfg_.enable_upload) {
+      for (const auto& s : streams_) {
+        if (s->in_topology) FlushDeferredUploads(*s);
+      }
+      FF_CHECK(streams_[idx]->deferred.empty());
+    }
+  }
   // The archive outlives the stream: a datacenter application can still
   // demand-fetch history from a camera that has since detached.
   if (streams_[idx]->store != nullptr) {
@@ -260,6 +283,8 @@ void EdgeFleet::Detach(McHandle handle) {
   fx_.ReleaseTap(tenant.mc->config().tap);
   s->tenants.erase(s->tenants.begin() + static_cast<std::ptrdiff_t>(idx));
   FinalizeReadyFrames(*s);
+  PruneSigRing(*s);
+  XcamPump();  // the tail drain may have closed (and observed) events
 }
 
 bool EdgeFleet::IsAttached(McHandle handle) const {
@@ -289,6 +314,70 @@ void EdgeFleet::SetUploadSink(UploadSink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   FF_CHECK_MSG(cfg_.enable_upload, "uploads are disabled in this fleet");
   upload_sink_ = std::move(sink);
+}
+
+void EdgeFleet::SetTopology(xcam::Topology topology,
+                            xcam::CorrelatorConfig ccfg, std::string tap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(!drained_, "cannot arm xcam on a drained fleet");
+  FF_CHECK_MSG(xcam_ == nullptr, "the fleet's topology is already set");
+  FF_CHECK_MSG(!topology.empty(), "SetTopology needs a non-empty topology");
+  // Signatures are background-subtracted from the stream's first frame on;
+  // a member that already processed frames would correlate with a cold
+  // background model and silently degrade matching. Refuse loudly.
+  for (const auto& s : streams_) {
+    if (topology.Contains(s->handle)) {
+      FF_CHECK_MSG(s->frames_processed == 0,
+                   "stream " << s->handle
+                             << " already processed frames — set the "
+                                "topology before stepping its members");
+    }
+  }
+  auto plane = std::make_unique<XcamPlane>();
+  plane->topology = std::move(topology);
+  plane->tap = std::move(tap);
+  // The plane holds its own tap reference for the fleet's lifetime, so the
+  // pooled signature reads an activation the base DNN computes anyway.
+  fx_.RequestTap(plane->tap);
+  plane->correlator =
+      std::make_unique<xcam::Correlator>(plane->topology, ccfg);
+  plane->correlator->set_sink(
+      [this](const xcam::CrossEventRecord& rec) { OnCrossEvent(rec); });
+  xcam_ = std::move(plane);
+  for (const auto& s : streams_) {
+    if (xcam_->topology.Contains(s->handle)) {
+      s->in_topology = true;
+      s->bg = std::make_unique<xcam::BackgroundModel>();
+    }
+  }
+}
+
+void EdgeFleet::SetCrossEventSink(CrossEventSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cross_event_sink_ = std::move(sink);
+}
+
+bool EdgeFleet::xcam_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return xcam_ != nullptr;
+}
+
+xcam::Correlator::Stats EdgeFleet::xcam_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FF_CHECK_MSG(xcam_ != nullptr, "no topology set (SetTopology first)");
+  return xcam_->correlator->stats();
+}
+
+std::int64_t EdgeFleet::frames_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t n = 0;
+  for (const auto& s : streams_) n += s->frames_suppressed;
+  return n;
+}
+
+std::int64_t EdgeFleet::frames_suppressed(StreamHandle stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_[StreamIndex(stream)]->frames_suppressed;
 }
 
 void EdgeFleet::ValidateFrame(const Stream& s,
@@ -434,19 +523,39 @@ void EdgeFleet::DeliverScore(Stream& s, Tenant& tenant, float score) {
 
 void EdgeFleet::DeliverClosedEvent(Stream& s, Tenant& tenant,
                                    const EventRecord& ev) {
-  if (!tenant.on_event) return;
   // Detector frames are tenant-local; report stream frame indices.
   EventRecord global = ev;
   global.stream = s.handle;
   global.mc = tenant.mc->name();
   global.begin += tenant.first_frame;
   global.end += tenant.first_frame;
-  tenant.on_event(global);
+  // Capture-time bounds: first/last positive frame, tracked as decisions
+  // were delivered (NotifyDecision).
+  global.begin_ts_ns = tenant.open_begin_ts;
+  global.end_ts_ns = tenant.open_last_ts;
+  if (s.in_topology && xcam_ != nullptr) {
+    xcam::ObservedEvent oe;
+    oe.event = global;
+    oe.signature = tenant.xacc.Normalized();
+    oe.peak_score = tenant.open_peak;
+    oe.priority = s.priority;
+    xcam_->correlator->Observe(std::move(oe));
+  }
+  tenant.xacc.Reset();
+  tenant.open_begin_ts = -1;
+  tenant.open_last_ts = -1;
+  tenant.open_peak = 0.0f;
+  if (tenant.on_event) tenant.on_event(global);
 }
 
 void EdgeFleet::NotifyDecision(Stream& s, Tenant& tenant, bool positive) {
   const auto closed = tenant.detector.Push(positive);
   const std::int64_t frame_index = tenant.first_frame + tenant.decided;
+  // Capture ts (and, for topology members, the pooled signature) of the
+  // frame this decision refers to. A decision can lag the frame by the
+  // vote/window delay; the ring holds exactly the undecided span.
+  const Stream::SigEntry& se = SigAt(s, frame_index);
+  tenant.last_decided_ts = se.ts_ns;
 
   FF_CHECK(!tenant.undecided.empty());
   McDecision d;
@@ -461,6 +570,14 @@ void EdgeFleet::NotifyDecision(Stream& s, Tenant& tenant, bool positive) {
   ++tenant.decided;
   if (tenant.on_decision) tenant.on_decision(d);
   if (closed) DeliverClosedEvent(s, tenant, *closed);
+  if (positive) {
+    // A positive never closes an event (closures ride negatives/Finish),
+    // so these trackers always describe the event this frame extends.
+    if (tenant.open_begin_ts < 0) tenant.open_begin_ts = se.ts_ns;
+    tenant.open_last_ts = se.ts_ns;
+    tenant.open_peak = std::max(tenant.open_peak, d.score);
+    if (s.in_topology && se.sig != nullptr) tenant.xacc.Add(*se.sig);
+  }
 
   if (!cfg_.enable_upload) return;
   const auto slot = static_cast<std::size_t>(frame_index - s.pending_base);
@@ -473,6 +590,31 @@ void EdgeFleet::NotifyDecision(Stream& s, Tenant& tenant, bool positive) {
   }
 }
 
+void EdgeFleet::ShipUpload(Stream& s, std::int64_t index,
+                           const video::Frame& frame,
+                           std::vector<std::pair<std::string, std::int64_t>>
+                               memberships) {
+  upload_timer_.Start();
+  // Restart prediction when the previous uploaded frame is not the
+  // temporal predecessor of this one.
+  const bool force_i = index != s.last_uploaded + 1;
+  std::string chunk = s.uplink->EncodeFrame(frame, force_i);
+  upload_timer_.Stop();
+  s.last_uploaded = index;
+  ++s.frames_uploaded;
+  if (upload_sink_) {
+    UploadPacket packet;
+    packet.stream = s.handle;
+    packet.frame_index = index;
+    packet.frame_width = s.width;
+    packet.frame_height = s.height;
+    packet.chunk = std::move(chunk);
+    packet.metadata.frame_index = index;
+    packet.metadata.memberships = std::move(memberships);
+    upload_sink_(packet);
+  }
+}
+
 void EdgeFleet::FinalizeReadyFrames(Stream& s) {
   if (!cfg_.enable_upload) return;
   while (!s.pending.empty() &&
@@ -480,28 +622,141 @@ void EdgeFleet::FinalizeReadyFrames(Stream& s) {
     PendingFrame& pf = s.pending.front();
     const std::int64_t index = s.pending_base;
     if (pf.any_positive) {
-      upload_timer_.Start();
-      // Restart prediction when the previous uploaded frame is not the
-      // temporal predecessor of this one.
-      const bool force_i = index != s.last_uploaded + 1;
-      std::string chunk = s.uplink->EncodeFrame(pf.frame, force_i);
-      upload_timer_.Stop();
-      s.last_uploaded = index;
-      ++s.frames_uploaded;
-      if (upload_sink_) {
-        UploadPacket packet;
-        packet.stream = s.handle;
-        packet.frame_index = index;
-        packet.frame_width = s.width;
-        packet.frame_height = s.height;
-        packet.chunk = std::move(chunk);
-        packet.metadata.frame_index = index;
-        packet.metadata.memberships = std::move(pf.memberships);
-        upload_sink_(packet);
+      if (s.in_topology && xcam_ != nullptr) {
+        // Topology member: the frame's upload-or-tombstone verdict arrives
+        // once the correlator finalizes every event it belongs to. Streams
+        // outside the topology take the immediate branch below — their
+        // upload byte stream is untouched by the plane.
+        Stream::DeferredUpload d;
+        d.frame = std::move(pf.frame);
+        d.index = index;
+        d.memberships = std::move(pf.memberships);
+        s.deferred.push_back(std::move(d));
+      } else {
+        ShipUpload(s, index, pf.frame, std::move(pf.memberships));
       }
     }
     s.pending.pop_front();
     ++s.pending_base;
+  }
+}
+
+void EdgeFleet::FlushDeferredUploads(Stream& s) {
+  while (!s.deferred.empty()) {
+    Stream::DeferredUpload& d = s.deferred.front();
+    bool all_decided = true;
+    bool upload = false;
+    for (const auto& m : d.memberships) {
+      const auto it = s.xverdicts.find(m);
+      if (it == s.xverdicts.end()) {
+        all_decided = false;
+        break;
+      }
+      // Ship the clip frame if ANY of its events kept this stream as the
+      // canonical (or unmatched) view.
+      if (!it->second.first) upload = true;
+    }
+    if (!all_decided) break;  // later frames wait too (uploads are in order)
+    if (upload) {
+      ShipUpload(s, d.index, d.frame, std::move(d.memberships));
+    } else {
+      // Every event this frame belongs to was fused under another stream's
+      // canonical view: ship a metadata-only tombstone. The frame is never
+      // encoded (the next real upload restarts with an I-frame because its
+      // index is non-contiguous) and the full clip stays in the edge
+      // archive, demand-fetchable.
+      ++s.frames_suppressed;
+      if (upload_sink_) {
+        UploadPacket packet;
+        packet.stream = s.handle;
+        packet.frame_index = d.index;
+        packet.frame_width = s.width;
+        packet.frame_height = s.height;
+        packet.tombstone = true;
+        packet.metadata.frame_index = d.index;
+        packet.metadata.memberships = std::move(d.memberships);
+        upload_sink_(packet);
+      }
+    }
+    // Verdicts for events that ended at or before this frame can never be
+    // referenced by a later deferred frame; drop them so the map stays
+    // bounded by the open-event set.
+    for (auto it = s.xverdicts.begin(); it != s.xverdicts.end();) {
+      if (it->second.second <= d.index + 1) {
+        it = s.xverdicts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    s.deferred.pop_front();
+  }
+}
+
+const EdgeFleet::Stream::SigEntry& EdgeFleet::SigAt(
+    const Stream& s, std::int64_t frame_index) const {
+  const std::int64_t off = frame_index - s.sig_ring_base;
+  FF_CHECK_MSG(off >= 0 &&
+                   off < static_cast<std::int64_t>(s.sig_ring.size()),
+               "stream " << s.handle << " has no ring entry for frame "
+                         << frame_index);
+  return s.sig_ring[static_cast<std::size_t>(off)];
+}
+
+void EdgeFleet::PruneSigRing(Stream& s) {
+  // Entries below every tenant's decision cursor can never be consulted
+  // again; the ring stays bounded by the largest tenant decision lag.
+  std::int64_t min_needed = s.frames_processed;
+  for (const auto& t : s.tenants) {
+    min_needed = std::min(min_needed, t->first_frame + t->decided);
+  }
+  while (!s.sig_ring.empty() && s.sig_ring_base < min_needed) {
+    s.sig_ring.pop_front();
+    ++s.sig_ring_base;
+  }
+}
+
+void EdgeFleet::OnCrossEvent(const xcam::CrossEventRecord& rec) {
+  if (cfg_.enable_upload) {
+    for (std::size_t i = 0; i < rec.members.size(); ++i) {
+      const xcam::CrossMember& m = rec.members[i];
+      if (Stream* s = FindStream(m.stream)) {
+        s->xverdicts[{m.mc, m.event_id}] = {
+            static_cast<std::int64_t>(i) != rec.canonical, m.end};
+      }
+    }
+  }
+  if (cross_event_sink_) cross_event_sink_(rec);
+}
+
+void EdgeFleet::XcamPump() {
+  if (xcam_ == nullptr) return;
+  // Watermark: no topology tenant can ever again close an event whose
+  // begin_ts precedes its open event's begin (an open event closes at or
+  // after where it began) or, with nothing open, its last decided frame's
+  // capture ts (per-stream capture time is monotone).
+  bool contributors = false;
+  std::int64_t wm = std::numeric_limits<std::int64_t>::max();
+  for (const auto& s : streams_) {
+    if (!s->in_topology) continue;
+    for (const auto& t : s->tenants) {
+      contributors = true;
+      wm = std::min(wm, t->open_begin_ts >= 0 ? t->open_begin_ts
+                                              : t->last_decided_ts);
+    }
+  }
+  if (contributors) {
+    // min() means some tenant has not decided a frame yet — it may still
+    // observe arbitrarily early events, so the watermark cannot move.
+    if (wm > std::numeric_limits<std::int64_t>::min()) {
+      xcam_->correlator->AdvanceWatermark(wm);
+    }
+  } else {
+    xcam_->correlator->Finish();
+  }
+  if (cfg_.enable_upload) {
+    for (const auto& s : streams_) {
+      if (s->in_topology) FlushDeferredUploads(*s);
+    }
   }
 }
 
@@ -735,6 +990,14 @@ std::int64_t EdgeFleet::ProcessStaged(
     mc_timer_.Stop();
   }
 
+  // xcam: the tap the pooled signatures read. Resolved once per batch; the
+  // plane holds its own tap reference, so the extract above computed it.
+  const nn::Tensor* xcam_tap = nullptr;
+  if (xcam_ != nullptr && !active.empty()) {
+    const auto tap_it = fm.find(xcam_->tap);
+    if (tap_it != fm.end()) xcam_tap = &tap_it->second;
+  }
+
   // Phases 3-5 per frame, in batch order, on this thread (sinks fire
   // here). Streams are independent, so only the per-stream frame order —
   // which staging preserved — matters. One clock read serves the whole
@@ -750,6 +1013,20 @@ std::int64_t EdgeFleet::ProcessStaged(
       fleet_latency_.Add(latency_ms);
     }
     if (!s.tenants.empty()) {
+      // Capture ts (+ pooled tap signature for topology members) of this
+      // frame, consulted when its decisions finalize. The batched-extract
+      // bitwise guarantee (image n of a batch ≡ a batch-1 extract of frame
+      // n) makes the pooled vector independent of batch composition, so
+      // signatures are identical between the sync and pipelined schedules.
+      Stream::SigEntry se;
+      se.ts_ns = it.ingest_ns;
+      if (s.in_topology && xcam_ != nullptr) {
+        FF_CHECK(xcam_tap != nullptr);
+        se.sig = std::make_shared<const std::vector<float>>(
+            s.bg->Update(xcam::PoolSpatial(*xcam_tap, it.image)));
+      }
+      if (s.sig_ring.empty()) s.sig_ring_base = s.frames_processed;
+      s.sig_ring.push_back(std::move(se));
       smooth_timer_.Start();
       for (std::size_t t = 0; t < s.tenants.size(); ++t) {
         Tenant& tenant = *s.tenants[t];
@@ -764,6 +1041,7 @@ std::int64_t EdgeFleet::ProcessStaged(
       smooth_timer_.Stop();
     }
     FinalizeReadyFrames(s);
+    PruneSigRing(s);
     ++s.frames_processed;
     ++batch.bucket->frames;
   }
@@ -786,6 +1064,11 @@ std::int64_t EdgeFleet::ProcessStaged(
       }
     }
   }
+
+  // Cross-camera plane: advance the correlator watermark from this batch's
+  // decision progress and resolve deferred uploads whose verdicts arrived.
+  // One null test when the plane is off.
+  XcamPump();
 
   ++batches_run_;
   ++batch.bucket->batches;

@@ -97,6 +97,8 @@
 
 #include <deque>
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <condition_variable>
@@ -104,6 +106,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -117,6 +120,8 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "video/source.hpp"
+#include "xcam/correlator.hpp"
+#include "xcam/signature.hpp"
 
 namespace ff::core {
 
@@ -148,6 +153,9 @@ using DecisionSink = std::function<void(const McDecision&)>;
 // Closed events, begin/end in the owning stream's frame indices.
 using EventSink = std::function<void(const EventRecord&)>;
 using UploadSink = std::function<void(const UploadPacket&)>;
+// Cross-camera groups emitted by the xcam correlation plane (SetTopology),
+// in deterministic global-id order. Same lock-held contract as the others.
+using CrossEventSink = std::function<void(const xcam::CrossEventRecord&)>;
 
 // Everything needed to attach one tenant. The explicit nullptr defaults let
 // designated initializers omit the sinks without tripping
@@ -448,6 +456,34 @@ class EdgeFleet {
   // Binds late (frames finalized after the call). Requires uploads enabled.
   void SetUploadSink(UploadSink sink);
 
+  // --- Cross-camera correlation plane (xcam) -------------------------------
+
+  // Arms the correlation plane over the declared overlap `topology`. Member
+  // streams compute per-event signatures zero-copy from the base DNN's
+  // `tap` (spatially pooled per matched frame, background-subtracted,
+  // accumulated per event — no extra forward passes) and feed closed events
+  // into an xcam::Correlator that fuses the same physical event seen from
+  // overlapping cameras. Non-canonical members of a fused group suppress
+  // their clip upload (a metadata-only tombstone crosses the wire; the full
+  // clip stays in the edge archive, demand-fetchable). Streams OUTSIDE the
+  // topology are untouched — their decision/upload/archive byte streams
+  // stay bitwise-identical to a fleet with no topology, and with no
+  // topology set the whole plane is compiled out of the hot path.
+  //
+  // Call once, before any member stream has processed a frame. Member
+  // streams may be added before or after (flagged by handle as they
+  // appear). Topology must be non-empty.
+  void SetTopology(xcam::Topology topology, xcam::CorrelatorConfig ccfg = {},
+                   std::string tap = dnn::kMidTap);
+  // Receives every fused CrossEventRecord (same thread/lock contract as the
+  // other sinks). Bind before or after SetTopology.
+  void SetCrossEventSink(CrossEventSink sink);
+  bool xcam_enabled() const;
+  xcam::Correlator::Stats xcam_stats() const;
+  // Uploads suppressed by cross-camera dedupe (tombstoned frames).
+  std::int64_t frames_suppressed() const;       // fleet total
+  std::int64_t frames_suppressed(StreamHandle stream) const;
+
   // --- Accounting ----------------------------------------------------------
 
   std::int64_t frames_processed() const;  // fleet total
@@ -508,6 +544,14 @@ class EdgeFleet {
     std::int64_t decided = 0;      // decisions finalized
     // (score, raw) per scored-but-undecided frame; bounded by vote delay.
     std::deque<std::pair<float, bool>> undecided;
+    // --- xcam event tracking (capture-time bounds + signature) -----------
+    // Capture ts of the last decided frame (watermark floor when no event
+    // is open) and of the open event's first/last positive frame.
+    std::int64_t last_decided_ts = std::numeric_limits<std::int64_t>::min();
+    std::int64_t open_begin_ts = -1;
+    std::int64_t open_last_ts = -1;
+    float open_peak = 0.0f;  // max post-smoothing score in the open event
+    xcam::SignatureAccumulator xacc;  // pooled-tap sum over the open event
   };
 
   struct PendingFrame {
@@ -559,6 +603,38 @@ class EdgeFleet {
     // Shared: the pipelined archive tail and demand-fetch handlers hold
     // references that outlive stream churn (fetch-after-detach).
     std::shared_ptr<EdgeStore> store;
+    // --- xcam state (only populated for topology member streams) ---------
+    bool in_topology = false;
+    // Per-stream background model over the pooled tap (subtracts the
+    // static scene so signatures describe the moving object).
+    std::unique_ptr<xcam::BackgroundModel> bg;
+    // Capture ts + background-subtracted pooled signature per processed
+    // frame, ring-buffered and pruned once every tenant has decided past
+    // it (bounded by the largest tenant decision lag). Entry i describes
+    // stream frame sig_ring_base + i. ts is tracked for every stream with
+    // tenants (event capture-time bounds need it); sig only for topology
+    // members.
+    struct SigEntry {
+      std::int64_t ts_ns = -1;
+      std::shared_ptr<const std::vector<float>> sig;
+    };
+    std::deque<SigEntry> sig_ring;
+    std::int64_t sig_ring_base = 0;
+    // Finalized positive frames awaiting a cross-camera verdict before
+    // encoding (topology members only; non-members keep the immediate
+    // upload path untouched).
+    struct DeferredUpload {
+      video::Frame frame;
+      std::int64_t index = -1;
+      std::vector<std::pair<std::string, std::int64_t>> memberships;
+    };
+    std::deque<DeferredUpload> deferred;
+    // (mc, event id) -> (suppress, event end frame): verdicts delivered by
+    // the correlator, pruned as deferred frames drain past them.
+    std::map<std::pair<std::string, std::int64_t>,
+             std::pair<bool, std::int64_t>>
+        xverdicts;
+    std::int64_t frames_suppressed = 0;
   };
 
   // One deferred archive append: the pipelined schedule hands (store, frame
@@ -693,9 +769,26 @@ class EdgeFleet {
   void DeliverClosedEvent(Stream& s, Tenant& tenant, const EventRecord& ev);
   void DrainTenantTail(Stream& s, Tenant& tenant);
   void FinalizeReadyFrames(Stream& s);
+  // Encodes and ships one finalized positive frame (the shared tail of the
+  // immediate and deferred upload paths — byte-identical either way).
+  void ShipUpload(Stream& s, std::int64_t index, const video::Frame& frame,
+                  std::vector<std::pair<std::string, std::int64_t>>
+                      memberships);
   // Drains every tenant of `s` and finalizes its uploads (RemoveStream and
   // Drain share this tail).
   void DrainStream(Stream& s);
+
+  // --- xcam plumbing (all under mu_) ---------------------------------------
+  const Stream::SigEntry& SigAt(const Stream& s,
+                                std::int64_t frame_index) const;
+  void PruneSigRing(Stream& s);
+  // Correlator sink: records per-member suppress/upload verdicts.
+  void OnCrossEvent(const xcam::CrossEventRecord& rec);
+  // Advances the correlator watermark from the streams' tenant progress and
+  // flushes deferred uploads whose verdicts have arrived. No-op without a
+  // topology.
+  void XcamPump();
+  void FlushDeferredUploads(Stream& s);
 
   dnn::FeatureExtractor& fx_;
   EdgeFleetConfig cfg_;
@@ -713,6 +806,16 @@ class EdgeFleet {
   bool drained_ = false;
   std::int64_t batches_run_ = 0;
   UploadSink upload_sink_;
+
+  // Cross-camera correlation plane; null until SetTopology (the hot path
+  // tests this one pointer).
+  struct XcamPlane {
+    xcam::Topology topology;
+    std::string tap;
+    std::unique_ptr<xcam::Correlator> correlator;
+  };
+  std::unique_ptr<XcamPlane> xcam_;
+  CrossEventSink cross_event_sink_;
 
   // Pipeline state (all guarded by mu_; the hand-off queue has its own
   // internal lock and is only ever pushed/popped with mu_ released).

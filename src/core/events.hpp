@@ -27,6 +27,15 @@ struct EventRecord {
   // Event ids are per-MC, so a consumer aggregating several tenants — the
   // datacenter ingest path in particular — needs this to tell them apart.
   std::string mc;
+  // Capture-time bounds of the event: timestamp of the first frame and of
+  // one-past-the-last frame's predecessor (i.e. the last member frame).
+  // Stamped by the fleet from `Frame::capture_ts_ns` as frames are admitted;
+  // -1 inside a stream-agnostic TransitionDetector and in records decoded
+  // from the pre-timestamp wire format. The cross-camera correlator keys its
+  // temporal matching window off these, so they use capture time (what the
+  // cameras saw), not decision time.
+  std::int64_t begin_ts_ns = -1;
+  std::int64_t end_ts_ns = -1;
   std::int64_t length() const { return end - begin; }
 };
 

@@ -177,9 +177,15 @@ void DatacenterIngest::DeliverRecord(FleetState& fs, StreamState& ss,
     ++stats_.bad_records;
     return;
   }
+  if (rec.legacy) ++stats_.legacy_records;
   if (rec.type == RecordType::kEvent) {
     fs.events.push_back(std::move(rec.event));
     ++stats_.events_delivered;
+    return;
+  }
+  if (rec.type == RecordType::kXEvent) {
+    fs.xevents.push_back(std::move(rec.xevent));
+    ++stats_.xevents_delivered;
     return;
   }
   if (rec.type == RecordType::kClip) {
@@ -249,6 +255,14 @@ std::vector<core::EventRecord> DatacenterIngest::events(
   const auto fit = fleets_.find(fleet);
   if (fit == fleets_.end()) return {};
   return fit->second.events;
+}
+
+std::vector<xcam::CrossEventRecord> DatacenterIngest::xevents(
+    std::uint64_t fleet) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fit = fleets_.find(fleet);
+  if (fit == fleets_.end()) return {};
+  return fit->second.xevents;
 }
 
 IngestStats DatacenterIngest::stats() const {

@@ -60,7 +60,9 @@ struct IngestStats {
   std::int64_t records_completed = 0;  // fully reassembled
   std::int64_t uploads_delivered = 0;  // fed to a DatacenterReceiver
   std::int64_t events_delivered = 0;
+  std::int64_t xevents_delivered = 0;  // cross-camera fused events
   std::int64_t bad_records = 0;        // reassembled but undecodable
+  std::int64_t legacy_records = 0;     // pre-xcam encoder, fields defaulted
   std::int64_t fetch_requests = 0;     // RequestClip calls
   std::int64_t fetch_retransmits = 0;  // re-sent unanswered requests
   std::int64_t clips_delivered = 0;    // ClipRecords completed
@@ -123,6 +125,9 @@ class DatacenterIngest {
   // Event records of `fleet` in delivery order (per stream this is the
   // edge's emission order; across streams it is completion order).
   std::vector<core::EventRecord> events(std::uint64_t fleet) const;
+  // Cross-camera fused events of `fleet` in delivery order (the edge
+  // correlator's deterministic emission order — they ride one lane).
+  std::vector<xcam::CrossEventRecord> xevents(std::uint64_t fleet) const;
 
   IngestStats stats() const;
 
@@ -143,6 +148,7 @@ class DatacenterIngest {
     Link* link = nullptr;
     std::map<std::int64_t, StreamState> streams;
     std::vector<core::EventRecord> events;
+    std::vector<xcam::CrossEventRecord> xevents;
   };
 
   struct PendingFetch {

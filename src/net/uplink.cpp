@@ -92,12 +92,24 @@ void UplinkClient::EnqueueEvent(const core::EventRecord& ev) {
   EnqueueRecord(ev.stream, EncodeEventRecord(ev));
 }
 
+void UplinkClient::EnqueueCrossEvent(const xcam::CrossEventRecord& rec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.xevents_enqueued;
+  }
+  EnqueueRecord(-1, EncodeXEventRecord(rec));
+}
+
 core::UploadSink UplinkClient::sink() {
   return [this](const core::UploadPacket& p) { Enqueue(p); };
 }
 
 core::EventSink UplinkClient::event_sink() {
   return [this](const core::EventRecord& ev) { EnqueueEvent(ev); };
+}
+
+core::CrossEventSink UplinkClient::cross_event_sink() {
+  return [this](const xcam::CrossEventRecord& rec) { EnqueueCrossEvent(rec); };
 }
 
 void UplinkClient::SetFetchHandler(FetchHandler handler) {

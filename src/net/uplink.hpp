@@ -88,6 +88,7 @@ struct UplinkConfig {
 struct UplinkStats {
   std::int64_t uploads_enqueued = 0;
   std::int64_t events_enqueued = 0;
+  std::int64_t xevents_enqueued = 0;  // cross-camera fused events
   std::int64_t records_sent = 0;     // records fully fragmented to the wire
   std::int64_t frames_sent = 0;      // first transmissions
   std::int64_t retransmits = 0;      // re-sends after timeout
@@ -133,6 +134,9 @@ class UplinkClient {
   // a full queue.
   void Enqueue(const core::UploadPacket& packet);
   void EnqueueEvent(const core::EventRecord& ev);
+  // Cross-camera fused events ride a dedicated pseudo-stream lane (-1) so
+  // they keep their own record_seq order independent of any camera stream.
+  void EnqueueCrossEvent(const xcam::CrossEventRecord& rec);
 
   // Sinks bound to Enqueue/EnqueueEvent, ready for
   // EdgeFleet::SetUploadSink / McSpec::on_event. NOTE the fleet fires sinks
@@ -141,6 +145,8 @@ class UplinkClient {
   // deadlock-free because the pump never calls back into the fleet.
   core::UploadSink sink();
   core::EventSink event_sink();
+  // Ready for EdgeFleet::SetCrossEventSink; same locking caveat as sink().
+  core::CrossEventSink cross_event_sink();
 
   // Installs (or clears) the demand-fetch handler. Fetch frames arriving
   // while no handler is installed are dropped (counted as received only).

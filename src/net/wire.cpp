@@ -262,6 +262,11 @@ std::string EncodeUploadRecord(const core::UploadPacket& p) {
     w.I64(event_id);
   }
   w.Bytes(p.chunk);
+  // Trailing optional (absent in pre-xcam records; the decoder defaults it
+  // to false): cross-camera dedupe tombstone marker.
+  FF_CHECK_MSG(!p.tombstone || p.chunk.empty(),
+               "tombstone packets carry no bitstream");
+  w.U8(p.tombstone ? 1 : 0);
   return w.Take();
 }
 
@@ -273,6 +278,41 @@ std::string EncodeEventRecord(const core::EventRecord& ev) {
   w.I64(ev.begin);
   w.I64(ev.end);
   w.I64(ev.stream);
+  // Trailing optional (absent in pre-xcam records; the decoder defaults
+  // them to -1): capture-time bounds of the event.
+  w.I64(ev.begin_ts_ns);
+  w.I64(ev.end_ts_ns);
+  return w.Take();
+}
+
+std::string EncodeXEventRecord(const xcam::CrossEventRecord& rec) {
+  FF_CHECK_LE(rec.members.size(), kMaxMemberships);
+  FF_CHECK_MSG(rec.canonical >= 0 &&
+                   rec.canonical <
+                       static_cast<std::int64_t>(rec.members.size()),
+               "canonical " << rec.canonical << " out of "
+                            << rec.members.size() << " members");
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(RecordType::kXEvent));
+  w.I64(rec.global_id);
+  w.I64(rec.canonical);
+  w.I64(rec.begin_ts_ns);
+  w.I64(rec.end_ts_ns);
+  w.U32(static_cast<std::uint32_t>(rec.members.size()));
+  for (const xcam::CrossMember& m : rec.members) {
+    w.I64(m.stream);
+    w.Bytes(m.mc);
+    w.I64(m.event_id);
+    w.I64(m.begin);
+    w.I64(m.end);
+    w.I64(m.begin_ts_ns);
+    w.I64(m.end_ts_ns);
+    std::uint32_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(m.peak_score));
+    std::memcpy(&bits, &m.peak_score, sizeof(bits));
+    w.U32(bits);
+    w.I64(m.priority);
+  }
   return w.Take();
 }
 
@@ -305,6 +345,7 @@ std::string EncodeClipRecord(const ClipRecord& clip) {
 
 DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out) {
   FF_CHECK(out != nullptr);
+  out->legacy = false;
   Reader r(bytes);
   const std::uint8_t type = r.U8("record type");
   if (r.failed()) return Corrupt("record: " + r.error());
@@ -332,6 +373,22 @@ DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out) {
     p.chunk = r.Bytes("chunk", kMaxBody);
     p.metadata.frame_index = p.frame_index;
     if (r.failed()) return Corrupt("upload record: " + r.error());
+    // Trailing optional tombstone marker: a pre-xcam encoder ends here
+    // (legacy, defaults to false); anything between "absent" and "exactly
+    // one more byte" is corrupt, not ambiguous.
+    if (r.remaining() == 0) {
+      out->legacy = true;
+    } else {
+      const std::uint8_t tomb = r.U8("tombstone flag");
+      if (r.failed()) return Corrupt("upload record: " + r.error());
+      if (tomb > 1) {
+        return Corrupt("upload tombstone flag " + std::to_string(tomb));
+      }
+      p.tombstone = tomb == 1;
+      if (p.tombstone && !p.chunk.empty()) {
+        return Corrupt("tombstone upload record carries a bitstream chunk");
+      }
+    }
     if (!r.ExpectEnd("upload record")) return Corrupt(r.error());
   } else if (type == static_cast<std::uint8_t>(RecordType::kEvent)) {
     out->type = RecordType::kEvent;
@@ -343,7 +400,53 @@ DecodeResult DecodeRecord(std::string_view bytes, DecodedRecord* out) {
     ev.end = r.I64("end");
     ev.stream = r.I64("stream");
     if (r.failed()) return Corrupt("event record: " + r.error());
+    // Trailing optional capture-ts bounds: absent in pre-xcam records
+    // (legacy, default -1); present means exactly both fields.
+    if (r.remaining() == 0) {
+      out->legacy = true;
+    } else {
+      ev.begin_ts_ns = r.I64("begin_ts_ns");
+      ev.end_ts_ns = r.I64("end_ts_ns");
+      if (r.failed()) return Corrupt("event record: " + r.error());
+    }
     if (!r.ExpectEnd("event record")) return Corrupt(r.error());
+  } else if (type == static_cast<std::uint8_t>(RecordType::kXEvent)) {
+    out->type = RecordType::kXEvent;
+    xcam::CrossEventRecord& rec = out->xevent;
+    rec = {};
+    rec.global_id = r.I64("global_id");
+    rec.canonical = r.I64("canonical");
+    rec.begin_ts_ns = r.I64("begin_ts_ns");
+    rec.end_ts_ns = r.I64("end_ts_ns");
+    const std::uint32_t n = r.U32("member count");
+    if (r.failed()) return Corrupt("xevent record: " + r.error());
+    if (n == 0) return Corrupt("xevent record with no members");
+    if (n > kMaxMemberships) {
+      return Corrupt("xevent member count " + std::to_string(n) +
+                     " exceeds cap");
+    }
+    if (rec.canonical < 0 || rec.canonical >= static_cast<std::int64_t>(n)) {
+      return Corrupt("xevent canonical " + std::to_string(rec.canonical) +
+                     " out of " + std::to_string(n) + " members");
+    }
+    // Each member needs >= 60 bytes; checked implicitly per field, so a
+    // lying count fails on the first short read instead of reserving.
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      xcam::CrossMember m;
+      m.stream = r.I64("member stream");
+      m.mc = r.Bytes("member mc name", kMaxNameBytes);
+      m.event_id = r.I64("member event id");
+      m.begin = r.I64("member begin");
+      m.end = r.I64("member end");
+      m.begin_ts_ns = r.I64("member begin_ts_ns");
+      m.end_ts_ns = r.I64("member end_ts_ns");
+      const std::uint32_t bits = r.U32("member peak_score");
+      std::memcpy(&m.peak_score, &bits, sizeof(m.peak_score));
+      m.priority = r.I64("member priority");
+      if (!r.failed()) rec.members.push_back(std::move(m));
+    }
+    if (r.failed()) return Corrupt("xevent record: " + r.error());
+    if (!r.ExpectEnd("xevent record")) return Corrupt(r.error());
   } else if (type == static_cast<std::uint8_t>(RecordType::kClip)) {
     out->type = RecordType::kClip;
     ClipRecord& clip = out->clip;

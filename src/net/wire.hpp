@@ -13,7 +13,8 @@
 //
 // DATA frames carry one fragment of a RECORD — the logical unit the edge
 // ships: a serialized core::UploadPacket (matched frame chunk + event
-// metadata) or a serialized core::EventRecord. Records larger than the
+// metadata), a serialized core::EventRecord, or a serialized
+// xcam::CrossEventRecord (fused cross-camera event). Records larger than the
 // link's payload budget are chunked into frag_count fragments sharing one
 // (stream, record_seq); the ingest side reassembles. ACK frames flow the
 // other way and name the wire_seq they confirm.
@@ -33,6 +34,7 @@
 
 #include "core/datacenter.hpp"
 #include "core/events.hpp"
+#include "xcam/correlator.hpp"
 
 namespace ff::net {
 
@@ -117,7 +119,14 @@ DecodeResult DecodeFrame(std::string_view buf, DecodedFrame* out);
 
 // --- Records: the logical payload DATA frames fragment ---------------------
 
-enum class RecordType : std::uint8_t { kUpload = 1, kEvent = 2, kClip = 3 };
+enum class RecordType : std::uint8_t {
+  kUpload = 1,
+  kEvent = 2,
+  kClip = 3,
+  // Cross-camera fused event (xcam::CrossEventRecord): global object id,
+  // member (stream, mc, event) views, elected canonical.
+  kXEvent = 4,
+};
 
 // Edge → datacenter: the response to a FetchRequest. ok == false means the
 // requested range no longer overlaps the archive (evicted or never
@@ -137,12 +146,19 @@ struct ClipRecord {
 std::string EncodeUploadRecord(const core::UploadPacket& p);
 std::string EncodeEventRecord(const core::EventRecord& ev);
 std::string EncodeClipRecord(const ClipRecord& clip);
+std::string EncodeXEventRecord(const xcam::CrossEventRecord& rec);
 
 struct DecodedRecord {
   RecordType type = RecordType::kUpload;
   core::UploadPacket upload;  // valid when type == kUpload
   core::EventRecord event;    // valid when type == kEvent
   ClipRecord clip;            // valid when type == kClip
+  xcam::CrossEventRecord xevent;  // valid when type == kXEvent
+  // The record came from a pre-xcam encoder: its trailing optional fields
+  // (event capture-ts bounds, upload tombstone flag) were absent and were
+  // defaulted (-1 / false). Loud-but-safe — the consumer decides whether a
+  // legacy peer is acceptable.
+  bool legacy = false;
 };
 
 // Decodes one reassembled record. Same strictness contract as DecodeFrame

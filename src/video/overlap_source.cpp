@@ -1,0 +1,100 @@
+#include "video/overlap_source.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "video/scene.hpp"
+
+namespace ff::video {
+
+namespace {
+
+// Distinct, saturated palette so different physical objects pool to
+// well-separated tap signatures.
+constexpr Rgb kPalette[] = {
+    {220, 60, 40},  {40, 80, 220},  {40, 200, 80},  {230, 200, 40},
+    {200, 40, 200}, {40, 200, 210}, {240, 140, 40}, {140, 70, 220},
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+}  // namespace
+
+OverlapScript::OverlapScript(OverlapScriptSpec spec) : spec_(std::move(spec)) {
+  FF_CHECK_MSG(spec_.width > 0 && spec_.height > 0, "OverlapScript: geometry");
+  if (spec_.objects.empty()) {
+    FF_CHECK_MSG(spec_.n_events >= 0, "OverlapScript: n_events");
+    FF_CHECK_MSG(spec_.event_frames > 0 && spec_.gap_frames > 0,
+                 "OverlapScript: event/gap frames");
+    const double h = static_cast<double>(spec_.height);
+    const double w = static_cast<double>(spec_.width);
+    for (std::int64_t k = 0; k < spec_.n_events; ++k) {
+      OverlapObject obj;
+      obj.begin = spec_.gap_frames + k * (spec_.event_frames + spec_.gap_frames);
+      obj.end = obj.begin + spec_.event_frames;
+      obj.kind = static_cast<int>(k % 2);
+      obj.color = kPalette[static_cast<std::size_t>(k) % kPaletteSize];
+      // Alternate crossing direction; jitter the baseline per object so
+      // consecutive events are not pixel-translates of each other.
+      const bool ltr = (PixelHash(spec_.seed, k, 0, 0) & 1) == 0;
+      obj.enter_x = ltr ? 0.2 * w : 0.8 * w;
+      obj.exit_x = ltr ? 0.8 * w : 0.2 * w;
+      obj.baseline_y =
+          0.7 * h + static_cast<double>(PixelHash(spec_.seed, k, 1, 0) % 9) -
+          4.0;
+      obj.height = 0.04 * h * spec_.object_scale * (obj.kind == 1 ? 0.6 : 1.0);
+      spec_.objects.push_back(obj);
+    }
+  }
+  for (const OverlapObject& obj : spec_.objects) {
+    FF_CHECK_MSG(obj.begin >= 0 && obj.end > obj.begin,
+                 "OverlapScript: object frame range");
+    n_frames_ = std::max(n_frames_, obj.end);
+  }
+  n_frames_ += spec_.gap_frames;  // trailing quiet tail closes every event
+}
+
+bool OverlapScript::Active(std::int64_t frame) const {
+  for (const OverlapObject& obj : spec_.objects)
+    if (frame >= obj.begin && frame < obj.end) return true;
+  return false;
+}
+
+OverlapSource::OverlapSource(std::shared_ptr<const OverlapScript> script,
+                             OverlapView view)
+    : script_(std::move(script)), view_(view) {
+  FF_CHECK_MSG(script_ != nullptr, "OverlapSource needs a script");
+  FF_CHECK_MSG(view_.dt_ns > 0, "OverlapSource: dt_ns must be positive");
+}
+
+std::optional<Frame> OverlapSource::Next() {
+  if (next_ >= script_->n_frames()) return std::nullopt;
+  return RenderFrame(next_++);
+}
+
+Frame OverlapSource::RenderFrame(std::int64_t i) const {
+  const OverlapScriptSpec& spec = script_->spec();
+  Frame f(spec.width, spec.height, Rgb{96, 96, 96});
+  // Static scene structure: a horizon band, so the background is not flat
+  // (the xcam background model has something real to cancel).
+  f.FillRect(0, spec.height * 3 / 4, spec.width, spec.height / 4,
+             Rgb{70, 74, 70});
+  for (const OverlapObject& obj : script_->objects()) {
+    if (i < obj.begin || i >= obj.end) continue;
+    const double progress = static_cast<double>(i - obj.begin) /
+                            static_cast<double>(obj.end - obj.begin);
+    const double cx =
+        obj.enter_x + progress * (obj.exit_x - obj.enter_x) + view_.shift_x;
+    if (obj.kind == 0)
+      DrawPedestrian(f, cx, obj.baseline_y, obj.height, obj.color,
+                     i - obj.begin);
+    else
+      DrawCar(f, cx, obj.baseline_y, obj.height, obj.color);
+  }
+  if (view_.noise_amp > 0 || view_.brightness != 0)
+    ApplyNoise(f, view_.noise_seed, i, view_.noise_amp, view_.brightness);
+  f.index = i;
+  f.capture_ts_ns = view_.t0_ns + i * view_.dt_ns;
+  return f;
+}
+
+}  // namespace ff::video

@@ -1,0 +1,101 @@
+// Multi-camera overlapping-scene synthesis for the cross-camera plane.
+//
+// One OverlapScript scripts a sequence of physical objects moving through a
+// shared scene (deterministic from a seed, with exact ground-truth frame
+// ranges, like SyntheticDataset). Any number of OverlapSources render the
+// SAME script through per-camera view transforms — horizontal parallax
+// shift, brightness offset, independent sensor noise — so a wall of sources
+// sharing a script models overlapping cameras pointed at one scene, while
+// sources built from different scripts model disjoint coverage (the
+// non-overlap control in xcam tests). Frames carry scripted capture
+// timestamps (t0 + i*dt on a shared timeline) so correlation is a pure
+// function of the script under util::FakeClock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "video/source.hpp"
+
+namespace ff::video {
+
+// One scripted physical object crossing the scene.
+struct OverlapObject {
+  std::int64_t begin = 0;  // visible frame range [begin, end)
+  std::int64_t end = 0;
+  int kind = 0;  // 0 = pedestrian, 1 = car
+  Rgb color{220, 60, 40};
+  double enter_x = 0.0;  // scene-space path, linear in frame progress
+  double exit_x = 0.0;
+  double baseline_y = 0.0;  // feet/wheel baseline, scene pixels
+  double height = 0.0;      // sprite height, pixels
+};
+
+struct OverlapScriptSpec {
+  std::int64_t width = 64;
+  std::int64_t height = 64;
+  std::int64_t fps = 30;
+  // Auto-generation knobs (used when `objects` is empty): n_events objects
+  // with distinct colors and alternating kinds, spaced so events never
+  // overlap in time. object_scale multiplies the paper-proportioned sprite
+  // size (~4% of frame height), as in DatasetSpec.
+  std::int64_t n_events = 4;
+  double object_scale = 6.0;
+  std::uint64_t seed = 1;
+  std::int64_t event_frames = 14;  // frames each generated object is visible
+  std::int64_t gap_frames = 12;    // idle frames between generated objects
+  std::vector<OverlapObject> objects;  // explicit script; generated if empty
+};
+
+class OverlapScript {
+ public:
+  explicit OverlapScript(OverlapScriptSpec spec);
+
+  const OverlapScriptSpec& spec() const { return spec_; }
+  const std::vector<OverlapObject>& objects() const { return spec_.objects; }
+  std::int64_t n_frames() const { return n_frames_; }
+
+  // Ground truth: true when any object is visible at `frame`.
+  bool Active(std::int64_t frame) const;
+
+ private:
+  OverlapScriptSpec spec_;
+  std::int64_t n_frames_ = 0;
+};
+
+// Per-camera view of a script.
+struct OverlapView {
+  double shift_x = 0.0;  // horizontal parallax: scene x + shift_x = camera x
+  int brightness = 0;    // per-camera gain offset
+  int noise_amp = 0;     // per-camera sensor noise (seeded independently)
+  std::uint64_t noise_seed = 0;
+  std::int64_t t0_ns = 0;            // capture ts of frame 0
+  std::int64_t dt_ns = 33'000'000;   // capture ts increment per frame
+};
+
+class OverlapSource : public FrameSource {
+ public:
+  OverlapSource(std::shared_ptr<const OverlapScript> script, OverlapView view);
+
+  std::optional<Frame> Next() override;
+  void Reset() override { next_ = 0; }
+
+  std::int64_t width() const override { return script_->spec().width; }
+  std::int64_t height() const override { return script_->spec().height; }
+  std::int64_t fps() const override { return script_->spec().fps; }
+
+  // Deterministic random access (tests compare against what a camera saw).
+  Frame RenderFrame(std::int64_t i) const;
+
+  const OverlapScript& script() const { return *script_; }
+  const OverlapView& view() const { return view_; }
+
+ private:
+  std::shared_ptr<const OverlapScript> script_;
+  OverlapView view_;
+  std::int64_t next_ = 0;
+};
+
+}  // namespace ff::video

@@ -1,0 +1,76 @@
+#include "xcam/signature.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ff::xcam {
+
+std::vector<float> PoolSpatial(const tensor::TensorView& tap, std::int64_t n) {
+  const tensor::Shape& sh = tap.shape();
+  FF_CHECK_MSG(n >= 0 && n < sh.n, "xcam: pooled image out of batch range");
+  std::vector<float> out(static_cast<std::size_t>(sh.c), 0.0f);
+  const float inv = 1.0f / static_cast<float>(sh.h * sh.w);
+  for (std::int64_t c = 0; c < sh.c; ++c) {
+    float acc = 0.0f;
+    for (std::int64_t y = 0; y < sh.h; ++y) {
+      const float* row = tap.row(n, c, y);
+      for (std::int64_t x = 0; x < sh.w; ++x) acc += row[x];
+    }
+    out[static_cast<std::size_t>(c)] = acc * inv;
+  }
+  return out;
+}
+
+std::vector<float> BackgroundModel::Update(const std::vector<float>& pooled) {
+  ++frames_;
+  if (bg_.empty()) {
+    bg_ = pooled;
+    return std::vector<float>(pooled.size(), 0.0f);
+  }
+  FF_CHECK_EQ(bg_.size(), pooled.size());
+  std::vector<float> residual(pooled.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    residual[i] = pooled[i] - bg_[i];
+    bg_[i] += alpha_ * residual[i];
+  }
+  return residual;
+}
+
+void SignatureAccumulator::Add(const std::vector<float>& contribution) {
+  if (sum_.empty()) sum_.assign(contribution.size(), 0.0f);
+  FF_CHECK_EQ(sum_.size(), contribution.size());
+  for (std::size_t i = 0; i < contribution.size(); ++i)
+    sum_[i] += contribution[i];
+  ++count_;
+}
+
+void SignatureAccumulator::Reset() {
+  sum_.clear();
+  count_ = 0;
+}
+
+std::vector<float> SignatureAccumulator::Normalized() const {
+  if (count_ == 0) return {};
+  double norm2 = 0.0;
+  for (float v : sum_) norm2 += static_cast<double>(v) * v;
+  if (norm2 <= 0.0) return {};
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+  std::vector<float> out(sum_.size());
+  for (std::size_t i = 0; i < sum_.size(); ++i) out[i] = sum_[i] * inv;
+  return out;
+}
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.empty() || b.empty() || a.size() != b.size()) return 0.0f;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace ff::xcam

@@ -1,0 +1,72 @@
+// Compact per-event appearance signatures for cross-camera correlation.
+//
+// The whole point of FilterForward's architecture is that the base DNN runs
+// once per frame and everything downstream reads its taps zero-copy. The
+// correlation plane follows suit: a frame's signature contribution is the
+// spatial mean of each channel of an existing tap activation (one float per
+// channel — shift-invariant, so the same object seen at different offsets by
+// two overlapping cameras pools to a similar vector), minus a per-stream
+// exponential moving average of that pooled vector (the *background model*,
+// which cancels the static scene and per-camera gain so what remains is the
+// foreground object). An event's signature is the accumulated sum of its
+// matched frames' contributions, L2-normalized; events are compared by
+// cosine similarity. No new forward passes, no per-frame allocations beyond
+// one C-float vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor_view.hpp"
+
+namespace ff::xcam {
+
+// Per-channel spatial mean of image `n` of a (N, C, H, W) tap view.
+// Returns a C-float vector.
+std::vector<float> PoolSpatial(const tensor::TensorView& tap, std::int64_t n);
+
+// Per-stream background model: an EMA of the pooled tap vector. Update()
+// folds one frame's pooled vector in and returns the background-subtracted
+// contribution. Deterministic: a pure fold over the stream's frames in
+// order, so the pipelined and synchronous schedules (which process each
+// stream's frames in the same order) produce bitwise-identical residuals.
+class BackgroundModel {
+ public:
+  // `alpha` is the EMA weight of the newest frame. The first frame
+  // initializes the background outright (its residual is all-zero).
+  explicit BackgroundModel(float alpha = 1.0f / 32.0f) : alpha_(alpha) {}
+
+  std::vector<float> Update(const std::vector<float>& pooled);
+
+  const std::vector<float>& background() const { return bg_; }
+  std::int64_t frames() const { return frames_; }
+
+ private:
+  float alpha_;
+  std::vector<float> bg_;
+  std::int64_t frames_ = 0;
+};
+
+// Accumulates per-frame contributions over one open event.
+class SignatureAccumulator {
+ public:
+  void Add(const std::vector<float>& contribution);
+  void Reset();
+
+  bool empty() const { return count_ == 0; }
+  std::int64_t count() const { return count_; }
+
+  // L2-normalized accumulated signature (empty vector when no frames were
+  // added or the accumulated vector is all-zero).
+  std::vector<float> Normalized() const;
+
+ private:
+  std::vector<float> sum_;
+  std::int64_t count_ = 0;
+};
+
+// Cosine similarity in [-1, 1]; 0 when either vector is empty, all-zero, or
+// the dimensions disagree.
+float Cosine(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace ff::xcam

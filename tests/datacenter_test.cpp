@@ -119,6 +119,49 @@ TEST(Datacenter, RejectsOutOfOrderPackets) {
   EXPECT_THROW(rec.Receive(p1), util::CheckError);
 }
 
+TEST(Datacenter, TombstonesCarryMetadataOnlyAndClipsStayLive) {
+  // Tombstones (cross-camera dedupe) must never reach the decoder, must
+  // count separately, and must still extend clip bookkeeping — the
+  // suppressed event's bounds stay visible even though its frames live on
+  // another stream's receiver.
+  DatacenterReceiver rec(160, 90);
+  auto tomb = [](std::int64_t index, std::int64_t event_id) {
+    UploadPacket p;
+    p.frame_index = index;
+    p.metadata.frame_index = index;
+    p.tombstone = true;
+    p.metadata.memberships.emplace_back("mc", event_id);
+    return p;
+  };
+  for (std::int64_t i = 0; i < 5; ++i) rec.Receive(tomb(i, 0));
+  EXPECT_EQ(rec.tombstones_received(), 5);
+  EXPECT_EQ(rec.frames_received(), 0);
+  EXPECT_EQ(rec.bytes_received(), 0u);
+
+  // The cached Clips() view: repeated calls return the same snapshot...
+  const auto& clips = rec.Clips();
+  ASSERT_EQ(clips.size(), 1u);
+  EXPECT_EQ(clips[0].first_frame, 0);
+  EXPECT_EQ(clips[0].last_frame, 4);
+  EXPECT_TRUE(clips[0].frame_slots.empty());  // no decoded frames
+  const std::vector<DatacenterReceiver::EventClip>* again = &rec.Clips();
+  EXPECT_EQ(&clips, again);
+  ASSERT_EQ(again->size(), 1u);
+
+  // ...and the next Receive() invalidates it, so the rebuilt view reflects
+  // the new event instead of serving a stale cache.
+  rec.Receive(tomb(7, 1));
+  const auto& fresh = rec.Clips();
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[1].event_id, 1);
+  EXPECT_EQ(fresh[1].first_frame, 7);
+
+  // A tombstone claiming a bitstream contradicts itself.
+  UploadPacket bad = tomb(9, 2);
+  bad.chunk = "x";
+  EXPECT_THROW(rec.Receive(bad), util::CheckError);
+}
+
 TEST(Datacenter, SinkRequiresUploadsEnabled) {
   const video::SyntheticDataset ds(SmallSpec(5, 63));
   dnn::FeatureExtractor fx({.include_classifier = false});

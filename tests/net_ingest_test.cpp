@@ -22,6 +22,7 @@
 #include "net/ingest.hpp"
 #include "net/link.hpp"
 #include "net/uplink.hpp"
+#include "net/wire.hpp"
 #include "video/dataset.hpp"
 #include "video/source.hpp"
 
@@ -232,6 +233,96 @@ ReplayResult ReplayUnderFaults(const FaultConfig& data_faults,
   r.ingest = ingest.stats();
   r.data_link = edge_link.stats();
   return r;
+}
+
+// Cross-camera records and wire-format tolerance, straight through the
+// datagram plane: a kXEvent record lands in xevents(), a tombstone upload
+// reaches its stream's receiver as metadata-only, and a legacy (pre-xcam)
+// event record decodes with defaults and bumps the legacy counter instead
+// of poisoning the stream.
+TEST(NetIngest, XEventsTombstonesAndLegacyRecordsDeliver) {
+  auto [edge_end, server_end] = LocalLink::MakePair();
+  DatacenterIngest ingest;
+  ingest.AddFleet(kFleetId, *server_end);
+
+  std::uint64_t wire_seq = 0;
+  auto send = [&](std::int64_t stream, std::uint64_t record_seq,
+                  const std::string& record) {
+    for (DataFrame f : FragmentRecord(kFleetId, stream, record_seq, record,
+                                      600)) {
+      f.wire_seq = wire_seq++;
+      edge_end->Send(EncodeFrame(f));
+    }
+  };
+
+  core::UploadPacket tomb;
+  tomb.stream = 3;
+  tomb.frame_index = 0;
+  tomb.frame_width = 32;
+  tomb.frame_height = 32;
+  tomb.tombstone = true;
+  tomb.metadata.frame_index = 0;
+  tomb.metadata.memberships.emplace_back("mc0", 9);
+  send(3, 0, EncodeUploadRecord(tomb));
+
+  core::EventRecord ev;
+  ev.id = 9;
+  ev.begin = 0;
+  ev.end = 4;
+  ev.stream = 3;
+  ev.mc = "mc0";
+  ev.begin_ts_ns = 1'000;
+  ev.end_ts_ns = 2'000;
+  std::string legacy_bytes = EncodeEventRecord(ev);
+  legacy_bytes.resize(legacy_bytes.size() - 16);  // pre-xcam encoder output
+  send(3, 1, legacy_bytes);
+  send(3, 2, EncodeEventRecord(ev));
+
+  xcam::CrossEventRecord xev;
+  xev.global_id = 4;
+  xev.canonical = 0;
+  xev.begin_ts_ns = 1'000;
+  xev.end_ts_ns = 2'000;
+  xcam::CrossMember m;
+  m.stream = 3;
+  m.mc = "mc0";
+  m.event_id = 9;
+  m.begin = 0;
+  m.end = 4;
+  m.begin_ts_ns = 1'000;
+  m.end_ts_ns = 2'000;
+  m.peak_score = 0.9f;
+  m.priority = 2;
+  xev.members.push_back(m);
+  send(-1, 0, EncodeXEventRecord(xev));
+
+  ingest.Pump();
+  const IngestStats stats = ingest.stats();
+  EXPECT_EQ(stats.records_completed, 4);
+  EXPECT_EQ(stats.events_delivered, 2);
+  EXPECT_EQ(stats.xevents_delivered, 1);
+  EXPECT_EQ(stats.legacy_records, 1);
+  EXPECT_EQ(stats.uploads_delivered, 1);
+  EXPECT_EQ(stats.bad_records, 0);
+
+  const core::DatacenterReceiver* rx = ingest.receiver(kFleetId, 3);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->tombstones_received(), 1);
+  EXPECT_EQ(rx->frames_received(), 0);
+
+  const auto events = ingest.events(kFleetId);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].begin_ts_ns, -1);  // legacy record: defaulted bounds
+  EXPECT_EQ(events[0].end_ts_ns, -1);
+  EXPECT_EQ(events[1].begin_ts_ns, 1'000);
+  EXPECT_EQ(events[1].end_ts_ns, 2'000);
+
+  const auto xevents = ingest.xevents(kFleetId);
+  ASSERT_EQ(xevents.size(), 1u);
+  EXPECT_EQ(xevents[0].global_id, 4);
+  ASSERT_EQ(xevents[0].members.size(), 1u);
+  EXPECT_EQ(xevents[0].members[0].event_id, 9);
+  EXPECT_EQ(xevents[0].members[0].priority, 2);
 }
 
 TEST(NetIngest, CleanLinkMatchesInProcessBitwise) {

@@ -349,5 +349,56 @@ TEST(NetUplink, EventRecordsTravelTheSamePath) {
   EXPECT_EQ(rec.event.mc, "pedestrians");
 }
 
+TEST(NetUplink, CrossEventsRideTheirOwnLane) {
+  auto [edge, server] = LocalLink::MakePair();
+  std::int64_t now = 0;
+  UplinkClient uplink(*edge, FakeClockConfig(&now));
+  AckingPeer peer(*server);
+
+  // Two fused groups plus a camera-stream upload: the cross-events keep
+  // their own record_seq order on the pseudo-stream lane (-1), independent
+  // of any camera stream's sequence.
+  xcam::CrossEventRecord rec;
+  rec.global_id = 0;
+  rec.canonical = 0;
+  rec.begin_ts_ns = 1000;
+  rec.end_ts_ns = 2000;
+  xcam::CrossMember m;
+  m.stream = 2;
+  m.mc = "pedestrians";
+  m.event_id = 5;
+  m.begin = 40;
+  m.end = 55;
+  m.begin_ts_ns = 1000;
+  m.end_ts_ns = 2000;
+  m.peak_score = 0.75f;
+  m.priority = 1;
+  rec.members.push_back(m);
+  auto sink = uplink.cross_event_sink();
+  sink(rec);
+  uplink.sink()(MakePacket(2, 0, 100));
+  rec.global_id = 1;
+  sink(rec);
+
+  uplink.Pump(now);
+  peer.Drain();
+  uplink.Pump(now);
+  EXPECT_TRUE(uplink.idle());
+  EXPECT_EQ(uplink.stats().xevents_enqueued, 2);
+
+  for (std::uint64_t seq = 0; seq < 2; ++seq) {
+    DecodedRecord out;
+    ASSERT_TRUE(DecodeRecord(peer.Reassemble(-1, seq), &out).ok());
+    ASSERT_EQ(out.type, RecordType::kXEvent);
+    EXPECT_EQ(out.xevent.global_id, static_cast<std::int64_t>(seq));
+    ASSERT_EQ(out.xevent.members.size(), 1u);
+    EXPECT_EQ(out.xevent.members[0].mc, "pedestrians");
+    EXPECT_EQ(out.xevent.members[0].event_id, 5);
+  }
+  DecodedRecord up;
+  ASSERT_TRUE(DecodeRecord(peer.Reassemble(2, 0), &up).ok());
+  EXPECT_EQ(up.type, RecordType::kUpload);
+}
+
 }  // namespace
 }  // namespace ff::net

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
@@ -61,7 +62,32 @@ core::EventRecord RandomEvent(util::Pcg32& rng) {
   ev.end = ev.begin + rng.UniformInt(1, 500);
   ev.stream = rng.UniformInt(-1, 1000);
   ev.mc = "mc_" + std::to_string(rng.UniformInt(0, 99));
+  ev.begin_ts_ns = rng.UniformInt(0, 1'000'000'000);
+  ev.end_ts_ns = ev.begin_ts_ns + rng.UniformInt(0, 1'000'000'000);
   return ev;
+}
+
+xcam::CrossEventRecord RandomXEvent(util::Pcg32& rng) {
+  xcam::CrossEventRecord rec;
+  rec.global_id = rng.UniformInt(0, 100'000);
+  const std::int64_t n = rng.UniformInt(1, 6);
+  rec.canonical = rng.UniformInt(0, n - 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    xcam::CrossMember m;
+    m.stream = rng.UniformInt(0, 1000);
+    m.mc = "mc_" + std::to_string(rng.UniformInt(0, 99));
+    m.event_id = rng.UniformInt(0, 10'000);
+    m.begin = rng.UniformInt(0, 1'000'000);
+    m.end = m.begin + rng.UniformInt(1, 500);
+    m.begin_ts_ns = rng.UniformInt(0, 1'000'000'000);
+    m.end_ts_ns = m.begin_ts_ns + rng.UniformInt(0, 1'000'000'000);
+    m.peak_score = static_cast<float>(rng.NextDouble());
+    m.priority = rng.UniformInt(-5, 5);
+    rec.members.push_back(std::move(m));
+  }
+  rec.begin_ts_ns = rec.members.front().begin_ts_ns;
+  rec.end_ts_ns = rec.members.front().end_ts_ns;
+  return rec;
 }
 
 TEST(NetWire, DataFrameRoundTrip) {
@@ -112,7 +138,24 @@ TEST(NetWire, UploadRecordRoundTrip) {
     EXPECT_EQ(out.upload.metadata.frame_index, p.metadata.frame_index);
     EXPECT_EQ(out.upload.metadata.memberships, p.metadata.memberships);
     EXPECT_EQ(out.upload.chunk, p.chunk);
+    EXPECT_FALSE(out.upload.tombstone);
+    EXPECT_FALSE(out.legacy);
   }
+}
+
+TEST(NetWire, TombstoneUploadRoundTrip) {
+  util::Pcg32 rng(111);
+  core::UploadPacket p = RandomUpload(rng);
+  p.chunk.clear();  // tombstones are metadata-only by contract
+  p.tombstone = true;
+  DecodedRecord out;
+  const DecodeResult res = DecodeRecord(EncodeUploadRecord(p), &out);
+  ASSERT_TRUE(res.ok()) << res.error;
+  ASSERT_EQ(out.type, RecordType::kUpload);
+  EXPECT_TRUE(out.upload.tombstone);
+  EXPECT_TRUE(out.upload.chunk.empty());
+  EXPECT_EQ(out.upload.metadata.memberships, p.metadata.memberships);
+  EXPECT_FALSE(out.legacy);
 }
 
 TEST(NetWire, EventRecordRoundTrip) {
@@ -128,6 +171,128 @@ TEST(NetWire, EventRecordRoundTrip) {
     EXPECT_EQ(out.event.begin, ev.begin);
     EXPECT_EQ(out.event.end, ev.end);
     EXPECT_EQ(out.event.stream, ev.stream);
+    EXPECT_EQ(out.event.begin_ts_ns, ev.begin_ts_ns);
+    EXPECT_EQ(out.event.end_ts_ns, ev.end_ts_ns);
+    EXPECT_FALSE(out.legacy);
+  }
+}
+
+TEST(NetWire, XEventRecordRoundTrip) {
+  util::Pcg32 rng(112);
+  for (int iter = 0; iter < 100; ++iter) {
+    const xcam::CrossEventRecord rec = RandomXEvent(rng);
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(EncodeXEventRecord(rec), &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(out.type, RecordType::kXEvent);
+    EXPECT_FALSE(out.legacy);
+    const xcam::CrossEventRecord& got = out.xevent;
+    EXPECT_EQ(got.global_id, rec.global_id);
+    EXPECT_EQ(got.canonical, rec.canonical);
+    EXPECT_EQ(got.begin_ts_ns, rec.begin_ts_ns);
+    EXPECT_EQ(got.end_ts_ns, rec.end_ts_ns);
+    ASSERT_EQ(got.members.size(), rec.members.size());
+    for (std::size_t m = 0; m < rec.members.size(); ++m) {
+      EXPECT_EQ(got.members[m].stream, rec.members[m].stream);
+      EXPECT_EQ(got.members[m].mc, rec.members[m].mc);
+      EXPECT_EQ(got.members[m].event_id, rec.members[m].event_id);
+      EXPECT_EQ(got.members[m].begin, rec.members[m].begin);
+      EXPECT_EQ(got.members[m].end, rec.members[m].end);
+      EXPECT_EQ(got.members[m].begin_ts_ns, rec.members[m].begin_ts_ns);
+      EXPECT_EQ(got.members[m].end_ts_ns, rec.members[m].end_ts_ns);
+      // Bitwise: the score crosses the wire as raw float bits.
+      EXPECT_EQ(0, std::memcmp(&got.members[m].peak_score,
+                               &rec.members[m].peak_score, sizeof(float)));
+      EXPECT_EQ(got.members[m].priority, rec.members[m].priority);
+    }
+  }
+}
+
+// A pre-xcam encoder ended upload records before the tombstone byte and
+// event records before the capture-ts bounds. Those byte streams must still
+// decode — with defaults and the legacy flag — so one old edge box cannot
+// poison a datacenter ingest.
+TEST(NetWire, LegacyRecordsDecodeWithDefaults) {
+  util::Pcg32 rng(113);
+  {
+    core::UploadPacket p = RandomUpload(rng);
+    std::string bytes = EncodeUploadRecord(p);
+    bytes.resize(bytes.size() - 1);  // strip the trailing tombstone flag
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_TRUE(out.legacy);
+    EXPECT_FALSE(out.upload.tombstone);
+    EXPECT_EQ(out.upload.chunk, p.chunk);
+  }
+  {
+    const core::EventRecord ev = RandomEvent(rng);
+    std::string bytes = EncodeEventRecord(ev);
+    bytes.resize(bytes.size() - 16);  // strip both capture-ts bounds
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_TRUE(out.legacy);
+    EXPECT_EQ(out.event.begin_ts_ns, -1);
+    EXPECT_EQ(out.event.end_ts_ns, -1);
+    EXPECT_EQ(out.event.begin, ev.begin);
+    EXPECT_EQ(out.event.end, ev.end);
+  }
+}
+
+TEST(NetWire, XcamFieldLiesAreCorrupt) {
+  util::Pcg32 rng(114);
+  // A tombstone flag above 1 is corrupt, not truthy.
+  {
+    core::UploadPacket p = RandomUpload(rng);
+    p.chunk.clear();
+    std::string bytes = EncodeUploadRecord(p);
+    bytes.back() = 2;
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("tombstone"), std::string::npos);
+  }
+  // A tombstone claiming a bitstream chunk contradicts itself.
+  {
+    core::UploadPacket p = RandomUpload(rng);
+    if (p.chunk.empty()) p.chunk = "x";
+    std::string bytes = EncodeUploadRecord(p);
+    bytes.back() = 1;  // flip the honest 0 into a lying tombstone marker
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("tombstone"), std::string::npos);
+  }
+  // Half a capture-ts pair (event records): between "absent" and "both".
+  {
+    const core::EventRecord ev = RandomEvent(rng);
+    std::string bytes = EncodeEventRecord(ev);
+    bytes.resize(bytes.size() - 8);
+    DecodedRecord out;
+    EXPECT_EQ(DecodeRecord(bytes, &out).status, DecodeStatus::kCorrupt);
+  }
+  // A canonical index outside the member list.
+  {
+    xcam::CrossEventRecord rec = RandomXEvent(rng);
+    std::string bytes = EncodeXEventRecord(rec);
+    bytes[1 + 8] = static_cast<char>(0x7F);  // canonical i64, first byte
+    DecodedRecord out;
+    const DecodeResult res = DecodeRecord(bytes, &out);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrupt);
+    EXPECT_NE(res.error.find("canonical"), std::string::npos);
+  }
+  // Truncated member list: every cut inside the members is loud.
+  {
+    const xcam::CrossEventRecord rec = RandomXEvent(rng);
+    const std::string bytes = EncodeXEventRecord(rec);
+    for (std::size_t len = 1 + 4 * 8 + 4; len < bytes.size(); len += 7) {
+      DecodedRecord out;
+      EXPECT_EQ(DecodeRecord(std::string_view(bytes).substr(0, len), &out)
+                    .status,
+                DecodeStatus::kCorrupt)
+          << "truncated to " << len;
+    }
   }
 }
 
@@ -272,6 +437,7 @@ TEST(NetWire, RecordDecoderFuzz) {
   std::vector<std::string> corpus;
   for (int i = 0; i < 6; ++i) corpus.push_back(EncodeUploadRecord(RandomUpload(rng)));
   for (int i = 0; i < 2; ++i) corpus.push_back(EncodeEventRecord(RandomEvent(rng)));
+  for (int i = 0; i < 2; ++i) corpus.push_back(EncodeXEventRecord(RandomXEvent(rng)));
   for (int iter = 0; iter < 20'000; ++iter) {
     std::string bytes = corpus[static_cast<std::size_t>(
         rng.UniformInt(0, static_cast<std::int64_t>(corpus.size()) - 1))];

@@ -28,6 +28,7 @@
 #include "core/smoothing.hpp"
 #include "dnn/feature_extractor.hpp"
 #include "metrics/event_metrics.hpp"
+#include "nn/kernels.hpp"
 #include "train/experiment.hpp"
 #include "train/trainer.hpp"
 #include "util/check.hpp"
@@ -116,6 +117,20 @@ inline TrainedMc TrainOneMc(const std::string& arch,
   return out;
 }
 
+// Preprocessed batch of the dataset's first `n` frames — the calibration
+// input for quantize-configured extractors (int8 activation scales must see
+// representative frames, not noise).
+inline nn::Tensor CalibBatch(const video::SyntheticDataset& ds,
+                             std::int64_t n) {
+  const video::Frame f0 = ds.RenderFrame(0);
+  nn::Tensor batch(nn::Shape{n, 3, f0.height(), f0.width()});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const video::Frame f = ds.RenderFrame(i);
+    dnn::PreprocessRgbInto(batch, i, f.r(), f.g(), f.b());
+  }
+  return batch;
+}
+
 // Event metrics of thresholded+smoothed scores against dataset truth.
 inline metrics::EventMetrics EvalScores(const std::vector<float>& scores,
                                         const video::SyntheticDataset& ds,
@@ -147,7 +162,11 @@ class JsonResult {
   }
 
   JsonResult(std::string bench, std::string path)
-      : bench_(std::move(bench)), path_(std::move(path)) {}
+      : bench_(std::move(bench)), path_(std::move(path)) {
+    // Every checked-in BENCH_*.json records the ISA its numbers were
+    // measured on — a scalar-vs-AVX2 run is not a perf regression.
+    Set("isa", nn::kernels::IsaName(nn::kernels::ActiveIsa()));
+  }
 
   bool enabled() const { return !path_.empty(); }
 

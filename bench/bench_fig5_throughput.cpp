@@ -29,6 +29,13 @@ using bench::BenchParams;
 
 namespace {
 
+// FF_BENCH_QUANT=1 re-runs the FilterForward side on the int8 path: a
+// quantize=true extractor (auto-calibrated on the warmup frame) plus
+// quantized MCs for the single-frame architectures (windowed keeps its
+// float net — it does not support quantize). Baselines stay float either
+// way; they model competing systems, not our kernels.
+const bool kQuantized = ff::util::EnvInt("FF_BENCH_QUANT", 0) != 0;
+
 std::vector<std::int64_t> ClassifierCounts(std::int64_t max) {
   std::vector<std::int64_t> counts;
   for (const std::int64_t c : {1, 2, 3, 4, 5, 8, 12, 20, 35, 50}) {
@@ -50,7 +57,8 @@ double MeasureFilterForward(const std::string& arch,
                             const std::vector<video::Frame>& frames,
                             std::int64_t n_classifiers,
                             std::int64_t submit_batch) {
-  dnn::FeatureExtractor fx({.include_classifier = false});
+  dnn::FeatureExtractor fx(dnn::FeatureExtractorConfig{
+      {.include_classifier = false}, /*quantize=*/kQuantized});
   // The paper's feature extractor evaluates the complete base DNN every
   // frame (its break-even analysis assumes the full MobileNet cost). Our
   // extractor can stop at the deepest requested tap — an extension beyond
@@ -72,7 +80,8 @@ double MeasureFilterForward(const std::string& arch,
     node.Attach({.mc = core::MakeMicroclassifier(
                      arch,
                      {.name = arch + std::to_string(i), .tap = tap,
-                      .seed = static_cast<std::uint64_t>(100 + i)},
+                      .seed = static_cast<std::uint64_t>(100 + i),
+                      .quantize = kQuantized && arch != "windowed"},
                      fx, ds.spec().height, ds.spec().width)});
   }
   // Warmup one frame, then measure; FF_BENCH_BATCH > 1 measures the batched
@@ -126,7 +135,7 @@ int main(int argc, char** argv) {
   bench::AddParams(json, bp);
   json.Set("frames_per_point", static_cast<double>(n_frames - 1));
   json.Set("submit_batch", static_cast<double>(submit_batch));
-  json.Set("simd", nn::kernels::IsaName(nn::kernels::ActiveIsa()));
+  json.Set("quantized", kQuantized ? 1.0 : 0.0);
 
   auto spec = video::JacksonSpec(bp.width, n_frames + 1, 31);
   spec.object_scale = bp.object_scale;

@@ -12,12 +12,20 @@
 // counts remain orders of magnitude below the paper's, see EXPERIMENTS.md).
 // The x-axis is analytic multiply-adds at the bench resolution; the
 // paper-resolution equivalent is also printed.
+// Quantization guardrail (int8 path, ROADMAP): every MC cost point is also
+// evaluated with the int8 trunk + int8 MC (same trained weights, same
+// threshold); the quantized event F1 must stay within FF_QUANT_F1_EPS
+// (default 0.1) of float, or the bench exits nonzero. CI runs this with
+// --json so BENCH_quant-style artifacts carry both columns.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "baselines/discrete.hpp"
 #include "bench_common.hpp"
+#include "nn/serialize.hpp"
 
 using namespace ff;
 using bench::BenchParams;
@@ -31,6 +39,7 @@ struct Row {
   double f1;
   double recall;
   double precision;
+  std::optional<double> f1_quant;  // MC rows only; DCs have no int8 path
 };
 
 }  // namespace
@@ -47,6 +56,11 @@ int main(int argc, char** argv) {
   bench::AddParams(json, bp);
 
   const std::int64_t n_dcs = util::EnvInt("FF_BENCH_DC_COUNT", 2);
+  // Declared accuracy epsilon for the int8 path: quantized event F1 at every
+  // MC cost point must stay within this of float, or the run fails.
+  const double quant_eps = util::EnvDouble("FF_QUANT_F1_EPS", 0.1);
+  json.Set("quant_f1_eps", quant_eps);
+  std::vector<std::string> quant_violations;
 
   for (const auto profile :
        {video::Profile::kJackson, video::Profile::kRoadway}) {
@@ -81,6 +95,27 @@ int main(int argc, char** argv) {
       const auto m =
           bench::EvalScores(scorer.Finish(), test_ds, trained.threshold);
 
+      // Same trained weights, same threshold, int8 trunk + int8 MC: the
+      // quantized cost point the guardrail below compares against float.
+      dnn::FeatureExtractor qfx(dnn::FeatureExtractorConfig{
+          {.include_classifier = false}, /*quantize=*/true});
+      qfx.RequestTap(tap);
+      qfx.CalibrateQuantized(bench::CalibBatch(test_ds, 4));
+      core::McConfig qcfg = cfg;
+      qcfg.name += "_quant";
+      qcfg.quantize = true;
+      auto qmc = core::MakeMicroclassifier(arch, qcfg, qfx, H, W);
+      nn::DeserializeWeights(qmc->net(),
+                             nn::SerializeWeights(trained.mc->net()));
+      train::McScorer qscorer(*qmc);
+      train::StreamDatasetFeatures(
+          test_ds, qfx, 0, test_ds.n_frames(),
+          [&](std::int64_t, const dnn::FeatureMaps& fm) {
+            qscorer.Observe(fm);
+          });
+      const auto qm =
+          bench::EvalScores(qscorer.Finish(), test_ds, trained.threshold);
+
       // Paper-resolution marginal cost of the same architecture (built at
       // paper dims with the paper's tap).
       dnn::FeatureExtractor paper_fx({.include_classifier = false});
@@ -96,7 +131,7 @@ int main(int argc, char** argv) {
       rows.push_back({std::string("MC ") + arch,
                       trained.mc->MarginalMacsPerFrame(),
                       paper_mc->MarginalMacsPerFrame(), m.f1, m.event_recall,
-                      m.precision});
+                      m.precision, qm.f1});
     }
 
     // --- Discrete classifiers: representative members of the family ---
@@ -132,16 +167,18 @@ int main(int argc, char** argv) {
       const auto m = bench::EvalScores(scores, test_ds, thr);
       rows.push_back({std::string("DC ") + spec.name, dc.MacsPerFrame(),
                       baselines::DiscreteClassifierMacs(spec, paper_h, paper_w),
-                      m.f1, m.event_recall, m.precision});
+                      m.f1, m.event_recall, m.precision, std::nullopt});
     }
 
     util::Table t({"model", "M multiply-adds (bench res)",
-                   "M multiply-adds (paper res)", "event F1", "recall",
-                   "precision"});
+                   "M multiply-adds (paper res)", "event F1", "int8 F1",
+                   "recall", "precision"});
     for (const auto& r : rows) {
       t.AddRow({r.model, util::Table::Num(static_cast<double>(r.macs) / 1e6, 2),
                 util::Table::Num(static_cast<double>(r.macs_paper_res) / 1e6, 1),
-                util::Table::Num(r.f1, 3), util::Table::Num(r.recall, 3),
+                util::Table::Num(r.f1, 3),
+                r.f1_quant ? util::Table::Num(*r.f1_quant, 3) : "-",
+                util::Table::Num(r.recall, 3),
                 util::Table::Num(r.precision, 3)});
       json.NewRow();
       json.Row("dataset", jackson ? "jackson" : "roadway");
@@ -149,8 +186,15 @@ int main(int argc, char** argv) {
       json.Row("mmacs", static_cast<double>(r.macs) / 1e6);
       json.Row("mmacs_paper_res", static_cast<double>(r.macs_paper_res) / 1e6);
       json.Row("event_f1", r.f1);
+      if (r.f1_quant) json.Row("event_f1_quant", *r.f1_quant);
       json.Row("event_recall", r.recall);
       json.Row("precision", r.precision);
+      if (r.f1_quant && std::fabs(*r.f1_quant - r.f1) > quant_eps) {
+        quant_violations.push_back(
+            (jackson ? "jackson/" : "roadway/") + r.model + ": float F1 " +
+            util::Table::Num(r.f1, 3) + " vs int8 F1 " +
+            util::Table::Num(*r.f1_quant, 3));
+      }
     }
     t.Print(std::cout);
 
@@ -182,6 +226,17 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  json.Set("quant_guard_violations",
+           static_cast<double>(quant_violations.size()));
   json.Write();
+  if (!quant_violations.empty()) {
+    std::printf("\nQUANT GUARDRAIL FAILED (eps %.3f):\n", quant_eps);
+    for (const auto& v : quant_violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("\nquant guardrail: all MC cost points within eps %.3f of "
+              "float F1\n", quant_eps);
   return 0;
 }

@@ -4,6 +4,9 @@
 // tail), and synthetic-frame rendering (the workload generator).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "codec/codec.hpp"
 #include "codec/dct.hpp"
 #include "core/smoothing.hpp"
@@ -12,6 +15,8 @@
 #include "nn/conv.hpp"
 #include "nn/init.hpp"
 #include "nn/kernels.hpp"
+#include "nn/quantize.hpp"
+#include "nn/sequential.hpp"
 #include "util/rng.hpp"
 #include "video/dataset.hpp"
 
@@ -128,6 +133,156 @@ void BM_KernelDot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KernelDot)->Arg(0)->Arg(1);
+
+// --- int8 kernels (GOP/s vs the float counterparts above) ------------------
+
+void BM_KernelQPwAcc2(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = 960, n_ic = 128;
+  util::Pcg32 rng(21);
+  std::vector<std::uint8_t> xdata(static_cast<std::size_t>(n * n_ic));
+  for (auto& v : xdata) v = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+  for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+    xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+  }
+  std::vector<std::int8_t> w(static_cast<std::size_t>(2 * n_ic));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  std::vector<std::int32_t> acc0(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> acc1(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    std::fill(acc0.begin(), acc0.end(), 0);
+    std::fill(acc1.begin(), acc1.end(), 0);
+    ops.qpw_acc2(xs.data(), n_ic, w.data(), w.data() + n_ic, acc0.data(),
+                 acc1.data(), n);
+    benchmark::DoNotOptimize(acc0.data());
+    benchmark::DoNotOptimize(acc1.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(2 * n_ic * n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelQPwAcc2)->Arg(0)->Arg(1);
+
+void BM_KernelQPwAcc2Packed(benchmark::State& state) {
+  // Same contraction as BM_KernelQPwAcc2 but through the channel-quad packed
+  // layout (pack amortized across all output channels, as RunOp does). The
+  // second arg is the plane size: 960 matches the unpacked bench, 144 is the
+  // 9x16 conv5 plane at 256px input whose 16-pixel tail used to fall off the
+  // SIMD path.
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = state.range(1), n_ic = 128;
+  util::Pcg32 rng(21);
+  std::vector<std::uint8_t> xdata(static_cast<std::size_t>(n * n_ic));
+  for (auto& v : xdata) v = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+  for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+    xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+  }
+  std::vector<std::uint8_t> packed(static_cast<std::size_t>(n_ic * n));
+  ops.qpw_pack(xs.data(), n_ic, packed.data(), n);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(2 * n_ic));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  std::vector<std::int32_t> acc0(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> acc1(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    std::fill(acc0.begin(), acc0.end(), 0);
+    std::fill(acc1.begin(), acc1.end(), 0);
+    ops.qpw_acc2p(packed.data(), n_ic, w.data(), w.data() + n_ic,
+                  acc0.data(), acc1.data(), n);
+    benchmark::DoNotOptimize(acc0.data());
+    benchmark::DoNotOptimize(acc1.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(2 * n_ic * n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelQPwAcc2Packed)
+    ->Args({0, 960})
+    ->Args({1, 960})
+    ->Args({0, 144})
+    ->Args({1, 144});
+
+void BM_KernelQAxpyRowsS2(benchmark::State& state) {
+  // Stride-2 row accumulate (conv1's downsampling taps): even bytes of each
+  // padded row scaled into the s32 plane.
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t rows = 72, n = 128, xstride = 2 * n + 2;
+  util::Pcg32 rng(24);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(rows * xstride) + 32);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * n));
+  for (auto _ : state) {
+    ops.qaxpy_rows_s2(-77, x.data(), xstride, acc.data(), n, rows, n);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(rows * n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelQAxpyRowsS2)->Arg(0)->Arg(1);
+
+void BM_KernelQDot(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = 4608;
+  util::Pcg32 rng(22);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(n));
+  std::vector<std::int8_t> w(x.size());
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.qdot(x.data(), w.data(), n));
+  }
+  state.counters["GOP/s"] = benchmark::Counter(
+      2e-9 * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelQDot)->Arg(0)->Arg(1);
+
+void BM_KernelQRequant(benchmark::State& state) {
+  const auto& ops = KernelTable(state.range(0));
+  const std::int64_t n = 960;
+  util::Pcg32 rng(23);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n));
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(rng.UniformInt(-2'000'000, 2'000'000));
+  }
+  std::vector<std::uint8_t> y(acc.size());
+  for (auto _ : state) {
+    ops.qrequant(acc.data(), 2.47e-4f, 3.5f, y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gelem/s"] = benchmark::Counter(
+      1e-9 * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_KernelQRequant)->Arg(0)->Arg(1);
+
+void BM_QuantizedPointwiseConv(benchmark::State& state) {
+  // End-to-end int8 pointwise op (quantize + conv + requant + dequant
+  // boundaries amortized over the program), against BM_PointwiseConv.
+  const std::int64_t c_in = state.range(0);
+  const std::int64_t c_out = state.range(1);
+  nn::Sequential net("qpw");
+  net.Add(std::make_unique<nn::Conv2D>("pw", c_in, c_out, 1, 1,
+                                       nn::Padding::kSameCeil));
+  net.Add(nn::MakeRelu("pw/relu"));
+  nn::HeInit(net, 1);
+  nn::Tensor in(nn::Shape{1, c_in, 24, 40});
+  util::Pcg32 rng(2);
+  in.FillNormal(rng, 1.0f);
+  const auto prog = nn::Quantizer::Quantize(net, in);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.Forward(in));
+  }
+  state.counters["GMAC/s"] = benchmark::Counter(
+      static_cast<double>(net.layer(0).Macs(in.shape())) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_QuantizedPointwiseConv)
+    ->Args({128, 128})
+    ->Args({512, 512})
+    ->Args({512, 32});
 
 void BM_Dct8x8RoundTrip(benchmark::State& state) {
   util::Pcg32 rng(5);

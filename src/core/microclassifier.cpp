@@ -52,6 +52,14 @@ std::uint64_t Microclassifier::MarginalMacsPerFrame() const {
   return const_cast<Microclassifier*>(this)->net().Macs(input_shape_);
 }
 
+nn::Tensor Microclassifier::RunNet(nn::Sequential& net,
+                                   const nn::TensorView& in) {
+  if (!cfg_.quantize) return net.Forward(in);
+  if (!qprog_) qprog_ = nn::Quantizer::Quantize(net, in);
+  return net.ForwardRange(qprog_->Forward(in), qprog_->resume_index(),
+                          net.n_layers());
+}
+
 // ---------------------------------------------------------------------------
 // Fig. 2a — full-frame object detector
 // ---------------------------------------------------------------------------
@@ -73,7 +81,7 @@ FullFrameObjectDetectorMc::FullFrameObjectDetectorMc(
 }
 
 float FullFrameObjectDetectorMc::InferView(const nn::TensorView& features) {
-  return net_.Forward(features).data()[0];
+  return RunNet(net_, features).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -105,7 +113,7 @@ LocalizedBinaryClassifierMc::LocalizedBinaryClassifierMc(
 }
 
 float LocalizedBinaryClassifierMc::InferView(const nn::TensorView& features) {
-  return net_.Forward(features).data()[0];
+  return RunNet(net_, features).data()[0];
 }
 
 // ---------------------------------------------------------------------------
@@ -123,6 +131,9 @@ WindowedLocalizedMc::WindowedLocalizedMc(McConfig cfg,
       reuse_buffers_(reuse_buffers),
       net_(cfg_.name) {
   FF_CHECK_GE(window_, 1);
+  FF_CHECK_MSG(!cfg_.quantize,
+               cfg_.name << ": the windowed architecture does not support "
+                            "quantize (split ForwardRange execution)");
   const std::int64_t c = input_shape_.c;
   // Per-frame 1x1 reduction (computed once per frame, buffered).
   net_.Add(std::make_unique<nn::Conv2D>("reduce", c, 32, 1, 1, kMcPad));

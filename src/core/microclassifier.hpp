@@ -30,6 +30,7 @@
 
 #include "core/crop.hpp"
 #include "dnn/feature_extractor.hpp"
+#include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
 
 namespace ff::core {
@@ -43,6 +44,13 @@ struct McConfig {
   // without tripping -Wmissing-field-initializers.
   std::optional<tensor::Rect> pixel_crop = std::nullopt;
   std::uint64_t seed = 7;
+  // Run the MC's conv/dense prefix through the int8 path (nn/quantize.hpp),
+  // calibrated lazily from the first inference input. The float tail (pool /
+  // sigmoid) is untouched, and the default keeps inference bitwise-identical
+  // to a pre-quantization MC. Unsupported (FF_CHECK) for the windowed
+  // architecture, whose split ForwardRange execution would need per-segment
+  // programs.
+  bool quantize = false;
 };
 
 class Microclassifier {
@@ -97,10 +105,17 @@ class Microclassifier {
   // view Infer() prepared.
   virtual float InferView(const nn::TensorView& features) = 0;
 
+  // Forward pass honoring cfg_.quantize: the float path is a plain
+  // net.Forward; the quantized path runs the int8 program over the
+  // quantizable prefix (calibrating it from `in` on first use) and finishes
+  // the float tail with ForwardRange from resume_index().
+  nn::Tensor RunNet(nn::Sequential& net, const nn::TensorView& in);
+
   McConfig cfg_;
   nn::Shape tap_shape_;       // full tap activation shape at this resolution
   nn::Shape input_shape_;     // after the optional crop
   std::optional<tensor::Rect> feature_rect_;
+  std::optional<nn::QuantizedProgram> qprog_;
 };
 
 // --- Fig. 2a ---------------------------------------------------------------

@@ -1,9 +1,19 @@
 #include "dnn/feature_extractor.hpp"
 
+#include <fstream>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+
 namespace ff::dnn {
 
 FeatureExtractor::FeatureExtractor(MobileNetOptions opts)
     : opts_(opts), net_(BuildMobileNetV1(opts)) {}
+
+FeatureExtractor::FeatureExtractor(const FeatureExtractorConfig& config)
+    : opts_(config.model),
+      net_(BuildMobileNetV1(config.model)),
+      quantize_(config.quantize) {}
 
 void FeatureExtractor::RequestTap(const std::string& tap) {
   FF_CHECK_MSG(net_.Contains(tap), "unknown tap layer: " << tap);
@@ -30,7 +40,46 @@ FeatureMaps FeatureExtractor::Extract(const tensor::TensorView& frames) {
   FF_CHECK_MSG(!taps_.empty(), "no taps requested");
   FF_CHECK_EQ(frames.shape().c, 3);
   FF_CHECK_GE(frames.shape().n, 1);
+  if (quantize_) {
+    if (!qprog_) CalibrateQuantized(frames);
+    return qprog_->ForwardWithTaps(frames, taps_);
+  }
   return net_.ForwardWithTaps(frames, taps_);
+}
+
+void FeatureExtractor::CalibrateQuantized(const tensor::TensorView& frames) {
+  FF_CHECK_MSG(quantize_,
+               "CalibrateQuantized on an extractor configured for float");
+  qprog_ = nn::Quantizer::Quantize(net_, frames);
+}
+
+void FeatureExtractor::SaveWeights(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FF_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  std::string bytes;
+  if (quantize_) {
+    FF_CHECK_MSG(qprog_.has_value(),
+                 "saving a quantized extractor before calibration");
+    bytes = nn::SerializeQuantized(*qprog_);
+  } else {
+    bytes = nn::SerializeWeights(net_);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  FF_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+void FeatureExtractor::LoadWeights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FF_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  // The deserializers reject a checkpoint of the other kind with a loud
+  // FF_CHECK naming both formats (see nn/serialize.cpp).
+  if (quantize_) {
+    qprog_ = nn::DeserializeQuantized(net_, ss.str());
+  } else {
+    nn::DeserializeWeights(net_, ss.str());
+  }
 }
 
 std::uint64_t FeatureExtractor::MacsPerFrame(std::int64_t h,

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "dnn/mobilenet.hpp"
+#include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
 
 namespace ff::dnn {
@@ -18,9 +20,22 @@ namespace ff::dnn {
 // Activations for one frame, keyed by tap name.
 using FeatureMaps = std::map<std::string, nn::Tensor>;
 
+// Extractor construction options. `quantize = false` (the default) keeps the
+// float path bitwise-identical to an extractor built from MobileNetOptions
+// alone; `quantize = true` swaps the trunk forward pass for the int8 program
+// (nn/quantize.hpp) once activation scales exist — either calibrated from
+// the first Extract batch (or an explicit CalibrateQuantized call) or loaded
+// from an FFNQ checkpoint. Taps still come back as float32 tensors, so MCs
+// and signature consumers never see quantized bytes.
+struct FeatureExtractorConfig {
+  MobileNetOptions model{};
+  bool quantize = false;
+};
+
 class FeatureExtractor {
  public:
   explicit FeatureExtractor(MobileNetOptions opts = {});
+  explicit FeatureExtractor(const FeatureExtractorConfig& config);
 
   // Registers a tap; must be one of MobileNetTapNames(). Requests are
   // reference-counted so independent consumers (tenants across all of an
@@ -61,6 +76,24 @@ class FeatureExtractor {
   const MobileNetOptions& options() const { return opts_; }
   nn::Sequential& network() { return net_; }
 
+  // True when this extractor was configured for int8 inference.
+  bool quantized() const { return quantize_; }
+  // True once activation scales exist (calibration ran or an FFNQ
+  // checkpoint was loaded) and Extract will take the int8 path.
+  bool quantized_ready() const { return qprog_.has_value(); }
+
+  // Builds the int8 program now, using `frames` as the calibration batch
+  // (requires a quantize-configured extractor). Extract auto-calibrates on
+  // its first batch when this was never called.
+  void CalibrateQuantized(const tensor::TensorView& frames);
+
+  // Checkpoint I/O honoring the configured mode: float extractors write /
+  // read "FFNW" weight files, quantized extractors write / read "FFNQ"
+  // programs (saving requires quantized_ready()). Loading a file of the
+  // other kind fails a loud FF_CHECK naming both kinds.
+  void SaveWeights(const std::string& path);
+  void LoadWeights(const std::string& path);
+
  private:
   // Internal layer name of the ReLU blob for a tap (identical today; kept as
   // a seam in case tap aliasing is needed).
@@ -68,6 +101,8 @@ class FeatureExtractor {
   nn::Sequential net_;
   std::set<std::string> taps_;
   std::map<std::string, std::int64_t> tap_refs_;
+  bool quantize_ = false;
+  std::optional<nn::QuantizedProgram> qprog_;
 };
 
 // Converts 8-bit RGB planes to the base DNN's input tensor (1, 3, h, w),

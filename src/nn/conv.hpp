@@ -38,6 +38,7 @@ class Conv2D : public Layer {
   std::int64_t out_channels() const { return out_c_; }
   std::int64_t kernel() const { return k_; }
   std::int64_t stride() const { return stride_; }
+  Padding padding() const { return pad_; }
 
   std::vector<float>& weights() { return w_; }
   std::vector<float>& bias() { return b_; }
@@ -64,6 +65,8 @@ class DepthwiseConv2D : public Layer {
 
   std::int64_t channels() const { return c_; }
   std::int64_t kernel() const { return k_; }
+  std::int64_t stride() const { return stride_; }
+  Padding padding() const { return pad_; }
 
   std::vector<float>& weights() { return w_; }
   std::vector<float>& bias() { return b_; }

@@ -7,6 +7,7 @@
 
 #include "nn/kernels.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -23,6 +24,104 @@
 #endif
 
 namespace ff::nn::kernels {
+
+// Scalar reference pieces of the int8 path, shared by every ISA's tail and
+// remainder loops so the bitwise contract holds by construction.
+namespace qdetail {
+namespace {
+
+inline std::int32_t QSat16(std::int32_t v) {
+  return v < -32768 ? -32768 : (v > 32767 ? 32767 : v);
+}
+
+// Contribution of channels [ic0, n_ic) at pixel i under the pinned pair
+// rule. ic0 must be even so pair boundaries line up with the full sequence.
+inline std::int32_t QPwPixel(const std::uint8_t* const* x, std::int64_t ic0,
+                             std::int64_t n_ic, const std::int8_t* w,
+                             std::int64_t i) {
+  std::int32_t a = 0;
+  std::int64_t ic = ic0;
+  for (; ic + 2 <= n_ic; ic += 2) {
+    a += QSat16(static_cast<std::int32_t>(w[ic]) * x[ic][i] +
+                static_cast<std::int32_t>(w[ic + 1]) * x[ic + 1][i]);
+  }
+  if (ic < n_ic) a += static_cast<std::int32_t>(w[ic]) * x[ic][i];
+  return a;
+}
+
+// Pair-rule dot over [0, n); the caller guarantees any SIMD prefix consumed
+// an even number of elements so the pairing stays globally aligned.
+inline std::int32_t QDotTail(const std::uint8_t* x, const std::int8_t* w,
+                             std::int64_t n) {
+  std::int32_t a = 0;
+  std::int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    a += QSat16(static_cast<std::int32_t>(w[i]) * x[i] +
+                static_cast<std::int32_t>(w[i + 1]) * x[i + 1]);
+  }
+  if (i < n) a += static_cast<std::int32_t>(w[i]) * x[i];
+  return a;
+}
+
+// clamp-to-[0,255] then round-to-nearest-even, the scalar twin of the SIMD
+// max/min + cvtps sequence (max first so NaN -> 0, like relu).
+inline std::uint8_t QClampU8(float t) {
+  t = t > 0.0f ? t : 0.0f;
+  t = t < 255.0f ? t : 255.0f;
+  return static_cast<std::uint8_t>(
+      static_cast<std::int32_t>(std::nearbyintf(t)));
+}
+
+inline std::uint8_t QRequantOne(std::int32_t a, float scale, float bias) {
+  float t = static_cast<float>(a) * scale;
+  t = t + bias;
+  return QClampU8(t);
+}
+
+inline std::uint8_t QQuantOne(float v, float inv_scale, float zp) {
+  float t = v * inv_scale;
+  t = t + zp;
+  return QClampU8(t);
+}
+
+inline float QDequantOne(std::uint8_t v, float scale, std::int32_t zp) {
+  return static_cast<float>(static_cast<std::int32_t>(v) - zp) * scale;
+}
+
+// The 4 weight bytes of a channel quad packed little-endian for set1_epi32.
+inline int QuadBits(const std::int8_t* w) {
+  const std::uint32_t b =
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(w[0])) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(w[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(w[2])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(w[3])) << 24);
+  return static_cast<int>(b);
+}
+
+// Weight quad q of an n_ic-channel row, zero-padded past the end — the
+// weight-side twin of qpw_pack's zero-filled padding channels.
+inline void QuadW(const std::int8_t* w, std::int64_t q, std::int64_t n_ic,
+                  std::int8_t out[4]) {
+  for (int j = 0; j < 4; ++j) {
+    const std::int64_t ic = 4 * q + j;
+    out[j] = ic < n_ic ? w[ic] : 0;
+  }
+}
+
+// Pinned pair rule applied to one packed pixel (4 channel bytes) against a
+// possibly zero-padded weight quad. A zero-weight pair member contributes 0
+// inside the saturation and a lone u8*s8 product can never saturate, so the
+// padded quad is bitwise-identical to the unpacked tail rule.
+inline std::int32_t QPackedPixel(const std::uint8_t* p,
+                                 const std::int8_t* wq) {
+  return QSat16(static_cast<std::int32_t>(wq[0]) * p[0] +
+                static_cast<std::int32_t>(wq[1]) * p[1]) +
+         QSat16(static_cast<std::int32_t>(wq[2]) * p[2] +
+                static_cast<std::int32_t>(wq[3]) * p[3]);
+}
+
+}  // namespace
+}  // namespace qdetail
 
 namespace scalar {
 namespace {
@@ -140,9 +239,109 @@ std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
   return sad;
 }
 
-constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
-                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
-                            SadU8,  Sad16x16};
+void QAxpyRows(std::int32_t w, const std::uint8_t* x, std::int64_t x_stride,
+               std::int32_t* acc, std::int64_t acc_stride, std::int64_t rows,
+               std::int64_t n) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    for (std::int64_t i = 0; i < n; ++i) ar[i] += w * xr[i];
+  }
+}
+
+void QPwAcc1(const std::uint8_t* const* x, std::int64_t n_ic,
+             const std::int8_t* w, std::int32_t* acc, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc[i] += qdetail::QPwPixel(x, 0, n_ic, w, i);
+  }
+}
+
+void QPwAcc2(const std::uint8_t* const* x, std::int64_t n_ic,
+             const std::int8_t* w0, const std::int8_t* w1, std::int32_t* acc0,
+             std::int32_t* acc1, std::int64_t n) {
+  QPwAcc1(x, n_ic, w0, acc0, n);
+  QPwAcc1(x, n_ic, w1, acc1, n);
+}
+
+void QPwPack(const std::uint8_t* const* x, std::int64_t n_ic,
+             std::uint8_t* out, std::int64_t n) {
+  const std::int64_t quads = (n_ic + 3) / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::uint8_t* oq = out + q * 4 * n;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const std::int64_t ic = 4 * q + j;
+      if (ic < n_ic) {
+        const std::uint8_t* xp = x[ic];
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = xp[i];
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = 0;
+      }
+    }
+  }
+}
+
+void QPwAcc1P(const std::uint8_t* packed, std::int64_t n_ic,
+              const std::int8_t* w, std::int32_t* acc, std::int64_t n) {
+  const std::int64_t quads = (n_ic + 3) / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::int8_t wq[4];
+    qdetail::QuadW(w, q, n_ic, wq);
+    const std::uint8_t* pq = packed + q * 4 * n;
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc[i] += qdetail::QPackedPixel(pq + 4 * i, wq);
+    }
+  }
+}
+
+void QPwAcc2P(const std::uint8_t* packed, std::int64_t n_ic,
+              const std::int8_t* w0, const std::int8_t* w1,
+              std::int32_t* acc0, std::int32_t* acc1, std::int64_t n) {
+  QPwAcc1P(packed, n_ic, w0, acc0, n);
+  QPwAcc1P(packed, n_ic, w1, acc1, n);
+}
+
+void QAxpyRowsS2(std::int32_t w, const std::uint8_t* x,
+                 std::int64_t x_stride, std::int32_t* acc,
+                 std::int64_t acc_stride, std::int64_t rows, std::int64_t n) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    for (std::int64_t i = 0; i < n; ++i) ar[i] += w * xr[2 * i];
+  }
+}
+
+std::int32_t QDot(const std::uint8_t* x, const std::int8_t* w,
+                  std::int64_t n) {
+  return qdetail::QDotTail(x, w, n);
+}
+
+void QRequant(const std::int32_t* acc, float scale, float bias,
+              std::uint8_t* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = qdetail::QRequantOne(acc[i], scale, bias);
+  }
+}
+
+void QDequant(const std::uint8_t* x, float scale, std::int32_t zp, float* y,
+              std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = qdetail::QDequantOne(x[i], scale, zp);
+  }
+}
+
+void QQuant(const float* x, float inv_scale, float zp, std::uint8_t* y,
+            std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = qdetail::QQuantOne(x[i], inv_scale, zp);
+  }
+}
+
+constexpr OpTable kTable = {Fill,     Axpy,      Axpy4,    AxpyRows,
+                            Axpy4Rows, PwAcc4,   PwAcc1,   Dot,
+                            Relu,     Relu6,     SadU8,    Sad16x16,
+                            QAxpyRows, QPwAcc1,  QPwAcc2,  QPwPack,
+                            QPwAcc1P, QPwAcc2P,  QAxpyRowsS2, QDot,
+                            QRequant, QDequant,  QQuant};
 
 }  // namespace
 
@@ -387,9 +586,323 @@ std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
       _mm_cvtsi128_si64(acc) + _mm_cvtsi128_si64(_mm_srli_si128(acc, 8)));
 }
 
-constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
-                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
-                            SadU8,  Sad16x16};
+void QAxpyRows(std::int32_t w, const std::uint8_t* x, std::int64_t x_stride,
+               std::int32_t* acc, std::int64_t acc_stride, std::int64_t rows,
+               std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m128i xb =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + i));
+      // |w * x| <= 127*255 = 32385, so the s16 product is exact.
+      const __m128i p = _mm_mullo_epi16(_mm_unpacklo_epi8(xb, zero), wv);
+      const __m128i sign = _mm_cmpgt_epi16(zero, p);
+      const __m128i plo = _mm_unpacklo_epi16(p, sign);
+      const __m128i phi = _mm_unpackhi_epi16(p, sign);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(ar + i),
+          _mm_add_epi32(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(ar + i)), plo));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(ar + i + 4),
+          _mm_add_epi32(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(ar + i + 4)),
+                        phi));
+    }
+    for (; i < n; ++i) ar[i] += w * xr[i];
+  }
+}
+
+// Emulates maddubs+madd for one transposed channel quad `u` (16 bytes =
+// 4 pixels x 4 channels): exact u8*s8 pair sums via madd, saturated to s16
+// via packs, then summed per pixel. wq holds [w0..w3, w0..w3] as s16.
+inline __m128i QQuadMadd(__m128i u, __m128i wq, __m128i zero, __m128i ones) {
+  const __m128i xlo = _mm_unpacklo_epi8(u, zero);  // px0, px1 quads as u16
+  const __m128i xhi = _mm_unpackhi_epi8(u, zero);  // px2, px3
+  const __m128i mlo = _mm_madd_epi16(xlo, wq);     // exact pair sums
+  const __m128i mhi = _mm_madd_epi16(xhi, wq);
+  const __m128i s = _mm_packs_epi32(mlo, mhi);     // sat16 per pair
+  return _mm_madd_epi16(s, ones);                  // per-pixel quad sums
+}
+
+void QPwAcc1(const std::uint8_t* const* x, std::int64_t n_ic,
+             const std::int8_t* w, std::int32_t* acc, std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi16(1);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i + 4));
+    __m128i a2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i + 8));
+    __m128i a3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i + 12));
+    std::int64_t ic = 0;
+    for (; ic + 4 <= n_ic; ic += 4) {
+      const __m128i r0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[ic] + i));
+      const __m128i r1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[ic + 1] + i));
+      const __m128i r2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[ic + 2] + i));
+      const __m128i r3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[ic + 3] + i));
+      // Byte transpose: u_k holds pixels 4k..4k+3 as contiguous channel
+      // quads [c0 c1 c2 c3] per pixel.
+      const __m128i t0 = _mm_unpacklo_epi8(r0, r1);
+      const __m128i t1 = _mm_unpackhi_epi8(r0, r1);
+      const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+      const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+      const __m128i u0 = _mm_unpacklo_epi16(t0, t2);
+      const __m128i u1 = _mm_unpackhi_epi16(t0, t2);
+      const __m128i u2 = _mm_unpacklo_epi16(t1, t3);
+      const __m128i u3 = _mm_unpackhi_epi16(t1, t3);
+      const __m128i wq =
+          _mm_set_epi16(w[ic + 3], w[ic + 2], w[ic + 1], w[ic], w[ic + 3],
+                        w[ic + 2], w[ic + 1], w[ic]);
+      a0 = _mm_add_epi32(a0, QQuadMadd(u0, wq, zero, ones));
+      a1 = _mm_add_epi32(a1, QQuadMadd(u1, wq, zero, ones));
+      a2 = _mm_add_epi32(a2, QQuadMadd(u2, wq, zero, ones));
+      a3 = _mm_add_epi32(a3, QQuadMadd(u3, wq, zero, ones));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i + 4), a1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i + 8), a2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i + 12), a3);
+    if (ic < n_ic) {
+      for (std::int64_t p = 0; p < 16; ++p) {
+        acc[i + p] += qdetail::QPwPixel(x, ic, n_ic, w, i + p);
+      }
+    }
+  }
+  for (; i < n; ++i) acc[i] += qdetail::QPwPixel(x, 0, n_ic, w, i);
+}
+
+void QPwAcc2(const std::uint8_t* const* x, std::int64_t n_ic,
+             const std::int8_t* w0, const std::int8_t* w1, std::int32_t* acc0,
+             std::int32_t* acc1, std::int64_t n) {
+  QPwAcc1(x, n_ic, w0, acc0, n);
+  QPwAcc1(x, n_ic, w1, acc1, n);
+}
+
+void QPwPack(const std::uint8_t* const* x, std::int64_t n_ic,
+             std::uint8_t* out, std::int64_t n) {
+  const std::int64_t quads = n_ic / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::uint8_t* oq = out + q * 4 * n;
+    const std::uint8_t* x0 = x[4 * q];
+    const std::uint8_t* x1 = x[4 * q + 1];
+    const std::uint8_t* x2 = x[4 * q + 2];
+    const std::uint8_t* x3 = x[4 * q + 3];
+    std::int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m128i r0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x0 + i));
+      const __m128i r1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x1 + i));
+      const __m128i r2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x2 + i));
+      const __m128i r3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x3 + i));
+      const __m128i t0 = _mm_unpacklo_epi8(r0, r1);
+      const __m128i t1 = _mm_unpackhi_epi8(r0, r1);
+      const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+      const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(oq + 4 * i),
+                       _mm_unpacklo_epi16(t0, t2));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(oq + 4 * i + 16),
+                       _mm_unpackhi_epi16(t0, t2));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(oq + 4 * i + 32),
+                       _mm_unpacklo_epi16(t1, t3));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(oq + 4 * i + 48),
+                       _mm_unpackhi_epi16(t1, t3));
+    }
+    for (; i < n; ++i) {
+      oq[4 * i] = x0[i];
+      oq[4 * i + 1] = x1[i];
+      oq[4 * i + 2] = x2[i];
+      oq[4 * i + 3] = x3[i];
+    }
+  }
+  if (4 * quads < n_ic) {
+    std::uint8_t* oq = out + quads * 4 * n;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const std::int64_t ic = 4 * quads + j;
+      if (ic < n_ic) {
+        const std::uint8_t* xp = x[ic];
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = xp[i];
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = 0;
+      }
+    }
+  }
+}
+
+void QPwAcc1P(const std::uint8_t* packed, std::int64_t n_ic,
+              const std::int8_t* w, std::int32_t* acc, std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi16(1);
+  const std::int64_t quads = (n_ic + 3) / 4;
+  // s32 accumulation is exact, so streaming quad-by-quad reorders nothing.
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::int8_t wqb[4];
+    qdetail::QuadW(w, q, n_ic, wqb);
+    const __m128i wq =
+        _mm_set_epi16(wqb[3], wqb[2], wqb[1], wqb[0], wqb[3], wqb[2],
+                      wqb[1], wqb[0]);
+    const std::uint8_t* pq = packed + q * 4 * n;
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i u =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(pq + 4 * i));
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                       _mm_add_epi32(a, QQuadMadd(u, wq, zero, ones)));
+    }
+    for (; i < n; ++i) acc[i] += qdetail::QPackedPixel(pq + 4 * i, wqb);
+  }
+}
+
+void QPwAcc2P(const std::uint8_t* packed, std::int64_t n_ic,
+              const std::int8_t* w0, const std::int8_t* w1,
+              std::int32_t* acc0, std::int32_t* acc1, std::int64_t n) {
+  QPwAcc1P(packed, n_ic, w0, acc0, n);
+  QPwAcc1P(packed, n_ic, w1, acc1, n);
+}
+
+void QAxpyRowsS2(std::int32_t w, const std::uint8_t* x,
+                 std::int64_t x_stride, std::int32_t* acc,
+                 std::int64_t acc_stride, std::int64_t rows, std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
+  const __m128i mask = _mm_set1_epi16(0x00FF);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xr + 2 * i));
+      // Even bytes zero-extended to u16; |w * x| <= 32385 so the s16
+      // product is exact.
+      const __m128i p = _mm_mullo_epi16(_mm_and_si128(b, mask), wv);
+      const __m128i sign = _mm_cmpgt_epi16(zero, p);
+      const __m128i plo = _mm_unpacklo_epi16(p, sign);
+      const __m128i phi = _mm_unpackhi_epi16(p, sign);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(ar + i),
+          _mm_add_epi32(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(ar + i)),
+              plo));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(ar + i + 4),
+          _mm_add_epi32(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(ar + i + 4)),
+                        phi));
+    }
+    for (; i < n; ++i) ar[i] += w * xr[2 * i];
+  }
+}
+
+std::int32_t QDot(const std::uint8_t* x, const std::int8_t* w,
+                  std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi16(1);
+  __m128i accv = _mm_setzero_si128();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i xb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i wb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    const __m128i xlo = _mm_unpacklo_epi8(xb, zero);
+    const __m128i xhi = _mm_unpackhi_epi8(xb, zero);
+    const __m128i wsign = _mm_cmpgt_epi8(zero, wb);
+    const __m128i wlo = _mm_unpacklo_epi8(wb, wsign);
+    const __m128i whi = _mm_unpackhi_epi8(wb, wsign);
+    const __m128i mlo = _mm_madd_epi16(xlo, wlo);  // exact pair sums
+    const __m128i mhi = _mm_madd_epi16(xhi, whi);
+    const __m128i s = _mm_packs_epi32(mlo, mhi);   // sat16 per pair
+    accv = _mm_add_epi32(accv, _mm_madd_epi16(s, ones));
+  }
+  alignas(16) std::int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), accv);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         qdetail::QDotTail(x + i, w + i, n - i);
+}
+
+void QRequant(const std::int32_t* acc, float scale, float bias,
+              std::uint8_t* y, std::int64_t n) {
+  const __m128 vs = _mm_set1_ps(scale);
+  const __m128 vb = _mm_set1_ps(bias);
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 v255 = _mm_set1_ps(255.0f);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 t = _mm_cvtepi32_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i)));
+    t = _mm_add_ps(_mm_mul_ps(t, vs), vb);
+    t = _mm_max_ps(t, zero);  // NaN -> 0, like relu
+    t = _mm_min_ps(t, v255);
+    const __m128i q = _mm_cvtps_epi32(t);  // round-to-nearest-even
+    const __m128i p16 = _mm_packs_epi32(q, q);
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    const int v = _mm_cvtsi128_si32(p8);
+    std::memcpy(y + i, &v, 4);
+  }
+  for (; i < n; ++i) y[i] = qdetail::QRequantOne(acc[i], scale, bias);
+}
+
+void QDequant(const std::uint8_t* x, float scale, std::int32_t zp, float* y,
+              std::int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i vzp = _mm_set1_epi32(zp);
+  const __m128 vs = _mm_set1_ps(scale);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    int bits;
+    std::memcpy(&bits, x + i, 4);
+    const __m128i xb = _mm_cvtsi32_si128(bits);
+    const __m128i x32 =
+        _mm_unpacklo_epi16(_mm_unpacklo_epi8(xb, zero), zero);
+    _mm_storeu_ps(y + i,
+                  _mm_mul_ps(_mm_cvtepi32_ps(_mm_sub_epi32(x32, vzp)), vs));
+  }
+  for (; i < n; ++i) y[i] = qdetail::QDequantOne(x[i], scale, zp);
+}
+
+void QQuant(const float* x, float inv_scale, float zp, std::uint8_t* y,
+            std::int64_t n) {
+  const __m128 vs = _mm_set1_ps(inv_scale);
+  const __m128 vzp = _mm_set1_ps(zp);
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 v255 = _mm_set1_ps(255.0f);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 t = _mm_add_ps(_mm_mul_ps(_mm_loadu_ps(x + i), vs), vzp);
+    t = _mm_max_ps(t, zero);
+    t = _mm_min_ps(t, v255);
+    const __m128i q = _mm_cvtps_epi32(t);
+    const __m128i p16 = _mm_packs_epi32(q, q);
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    const int v = _mm_cvtsi128_si32(p8);
+    std::memcpy(y + i, &v, 4);
+  }
+  for (; i < n; ++i) y[i] = qdetail::QQuantOne(x[i], inv_scale, zp);
+}
+
+constexpr OpTable kTable = {Fill,     Axpy,      Axpy4,    AxpyRows,
+                            Axpy4Rows, PwAcc4,   PwAcc1,   Dot,
+                            Relu,     Relu6,     SadU8,    Sad16x16,
+                            QAxpyRows, QPwAcc1,  QPwAcc2,  QPwPack,
+                            QPwAcc1P, QPwAcc2P,  QAxpyRowsS2, QDot,
+                            QRequant, QDequant,  QQuant};
 
 }  // namespace
 }  // namespace sse2
@@ -686,11 +1199,544 @@ FF_AVX2 std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
   return static_cast<std::uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
 }
 
+FF_AVX2 void QAxpyRows(std::int32_t w, const std::uint8_t* x,
+                       std::int64_t x_stride, std::int32_t* acc,
+                       std::int64_t acc_stride, std::int64_t rows,
+                       std::int64_t n) {
+  const __m256i wv = _mm256_set1_epi16(static_cast<short>(w));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    std::int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m128i xb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xr + i));
+      // |w * x| <= 127*255 = 32385, so the s16 product is exact.
+      const __m256i p = _mm256_mullo_epi16(_mm256_cvtepu8_epi16(xb), wv);
+      const __m256i plo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p));
+      const __m256i phi =
+          _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p, 1));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(ar + i),
+          _mm256_add_epi32(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(ar + i)),
+                           plo));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(ar + i + 8),
+          _mm256_add_epi32(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(ar + i + 8)),
+                           phi));
+    }
+    for (; i < n; ++i) ar[i] += w * xr[i];
+  }
+}
+
+// maddubs (u8*s8 pair products saturated to s16) + madd-by-ones (exact pair
+// sums per pixel) — the hardware form of the pinned reduction rule.
+FF_AVX2 inline __m256i QQuadMadd(__m256i u, __m256i wq, __m256i ones) {
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(u, wq), ones);
+}
+
+// Transposes four 32-pixel channel rows into per-pixel channel quads.
+// u_k lane0 holds pixels 4k..4k+3, lane1 pixels 16+4k..16+4k+3; the
+// accumulator permutation below matches that layout.
+#define FF_Q_TRANSPOSE4(base)                                             \
+  const __m256i r0 = _mm256_loadu_si256(                                  \
+      reinterpret_cast<const __m256i*>(x[(base)] + i));                   \
+  const __m256i r1 = _mm256_loadu_si256(                                  \
+      reinterpret_cast<const __m256i*>(x[(base) + 1] + i));               \
+  const __m256i r2 = _mm256_loadu_si256(                                  \
+      reinterpret_cast<const __m256i*>(x[(base) + 2] + i));               \
+  const __m256i r3 = _mm256_loadu_si256(                                  \
+      reinterpret_cast<const __m256i*>(x[(base) + 3] + i));               \
+  const __m256i t0 = _mm256_unpacklo_epi8(r0, r1);                        \
+  const __m256i t1 = _mm256_unpackhi_epi8(r0, r1);                        \
+  const __m256i t2 = _mm256_unpacklo_epi8(r2, r3);                        \
+  const __m256i t3 = _mm256_unpackhi_epi8(r2, r3);                        \
+  const __m256i u0 = _mm256_unpacklo_epi16(t0, t2);                       \
+  const __m256i u1 = _mm256_unpackhi_epi16(t0, t2);                       \
+  const __m256i u2 = _mm256_unpacklo_epi16(t1, t3);                       \
+  const __m256i u3 = _mm256_unpackhi_epi16(t1, t3)
+
+FF_AVX2 void QPwAcc1(const std::uint8_t* const* x, std::int64_t n_ic,
+                     const std::int8_t* w, std::int32_t* acc,
+                     std::int64_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i y0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i y1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 8));
+    const __m256i y2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 16));
+    const __m256i y3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 24));
+    // Accumulators in transpose-group order: aA = px[0-3 | 16-19], etc.
+    __m256i aA = _mm256_permute2x128_si256(y0, y2, 0x20);
+    __m256i aB = _mm256_permute2x128_si256(y0, y2, 0x31);
+    __m256i aC = _mm256_permute2x128_si256(y1, y3, 0x20);
+    __m256i aD = _mm256_permute2x128_si256(y1, y3, 0x31);
+    std::int64_t ic = 0;
+    for (; ic + 4 <= n_ic; ic += 4) {
+      FF_Q_TRANSPOSE4(ic);
+      const __m256i wq = _mm256_set1_epi32(qdetail::QuadBits(w + ic));
+      aA = _mm256_add_epi32(aA, QQuadMadd(u0, wq, ones));
+      aB = _mm256_add_epi32(aB, QQuadMadd(u1, wq, ones));
+      aC = _mm256_add_epi32(aC, QQuadMadd(u2, wq, ones));
+      aD = _mm256_add_epi32(aD, QQuadMadd(u3, wq, ones));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_permute2x128_si256(aA, aB, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 8),
+                        _mm256_permute2x128_si256(aC, aD, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 16),
+                        _mm256_permute2x128_si256(aA, aB, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 24),
+                        _mm256_permute2x128_si256(aC, aD, 0x31));
+    if (ic < n_ic) {
+      for (std::int64_t p = 0; p < 32; ++p) {
+        acc[i + p] += qdetail::QPwPixel(x, ic, n_ic, w, i + p);
+      }
+    }
+  }
+  for (; i < n; ++i) acc[i] += qdetail::QPwPixel(x, 0, n_ic, w, i);
+}
+
+FF_AVX2 void QPwAcc2(const std::uint8_t* const* x, std::int64_t n_ic,
+                     const std::int8_t* w0, const std::int8_t* w1,
+                     std::int32_t* acc0, std::int32_t* acc1, std::int64_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i y00 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i));
+    const __m256i y01 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 8));
+    const __m256i y02 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 16));
+    const __m256i y03 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 24));
+    __m256i aA0 = _mm256_permute2x128_si256(y00, y02, 0x20);
+    __m256i aB0 = _mm256_permute2x128_si256(y00, y02, 0x31);
+    __m256i aC0 = _mm256_permute2x128_si256(y01, y03, 0x20);
+    __m256i aD0 = _mm256_permute2x128_si256(y01, y03, 0x31);
+    const __m256i y10 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i));
+    const __m256i y11 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 8));
+    const __m256i y12 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 16));
+    const __m256i y13 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 24));
+    __m256i aA1 = _mm256_permute2x128_si256(y10, y12, 0x20);
+    __m256i aB1 = _mm256_permute2x128_si256(y10, y12, 0x31);
+    __m256i aC1 = _mm256_permute2x128_si256(y11, y13, 0x20);
+    __m256i aD1 = _mm256_permute2x128_si256(y11, y13, 0x31);
+    std::int64_t ic = 0;
+    for (; ic + 4 <= n_ic; ic += 4) {
+      FF_Q_TRANSPOSE4(ic);
+      const __m256i wq0 = _mm256_set1_epi32(qdetail::QuadBits(w0 + ic));
+      const __m256i wq1 = _mm256_set1_epi32(qdetail::QuadBits(w1 + ic));
+      aA0 = _mm256_add_epi32(aA0, QQuadMadd(u0, wq0, ones));
+      aB0 = _mm256_add_epi32(aB0, QQuadMadd(u1, wq0, ones));
+      aC0 = _mm256_add_epi32(aC0, QQuadMadd(u2, wq0, ones));
+      aD0 = _mm256_add_epi32(aD0, QQuadMadd(u3, wq0, ones));
+      aA1 = _mm256_add_epi32(aA1, QQuadMadd(u0, wq1, ones));
+      aB1 = _mm256_add_epi32(aB1, QQuadMadd(u1, wq1, ones));
+      aC1 = _mm256_add_epi32(aC1, QQuadMadd(u2, wq1, ones));
+      aD1 = _mm256_add_epi32(aD1, QQuadMadd(u3, wq1, ones));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i),
+                        _mm256_permute2x128_si256(aA0, aB0, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 8),
+                        _mm256_permute2x128_si256(aC0, aD0, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 16),
+                        _mm256_permute2x128_si256(aA0, aB0, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 24),
+                        _mm256_permute2x128_si256(aC0, aD0, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i),
+                        _mm256_permute2x128_si256(aA1, aB1, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 8),
+                        _mm256_permute2x128_si256(aC1, aD1, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 16),
+                        _mm256_permute2x128_si256(aA1, aB1, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 24),
+                        _mm256_permute2x128_si256(aC1, aD1, 0x31));
+    if (ic < n_ic) {
+      for (std::int64_t p = 0; p < 32; ++p) {
+        acc0[i + p] += qdetail::QPwPixel(x, ic, n_ic, w0, i + p);
+        acc1[i + p] += qdetail::QPwPixel(x, ic, n_ic, w1, i + p);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    acc0[i] += qdetail::QPwPixel(x, 0, n_ic, w0, i);
+    acc1[i] += qdetail::QPwPixel(x, 0, n_ic, w1, i);
+  }
+}
+
+FF_AVX2 void QPwPack(const std::uint8_t* const* x, std::int64_t n_ic,
+                     std::uint8_t* out, std::int64_t n) {
+  const std::int64_t quads = n_ic / 4;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::uint8_t* oq = out + q * 4 * n;
+    std::int64_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      FF_Q_TRANSPOSE4(4 * q);
+      // Store in sequential pixel order: u0/u1 lane0 = px 0-7, u2/u3 lane0
+      // = px 8-15, the lane1 halves px 16-31.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(oq + 4 * i),
+                          _mm256_permute2x128_si256(u0, u1, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(oq + 4 * i + 32),
+                          _mm256_permute2x128_si256(u2, u3, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(oq + 4 * i + 64),
+                          _mm256_permute2x128_si256(u0, u1, 0x31));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(oq + 4 * i + 96),
+                          _mm256_permute2x128_si256(u2, u3, 0x31));
+    }
+    for (; i < n; ++i) {
+      oq[4 * i] = x[4 * q][i];
+      oq[4 * i + 1] = x[4 * q + 1][i];
+      oq[4 * i + 2] = x[4 * q + 2][i];
+      oq[4 * i + 3] = x[4 * q + 3][i];
+    }
+  }
+  if (4 * quads < n_ic) {
+    std::uint8_t* oq = out + quads * 4 * n;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const std::int64_t ic = 4 * quads + j;
+      if (ic < n_ic) {
+        const std::uint8_t* xp = x[ic];
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = xp[i];
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) oq[4 * i + j] = 0;
+      }
+    }
+  }
+}
+
+FF_AVX2 void QPwAcc1P(const std::uint8_t* packed, std::int64_t n_ic,
+                      const std::int8_t* w, std::int32_t* acc,
+                      std::int64_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  const std::int64_t full = n_ic / 4;
+  std::int8_t wtail[4] = {0, 0, 0, 0};
+  const std::int64_t quads = (n_ic + 3) / 4;
+  if (quads > full) qdetail::QuadW(w, full, n_ic, wtail);
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 8));
+    __m256i a2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 16));
+    __m256i a3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 24));
+    for (std::int64_t q = 0; q < quads; ++q) {
+      const std::uint8_t* p = packed + q * 4 * n + 4 * i;
+      const __m256i wq = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w + 4 * q) : qdetail::QuadBits(wtail));
+      // Packed bytes are already per-pixel channel quads in pixel order, so
+      // maddubs+madd lands 8 sequential s32 sums per register — no shuffles.
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+      const __m256i v2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 64));
+      const __m256i v3 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 96));
+      a0 = _mm256_add_epi32(a0, QQuadMadd(v0, wq, ones));
+      a1 = _mm256_add_epi32(a1, QQuadMadd(v1, wq, ones));
+      a2 = _mm256_add_epi32(a2, QQuadMadd(v2, wq, ones));
+      a3 = _mm256_add_epi32(a3, QQuadMadd(v3, wq, ones));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 8), a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 16), a2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 24), a3);
+  }
+  if (i < n) {
+    // Masked final block: each pixel's channel quad is exactly one 4-byte
+    // lane, so vpmaskmovd gives a per-pixel predicate. Masked lanes are
+    // never read or written, so the live lanes compute the same pinned-rule
+    // sums as the full-width path (bitwise identity preserved) and a scalar
+    // per-pixel tail -- which walks the quad stride 4 bytes at a time and
+    // dominated whole layers when the plane was not a multiple of 32 --
+    // is never needed.
+    const __m256i lane =
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const int rem = static_cast<int>(n - i);
+    const __m256i m0 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem), lane);
+    const __m256i m1 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 8), lane);
+    const __m256i m2 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 16), lane);
+    const __m256i m3 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 24), lane);
+    __m256i a0 = _mm256_maskload_epi32(acc + i, m0);
+    __m256i a1 = _mm256_maskload_epi32(acc + i + 8, m1);
+    __m256i a2 = _mm256_maskload_epi32(acc + i + 16, m2);
+    __m256i a3 = _mm256_maskload_epi32(acc + i + 24, m3);
+    for (std::int64_t q = 0; q < quads; ++q) {
+      const int* p =
+          reinterpret_cast<const int*>(packed + q * 4 * n + 4 * i);
+      const __m256i wq = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w + 4 * q) : qdetail::QuadBits(wtail));
+      a0 = _mm256_add_epi32(
+          a0, QQuadMadd(_mm256_maskload_epi32(p, m0), wq, ones));
+      a1 = _mm256_add_epi32(
+          a1, QQuadMadd(_mm256_maskload_epi32(p + 8, m1), wq, ones));
+      a2 = _mm256_add_epi32(
+          a2, QQuadMadd(_mm256_maskload_epi32(p + 16, m2), wq, ones));
+      a3 = _mm256_add_epi32(
+          a3, QQuadMadd(_mm256_maskload_epi32(p + 24, m3), wq, ones));
+    }
+    _mm256_maskstore_epi32(acc + i, m0, a0);
+    _mm256_maskstore_epi32(acc + i + 8, m1, a1);
+    _mm256_maskstore_epi32(acc + i + 16, m2, a2);
+    _mm256_maskstore_epi32(acc + i + 24, m3, a3);
+  }
+}
+
+FF_AVX2 void QPwAcc2P(const std::uint8_t* packed, std::int64_t n_ic,
+                      const std::int8_t* w0, const std::int8_t* w1,
+                      std::int32_t* acc0, std::int32_t* acc1,
+                      std::int64_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  const std::int64_t full = n_ic / 4;
+  std::int8_t wtail0[4] = {0, 0, 0, 0};
+  std::int8_t wtail1[4] = {0, 0, 0, 0};
+  const std::int64_t quads = (n_ic + 3) / 4;
+  if (quads > full) {
+    qdetail::QuadW(w0, full, n_ic, wtail0);
+    qdetail::QuadW(w1, full, n_ic, wtail1);
+  }
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i a00 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i));
+    __m256i a01 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 8));
+    __m256i a02 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 16));
+    __m256i a03 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0 + i + 24));
+    __m256i a10 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i));
+    __m256i a11 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 8));
+    __m256i a12 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 16));
+    __m256i a13 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1 + i + 24));
+    for (std::int64_t q = 0; q < quads; ++q) {
+      const std::uint8_t* p = packed + q * 4 * n + 4 * i;
+      const __m256i wq0 = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w0 + 4 * q)
+                   : qdetail::QuadBits(wtail0));
+      const __m256i wq1 = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w1 + 4 * q)
+                   : qdetail::QuadBits(wtail1));
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+      const __m256i v2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 64));
+      const __m256i v3 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 96));
+      a00 = _mm256_add_epi32(a00, QQuadMadd(v0, wq0, ones));
+      a01 = _mm256_add_epi32(a01, QQuadMadd(v1, wq0, ones));
+      a02 = _mm256_add_epi32(a02, QQuadMadd(v2, wq0, ones));
+      a03 = _mm256_add_epi32(a03, QQuadMadd(v3, wq0, ones));
+      a10 = _mm256_add_epi32(a10, QQuadMadd(v0, wq1, ones));
+      a11 = _mm256_add_epi32(a11, QQuadMadd(v1, wq1, ones));
+      a12 = _mm256_add_epi32(a12, QQuadMadd(v2, wq1, ones));
+      a13 = _mm256_add_epi32(a13, QQuadMadd(v3, wq1, ones));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i), a00);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 8), a01);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 16), a02);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc0 + i + 24), a03);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i), a10);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 8), a11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 16), a12);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc1 + i + 24), a13);
+  }
+  if (i < n) {
+    // Masked final block; see QPwAcc1P for why this preserves bitwise
+    // identity and why a scalar tail is a throughput cliff.
+    const __m256i lane =
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const int rem = static_cast<int>(n - i);
+    const __m256i m0 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem), lane);
+    const __m256i m1 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 8), lane);
+    const __m256i m2 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 16), lane);
+    const __m256i m3 = _mm256_cmpgt_epi32(_mm256_set1_epi32(rem - 24), lane);
+    __m256i a00 = _mm256_maskload_epi32(acc0 + i, m0);
+    __m256i a01 = _mm256_maskload_epi32(acc0 + i + 8, m1);
+    __m256i a02 = _mm256_maskload_epi32(acc0 + i + 16, m2);
+    __m256i a03 = _mm256_maskload_epi32(acc0 + i + 24, m3);
+    __m256i a10 = _mm256_maskload_epi32(acc1 + i, m0);
+    __m256i a11 = _mm256_maskload_epi32(acc1 + i + 8, m1);
+    __m256i a12 = _mm256_maskload_epi32(acc1 + i + 16, m2);
+    __m256i a13 = _mm256_maskload_epi32(acc1 + i + 24, m3);
+    for (std::int64_t q = 0; q < quads; ++q) {
+      const int* p =
+          reinterpret_cast<const int*>(packed + q * 4 * n + 4 * i);
+      const __m256i wq0 = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w0 + 4 * q)
+                   : qdetail::QuadBits(wtail0));
+      const __m256i wq1 = _mm256_set1_epi32(
+          q < full ? qdetail::QuadBits(w1 + 4 * q)
+                   : qdetail::QuadBits(wtail1));
+      const __m256i v0 = _mm256_maskload_epi32(p, m0);
+      const __m256i v1 = _mm256_maskload_epi32(p + 8, m1);
+      const __m256i v2 = _mm256_maskload_epi32(p + 16, m2);
+      const __m256i v3 = _mm256_maskload_epi32(p + 24, m3);
+      a00 = _mm256_add_epi32(a00, QQuadMadd(v0, wq0, ones));
+      a01 = _mm256_add_epi32(a01, QQuadMadd(v1, wq0, ones));
+      a02 = _mm256_add_epi32(a02, QQuadMadd(v2, wq0, ones));
+      a03 = _mm256_add_epi32(a03, QQuadMadd(v3, wq0, ones));
+      a10 = _mm256_add_epi32(a10, QQuadMadd(v0, wq1, ones));
+      a11 = _mm256_add_epi32(a11, QQuadMadd(v1, wq1, ones));
+      a12 = _mm256_add_epi32(a12, QQuadMadd(v2, wq1, ones));
+      a13 = _mm256_add_epi32(a13, QQuadMadd(v3, wq1, ones));
+    }
+    _mm256_maskstore_epi32(acc0 + i, m0, a00);
+    _mm256_maskstore_epi32(acc0 + i + 8, m1, a01);
+    _mm256_maskstore_epi32(acc0 + i + 16, m2, a02);
+    _mm256_maskstore_epi32(acc0 + i + 24, m3, a03);
+    _mm256_maskstore_epi32(acc1 + i, m0, a10);
+    _mm256_maskstore_epi32(acc1 + i + 8, m1, a11);
+    _mm256_maskstore_epi32(acc1 + i + 16, m2, a12);
+    _mm256_maskstore_epi32(acc1 + i + 24, m3, a13);
+  }
+}
+
+FF_AVX2 void QAxpyRowsS2(std::int32_t w, const std::uint8_t* x,
+                         std::int64_t x_stride, std::int32_t* acc,
+                         std::int64_t acc_stride, std::int64_t rows,
+                         std::int64_t n) {
+  const __m256i wv = _mm256_set1_epi16(static_cast<short>(w));
+  const __m256i mask = _mm256_set1_epi16(0x00FF);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint8_t* xr = x + r * x_stride;
+    std::int32_t* ar = acc + r * acc_stride;
+    std::int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xr + 2 * i));
+      // Even bytes zero-extended to u16; |w * x| <= 32385 so the s16
+      // product is exact.
+      const __m256i p = _mm256_mullo_epi16(_mm256_and_si256(b, mask), wv);
+      const __m256i lo =
+          _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p));
+      const __m256i hi =
+          _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p, 1));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(ar + i),
+          _mm256_add_epi32(_mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(ar + i)),
+                           lo));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(ar + i + 8),
+          _mm256_add_epi32(
+              _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(ar + i + 8)),
+              hi));
+    }
+    for (; i < n; ++i) ar[i] += w * xr[2 * i];
+  }
+}
+
+#undef FF_Q_TRANSPOSE4
+
+FF_AVX2 std::int32_t QDot(const std::uint8_t* x, const std::int8_t* w,
+                          std::int64_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i accv = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    accv = _mm256_add_epi32(accv, QQuadMadd(xv, wv, ones));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv);
+  std::int32_t a = 0;
+  for (int j = 0; j < 8; ++j) a += lanes[j];
+  return a + qdetail::QDotTail(x + i, w + i, n - i);
+}
+
+FF_AVX2 void QRequant(const std::int32_t* acc, float scale, float bias,
+                      std::uint8_t* y, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vb = _mm256_set1_ps(bias);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 v255 = _mm256_set1_ps(255.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_cvtepi32_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)));
+    t = _mm256_add_ps(_mm256_mul_ps(t, vs), vb);
+    t = _mm256_max_ps(t, zero);  // NaN -> 0, like relu
+    t = _mm256_min_ps(t, v255);
+    const __m256i q = _mm256_cvtps_epi32(t);  // round-to-nearest-even
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(y + i), p8);
+  }
+  for (; i < n; ++i) y[i] = qdetail::QRequantOne(acc[i], scale, bias);
+}
+
+FF_AVX2 void QDequant(const std::uint8_t* x, float scale, std::int32_t zp,
+                      float* y, std::int64_t n) {
+  const __m256i vzp = _mm256_set1_epi32(zp);
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i xb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256i x32 = _mm256_cvtepu8_epi32(xb);
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(x32, vzp)), vs));
+  }
+  for (; i < n; ++i) y[i] = qdetail::QDequantOne(x[i], scale, zp);
+}
+
+FF_AVX2 void QQuant(const float* x, float inv_scale, float zp,
+                    std::uint8_t* y, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256 vzp = _mm256_set1_ps(zp);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 v255 = _mm256_set1_ps(255.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(x + i), vs), vzp);
+    t = _mm256_max_ps(t, zero);
+    t = _mm256_min_ps(t, v255);
+    const __m256i q = _mm256_cvtps_epi32(t);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(y + i), p8);
+  }
+  for (; i < n; ++i) y[i] = qdetail::QQuantOne(x[i], inv_scale, zp);
+}
+
 #undef FF_AVX2
 
-constexpr OpTable kTable = {Fill,   Axpy,   Axpy4,  AxpyRows, Axpy4Rows,
-                            PwAcc4, PwAcc1, Dot,    Relu,     Relu6,
-                            SadU8,  Sad16x16};
+constexpr OpTable kTable = {Fill,     Axpy,      Axpy4,    AxpyRows,
+                            Axpy4Rows, PwAcc4,   PwAcc1,   Dot,
+                            Relu,     Relu6,     SadU8,    Sad16x16,
+                            QAxpyRows, QPwAcc1,  QPwAcc2,  QPwPack,
+                            QPwAcc1P, QPwAcc2P,  QAxpyRowsS2, QDot,
+                            QRequant, QDequant,  QQuant};
 
 }  // namespace
 }  // namespace avx2

@@ -18,9 +18,17 @@
 //    ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). Scalar and SIMD implement the
 //    same scheme, so the result is bitwise-reproducible across ISAs.
 //  * sad_u8/sad16x16 are integer sums — exact under any association.
+//  * the q* kernels (int8 inference path) are integer except for the
+//    requant/quant/dequant boundaries. Their accumulation rule is pinned by
+//    spec to the AVX2 maddubs+madd sequence: u8*s8 products are summed in
+//    PAIRS with signed-16 saturation, pair sums add exactly in s32 (see the
+//    per-kernel comments for which indices pair up). The float boundaries
+//    use separate mul/add plus round-to-nearest-even (cvtps semantics), so
+//    every ISA — including the scalar reference — produces identical bytes.
 //
 // nn_kernels_test pins the parity for every kernel on every ISA the host
-// supports, at awkward lengths (0, 1, vector-width±1, unaligned, strided).
+// supports, at awkward lengths (0, 1, vector-width±1, unaligned, strided),
+// including int8 saturation edge cases (w=±127 against x=255).
 #pragma once
 
 #include <algorithm>
@@ -81,6 +89,77 @@ struct OpTable {
   // search's inner loop, dispatched once per candidate vector.
   std::uint32_t (*sad16x16)(const std::uint8_t* a, std::int64_t stride_a,
                             const std::uint8_t* b, std::int64_t stride_b);
+
+  // -------------------------------------------------------------------------
+  // int8 inference path (see quantize.hpp). Activations are u8, weights s8,
+  // accumulation s32. The qpw/qdot reduction rule is pinned by spec to the
+  // maddubs sequence: products at indices (2j, 2j+1) form a pair whose sum
+  // saturates to signed 16 bits; pair sums then add EXACTLY in s32 (an odd
+  // tail product stands alone — a single u8*s8 product is at most ±32385 and
+  // can never saturate). Every ISA implements this same rule, so results are
+  // bitwise-identical.
+  // -------------------------------------------------------------------------
+
+  // acc[r*acc_stride + i] += w * x[r*x_stride + i] — exact (unpaired) s32
+  // accumulation, used by the KxK / depthwise taps where each dispatch
+  // carries a single weight. `w` is an s8 value passed widened.
+  void (*qaxpy_rows)(std::int32_t w, const std::uint8_t* x,
+                     std::int64_t x_stride, std::int32_t* acc,
+                     std::int64_t acc_stride, std::int64_t rows,
+                     std::int64_t n);
+  // Pointwise conv: acc[i] += sum_ic w[ic] * x[ic][i] under the pinned
+  // pair-saturation rule (pairs are (2j, 2j+1) over ic). Accumulators stay
+  // in registers across the whole ic loop.
+  void (*qpw_acc1)(const std::uint8_t* const* x, std::int64_t n_ic,
+                   const std::int8_t* w, std::int32_t* acc, std::int64_t n);
+  // Two output channels sharing one activation transpose; row k is
+  // bitwise-identical to qpw_acc1(x, n_ic, wk, acck, n).
+  void (*qpw_acc2)(const std::uint8_t* const* x, std::int64_t n_ic,
+                   const std::int8_t* w0, const std::int8_t* w1,
+                   std::int32_t* acc0, std::int32_t* acc1, std::int64_t n);
+  // Packs channel planes into the interleaved channel-quad layout the
+  // packed pointwise kernels stream: out[q*4*n + 4*i + j] = x[4q+j][i],
+  // zero-filled for the padding channels of a partial final quad (q runs to
+  // ceil(n_ic/4)). Pure data movement — the output is byte-identical on
+  // every ISA; the SIMD versions only do it faster.
+  void (*qpw_pack)(const std::uint8_t* const* x, std::int64_t n_ic,
+                   std::uint8_t* out, std::int64_t n);
+  // Packed-layout pointwise: bitwise-identical to qpw_acc1/qpw_acc2 on the
+  // same channels, but reading the qpw_pack layout. Packing once per image
+  // removes the per-output-channel byte transpose that dominates qpw_acc2
+  // at trunk-sized planes (a zero-padded pair saturates to the lone
+  // product, so the padded quad is exact under the pinned pair rule).
+  void (*qpw_acc1p)(const std::uint8_t* packed, std::int64_t n_ic,
+                    const std::int8_t* w, std::int32_t* acc, std::int64_t n);
+  void (*qpw_acc2p)(const std::uint8_t* packed, std::int64_t n_ic,
+                    const std::int8_t* w0, const std::int8_t* w1,
+                    std::int32_t* acc0, std::int32_t* acc1, std::int64_t n);
+  // Stride-2 qaxpy_rows: acc[r*acc_stride + i] += w * x[r*x_stride + 2*i],
+  // exact s32 accumulation (the stride-2 KxK/depthwise taps). The SIMD
+  // paths read the odd in-between bytes of each 2n-1-byte span, so callers
+  // must keep a few bytes of slack mapped past the last row.
+  void (*qaxpy_rows_s2)(std::int32_t w, const std::uint8_t* x,
+                        std::int64_t x_stride, std::int32_t* acc,
+                        std::int64_t acc_stride, std::int64_t rows,
+                        std::int64_t n);
+  // Dense: returns sum_i w[i] * x[i] under the same pair-saturation rule.
+  std::int32_t (*qdot)(const std::uint8_t* x, const std::int8_t* w,
+                       std::int64_t n);
+  // Requantize s32 accumulators back to u8 with a fused ReLU/clamp:
+  // y[i] = u8(rne(clamp(float(acc[i]) * scale + bias, 0, 255))), with
+  // separate mul and add (no FMA), NaN -> 0, and round-to-nearest-even —
+  // the cvtps_epi32 semantics the SIMD paths get for free.
+  void (*qrequant)(const std::int32_t* acc, float scale, float bias,
+                   std::uint8_t* y, std::int64_t n);
+  // Dequantize at a tap boundary: y[i] = float(int(x[i]) - zp) * scale
+  // (exact int subtract, then a single float rounding in the multiply).
+  void (*qdequant)(const std::uint8_t* x, float scale, std::int32_t zp,
+                   float* y, std::int64_t n);
+  // Quantize the float network input:
+  // y[i] = u8(rne(clamp(x[i] * inv_scale + zp, 0, 255))), same float
+  // semantics as qrequant.
+  void (*qquant)(const float* x, float inv_scale, float zp, std::uint8_t* y,
+                 std::int64_t n);
 };
 
 // The table for `isa`, or nullptr when this build/CPU cannot run it.
@@ -152,6 +231,57 @@ inline std::uint32_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
 inline std::uint32_t Sad16x16(const std::uint8_t* a, std::int64_t stride_a,
                               const std::uint8_t* b, std::int64_t stride_b) {
   return Active().sad16x16(a, stride_a, b, stride_b);
+}
+inline void QAxpyRows(std::int32_t w, const std::uint8_t* x,
+                      std::int64_t x_stride, std::int32_t* acc,
+                      std::int64_t acc_stride, std::int64_t rows,
+                      std::int64_t n) {
+  Active().qaxpy_rows(w, x, x_stride, acc, acc_stride, rows, n);
+}
+inline void QPwAcc1(const std::uint8_t* const* x, std::int64_t n_ic,
+                    const std::int8_t* w, std::int32_t* acc, std::int64_t n) {
+  Active().qpw_acc1(x, n_ic, w, acc, n);
+}
+inline void QPwAcc2(const std::uint8_t* const* x, std::int64_t n_ic,
+                    const std::int8_t* w0, const std::int8_t* w1,
+                    std::int32_t* acc0, std::int32_t* acc1, std::int64_t n) {
+  Active().qpw_acc2(x, n_ic, w0, w1, acc0, acc1, n);
+}
+inline void QPwPack(const std::uint8_t* const* x, std::int64_t n_ic,
+                    std::uint8_t* out, std::int64_t n) {
+  Active().qpw_pack(x, n_ic, out, n);
+}
+inline void QPwAcc1P(const std::uint8_t* packed, std::int64_t n_ic,
+                     const std::int8_t* w, std::int32_t* acc,
+                     std::int64_t n) {
+  Active().qpw_acc1p(packed, n_ic, w, acc, n);
+}
+inline void QPwAcc2P(const std::uint8_t* packed, std::int64_t n_ic,
+                     const std::int8_t* w0, const std::int8_t* w1,
+                     std::int32_t* acc0, std::int32_t* acc1, std::int64_t n) {
+  Active().qpw_acc2p(packed, n_ic, w0, w1, acc0, acc1, n);
+}
+inline void QAxpyRowsS2(std::int32_t w, const std::uint8_t* x,
+                        std::int64_t x_stride, std::int32_t* acc,
+                        std::int64_t acc_stride, std::int64_t rows,
+                        std::int64_t n) {
+  Active().qaxpy_rows_s2(w, x, x_stride, acc, acc_stride, rows, n);
+}
+inline std::int32_t QDot(const std::uint8_t* x, const std::int8_t* w,
+                         std::int64_t n) {
+  return Active().qdot(x, w, n);
+}
+inline void QRequant(const std::int32_t* acc, float scale, float bias,
+                     std::uint8_t* y, std::int64_t n) {
+  Active().qrequant(acc, scale, bias, y, n);
+}
+inline void QDequant(const std::uint8_t* x, float scale, std::int32_t zp,
+                     float* y, std::int64_t n) {
+  Active().qdequant(x, scale, zp, y, n);
+}
+inline void QQuant(const float* x, float inv_scale, float zp, std::uint8_t* y,
+                   std::int64_t n) {
+  Active().qquant(x, inv_scale, zp, y, n);
 }
 
 // ---------------------------------------------------------------------------

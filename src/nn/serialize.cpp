@@ -1,5 +1,6 @@
 #include "nn/serialize.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,8 @@ namespace {
 
 constexpr char kMagic[4] = {'F', 'F', 'N', 'W'};
 constexpr std::uint32_t kVersion = 1;
+constexpr char kQuantMagic[4] = {'F', 'F', 'N', 'Q'};
+constexpr std::uint32_t kQuantVersion = 1;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
@@ -46,6 +49,11 @@ void DeserializeWeights(Sequential& net, const std::string& bytes) {
   std::istringstream is(bytes, std::ios::binary);
   char magic[4];
   is.read(magic, 4);
+  FF_CHECK_MSG(!(is.good() && std::memcmp(magic, kQuantMagic, 4) == 0),
+               net.name()
+                   << ": checkpoint is QUANTIZED (FFNQ) but a float load was "
+                      "requested — use DeserializeQuantized / configure the "
+                      "extractor with quantize=true");
   FF_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 4) == 0,
                "bad weight file magic");
   const auto version = ReadPod<std::uint32_t>(is);
@@ -70,6 +78,108 @@ void DeserializeWeights(Sequential& net, const std::string& bytes) {
             static_cast<std::streamsize>(n_floats * sizeof(float)));
     FF_CHECK_MSG(is.good(), "truncated weight stream in blob " << name);
   }
+}
+
+CheckpointKind SniffCheckpoint(const std::string& bytes) {
+  if (bytes.size() < 4) return CheckpointKind::kUnknown;
+  if (std::memcmp(bytes.data(), kMagic, 4) == 0) return CheckpointKind::kFloat;
+  if (std::memcmp(bytes.data(), kQuantMagic, 4) == 0) {
+    return CheckpointKind::kQuantized;
+  }
+  return CheckpointKind::kUnknown;
+}
+
+std::string SerializeQuantized(const QuantizedProgram& prog) {
+  std::ostringstream os(std::ios::binary);
+  os.write(kQuantMagic, 4);
+  WritePod(os, kQuantVersion);
+  WritePod(os, prog.input_quant().scale);
+  WritePod(os, prog.input_quant().zero_point);
+  WritePod(os, static_cast<std::uint32_t>(prog.n_ops()));
+  for (std::size_t i = 0; i < prog.n_ops(); ++i) {
+    const QuantOp& op = prog.op(i);
+    WritePod(os, static_cast<std::uint32_t>(op.name.size()));
+    os.write(op.name.data(), static_cast<std::streamsize>(op.name.size()));
+    WritePod(os, static_cast<std::uint8_t>(op.kind));
+    WritePod(os, op.out_q.scale);
+    WritePod(os, op.out_q.zero_point);
+    WritePod(os, static_cast<std::uint64_t>(op.w.size()));
+    os.write(reinterpret_cast<const char*>(op.w.data()),
+             static_cast<std::streamsize>(op.w.size()));
+    WritePod(os, static_cast<std::uint64_t>(op.out_c));
+    os.write(reinterpret_cast<const char*>(op.rscale.data()),
+             static_cast<std::streamsize>(op.rscale.size() * sizeof(float)));
+    os.write(reinterpret_cast<const char*>(op.rbias.data()),
+             static_cast<std::streamsize>(op.rbias.size() * sizeof(float)));
+  }
+  return os.str();
+}
+
+QuantizedProgram DeserializeQuantized(Sequential& net,
+                                      const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  char magic[4];
+  is.read(magic, 4);
+  FF_CHECK_MSG(!(is.good() && std::memcmp(magic, kMagic, 4) == 0),
+               net.name()
+                   << ": checkpoint is FLOAT (FFNW) but a quantized load was "
+                      "requested — use DeserializeWeights / configure the "
+                      "extractor with quantize=false");
+  FF_CHECK_MSG(is.good() && std::memcmp(magic, kQuantMagic, 4) == 0,
+               "bad quantized weight file magic");
+  const auto version = ReadPod<std::uint32_t>(is);
+  FF_CHECK_EQ(version, kQuantVersion);
+
+  // Everything below is untrusted; the plan derived from the caller's net is
+  // the source of truth for names, kinds, and sizes.
+  QuantizedProgram prog = Quantizer::Plan(net);
+  prog.in_q_.scale = ReadPod<float>(is);
+  prog.in_q_.zero_point = ReadPod<std::int32_t>(is);
+  FF_CHECK_MSG(std::isfinite(prog.in_q_.scale) && prog.in_q_.scale > 0.0f,
+               "quantized checkpoint: bad input scale");
+  const auto count = ReadPod<std::uint32_t>(is);
+  FF_CHECK_MSG(count == prog.n_ops(),
+               net.name() << ": file has " << count << " quantized ops, plan "
+                          << "has " << prog.n_ops());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    QuantOp& op = prog.ops_[i];
+    const auto name_len = ReadPod<std::uint32_t>(is);
+    FF_CHECK_MSG(name_len <= 4096, "quantized checkpoint: absurd name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    FF_CHECK_MSG(is.good(), "truncated quantized weight stream");
+    FF_CHECK_MSG(name == op.name, "op " << i << ": file has '" << name
+                                        << "', plan has '" << op.name << "'");
+    const auto kind = ReadPod<std::uint8_t>(is);
+    FF_CHECK_MSG(kind == static_cast<std::uint8_t>(op.kind),
+                 op.name << ": op kind mismatch");
+    op.out_q.scale = ReadPod<float>(is);
+    op.out_q.zero_point = ReadPod<std::int32_t>(is);
+    FF_CHECK_MSG(std::isfinite(op.out_q.scale) && op.out_q.scale > 0.0f,
+                 op.name << ": bad output scale");
+    FF_CHECK_MSG(op.out_q.zero_point == 0 || op.out_q.zero_point == 128,
+                 op.name << ": bad output zero point");
+    const auto n_w = ReadPod<std::uint64_t>(is);
+    FF_CHECK_MSG(n_w == op.w.size(), op.name << ": file has " << n_w
+                                             << " weights, plan expects "
+                                             << op.w.size());
+    is.read(reinterpret_cast<char*>(op.w.data()),
+            static_cast<std::streamsize>(op.w.size()));
+    const auto n_oc = ReadPod<std::uint64_t>(is);
+    FF_CHECK_MSG(n_oc == static_cast<std::uint64_t>(op.out_c),
+                 op.name << ": file has " << n_oc << " channels, plan expects "
+                         << op.out_c);
+    is.read(reinterpret_cast<char*>(op.rscale.data()),
+            static_cast<std::streamsize>(op.rscale.size() * sizeof(float)));
+    is.read(reinterpret_cast<char*>(op.rbias.data()),
+            static_cast<std::streamsize>(op.rbias.size() * sizeof(float)));
+    FF_CHECK_MSG(is.good(), "truncated quantized weight stream in " << op.name);
+    for (std::size_t c = 0; c < op.rscale.size(); ++c) {
+      FF_CHECK_MSG(std::isfinite(op.rscale[c]) && std::isfinite(op.rbias[c]),
+                   op.name << ": non-finite requant parameters");
+    }
+  }
+  return prog;
 }
 
 void SaveWeights(Sequential& net, const std::string& path) {

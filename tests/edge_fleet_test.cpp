@@ -8,6 +8,7 @@
 // reference restoration under churn.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -441,6 +442,75 @@ TEST(EdgeFleet, DecisionAndEventSinksCarryStreamHandles) {
   EXPECT_EQ(events[0].stream, h);
   EXPECT_EQ(events[0].begin, 0);
   EXPECT_EQ(events[0].end, ds.n_frames());
+}
+
+// Runs one stream's frames end to end through an EdgeNode on the given
+// extractor; used to pin the quantize=false config against the legacy path.
+StreamRef RunNodeWithExtractor(dnn::FeatureExtractor& fx,
+                               const video::SyntheticDataset& ds,
+                               std::int64_t n,
+                               const std::vector<TenantScript>& tenants) {
+  EdgeNode node(fx, NodeConfig(ds.spec()));
+  std::vector<std::unique_ptr<ResultCollector>> collectors;
+  for (const auto& t : tenants) {
+    McSpec spec{.mc = MakeMc(fx, ds.spec(), t.arch, t.seed)};
+    collectors.push_back(std::make_unique<ResultCollector>());
+    collectors.back()->Bind(spec);
+    node.Attach(std::move(spec));
+  }
+  video::DatasetSource src(ds, 0, n);
+  node.Run(src);
+  StreamRef ref;
+  for (const auto& c : collectors) ref.results.push_back(c->result());
+  ref.uploaded = node.frames_uploaded();
+  ref.bytes = node.upload_bytes();
+  return ref;
+}
+
+TEST(EdgeFleet, QuantizeOffConfigIsBitwiseNoRegression) {
+  // The int8 path is strictly opt-in: an extractor built from
+  // FeatureExtractorConfig with quantize=false must drive the full pipeline
+  // (trunk, MCs, smoothing, events, upload accounting) bitwise-identically
+  // to the pre-config legacy constructor.
+  const std::int64_t kFrames = 10;
+  const video::SyntheticDataset ds(SmallSpec(kFrames, 31));
+  const std::vector<TenantScript> tenants = {{"full_frame", 400},
+                                             {"localized", 401}};
+
+  const StreamRef legacy = RunDedicatedNode(ds, kFrames, tenants);
+  dnn::FeatureExtractor configured(
+      dnn::FeatureExtractorConfig{{.include_classifier = false},
+                                  /*quantize=*/false});
+  const StreamRef cfg = RunNodeWithExtractor(configured, ds, kFrames, tenants);
+
+  ASSERT_EQ(legacy.results.size(), cfg.results.size());
+  for (std::size_t t = 0; t < legacy.results.size(); ++t) {
+    ExpectSameResult(cfg.results[t], legacy.results[t]);
+  }
+  EXPECT_EQ(cfg.uploaded, legacy.uploaded);
+  EXPECT_EQ(cfg.bytes, legacy.bytes);
+}
+
+TEST(EdgeFleet, QuantizedExtractorRunsEndToEnd) {
+  // Smoke for the opt-in path: a quantize=true extractor (auto-calibrated
+  // from its first batch) drives the same pipeline end to end and yields a
+  // full, finite decision stream.
+  const std::int64_t kFrames = 10;
+  const video::SyntheticDataset ds(SmallSpec(kFrames, 32));
+  const std::vector<TenantScript> tenants = {{"localized", 500}};
+
+  dnn::FeatureExtractor qfx(
+      dnn::FeatureExtractorConfig{{.include_classifier = false},
+                                  /*quantize=*/true});
+  const StreamRef ref = RunNodeWithExtractor(qfx, ds, kFrames, tenants);
+  EXPECT_TRUE(qfx.quantized_ready());
+  ASSERT_EQ(ref.results.size(), 1u);
+  ASSERT_EQ(ref.results[0].scores.size(), static_cast<std::size_t>(kFrames));
+  for (const float s : ref.results[0].scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0f);
+    EXPECT_LE(s, 1.0f);
+  }
 }
 
 }  // namespace

@@ -257,6 +257,307 @@ TEST(KernelParity, SadU8AndSad16x16) {
   }
 }
 
+// Random u8 activations biased toward the 255 extreme so the int8 pair
+// saturation actually fires, not just on the dedicated edge-case test.
+std::vector<std::uint8_t> RandomU8(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& x : v) {
+    x = rng.UniformInt(0, 3) == 0
+            ? std::uint8_t{255}
+            : static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  }
+  return v;
+}
+
+std::vector<std::int8_t> RandomS8(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    const std::int64_t r = rng.UniformInt(0, 5);
+    x = r == 0 ? std::int8_t{127}
+               : (r == 1 ? std::int8_t{-127}
+                         : static_cast<std::int8_t>(rng.UniformInt(-128, 127)));
+  }
+  return v;
+}
+
+TEST(QKernelParity, QAxpyRowsStrided) {
+  SKIP_WITHOUT_SIMD();
+  const std::int64_t rows = 5, xs = 37, as = 41;
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      if (n > xs || n > as) continue;
+      const auto x = RandomU8(static_cast<std::size_t>(rows * xs), 101);
+      for (const std::int32_t w : {-128, -127, -3, 0, 1, 127}) {
+        std::vector<std::int32_t> aa(static_cast<std::size_t>(rows * as), 7);
+        auto ab = aa;
+        scalar::Table().qaxpy_rows(w, x.data() + 1, xs, aa.data(), as, rows,
+                                   n);
+        simd.qaxpy_rows(w, x.data() + 1, xs, ab.data(), as, rows, n);
+        ASSERT_EQ(0, std::memcmp(aa.data(), ab.data(),
+                                 aa.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(QKernelParity, QPwAcc1And2) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      for (const std::int64_t n_ic : {0, 1, 2, 3, 4, 5, 7, 8, 13}) {
+        const auto xdata =
+            RandomU8(static_cast<std::size_t>(n_ic * n), 111);
+        std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+        for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+          xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+        }
+        const auto w = RandomS8(static_cast<std::size_t>(2 * n_ic) + 2, 112);
+        const std::int8_t* w0 = w.data();
+        const std::int8_t* w1 = w.data() + n_ic + 1;
+        std::vector<std::int32_t> aa(static_cast<std::size_t>(2 * n), -3);
+        auto ab = aa;
+        auto run2 = [&](const OpTable& t, std::vector<std::int32_t>& a) {
+          t.qpw_acc2(xs.data(), n_ic, w0, w1, a.data(), a.data() + n, n);
+        };
+        run2(scalar::Table(), aa);
+        run2(simd, ab);
+        ASSERT_EQ(0, std::memcmp(aa.data(), ab.data(),
+                                 aa.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " qpw_acc2 n=" << n << " ic=" << n_ic;
+
+        std::vector<std::int32_t> za(static_cast<std::size_t>(n), 5);
+        auto zb = za;
+        scalar::Table().qpw_acc1(xs.data(), n_ic, w0, za.data(), n);
+        simd.qpw_acc1(xs.data(), n_ic, w0, zb.data(), n);
+        ASSERT_EQ(0, std::memcmp(za.data(), zb.data(),
+                                 za.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " qpw_acc1 n=" << n << " ic=" << n_ic;
+      }
+    }
+  }
+}
+
+TEST(QKernelParity, QPwPackLayout) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      for (const std::int64_t n_ic : {1, 2, 3, 4, 5, 7, 8, 13}) {
+        const auto xdata = RandomU8(static_cast<std::size_t>(n_ic * n), 141);
+        std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+        for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+          xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+        }
+        const std::int64_t quads = (n_ic + 3) / 4;
+        std::vector<std::uint8_t> pa(static_cast<std::size_t>(quads * 4 * n),
+                                     0xAB);
+        auto pb = pa;
+        scalar::Table().qpw_pack(xs.data(), n_ic, pa.data(), n);
+        simd.qpw_pack(xs.data(), n_ic, pb.data(), n);
+        ASSERT_EQ(0, std::memcmp(pa.data(), pb.data(), pa.size()))
+            << IsaName(isa) << " qpw_pack n=" << n << " ic=" << n_ic;
+      }
+    }
+  }
+}
+
+// The packed accumulate kernels must match the unpacked qpw_acc1 reference
+// bit for bit — packing is a layout change, never a numeric one. Partial
+// final quads (n_ic % 4 != 0) are zero-padded and a zero pair member
+// contributes nothing inside the saturating pair sum, so they are exercised
+// on purpose.
+TEST(QKernelParity, QPwAccPacked) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      for (const std::int64_t n_ic : {1, 2, 3, 4, 5, 7, 8, 13}) {
+        const auto xdata = RandomU8(static_cast<std::size_t>(n_ic * n), 151);
+        std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+        for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+          xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+        }
+        const std::int64_t quads = (n_ic + 3) / 4;
+        std::vector<std::uint8_t> packed(
+            static_cast<std::size_t>(quads * 4 * n));
+        simd.qpw_pack(xs.data(), n_ic, packed.data(), n);
+
+        const auto w = RandomS8(static_cast<std::size_t>(2 * n_ic) + 2, 152);
+        const std::int8_t* w0 = w.data();
+        const std::int8_t* w1 = w.data() + n_ic + 1;
+
+        std::vector<std::int32_t> ref(static_cast<std::size_t>(n), -3);
+        auto got = ref;
+        scalar::Table().qpw_acc1(xs.data(), n_ic, w0, ref.data(), n);
+        simd.qpw_acc1p(packed.data(), n_ic, w0, got.data(), n);
+        ASSERT_EQ(0, std::memcmp(ref.data(), got.data(),
+                                 ref.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " qpw_acc1p n=" << n << " ic=" << n_ic;
+
+        std::vector<std::int32_t> ref2(static_cast<std::size_t>(2 * n), 7);
+        auto got2 = ref2;
+        scalar::Table().qpw_acc2(xs.data(), n_ic, w0, w1, ref2.data(),
+                                 ref2.data() + n, n);
+        simd.qpw_acc2p(packed.data(), n_ic, w0, w1, got2.data(),
+                       got2.data() + n, n);
+        ASSERT_EQ(0, std::memcmp(ref2.data(), got2.data(),
+                                 ref2.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " qpw_acc2p n=" << n << " ic=" << n_ic;
+      }
+    }
+  }
+}
+
+// Packed kernels under the pair-saturation extremes of
+// QKernelSaturation.PairSaturationAtExtremes: the layout change must not
+// alter where saturation bites.
+TEST(QKernelSaturation, PackedPairSaturationAtExtremes) {
+  const std::int64_t n = 40;
+  const std::int64_t n_ic = 6;
+  std::vector<std::uint8_t> xdata(static_cast<std::size_t>(n_ic * n), 255);
+  std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+  for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+    xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+  }
+  const std::vector<std::int8_t> w = {127, 127, 127, 127, -127, -127};
+  const std::int32_t expect = 32767 + 32767 - 32768;
+  auto check = [&](const OpTable& t, const char* name) {
+    const std::int64_t quads = (n_ic + 3) / 4;
+    std::vector<std::uint8_t> packed(static_cast<std::size_t>(quads * 4 * n));
+    t.qpw_pack(xs.data(), n_ic, packed.data(), n);
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(n), 0);
+    t.qpw_acc1p(packed.data(), n_ic, w.data(), acc.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(expect, acc[i]) << name << " qpw_acc1p pixel " << i;
+    }
+  };
+  check(scalar::Table(), "scalar");
+  for (const Isa isa : SimdIsas()) check(*TableFor(isa), IsaName(isa));
+}
+
+TEST(QKernelParity, QAxpyRowsStride2) {
+  SKIP_WITHOUT_SIMD();
+  const std::int64_t rows = 5, as = 41;
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      const std::int64_t xstride = 2 * n + 3;
+      if (n > as) continue;
+      // The stride-2 kernel's contract allows reading up to 32 bytes past
+      // the last even sample of each row (PadImage leaves that slack).
+      const auto x = RandomU8(
+          static_cast<std::size_t>(rows * xstride) + 33, 161);
+      for (const std::int32_t w : {-128, -127, -3, 0, 1, 127}) {
+        std::vector<std::int32_t> aa(static_cast<std::size_t>(rows * as), 7);
+        auto ab = aa;
+        scalar::Table().qaxpy_rows_s2(w, x.data() + 1, xstride, aa.data(),
+                                      as, rows, n);
+        simd.qaxpy_rows_s2(w, x.data() + 1, xstride, ab.data(), as, rows, n);
+        ASSERT_EQ(0, std::memcmp(aa.data(), ab.data(),
+                                 aa.size() * sizeof(std::int32_t)))
+            << IsaName(isa) << " n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(QKernelParity, QDot) {
+  SKIP_WITHOUT_SIMD();
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      const auto x = RandomU8(static_cast<std::size_t>(n) + 1, 121);
+      const auto w = RandomS8(static_cast<std::size_t>(n) + 1, 122);
+      ASSERT_EQ(scalar::Table().qdot(x.data() + 1, w.data() + 1, n),
+                simd.qdot(x.data() + 1, w.data() + 1, n))
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(QKernelParity, QRequantQuantDequant) {
+  SKIP_WITHOUT_SIMD();
+  util::Pcg32 rng(131);
+  for (const Isa isa : SimdIsas()) {
+    const OpTable& simd = *TableFor(isa);
+    for (const std::int64_t n : kLengths) {
+      // Accumulators spanning far below 0 and far above 255 after scaling,
+      // plus exact .5 ties to pin round-to-nearest-even.
+      std::vector<std::int32_t> acc(static_cast<std::size_t>(n));
+      for (auto& a : acc) {
+        a = static_cast<std::int32_t>(rng.UniformInt(-2000000, 2000000));
+      }
+      if (n > 2) {
+        acc[0] = 1000;  // 1000*0.0005+bias ties at .5 for bias k+0.0
+        acc[1] = std::numeric_limits<std::int32_t>::max();
+        acc[2] = std::numeric_limits<std::int32_t>::min();
+      }
+      std::vector<std::uint8_t> ya(static_cast<std::size_t>(n), 9), yb = ya;
+      scalar::Table().qrequant(acc.data(), 2.47e-4f, 3.5f, ya.data(), n);
+      simd.qrequant(acc.data(), 2.47e-4f, 3.5f, yb.data(), n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size()))
+          << IsaName(isa) << " qrequant n=" << n;
+
+      auto x = RandomFloats(static_cast<std::size_t>(n), 132);
+      if (n > 6) {
+        x[4] = std::numeric_limits<float>::quiet_NaN();  // must clamp to 0
+        x[5] = std::numeric_limits<float>::infinity();
+        x[6] = -std::numeric_limits<float>::infinity();
+      }
+      scalar::Table().qquant(x.data(), 63.75f, 128.0f, ya.data(), n);
+      simd.qquant(x.data(), 63.75f, 128.0f, yb.data(), n);
+      ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(), ya.size()))
+          << IsaName(isa) << " qquant n=" << n;
+
+      const auto q = RandomU8(static_cast<std::size_t>(n), 133);
+      for (const std::int32_t zp : {0, 128}) {
+        std::vector<float> fa(static_cast<std::size_t>(n), -7.0f), fb = fa;
+        scalar::Table().qdequant(q.data(), 0.031f, zp, fa.data(), n);
+        simd.qdequant(q.data(), 0.031f, zp, fb.data(), n);
+        ASSERT_EQ(0, std::memcmp(fa.data(), fb.data(),
+                                 fa.size() * sizeof(float)))
+            << IsaName(isa) << " qdequant n=" << n << " zp=" << zp;
+      }
+    }
+  }
+}
+
+// The pinned pair-saturation rule at its extremes: w=±127 against x=255.
+// One pair of such products is ±64770, which must saturate to ±32767/-32768
+// — NOT accumulate exactly — on every ISA including the scalar reference.
+TEST(QKernelSaturation, PairSaturationAtExtremes) {
+  const std::int64_t n = 40;  // one AVX2 tile + tail
+  const std::int64_t n_ic = 6;
+  std::vector<std::uint8_t> xdata(static_cast<std::size_t>(n_ic * n), 255);
+  std::vector<const std::uint8_t*> xs(static_cast<std::size_t>(n_ic));
+  for (std::int64_t ic = 0; ic < n_ic; ++ic) {
+    xs[static_cast<std::size_t>(ic)] = xdata.data() + ic * n;
+  }
+  // Quad 1: two saturating positive pairs; tail pair saturates negative.
+  const std::vector<std::int8_t> w = {127, 127, 127, 127, -127, -127};
+  // 32767 (sat) + 32767 (sat) + (-32768) (sat) per pixel.
+  const std::int32_t expect = 32767 + 32767 - 32768;
+  auto check = [&](const OpTable& t, const char* name) {
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(n), 0);
+    t.qpw_acc1(xs.data(), n_ic, w.data(), acc.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(expect, acc[i]) << name << " qpw_acc1 pixel " << i;
+    }
+    ASSERT_EQ(expect, t.qdot(xdata.data(), w.data(), n_ic)) << name
+                                                            << " qdot";
+  };
+  check(scalar::Table(), "scalar");
+  for (const Isa isa : SimdIsas()) check(*TableFor(isa), IsaName(isa));
+  // A lone product never saturates: 127*255 = 32385 stands alone exactly.
+  ASSERT_EQ(32385,
+            scalar::Table().qdot(xdata.data(), w.data(), 1));
+}
+
 // End-to-end: whole layers forwarded under the scalar table vs each SIMD
 // table must be byte-identical — the dispatch choice can never change a
 // network's output.
